@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Each bench regenerates one table or figure of the evaluation
+ * section. Absolute numbers come from the analytic A100 model, not
+ * the authors' testbed, so every bench prints the paper's reported
+ * values next to the measured ones: the claim under reproduction is
+ * the *shape* (who wins, by what factor, where the crossovers are).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "gpu/sim.h"
+#include "models/zoo.h"
+
+namespace souffle::bench {
+
+/** Compile + simulate; returns nullopt-like sentinel on Unsupported. */
+struct RunResult
+{
+    bool supported = false;
+    double totalMs = 0.0;
+    int kernels = 0;
+    double loadedMb = 0.0;
+    double storedMb = 0.0;
+    double compileMs = 0.0;
+    SimResult sim;
+};
+
+inline RunResult
+run(CompilerId id, const Graph &graph,
+    const DeviceSpec &device = DeviceSpec::a100())
+{
+    RunResult result;
+    try {
+        const Compiled compiled = compileWith(id, graph, device);
+        result.sim = simulate(compiled.module, device);
+        result.supported = true;
+        result.totalMs = result.sim.totalUs / 1000.0;
+        result.kernels = compiled.module.numKernels();
+        result.loadedMb = result.sim.counters.bytesLoaded / 1e6;
+        result.storedMb = result.sim.counters.bytesStored / 1e6;
+        result.compileMs = compiled.compileTimeMs;
+    } catch (const std::exception &) {
+        result.supported = false;
+    }
+    return result;
+}
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+} // namespace souffle::bench

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5 / Fig. 6: the EfficientNet sub-module
+ * latency breakdown across four versions --
+ *   unfused     (one kernel per TE),
+ *   fused       (Ansor's operator fusion),
+ *   global-sync (whole sub-module in one kernel, no data reuse = V3),
+ *   data-reuse  (Souffle's full pipeline = V4),
+ * over ten sub-modules M0..M9 (the MBConv block at each distinct
+ * input size of EfficientNet-B0). The paper reports average speedups
+ * over unfused of 1.31x (global-sync) and 1.84x (data-reuse).
+ */
+
+#include "bench_common.h"
+#include "compiler/souffle.h"
+#include "kernel/build.h"
+#include "sched/schedule.h"
+
+namespace souffle::bench {
+namespace {
+
+struct SubmoduleCfg
+{
+    int64_t inC, outC;
+    int expand;
+    int64_t kernel, stride, res;
+};
+
+// The distinct MBConv shapes of EfficientNet-B0 (M0..M9).
+const SubmoduleCfg kSubmodules[] = {
+    {32, 16, 1, 3, 1, 112}, {16, 24, 6, 3, 2, 112},
+    {24, 24, 6, 3, 1, 56},  {24, 40, 6, 5, 2, 56},
+    {40, 40, 6, 5, 1, 28},  {40, 80, 6, 3, 2, 28},
+    {80, 80, 6, 3, 1, 14},  {80, 112, 6, 5, 1, 14},
+    {112, 192, 6, 5, 2, 14}, {192, 320, 6, 3, 1, 7},
+};
+
+/** One MBConv block as a standalone graph. */
+Graph
+buildSubmodule(const SubmoduleCfg &cfg, int index)
+{
+    Graph g("mbconv_M" + std::to_string(index));
+    const ValueId x =
+        g.input("x", {1, cfg.inC, cfg.res, cfg.res});
+    const int64_t mid = cfg.inC * cfg.expand;
+
+    auto conv_bn = [&](ValueId in, int64_t ic, int64_t oc, int64_t k,
+                       int64_t s, int64_t p, int64_t groups,
+                       bool swish, const std::string &tag) {
+        const ValueId w = g.param(tag + ".w", {oc, ic / groups, k, k});
+        const ValueId bs = g.param(tag + ".s", {oc});
+        const ValueId bb = g.param(tag + ".b", {oc});
+        ValueId y =
+            g.batchNormInf(g.conv2d(in, w, s, p, groups), bs, bb);
+        return swish ? g.silu(y) : y;
+    };
+
+    ValueId y = x;
+    if (cfg.expand != 1)
+        y = conv_bn(y, cfg.inC, mid, 1, 1, 0, 1, true, "expand");
+    y = conv_bn(y, mid, mid, cfg.kernel, cfg.stride, cfg.kernel / 2,
+                mid, true, "dw");
+    // Squeeze-and-excitation.
+    const int64_t reduced = std::max<int64_t>(1, cfg.inC / 4);
+    const ValueId pooled = g.globalAvgPool(y);
+    const ValueId w1 = g.param("se.w1", {reduced, mid, 1, 1});
+    const ValueId w2 = g.param("se.w2", {mid, reduced, 1, 1});
+    const ValueId excited = g.sigmoid(
+        g.conv2d(g.silu(g.conv2d(pooled, w1, 1, 0, 1)), w2, 1, 0, 1));
+    y = g.mul(y, excited);
+    y = conv_bn(y, mid, cfg.outC, 1, 1, 0, 1, false, "project");
+    if (cfg.inC == cfg.outC && cfg.stride == 1)
+        y = g.add(y, x);
+    g.markOutput(y);
+    return g;
+}
+
+/** Unfused: one kernel per TE of the raw lowering. */
+double
+runUnfused(const Graph &graph, const DeviceSpec &device)
+{
+    const LoweredModel lowered = lowerToTe(graph);
+    const GlobalAnalysis analysis(lowered.program);
+    AutoScheduler scheduler(lowered.program, analysis, device);
+    const std::vector<Schedule> schedules = scheduler.scheduleAll();
+    const CompiledModule module =
+        buildModule(lowered.program, analysis, schedules,
+                    ModulePlan::unfused(lowered.program), device,
+                    "unfused");
+    return simulate(module, device).totalUs;
+}
+
+double
+runSouffleLevel(const Graph &graph, const DeviceSpec &device,
+                SouffleLevel level)
+{
+    SouffleOptions options;
+    options.device = device;
+    options.level = level;
+    const Compiled compiled = compileSouffle(graph, options);
+    return simulate(compiled.module, device).totalUs;
+}
+
+int
+benchMain()
+{
+    printHeader("Fig. 5 / Fig. 6: EfficientNet sub-module latency "
+                "breakdown (speedup over unfused)");
+    const DeviceSpec device = DeviceSpec::a100();
+
+    std::printf("%-6s %10s | %8s %8s %8s   (paper avg: fused ~1.1x, "
+                "global-sync 1.31x, data-reuse 1.84x)\n",
+                "Module", "unfused us", "fused", "g-sync", "reuse");
+
+    std::vector<double> fused_sp, sync_sp, reuse_sp;
+    for (int m = 0; m < 10; ++m) {
+        const Graph graph = buildSubmodule(kSubmodules[m], m);
+        const double unfused = runUnfused(graph, device);
+        const double fused =
+            run(CompilerId::kAnsor, graph, device).sim.totalUs;
+        const double gsync =
+            runSouffleLevel(graph, device, SouffleLevel::kV3);
+        const double reuse =
+            runSouffleLevel(graph, device, SouffleLevel::kV4);
+
+        fused_sp.push_back(unfused / fused);
+        sync_sp.push_back(unfused / gsync);
+        reuse_sp.push_back(unfused / reuse);
+        std::printf("M%-5d %10.2f | %7.2fx %7.2fx %7.2fx\n", m,
+                    unfused, unfused / fused, unfused / gsync,
+                    unfused / reuse);
+    }
+
+    const double avg_fused = geomean(fused_sp);
+    const double avg_sync = geomean(sync_sp);
+    const double avg_reuse = geomean(reuse_sp);
+    std::printf("%-6s %10s | %7.2fx %7.2fx %7.2fx\n", "AVG", "",
+                avg_fused, avg_sync, avg_reuse);
+    std::printf("\nShape check: unfused < fused < global-sync < "
+                "data-reuse speedups: %s\n",
+                (1.0 <= avg_fused && avg_fused <= avg_sync
+                 && avg_sync <= avg_reuse)
+                    ? "yes"
+                    : "NO");
+    return 0;
+}
+
+} // namespace
+} // namespace souffle::bench
+
+int
+main()
+{
+    return souffle::bench::benchMain();
+}

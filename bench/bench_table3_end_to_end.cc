@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reproduces paper Table 3: end-to-end model runtime (ms) for six DNN
+ * models under seven compilers, plus the headline geometric-mean
+ * speedups of Souffle over TensorRT / XLA / Ansor.
+ */
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace souffle::bench {
+namespace {
+
+// Paper Table 3 (ms); -1 marks "Failed".
+const std::map<std::string, std::map<std::string, double>> kPaper = {
+    {"BERT",
+     {{"XLA", 2.55}, {"Ansor", 2.31}, {"TensorRT", 1.30},
+      {"Rammer", 2.19}, {"Apollo", 3.29}, {"IREE", 2.22},
+      {"Souffle", 1.22}}},
+    {"ResNeXt",
+     {{"XLA", 8.91}, {"Ansor", 20.50}, {"TensorRT", 24.82},
+      {"Rammer", 11.69}, {"Apollo", 22.80}, {"IREE", 314.8},
+      {"Souffle", 4.43}}},
+    {"LSTM",
+     {{"XLA", 10.57}, {"Ansor", 6.78}, {"TensorRT", 6.30},
+      {"Rammer", 1.72}, {"Apollo", -1.0}, {"IREE", 16.0},
+      {"Souffle", 0.80}}},
+    {"EfficientNet",
+     {{"XLA", 2.96}, {"Ansor", 0.91}, {"TensorRT", 1.21},
+      {"Rammer", -1.0}, {"Apollo", 2.3}, {"IREE", 12.33},
+      {"Souffle", 0.66}}},
+    {"SwinTransformer",
+     {{"XLA", 6.43}, {"Ansor", 5.81}, {"TensorRT", 1.74},
+      {"Rammer", -1.0}, {"Apollo", 10.78}, {"IREE", 18.1},
+      {"Souffle", 1.55}}},
+    {"MMoE",
+     {{"XLA", 0.29}, {"Ansor", 0.034}, {"TensorRT", 0.070},
+      {"Rammer", -1.0}, {"Apollo", 0.049}, {"IREE", 0.088},
+      {"Souffle", 0.014}}},
+};
+
+const std::vector<CompilerId> kOrder = {
+    CompilerId::kXla,    CompilerId::kAnsor,  CompilerId::kTensorRT,
+    CompilerId::kRammer, CompilerId::kApollo, CompilerId::kIree,
+    CompilerId::kSouffle,
+};
+
+int
+benchMain()
+{
+    printHeader("Table 3: end-to-end model runtime (ms) - lower is "
+                "better");
+    std::printf("%-16s", "Model");
+    for (CompilerId id : kOrder)
+        std::printf(" %10s", compilerName(id).c_str());
+    std::printf("\n");
+
+    std::map<std::string, std::map<std::string, double>> measured;
+    for (const std::string &model : paperModelNames()) {
+        const Graph graph = buildPaperModel(model);
+        std::printf("%-16s", model.c_str());
+        for (CompilerId id : kOrder) {
+            const RunResult result = run(id, graph);
+            if (result.supported) {
+                measured[model][compilerName(id)] = result.totalMs;
+                std::printf(" %10.3f", result.totalMs);
+            } else {
+                measured[model][compilerName(id)] = -1.0;
+                std::printf(" %10s", "Failed");
+            }
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n%-16s", "(paper)");
+    for (CompilerId id : kOrder)
+        std::printf(" %10s", compilerName(id).c_str());
+    std::printf("\n");
+    for (const std::string &model : paperModelNames()) {
+        std::printf("%-16s", model.c_str());
+        for (CompilerId id : kOrder) {
+            const double v = kPaper.at(model).at(compilerName(id));
+            if (v < 0)
+                std::printf(" %10s", "Failed");
+            else
+                std::printf(" %10.3f", v);
+        }
+        std::printf("\n");
+    }
+
+    // Headline geomean speedups of Souffle over each baseline.
+    std::printf("\nGeomean speedup of Souffle (measured vs paper):\n");
+    for (CompilerId id : kOrder) {
+        if (id == CompilerId::kSouffle)
+            continue;
+        std::vector<double> ours, paper;
+        for (const std::string &model : paperModelNames()) {
+            const double base = measured[model][compilerName(id)];
+            const double souffle_ms = measured[model]["Souffle"];
+            const double pbase = kPaper.at(model).at(compilerName(id));
+            const double psouffle = kPaper.at(model).at("Souffle");
+            if (base > 0 && souffle_ms > 0)
+                ours.push_back(base / souffle_ms);
+            if (pbase > 0 && psouffle > 0)
+                paper.push_back(pbase / psouffle);
+        }
+        std::printf("  vs %-10s  measured %6.2fx   paper %6.2fx\n",
+                    compilerName(id).c_str(), geomean(ours),
+                    geomean(paper));
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace souffle::bench
+
+int
+main()
+{
+    return souffle::bench::benchMain();
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Sec. 8.4 / Fig. 7 / Table 6: the LSTM case study.
+ *
+ * Rammer and Souffle both exploit the wavefront parallelism of the
+ * fully-unrolled 10-cell x 100-step LSTM, but only Souffle's global
+ * analysis discovers that each cell's weights are reused across all
+ * time steps (temporal reuse): it generates ONE kernel for the whole
+ * model and keeps the weights on-chip, cutting global-memory traffic
+ * by two orders of magnitude and roughly doubling LSU/FMA pipe
+ * utilization (paper Table 6: 1911 MB -> 21.11 MB, LSU 20.2% ->
+ * 35.4%, FMA 8.0% -> 19.0%).
+ */
+
+#include "bench_common.h"
+
+namespace souffle::bench {
+namespace {
+
+int
+benchMain()
+{
+    printHeader("Table 6 / Fig. 7: LSTM case study (Rammer vs Souffle)");
+    const Graph graph = buildLstm();
+    std::printf("LSTM: %d ops (10 cells x 100 time steps, hidden 256, "
+                "fully unrolled)\n\n",
+                graph.numOps());
+
+    const RunResult rammer = run(CompilerId::kRammer, graph);
+    const RunResult ours = run(CompilerId::kSouffle, graph);
+
+    std::printf("%-42s %12s %12s\n", "Metric", "Rammer", "Souffle");
+    std::printf("%-42s %12.1f %12.2f\n",
+                "GPU global memory transfer (MB)",
+                rammer.loadedMb + rammer.storedMb,
+                ours.loadedMb + ours.storedMb);
+    std::printf("%-42s %11.1f%% %11.1f%%\n",
+                "Pipeline utilization (LSU)",
+                rammer.sim.lsuUtilization() * 100.0,
+                ours.sim.lsuUtilization() * 100.0);
+    std::printf("%-42s %11.1f%% %11.1f%%\n",
+                "Pipeline utilization (FMA)",
+                rammer.sim.fmaUtilization() * 100.0,
+                ours.sim.fmaUtilization() * 100.0);
+    std::printf("%-42s %12d %12d\n", "Kernels (Fig. 7 mapping)",
+                rammer.kernels, ours.kernels);
+    std::printf("%-42s %12.3f %12.3f\n", "End-to-end time (ms)",
+                rammer.totalMs, ours.totalMs);
+
+    std::printf("\nPaper Table 6:\n");
+    std::printf("%-42s %12s %12s\n", "", "Rammer", "Souffle");
+    std::printf("%-42s %12.1f %12.2f\n",
+                "GPU global memory transfer (MB)", 1911.0, 21.11);
+    std::printf("%-42s %11.1f%% %11.1f%%\n",
+                "Pipeline utilization (LSU)", 20.2, 35.4);
+    std::printf("%-42s %11.1f%% %11.1f%%\n",
+                "Pipeline utilization (FMA)", 8.0, 19.0);
+
+    const double traffic_ratio =
+        (rammer.loadedMb + rammer.storedMb)
+        / std::max(ours.loadedMb + ours.storedMb, 1e-9);
+    std::printf("\nShape checks: traffic reduction %.0fx (paper ~90x): "
+                "%s; Souffle single kernel: %s; FMA utilization "
+                "improves: %s; Souffle faster: %s\n",
+                traffic_ratio, traffic_ratio > 20 ? "yes" : "NO",
+                ours.kernels == 1 ? "yes" : "NO",
+                ours.sim.fmaUtilization() > rammer.sim.fmaUtilization()
+                    ? "yes"
+                    : "NO",
+                ours.totalMs < rammer.totalMs ? "yes" : "NO");
+    return 0;
+}
+
+} // namespace
+} // namespace souffle::bench
+
+int
+main()
+{
+    return souffle::bench::benchMain();
+}

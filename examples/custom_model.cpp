@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Using the library on your own model: define a custom graph (here a
+ * small mixture-of-experts text classifier), inspect the lowered TE
+ * program and its global analysis, then sweep Souffle's ablation
+ * levels V0..V4 to see which optimization pays off on *your* model.
+ *
+ *   $ ./custom_model
+ */
+
+#include <cstdio>
+
+#include "analysis/analysis.h"
+#include "compiler/souffle.h"
+#include "gpu/sim.h"
+#include "te/interpreter.h"
+
+using namespace souffle;
+
+namespace {
+
+Graph
+buildCustomModel()
+{
+    // Token features -> 4 expert FFNs -> gated mix -> classifier.
+    Graph g("custom_moe_classifier");
+    const int64_t tokens = 128, dim = 256, experts = 4;
+
+    const ValueId x = g.input("tokens", {tokens, dim});
+    const ValueId ln_g = g.param("ln.g", {dim});
+    const ValueId ln_b = g.param("ln.b", {dim});
+    const ValueId normed = g.layerNorm(x, ln_g, ln_b);
+
+    std::vector<ValueId> expert_out;
+    for (int e = 0; e < experts; ++e) {
+        const std::string p = "expert" + std::to_string(e);
+        const ValueId w1 = g.param(p + ".w1", {dim, dim});
+        const ValueId w2 = g.param(p + ".w2", {dim, dim});
+        expert_out.push_back(
+            g.matmul(g.gelu(g.matmul(normed, w1)), w2));
+    }
+    const ValueId gate_w = g.param("gate.w", {dim, experts});
+    const ValueId gates = g.softmax(g.matmul(normed, gate_w));
+
+    // mix[t, d] = sum_e gates[t, e] * expert_e[t, d]
+    ValueId mix = g.mul(expert_out[0],
+                        g.reshape(g.slice(gates, {0, 0}, {tokens, 1}),
+                                  {tokens, 1}));
+    for (int e = 1; e < 4; ++e) {
+        const ValueId weighted = g.mul(
+            expert_out[e],
+            g.reshape(g.slice(gates, {0, e}, {tokens, e + 1}),
+                      {tokens, 1}));
+        mix = g.add(mix, weighted);
+    }
+    const ValueId head_w = g.param("head.w", {dim, 8});
+    g.markOutput(g.softmax(g.matmul(g.add(mix, x), head_w)));
+    return g;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Graph graph = buildCustomModel();
+    const DeviceSpec device = DeviceSpec::a100();
+
+    // Inspect the lowering and the global analysis.
+    const LoweredModel lowered = lowerToTe(graph);
+    const GlobalAnalysis analysis(lowered.program);
+    std::printf("%d graph ops -> %d TEs\n", graph.numOps(),
+                lowered.program.numTes());
+    std::printf("compute-intensive TEs: %zu, shared tensors: %zu\n",
+                analysis.computeIntensiveTes().size(),
+                analysis.sharedTensors().size());
+    for (const SharedTensor &shared : analysis.sharedTensors()) {
+        if (shared.spatial) {
+            std::printf("  spatial reuse: '%s' consumed by %zu "
+                        "independent TEs (horizontal-merge target)\n",
+                        lowered.program.tensor(shared.tensor)
+                            .name.c_str(),
+                        shared.consumers.size());
+        }
+    }
+
+    // Ablation sweep: which Souffle stage helps this model?
+    std::printf("\n%-6s %10s %9s %12s\n", "Level", "time(us)",
+                "kernels", "loaded(MB)");
+    for (int level = 0; level <= 4; ++level) {
+        SouffleOptions options;
+        options.device = device;
+        options.level = static_cast<SouffleLevel>(level);
+        const Compiled compiled = compileSouffle(graph, options);
+        const SimResult sim = simulate(compiled.module, device);
+        std::printf("V%-5d %10.2f %9d %12.2f\n", level, sim.totalUs,
+                    compiled.module.numKernels(),
+                    sim.counters.bytesLoaded / 1e6);
+    }
+
+    // And confirm the most aggressive level is still exact.
+    SouffleOptions options;
+    const Compiled compiled = compileSouffle(graph, options);
+    const BufferMap ref_bind = randomBindings(lowered.program, 7);
+    BufferMap opt_bind;
+    for (const auto &decl : compiled.program.tensors()) {
+        if (decl.role != TensorRole::kInput
+            && decl.role != TensorRole::kParam)
+            continue;
+        for (const auto &ref : lowered.program.tensors()) {
+            if (ref.name == decl.name) {
+                opt_bind[decl.id] = ref_bind.at(ref.id);
+                break;
+            }
+        }
+    }
+    const Buffer a = Interpreter(lowered.program)
+                         .run(ref_bind)
+                         .at(lowered.program.outputTensors()[0]);
+    const Buffer b = Interpreter(compiled.program)
+                         .run(opt_bind)
+                         .at(compiled.program.outputTensors()[0]);
+    std::printf("\nV4 output max abs diff vs reference: %.3g\n",
+                maxAbsDiff(a, b));
+    return 0;
+}

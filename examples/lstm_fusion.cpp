@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The LSTM case study of paper Sec. 8.4 as a runnable walk-through:
+ * wavefront parallelism (horizontal transformation across independent
+ * cell-steps) plus weight temporal reuse (the LRU on-chip cache keeps
+ * each cell's W/U resident across all 100 time steps), turning the
+ * fully-unrolled model into a single cooperative kernel.
+ *
+ *   $ ./lstm_fusion [time_steps] [cells]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/analysis.h"
+#include "compiler/compiler.h"
+#include "gpu/sim.h"
+#include "models/zoo.h"
+
+using namespace souffle;
+
+int
+main(int argc, char **argv)
+{
+    const int steps = argc > 1 ? std::atoi(argv[1]) : 100;
+    const int cells = argc > 2 ? std::atoi(argv[2]) : 10;
+    const Graph graph = buildLstm(steps, cells);
+    const DeviceSpec device = DeviceSpec::a100();
+
+    std::printf("LSTM: %d cells x %d steps, hidden 256 -> %d ops, "
+                "fully unrolled\n\n",
+                cells, steps, graph.numOps());
+
+    // The temporal-reuse opportunity the global analysis discovers:
+    // weight tensors consumed by every time step.
+    const LoweredModel lowered = lowerToTe(graph);
+    const GlobalAnalysis analysis(lowered.program);
+    int temporal = 0, spatial = 0;
+    int64_t temporal_bytes = 0;
+    for (const SharedTensor &shared : analysis.sharedTensors()) {
+        if (shared.temporal) {
+            ++temporal;
+            if (lowered.program.tensor(shared.tensor).role
+                == TensorRole::kParam)
+                temporal_bytes +=
+                    lowered.program.tensor(shared.tensor).bytes();
+        }
+        if (shared.spatial)
+            ++spatial;
+    }
+    std::printf("Global analysis: %zu shared tensors (%d temporal, %d "
+                "spatial); %.1f MB of weights are reused across time "
+                "steps\n\n",
+                analysis.sharedTensors().size(), temporal, spatial,
+                temporal_bytes / 1e6);
+
+    for (CompilerId id : {CompilerId::kRammer, CompilerId::kSouffle}) {
+        const Compiled compiled = compileWith(id, graph, device);
+        const SimResult sim = simulate(compiled.module, device);
+        std::printf("%-8s: %7.3f ms, %4d kernel(s), loaded %8.1f MB, "
+                    "LSU %4.1f%%, FMA %4.1f%%\n",
+                    compiled.name.c_str(), sim.totalUs / 1000.0,
+                    compiled.module.numKernels(),
+                    sim.counters.bytesLoaded / 1e6,
+                    sim.lsuUtilization() * 100.0,
+                    sim.fmaUtilization() * 100.0);
+    }
+
+    std::printf("\nSouffle loads each weight once and keeps it "
+                "on-chip; Rammer reloads weights every wavefront "
+                "(paper Fig. 7 / Table 6).\n");
+    return 0;
+}

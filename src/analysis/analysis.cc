@@ -1,0 +1,251 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+int64_t
+countUnitOps(const ExprPtr &expr)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+      case ExprKind::kRead:
+        return 0;
+      case ExprKind::kUnary:
+        return 1 + countUnitOps(expr->lhs());
+      case ExprKind::kBinary:
+        return 1 + countUnitOps(expr->lhs()) + countUnitOps(expr->rhs());
+      case ExprKind::kSelect: {
+        // Predication: one branch executes per element, and a nested
+        // select chain is a single piecewise dispatch.
+        int64_t worst = 0;
+        ExprPtr tail = expr;
+        while (tail->kind() == ExprKind::kSelect) {
+            worst = std::max(worst, countUnitOps(tail->lhs()));
+            if (tail->rhs()->kind() != ExprKind::kSelect) {
+                worst = std::max(worst, countUnitOps(tail->rhs()));
+                break;
+            }
+            tail = tail->rhs();
+        }
+        return 1 + worst;
+      }
+    }
+    return 0;
+}
+
+int64_t
+inputFootprintElems(const TeProgram &program, const TensorExpr &te,
+                    int slot)
+{
+    const TensorDecl &decl = program.tensor(te.inputs[slot]);
+    const auto extents = te.iterExtents();
+
+    // Sum the per-read footprints of this slot, capped at the tensor
+    // size. Summing makes piecewise TEs reading disjoint regions (e.g.
+    // horizontally merged group convolutions) account for the union,
+    // while the cap keeps TEs that read the same full region through
+    // several branches (e.g. merged QKV projections sharing an input)
+    // from being over-charged.
+    std::vector<ReadAccess> reads;
+    te.body->collectReads(reads);
+    int64_t total = 0;
+    for (const ReadAccess &access : reads) {
+        if (access.inputSlot != slot)
+            continue;
+        int64_t footprint = 1;
+        if (access.flat) {
+            footprint = std::min(
+                access.map->rowRangeExtent(0, extents),
+                decl.numElements());
+        } else {
+            for (int row = 0; row < access.map->outDims(); ++row) {
+                const int64_t range = std::min(
+                    access.map->rowRangeExtent(row, extents),
+                    decl.shape[row]);
+                footprint *= range;
+            }
+        }
+        total += footprint;
+    }
+    return std::min(total, decl.numElements());
+}
+
+GlobalAnalysis::GlobalAnalysis(const TeProgram &program,
+                               double intensity_threshold)
+    : prog(program), threshold(intensity_threshold)
+{
+    infos.reserve(prog.numTes());
+    for (const auto &te : prog.tes())
+        analyzeTe(te);
+    buildLiveRangesAndSharing();
+    reachCache.resize(prog.numTes());
+    reachCacheValid.assign(prog.numTes(), false);
+}
+
+void
+GlobalAnalysis::analyzeTe(const TensorExpr &te)
+{
+    TeInfo info;
+    info.dep = te.hasReduce() ? DepKind::kOneToMany : DepKind::kOneToOne;
+
+    const int64_t domain = te.iterDomainSize();
+    int64_t unit_ops = countUnitOps(te.body);
+    int64_t weighted_ops = te.body->arithOps();
+    if (te.hasReduce()) {
+        // The combiner itself is one arithmetic instruction per point.
+        unit_ops += 1;
+        weighted_ops += 1;
+    }
+    info.arithInstrs = unit_ops * domain;
+    info.flops = weighted_ops * domain;
+
+    int64_t in_elems = 0;
+    int64_t in_bytes = 0;
+    for (size_t slot = 0; slot < te.inputs.size(); ++slot) {
+        const int64_t elems =
+            inputFootprintElems(prog, te, static_cast<int>(slot));
+        in_elems += elems;
+        in_bytes += elems * dtypeBytes(prog.tensor(te.inputs[slot]).dtype);
+    }
+    const TensorDecl &out = prog.tensor(te.output);
+    info.inputFootprintElems = in_elems;
+    info.memFootprintBytes = in_bytes + out.bytes();
+
+    const int64_t accessed = in_elems + out.numElements();
+    info.computeMemRatio =
+        accessed > 0 ? static_cast<double>(info.arithInstrs)
+                           / static_cast<double>(accessed)
+                     : 0.0;
+    info.computeIntensive = info.computeMemRatio >= threshold;
+    infos.push_back(info);
+}
+
+void
+GlobalAnalysis::buildLiveRangesAndSharing()
+{
+    consumerLists.assign(prog.numTensors(), {});
+    for (const auto &te : prog.tes()) {
+        // De-duplicate: a TE reading a tensor through two slots counts
+        // once.
+        std::vector<TensorId> seen;
+        for (TensorId in : te.inputs) {
+            if (std::find(seen.begin(), seen.end(), in) != seen.end())
+                continue;
+            seen.push_back(in);
+            consumerLists[in].push_back(te.id);
+        }
+    }
+
+    liveRanges.resize(prog.numTensors());
+    for (const auto &decl : prog.tensors()) {
+        LiveRange range;
+        range.def = decl.producer;
+        const auto &consumers = consumerLists[decl.id];
+        range.lastUse =
+            consumers.empty() ? decl.producer : consumers.back();
+        liveRanges[decl.id] = range;
+    }
+
+    for (const auto &decl : prog.tensors()) {
+        const auto &consumers = consumerLists[decl.id];
+        if (consumers.size() < 2)
+            continue;
+        SharedTensor entry;
+        entry.tensor = decl.id;
+        entry.consumers = consumers;
+        shared.push_back(std::move(entry));
+    }
+
+    // Resolve spatial/temporal flags now that consumer lists exist.
+    // reachable() needs reachCache sized; size it here temporarily.
+    reachCache.resize(prog.numTes());
+    reachCacheValid.assign(prog.numTes(), false);
+    for (auto &entry : shared) {
+        for (size_t i = 0; i + 1 < entry.consumers.size(); ++i) {
+            const bool dep =
+                reachable(entry.consumers[i], entry.consumers[i + 1]);
+            if (dep)
+                entry.temporal = true;
+            else
+                entry.spatial = true;
+        }
+    }
+}
+
+bool
+GlobalAnalysis::reachable(int from, int to) const
+{
+    if (from == to)
+        return true;
+    if (from > to)
+        return false; // topological order: edges only go forward
+    if (!reachCacheValid[from]) {
+        // Forward BFS over consumer edges from `from`.
+        std::vector<bool> visited(prog.numTes(), false);
+        std::deque<int> queue{from};
+        visited[from] = true;
+        while (!queue.empty()) {
+            const int current = queue.front();
+            queue.pop_front();
+            const TensorId out = prog.te(current).output;
+            for (int next : consumerLists[out]) {
+                if (!visited[next]) {
+                    visited[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        reachCache[from] = std::move(visited);
+        reachCacheValid[from] = true;
+    }
+    return reachCache[from][to];
+}
+
+std::vector<int>
+GlobalAnalysis::computeIntensiveTes() const
+{
+    std::vector<int> result;
+    for (int i = 0; i < prog.numTes(); ++i) {
+        if (infos[i].computeIntensive)
+            result.push_back(i);
+    }
+    return result;
+}
+
+std::vector<int>
+GlobalAnalysis::memoryIntensiveTes() const
+{
+    std::vector<int> result;
+    for (int i = 0; i < prog.numTes(); ++i) {
+        if (!infos[i].computeIntensive)
+            result.push_back(i);
+    }
+    return result;
+}
+
+std::string
+GlobalAnalysis::toString() const
+{
+    std::ostringstream os;
+    os << "GlobalAnalysis: " << prog.numTes() << " TEs ("
+       << computeIntensiveTes().size() << " compute-intensive), "
+       << shared.size() << " shared tensors\n";
+    for (int i = 0; i < prog.numTes(); ++i) {
+        const TeInfo &info = infos[i];
+        os << "  TE" << i << " " << prog.te(i).name << ": "
+           << (info.dep == DepKind::kOneToOne ? "one-to-one"
+                                              : "one-to-many")
+           << ", ratio " << info.computeMemRatio << " -> "
+           << (info.computeIntensive ? "compute" : "memory")
+           << "-intensive\n";
+    }
+    return os.str();
+}
+
+} // namespace souffle

@@ -1,0 +1,154 @@
+#pragma once
+
+/**
+ * @file
+ * Global computation-graph analysis on the TE dependency graph
+ * (paper Sec. 5).
+ *
+ * Two levels of analysis:
+ *  - tensor level: shapes, live ranges, and data-reuse opportunities
+ *    (tensors consumed by more than one TE, split into spatial reuse
+ *    between independent consumers and temporal reuse between
+ *    dependent consumers, Sec. 5.1);
+ *  - element level: every TE is classified one-relies-on-one (no
+ *    reduction axis) or one-relies-on-many (has a reduction axis)
+ *    (Sec. 5.2), and as memory- or compute-intensive by its
+ *    arithmetic-per-memory-access ratio with the paper's threshold of
+ *    3 (Sec. 5.3).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "te/program.h"
+
+namespace souffle {
+
+/** Element-wise dependence class of a TE (paper Sec. 5.2). */
+enum class DepKind : uint8_t {
+    kOneToOne,  ///< no reduction axis: one-relies-on-one
+    kOneToMany, ///< has a reduction axis: one-relies-on-many
+};
+
+/** Per-TE analysis results. */
+struct TeInfo
+{
+    DepKind dep = DepKind::kOneToOne;
+    /** Unit-cost arithmetic instruction count over the iteration domain. */
+    int64_t arithInstrs = 0;
+    /** Weighted FLOP count (transcendentals cost more) for timing. */
+    int64_t flops = 0;
+    /** Unique input elements touched (affine-footprint estimate). */
+    int64_t inputFootprintElems = 0;
+    /** Unique input bytes + output bytes. */
+    int64_t memFootprintBytes = 0;
+    /** arithInstrs / (unique elements read + written). */
+    double computeMemRatio = 0.0;
+    bool computeIntensive = false;
+};
+
+/** Live range of a tensor in TE-program order. */
+struct LiveRange
+{
+    /** Producing TE id, or -1 for inputs/params. */
+    int def = -1;
+    /** Last consuming TE id, or def if never consumed. */
+    int lastUse = -1;
+};
+
+/** A tensor consumed by more than one TE (paper Sec. 5.1). */
+struct SharedTensor
+{
+    TensorId tensor = -1;
+    std::vector<int> consumers;
+    /** Some pair of consumers is independent (spatial reuse). */
+    bool spatial = false;
+    /** Some pair of consumers is dependent (temporal reuse). */
+    bool temporal = false;
+};
+
+/** Compute/memory classification threshold from the paper (Sec. 5.3). */
+inline constexpr double kComputeIntensityThreshold = 3.0;
+
+/** Whole-program analysis over a TE program. */
+class GlobalAnalysis
+{
+  public:
+    /**
+     * Run all analyses on @p program. The program must outlive this
+     * object. @p intensity_threshold overrides the paper's
+     * compute/memory classification threshold of 3 (exposed for the
+     * design-ablation benchmarks).
+     */
+    explicit GlobalAnalysis(
+        const TeProgram &program,
+        double intensity_threshold = kComputeIntensityThreshold);
+
+    const TeProgram &program() const { return prog; }
+
+    const TeInfo &teInfo(int te_id) const { return infos.at(te_id); }
+    const std::vector<TeInfo> &allTeInfo() const { return infos; }
+
+    const LiveRange &liveRange(TensorId id) const
+    {
+        return liveRanges.at(id);
+    }
+
+    /** Tensors consumed by >= 2 TEs, with reuse classification. */
+    const std::vector<SharedTensor> &sharedTensors() const
+    {
+        return shared;
+    }
+
+    /** Consumers of a tensor (cached). */
+    const std::vector<int> &consumers(TensorId id) const
+    {
+        return consumerLists.at(id);
+    }
+
+    /**
+     * True if TE @p from (transitively) feeds TE @p to through tensor
+     * dependencies. Exact; memoized per source.
+     */
+    bool reachable(int from, int to) const;
+
+    /** TE ids classified compute-intensive, in program order. */
+    std::vector<int> computeIntensiveTes() const;
+
+    /** TE ids classified memory-intensive, in program order. */
+    std::vector<int> memoryIntensiveTes() const;
+
+    /** Summary for logs and tests. */
+    std::string toString() const;
+
+  private:
+    void analyzeTe(const TensorExpr &te);
+    void buildLiveRangesAndSharing();
+
+    const TeProgram &prog;
+    double threshold = kComputeIntensityThreshold;
+    std::vector<TeInfo> infos;
+    std::vector<LiveRange> liveRanges;
+    std::vector<std::vector<int>> consumerLists;
+    std::vector<SharedTensor> shared;
+    /** reach cache: source TE id -> visited bitmap (lazy). */
+    mutable std::vector<std::vector<bool>> reachCache;
+    mutable std::vector<bool> reachCacheValid;
+};
+
+/**
+ * Unit-cost arithmetic instruction count of an expression (every
+ * unary/binary/select node counts one instruction; transcendentals
+ * map to a single SFU instruction on NVIDIA GPUs).
+ */
+int64_t countUnitOps(const ExprPtr &expr);
+
+/**
+ * Footprint (unique elements) of input @p slot of @p te, estimated
+ * from the affine range of each read-map row over the iteration box.
+ */
+int64_t inputFootprintElems(const TeProgram &program,
+                            const TensorExpr &te, int slot);
+
+} // namespace souffle

@@ -1,0 +1,452 @@
+#include "codegen/cuda.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+
+namespace {
+
+/** Render a floating constant as a C literal. */
+std::string
+literal(double value)
+{
+    if (value == -std::numeric_limits<double>::infinity())
+        return "-CUDART_INF_F";
+    if (value == std::numeric_limits<double>::infinity())
+        return "CUDART_INF_F";
+    std::ostringstream os;
+    os.precision(9);
+    os << value;
+    std::string text = os.str();
+    if (text.find('.') == std::string::npos
+        && text.find('e') == std::string::npos)
+        text += ".0";
+    return text + "f";
+}
+
+/** Render one affine row as index arithmetic over d0..d{n-1}. */
+std::string
+affineRow(const AffineMap &map, int row)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (int c = 0; c < map.inDims(); ++c) {
+        const int64_t a = map.coef(row, c);
+        if (a == 0)
+            continue;
+        if (!first)
+            os << " + ";
+        if (a == 1)
+            os << "d" << c;
+        else
+            os << a << "*d" << c;
+        first = false;
+    }
+    if (map.offsetAt(row) != 0 || first) {
+        if (!first)
+            os << " + ";
+        os << map.offsetAt(row);
+    }
+    return os.str();
+}
+
+/** Flattened row-major offset string for a multi-dim read map. */
+std::string
+flattenedOffset(const AffineMap &map, const std::vector<int64_t> &shape)
+{
+    const auto strides = rowMajorStrides(shape);
+    std::ostringstream os;
+    bool first = true;
+    for (int row = 0; row < map.outDims(); ++row) {
+        if (!first)
+            os << " + ";
+        if (strides[row] == 1)
+            os << "(" << affineRow(map, row) << ")";
+        else
+            os << "(" << affineRow(map, row) << ")*" << strides[row];
+        first = false;
+    }
+    if (first)
+        os << "0";
+    return os.str();
+}
+
+std::string
+condString(const AffineCond &cond)
+{
+    std::ostringstream os;
+    bool first = true;
+    os << "(";
+    for (size_t c = 0; c < cond.coefs.size(); ++c) {
+        if (cond.coefs[c] == 0)
+            continue;
+        if (!first)
+            os << " + ";
+        if (cond.coefs[c] == 1)
+            os << "d" << c;
+        else
+            os << cond.coefs[c] << "*d" << c;
+        first = false;
+    }
+    if (cond.offset != 0 || first) {
+        if (!first)
+            os << " + ";
+        os << cond.offset;
+    }
+    switch (cond.op) {
+      case CmpOp::kGE:
+        os << " >= 0";
+        break;
+      case CmpOp::kLT:
+        os << " < 0";
+        break;
+      case CmpOp::kEQ:
+        os << " == 0";
+        break;
+    }
+    os << ")";
+    return os.str();
+}
+
+std::string
+predicateString(const Predicate &pred)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        if (i)
+            os << " && ";
+        os << condString(pred[i]);
+    }
+    return os.str();
+}
+
+/** Wrap a load according to the tensor's element type. */
+std::string
+loadOf(const TeProgram &program, TensorId tensor,
+       const std::string &index)
+{
+    const TensorDecl &decl = program.tensor(tensor);
+    const std::string access =
+        "t" + std::to_string(tensor) + "[" + index + "]";
+    if (decl.dtype == DType::kFP16)
+        return "__half2float(" + access + ")";
+    return access;
+}
+
+std::string
+unaryCall(UnaryOp op, const std::string &x)
+{
+    switch (op) {
+      case UnaryOp::kNeg:
+        return "(-" + x + ")";
+      case UnaryOp::kExp:
+        return "expf(" + x + ")";
+      case UnaryOp::kLog:
+        return "logf(" + x + ")";
+      case UnaryOp::kSqrt:
+        return "sqrtf(" + x + ")";
+      case UnaryOp::kRsqrt:
+        return "rsqrtf(" + x + ")";
+      case UnaryOp::kSigmoid:
+        return "(1.0f / (1.0f + expf(-(" + x + "))))";
+      case UnaryOp::kTanh:
+        return "tanhf(" + x + ")";
+      case UnaryOp::kRelu:
+        return "fmaxf(" + x + ", 0.0f)";
+      case UnaryOp::kErf:
+        return "erff(" + x + ")";
+      case UnaryOp::kAbs:
+        return "fabsf(" + x + ")";
+      case UnaryOp::kRecip:
+        return "(1.0f / (" + x + "))";
+    }
+    return x;
+}
+
+std::string
+binaryCall(BinaryOp op, const std::string &a, const std::string &b)
+{
+    switch (op) {
+      case BinaryOp::kAdd:
+        return "(" + a + " + " + b + ")";
+      case BinaryOp::kSub:
+        return "(" + a + " - " + b + ")";
+      case BinaryOp::kMul:
+        return "(" + a + " * " + b + ")";
+      case BinaryOp::kDiv:
+        return "(" + a + " / " + b + ")";
+      case BinaryOp::kMax:
+        return "fmaxf(" + a + ", " + b + ")";
+      case BinaryOp::kMin:
+        return "fminf(" + a + ", " + b + ")";
+      case BinaryOp::kPow:
+        return "powf(" + a + ", " + b + ")";
+    }
+    return a;
+}
+
+std::string
+emitExpr(const ExprPtr &expr, const TeProgram &program,
+         const TensorExpr &te)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        return literal(expr->constValue());
+      case ExprKind::kRead: {
+        const TensorId tensor = te.inputs[expr->readSlot()];
+        if (expr->isFlatRead())
+            return loadOf(program, tensor,
+                          affineRow(expr->readMap(), 0));
+        return loadOf(program, tensor,
+                      flattenedOffset(expr->readMap(),
+                                      program.tensor(tensor).shape));
+      }
+      case ExprKind::kUnary:
+        return unaryCall(expr->unaryOp(),
+                         emitExpr(expr->lhs(), program, te));
+      case ExprKind::kBinary:
+        return binaryCall(expr->binaryOp(),
+                          emitExpr(expr->lhs(), program, te),
+                          emitExpr(expr->rhs(), program, te));
+      case ExprKind::kSelect:
+        return "(" + predicateString(expr->predicate()) + " ? "
+               + emitExpr(expr->lhs(), program, te) + " : "
+               + emitExpr(expr->rhs(), program, te) + ")";
+    }
+    SOUFFLE_PANIC("unreachable expression kind");
+}
+
+/** Emit the store of `value` into the TE's output at flat `index`. */
+std::string
+storeOf(const TeProgram &program, const TensorExpr &te,
+        const std::string &index, const std::string &value,
+        bool atomic)
+{
+    const TensorDecl &out = program.tensor(te.output);
+    const std::string target =
+        "t" + std::to_string(te.output) + "[" + index + "]";
+    if (atomic) {
+        // Two-phase reduction: per-block partial combined globally.
+        if (out.dtype == DType::kFP16)
+            return "atomicAdd(&" + target + ", __float2half(" + value
+                   + "));";
+        return "atomicAdd(&" + target + ", " + value + ");";
+    }
+    if (out.dtype == DType::kFP16)
+        return target + " = __float2half(" + value + ");";
+    return target + " = " + value + ";";
+}
+
+/** Emit the full grid-stride loop for one TE. */
+void
+emitTeLoop(std::ostringstream &os, const TeProgram &program,
+           const TensorExpr &te, bool atomic, const std::string &indent)
+{
+    const int out_rank = te.outRank();
+    const int64_t out_elems = te.outDomainSize();
+
+    os << indent << "// TE " << te.name << ": "
+       << program.tensor(te.output).name
+       << shapeToString(te.outShape);
+    if (te.hasReduce())
+        os << " = " << combinerName(te.combiner) << " over "
+           << shapeToString(te.reduceExtents);
+    os << "\n";
+
+    os << indent << "for (long i = blockIdx.x * blockDim.x + "
+       << "threadIdx.x; i < " << out_elems
+       << "L; i += (long)gridDim.x * blockDim.x) {\n";
+
+    // Delinearize i into d0..d{out_rank-1}.
+    std::string inner = indent + "    ";
+    os << inner << "long rem = i;\n";
+    for (int d = out_rank - 1; d >= 0; --d) {
+        if (d == 0) {
+            os << inner << "const long d0 = rem;\n";
+        } else {
+            os << inner << "const long d" << d << " = rem % "
+               << te.outShape[d] << "; rem /= " << te.outShape[d]
+               << ";\n";
+        }
+    }
+
+    if (!te.hasReduce()) {
+        os << inner
+           << storeOf(program, te, "i",
+                      emitExpr(te.body, program, te), false)
+           << "\n";
+    } else {
+        os << inner << "float acc = " << literal(combinerInit(
+            te.combiner))
+           << ";\n";
+        // Reduction loop nest over d{out_rank}..d{iter_rank-1}.
+        std::string loop_indent = inner;
+        for (int r = 0; r < te.reduceRank(); ++r) {
+            const int var = out_rank + r;
+            os << loop_indent << "for (long d" << var << " = 0; d"
+               << var << " < " << te.reduceExtents[r] << "; ++d" << var
+               << ") {\n";
+            loop_indent += "    ";
+        }
+        const std::string value = emitExpr(te.body, program, te);
+        switch (te.combiner) {
+          case Combiner::kSum:
+            os << loop_indent << "acc += " << value << ";\n";
+            break;
+          case Combiner::kMax:
+            os << loop_indent << "acc = fmaxf(acc, " << value
+               << ");\n";
+            break;
+          case Combiner::kMin:
+            os << loop_indent << "acc = fminf(acc, " << value
+               << ");\n";
+            break;
+          case Combiner::kNone:
+            break;
+        }
+        for (int r = te.reduceRank() - 1; r >= 0; --r) {
+            loop_indent.resize(loop_indent.size() - 4);
+            os << loop_indent << "}\n";
+        }
+        os << inner << storeOf(program, te, "i", "acc", atomic)
+           << "\n";
+    }
+    os << indent << "}\n";
+}
+
+} // namespace
+
+std::string
+emitScalarExpr(const ExprPtr &expr, const TeProgram &program,
+               const TensorExpr &te)
+{
+    return emitExpr(expr, program, te);
+}
+
+std::string
+emitCudaKernel(const TeProgram &program, const Kernel &kernel)
+{
+    std::ostringstream os;
+
+    // Parameters: every tensor any instruction touches.
+    std::vector<TensorId> params;
+    std::unordered_set<TensorId> seen;
+    std::unordered_set<TensorId> written;
+    std::unordered_set<TensorId> atomic_outputs;
+    for (const auto &stage : kernel.stages) {
+        for (const auto &instr : stage.instrs) {
+            if (instr.tensor < 0)
+                continue;
+            if (seen.insert(instr.tensor).second)
+                params.push_back(instr.tensor);
+            if (instr.kind == InstrKind::kStoreGlobal
+                || instr.kind == InstrKind::kCompute
+                || instr.kind == InstrKind::kAtomicAdd)
+                written.insert(instr.tensor);
+            if (instr.kind == InstrKind::kAtomicAdd)
+                atomic_outputs.insert(instr.tensor);
+        }
+    }
+
+    // Sanitize the kernel name into an identifier.
+    std::string name = kernel.name;
+    for (char &ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+
+    os << "// " << kernel.name << ": " << kernel.stages.size()
+       << " stage(s), <<<" << kernel.numBlocks() << ", "
+       << kernel.threadsPerBlock() << ", " << kernel.sharedMemBytes()
+       << "B>>>";
+    if (kernel.usesLibrary)
+        os << "  [library tactic x" << kernel.libraryTimeFactor << "]";
+    os << "\n";
+    os << "extern \"C\" __global__ void __launch_bounds__("
+       << kernel.threadsPerBlock() << ")\n" << name << "(";
+    for (size_t p = 0; p < params.size(); ++p) {
+        const TensorDecl &decl = program.tensor(params[p]);
+        if (p)
+            os << ",\n" << std::string(name.size() + 1, ' ');
+        const char *type =
+            decl.dtype == DType::kFP16 ? "__half" : "float";
+        if (!written.count(params[p]))
+            os << "const " << type << "* __restrict__ t" << params[p];
+        else
+            os << type << "* __restrict__ t" << params[p];
+        os << " /* " << decl.name << " " << shapeToString(decl.shape)
+           << " */";
+    }
+    os << ")\n{\n";
+    if (kernel.stages.size() > 1) {
+        os << "    cooperative_groups::grid_group grid =\n"
+           << "        cooperative_groups::this_grid();\n";
+    }
+    if (kernel.sharedMemBytes() > 0) {
+        os << "    __shared__ unsigned char smem["
+           << kernel.sharedMemBytes() << "]; // operand tiles + "
+           << "software-managed reuse cache\n";
+    }
+
+    const int64_t kernel_blocks = kernel.numBlocks();
+    for (size_t s = 0; s < kernel.stages.size(); ++s) {
+        const KernelStage &stage = kernel.stages[s];
+        os << "\n    // ---- stage " << s << ": " << stage.name
+           << " (" << stage.numBlocks << " blocks)\n";
+        // Annotate the data-movement decisions of Sec. 6.5.
+        for (const auto &instr : stage.instrs) {
+            if (instr.kind == InstrKind::kLoadCached) {
+                os << "    // t" << instr.tensor
+                   << " served from the on-chip reuse cache (LRU)\n";
+            } else if (instr.kind == InstrKind::kLoadGlobal
+                       && instr.overlapped) {
+                os << "    // cp.async prefetch of t" << instr.tensor
+                   << " overlapped with the previous stage\n";
+            }
+        }
+        if (s > 0)
+            os << "    grid.sync();\n";
+
+        std::string indent = "    ";
+        const bool predicated =
+            stage.predicated && stage.numBlocks < kernel_blocks;
+        if (predicated) {
+            os << "    if (blockIdx.x < " << stage.numBlocks
+               << ") {\n";
+            indent = "        ";
+        }
+        for (int te_id : stage.teIds) {
+            const TensorExpr &te = program.te(te_id);
+            emitTeLoop(os, program, te,
+                       atomic_outputs.count(te.output) > 0, indent);
+        }
+        if (predicated)
+            os << "    }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+emitCudaModule(const Compiled &compiled)
+{
+    std::ostringstream os;
+    os << "// Generated by the Souffle reproduction compiler ("
+       << compiled.name << ")\n"
+       << "// " << compiled.module.numKernels() << " kernel(s), "
+       << compiled.program.numTes() << " tensor expression(s)\n"
+       << "#include <cooperative_groups.h>\n"
+       << "#include <cuda_fp16.h>\n"
+       << "#include <math_constants.h>\n\n";
+    for (const auto &kernel : compiled.module.kernels)
+        os << emitCudaKernel(compiled.program, kernel) << "\n";
+    return os.str();
+}
+
+} // namespace souffle

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * CUDA source emission from the kernel IR (the back end of paper
+ * Sec. 4: "the optimized subprogram is passed to the back-end code
+ * generator to produce CUDA kernels").
+ *
+ * Each kernel becomes one `__global__` function. Multi-stage kernels
+ * use cooperative groups (`grid.sync()`); stages whose launch
+ * dimensions are narrower than the kernel's are predicated with
+ * `if (blockIdx.x < ...)` exactly as in paper Fig. 2. One-relies-on-
+ * one TEs emit complete grid-stride element loops with the scalar
+ * expression compiled from the TE body (affine index maps become
+ * explicit index arithmetic); reduction TEs emit the loop nest with
+ * the accumulation expression; tensor-core contractions emit the
+ * tiled shared-memory skeleton (ldg2s / wmma / sts2g).
+ *
+ * There is no GPU in this environment, so the emitted source is a
+ * reviewable artifact (and a test surface), not a compilation target;
+ * numerical semantics are validated by the TE interpreter instead.
+ */
+
+#include <string>
+
+#include "compiler/compiler.h"
+
+namespace souffle {
+
+/** Emit a whole .cu translation unit for @p compiled. */
+std::string emitCudaModule(const Compiled &compiled);
+
+/** Emit one kernel function. */
+std::string emitCudaKernel(const TeProgram &program,
+                           const Kernel &kernel);
+
+/**
+ * Compile a TE body to a C scalar expression over index variables
+ * d0..d{rank-1} reading `inK` pointers. Exposed for tests.
+ */
+std::string emitScalarExpr(const ExprPtr &expr,
+                           const TeProgram &program,
+                           const TensorExpr &te);
+
+} // namespace souffle

@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+int g_verbosity = 1;
+} // namespace
+
+int
+logVerbosity()
+{
+    return g_verbosity;
+}
+
+void
+setLogVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream full;
+    full << msg << " @ " << file << ":" << line;
+    throw FatalError(full.str());
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (g_verbosity >= 1) {
+        std::cerr << "warn: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbosity >= 2)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace souffle

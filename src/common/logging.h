@@ -1,0 +1,121 @@
+#pragma once
+
+/**
+ * @file
+ * Logging and invariant-checking utilities for the Souffle library.
+ *
+ * Follows the gem5 convention: `fatal` reports a user-facing error (bad
+ * model, bad configuration) and throws; `panic` reports an internal
+ * invariant violation (a Souffle bug) and aborts the process.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace souffle {
+
+/** Exception thrown for user-facing (recoverable) errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown when a compiler strategy cannot handle a model. */
+class UnsupportedError : public std::runtime_error
+{
+  public:
+    explicit UnsupportedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** Stream-style message collector used by the macros below. */
+class MessageStream
+{
+  public:
+    template <typename T>
+    MessageStream &
+    operator<<(const T &value)
+    {
+        stream << value;
+        return *this;
+    }
+
+    std::string str() const { return stream.str(); }
+
+  private:
+    std::ostringstream stream;
+};
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Global log verbosity: 0 = silent, 1 = warn, 2 = inform. */
+int logVerbosity();
+void setLogVerbosity(int level);
+
+} // namespace souffle
+
+/** Abort with an internal-error message; use for Souffle bugs only. */
+#define SOUFFLE_PANIC(msg_expr)                                             \
+    do {                                                                    \
+        ::souffle::detail::MessageStream ms_;                               \
+        ms_ << msg_expr;                                                    \
+        ::souffle::detail::panicImpl(__FILE__, __LINE__, ms_.str());        \
+    } while (0)
+
+/** Throw a FatalError; use for invalid user input or configuration. */
+#define SOUFFLE_FATAL(msg_expr)                                             \
+    do {                                                                    \
+        ::souffle::detail::MessageStream ms_;                               \
+        ms_ << msg_expr;                                                    \
+        ::souffle::detail::fatalImpl(__FILE__, __LINE__, ms_.str());        \
+    } while (0)
+
+/** Check an internal invariant; panics (aborts) on failure. */
+#define SOUFFLE_CHECK(cond, msg_expr)                                       \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::souffle::detail::MessageStream ms_;                           \
+            ms_ << "check failed: " #cond ": " << msg_expr;                 \
+            ::souffle::detail::panicImpl(__FILE__, __LINE__, ms_.str());    \
+        }                                                                   \
+    } while (0)
+
+/** Check a user-facing precondition; throws FatalError on failure. */
+#define SOUFFLE_REQUIRE(cond, msg_expr)                                     \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::souffle::detail::MessageStream ms_;                           \
+            ms_ << msg_expr;                                                \
+            ::souffle::detail::fatalImpl(__FILE__, __LINE__, ms_.str());    \
+        }                                                                   \
+    } while (0)
+
+/** Non-fatal diagnostic visible at verbosity >= 1. */
+#define SOUFFLE_WARN(msg_expr)                                              \
+    do {                                                                    \
+        ::souffle::detail::MessageStream ms_;                               \
+        ms_ << msg_expr;                                                    \
+        ::souffle::detail::warnImpl(__FILE__, __LINE__, ms_.str());         \
+    } while (0)
+
+/** Status message visible at verbosity >= 2. */
+#define SOUFFLE_INFORM(msg_expr)                                            \
+    do {                                                                    \
+        ::souffle::detail::MessageStream ms_;                               \
+        ms_ << msg_expr;                                                    \
+        ::souffle::detail::informImpl(ms_.str());                           \
+    } while (0)

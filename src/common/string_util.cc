@@ -1,0 +1,42 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace souffle {
+
+std::string
+shapeToString(const std::vector<int64_t> &shape)
+{
+    return "[" + joinToString(shape, ", ") + "]";
+}
+
+std::string
+bytesToString(double bytes)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (bytes >= 1024.0 * 1024.0 * 1024.0)
+        os << bytes / (1024.0 * 1024.0 * 1024.0) << " GB";
+    else if (bytes >= 1024.0 * 1024.0)
+        os << bytes / (1024.0 * 1024.0) << " MB";
+    else if (bytes >= 1024.0)
+        os << bytes / 1024.0 << " KB";
+    else
+        os << bytes << " B";
+    return os.str();
+}
+
+std::string
+timeToString(double micros)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (micros >= 1000.0)
+        os << micros / 1000.0 << " ms";
+    else
+        os << micros << " us";
+    return os.str();
+}
+
+} // namespace souffle

@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Small string-formatting helpers shared across the library.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace souffle {
+
+/** Join the elements of @p items with @p sep, e.g. "64x64x3". */
+template <typename T>
+std::string
+joinToString(const std::vector<T> &items, const std::string &sep)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            os << sep;
+        os << items[i];
+    }
+    return os.str();
+}
+
+/** Render a shape vector as "[a, b, c]". */
+std::string shapeToString(const std::vector<int64_t> &shape);
+
+/** Render a byte count with a human unit, e.g. "8.87 MB". */
+std::string bytesToString(double bytes);
+
+/** Render a time in microseconds with a sensible unit. */
+std::string timeToString(double micros);
+
+} // namespace souffle

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The six baseline compilers of paper Sec. 7.2, each expressed as a
+ * fusion rule set over the shared clusterer plus a documented support
+ * matrix. Section 8.1 of the paper attributes each baseline's gap to
+ * specific missing rules; those are exactly the knobs configured here:
+ *
+ *  - XLA: loop fusion over element-wise + one reduction per fused
+ *    loop; GEMM/conv go to cuBLAS/cuDNN custom-calls that cannot fuse
+ *    with anything ("XLA maps computation-intensive operators to a
+ *    BLAS library call and cannot merge such operators with others").
+ *  - Ansor (TVM): per-op kernels with identity epilogue fusion, no
+ *    cross-op analysis.
+ *  - TensorRT: hand-tuned library contractions (fastest individual
+ *    kernels) with GEMM+bias+activation tactics, element-wise chains
+ *    fused, but no compute/memory cross-fusion and no global sync.
+ *  - Rammer: horizontal (sibling) fusion via rTasks, but "does not
+ *    perform element-wise data dependence analysis or reuse tensor
+ *    buffers"; fails on models outside its operator support.
+ *  - Apollo: partition-based fusion of memory-intensive chains with
+ *    conservative rules (no broadcast fusion, reductions never join),
+ *    AKG-generated contraction code slower than hand-tuned libraries;
+ *    cannot handle fully-unrolled recurrent graphs.
+ *  - IREE: linalg producer-consumer tile-and-fuse (prologue fusion
+ *    works) but no GEMM-GEMM or GEMM-softmax fusion and notoriously
+ *    slow direct convolutions (paper: 314.8 ms ResNeXt).
+ */
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "compiler/cluster.h"
+#include "compiler/compiler.h"
+#include "compiler/souffle.h"
+#include "sched/schedule.h"
+#include "transform/horizontal.h"
+
+namespace souffle {
+
+std::string
+compilerName(CompilerId id)
+{
+    switch (id) {
+      case CompilerId::kSouffle:
+        return "Souffle";
+      case CompilerId::kXla:
+        return "XLA";
+      case CompilerId::kAnsor:
+        return "Ansor";
+      case CompilerId::kTensorRT:
+        return "TensorRT";
+      case CompilerId::kRammer:
+        return "Rammer";
+      case CompilerId::kApollo:
+        return "Apollo";
+      case CompilerId::kIree:
+        return "IREE";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Structural support checks mirroring the paper's "Failed" entries. */
+void
+checkSupport(CompilerId id, const Graph &graph)
+{
+    if (id == CompilerId::kRammer) {
+        // Rammer v0.4 lacks kernels for swish/SiLU (EfficientNet),
+        // high-rank window reshapes (Swin) and wide expert concats
+        // (MMoE) -- the three "Failed" cells in Table 3.
+        for (const auto &op : graph.ops()) {
+            if (op.kind == OpKind::kSilu) {
+                throw UnsupportedError(
+                    "Rammer: swish/SiLU activation unsupported");
+            }
+            if (op.kind == OpKind::kReshape && op.attrs.dims.size() >= 5)
+                throw UnsupportedError(
+                    "Rammer: rank>=5 window reshape unsupported");
+            if (op.kind == OpKind::kConcat && op.inputs.size() >= 4)
+                throw UnsupportedError(
+                    "Rammer: wide expert concat unsupported");
+        }
+    }
+    if (id == CompilerId::kApollo) {
+        // Apollo's partition search does not scale to fully-unrolled
+        // recurrent graphs (Table 3: Failed on LSTM).
+        if (graph.numOps() > 3000) {
+            throw UnsupportedError(
+                "Apollo: graph too large for partition search ("
+                + std::to_string(graph.numOps()) + " ops)");
+        }
+    }
+}
+
+ClusterRules
+rulesFor(CompilerId id)
+{
+    ClusterRules rules;
+    switch (id) {
+      case CompilerId::kXla:
+        rules.libraryContractions = true;
+        rules.libraryFactor = 0.92;
+        rules.fuseEpilogueIntoContraction = false;
+        rules.fuseBroadcastReads = true;
+        rules.fusePrologueIntoReduction = true;
+        rules.maxReductionsPerCluster = 1;
+        break;
+      case CompilerId::kTensorRT:
+        rules.libraryContractions = true;
+        rules.libraryFactor = 0.85;
+        rules.fuseEpilogueIntoContraction = true;
+        rules.fuseBroadcastReads = true;
+        rules.fusePrologueIntoReduction = true;
+        rules.maxReductionsPerCluster = 1;
+        break;
+      case CompilerId::kApollo:
+        rules.libraryContractions = false;
+        rules.generatedMatmulFactor = 1.4; // AKG vs hand-tuned
+        rules.generatedConvFactor = 1.3;
+        rules.fuseEpilogueIntoContraction = false;
+        rules.fuseBroadcastReads = false;
+        rules.fusePrologueIntoReduction = false;
+        break;
+      case CompilerId::kIree:
+        rules.libraryContractions = false;
+        rules.generatedMatmulFactor = 1.25;
+        rules.generatedConvFactor = 9.0; // direct conv, untuned
+        rules.fuseEpilogueIntoContraction = true;
+        rules.fuseBroadcastReads = true;
+        rules.fusePrologueIntoReduction = true;
+        break;
+      case CompilerId::kAnsor:
+      case CompilerId::kRammer:
+        rules.fuseEpilogueIntoContraction = true;
+        rules.fuseBroadcastReads = false;
+        rules.fuseInjectiveReads = true; // TVM fuses injective chains
+        rules.fusePrologueIntoReduction = false;
+        break;
+      default:
+        SOUFFLE_PANIC("rulesFor called for non-baseline compiler");
+    }
+    return rules;
+}
+
+} // namespace
+
+Compiled
+compileWith(CompilerId id, const Graph &graph, const DeviceSpec &device)
+{
+    if (id == CompilerId::kSouffle) {
+        SouffleOptions options;
+        options.device = device;
+        Compiled result = compileSouffle(graph, options);
+        result.name = "Souffle";
+        result.module.compilerName = "Souffle";
+        return result;
+    }
+
+    checkSupport(id, graph);
+    const auto start = std::chrono::steady_clock::now();
+
+    Compiled result;
+    result.name = compilerName(id);
+
+    LoweredModel lowered = lowerToTe(graph);
+
+    if (id == CompilerId::kRammer) {
+        // Rammer's rTask co-scheduling merges independent sibling
+        // operators -- model it with the horizontal transformation.
+        const HorizontalStats h = horizontalTransform(lowered.program);
+        result.horizontalGroups = h.groups;
+        // teToOp is stale after the rebuild; Rammer generates all its
+        // kernels itself (no library factors), so remap everything to
+        // a generated-kernel mapping by rebuilding the index as "not a
+        // conv" (factors are 1.0 anyway).
+        lowered.teToOp.assign(lowered.program.numTes(), 0);
+    }
+
+    const GlobalAnalysis analysis(lowered.program);
+    AutoScheduler scheduler(lowered.program, analysis, device);
+    const std::vector<Schedule> schedules = scheduler.scheduleAll();
+
+    ModulePlan plan;
+    if (id == CompilerId::kRammer && graph.numOps() == 0) {
+        plan = ModulePlan::unfused(lowered.program);
+    } else {
+        plan = clusterKernels(graph, lowered, analysis, rulesFor(id));
+    }
+    result.subprograms = static_cast<int>(plan.kernels.size());
+
+    result.module = buildModule(lowered.program, analysis, schedules,
+                                plan, device, result.name);
+    result.program = std::move(lowered.program);
+
+    const auto end = std::chrono::steady_clock::now();
+    result.compileTimeMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return result;
+}
+
+} // namespace souffle

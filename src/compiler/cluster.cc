@@ -1,0 +1,135 @@
+#include "compiler/cluster.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+struct ClusterState
+{
+    KernelPlan plan;
+    bool hasContraction = false;
+    bool sealed = false; // library kernel w/o epilogue fusion
+    int reductions = 0;
+    std::unordered_set<TensorId> produced;
+
+    bool empty() const { return plan.stages.empty(); }
+
+    void
+    add(const TensorExpr &te)
+    {
+        if (plan.stages.empty())
+            plan.stages.push_back(StagePlan{});
+        plan.stages[0].tes.push_back(te.id);
+        produced.insert(te.output);
+        if (plan.name.empty())
+            plan.name = te.name;
+    }
+};
+
+bool
+readsAligned(const TeProgram &program, const TensorExpr &te,
+             const std::unordered_set<TensorId> &produced,
+             bool fuse_injective)
+{
+    std::vector<ReadAccess> reads;
+    te.body->collectReads(reads);
+    for (const ReadAccess &access : reads) {
+        const TensorId in = te.inputs[access.inputSlot];
+        if (!produced.count(in))
+            continue;
+        if (!access.flat && access.map->isIdentity())
+            continue;
+        if (fuse_injective) {
+            // Injective chains fuse freely; reads of reduction
+            // outputs must stay identity-aligned (the reduction
+            // result only exists block-locally).
+            const int producer = program.tensor(in).producer;
+            if (producer >= 0 && !program.te(producer).hasReduce())
+                continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ModulePlan
+clusterKernels(const Graph &graph, const LoweredModel &lowered,
+               const GlobalAnalysis &analysis, const ClusterRules &rules)
+{
+    const TeProgram &program = lowered.program;
+    ModulePlan result;
+    ClusterState current;
+
+    auto close = [&]() {
+        if (!current.empty())
+            result.kernels.push_back(std::move(current.plan));
+        current = ClusterState{};
+    };
+
+    for (const auto &te : program.tes()) {
+        const TeInfo &info = analysis.teInfo(te.id);
+        const bool contraction = te.hasReduce() && info.computeIntensive;
+
+        if (contraction) {
+            close();
+            const OpKind op_kind =
+                graph.op(lowered.teToOp[te.id]).kind;
+            const bool is_conv = op_kind == OpKind::kConv2d;
+            current.add(te);
+            current.hasContraction = true;
+            if (rules.libraryContractions) {
+                current.plan.library = true;
+                current.plan.libraryTimeFactor = rules.libraryFactor;
+                current.sealed = !rules.fuseEpilogueIntoContraction;
+            } else {
+                const double factor = is_conv
+                                          ? rules.generatedConvFactor
+                                          : rules.generatedMatmulFactor;
+                if (factor != 1.0) {
+                    current.plan.library = true;
+                    current.plan.libraryTimeFactor = factor;
+                }
+                current.sealed = !rules.fuseEpilogueIntoContraction;
+            }
+            continue;
+        }
+
+        if (te.hasReduce()) {
+            const bool joinable =
+                !current.empty() && !current.sealed
+                && !current.hasContraction
+                && rules.fusePrologueIntoReduction
+                && current.reductions + 1 <= rules.maxReductionsPerCluster;
+            if (!joinable)
+                close();
+            current.add(te);
+            ++current.reductions;
+            // A reduction's own consumers need a fresh kernel unless
+            // the rule set can fuse through broadcasts (its output is
+            // read with a broadcast map); handled below per-consumer.
+            continue;
+        }
+
+        // One-relies-on-one TE.
+        bool joinable = !current.empty() && !current.sealed;
+        if (joinable && current.hasContraction)
+            joinable = rules.fuseEpilogueIntoContraction;
+        if (joinable && !rules.fuseBroadcastReads) {
+            joinable = readsAligned(program, te, current.produced,
+                                    rules.fuseInjectiveReads);
+        }
+        if (!joinable)
+            close();
+        current.add(te);
+    }
+    close();
+    return result;
+}
+
+} // namespace souffle

@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Rule-based kernel clustering shared by the baseline compilers.
+ *
+ * Each baseline in the paper's evaluation fuses operators with
+ * hand-crafted rules (Sec. 8.1 analyzes exactly which rules each one
+ * lacks). This clusterer walks the TE program in order and groups TEs
+ * into kernels under a parameterized rule set, so each baseline is a
+ * small declarative configuration instead of a separate engine.
+ */
+
+#include "analysis/analysis.h"
+#include "graph/lowering.h"
+#include "kernel/build.h"
+
+namespace souffle {
+
+/** Fusion rule set of one baseline compiler. */
+struct ClusterRules
+{
+    /**
+     * Map compute-intensive contractions (GEMM/conv) to closed-source
+     * library kernels that cannot fuse with anything else (XLA's
+     * cuBLAS custom-calls, TensorRT's tactics).
+     */
+    bool libraryContractions = false;
+    /** Time factor of library contraction kernels (<1 = hand-tuned). */
+    double libraryFactor = 1.0;
+    /** Time factor of *generated* matmul kernels (codegen quality). */
+    double generatedMatmulFactor = 1.0;
+    /** Time factor of generated convolution kernels. */
+    double generatedConvFactor = 1.0;
+    /**
+     * Fuse trailing one-relies-on-one TEs into a contraction kernel
+     * (TensorRT's GEMM+bias+activation tactics, TVM's epilogue
+     * fusion).
+     */
+    bool fuseEpilogueIntoContraction = false;
+    /**
+     * Fuse one-relies-on-one TEs whose in-cluster reads broadcast or
+     * permute (XLA loop fusion can; Apollo's polyhedral rules only
+     * fuse identity-aligned element-wise chains).
+     */
+    bool fuseBroadcastReads = false;
+    /**
+     * Fuse one-relies-on-one TEs that read other one-relies-on-one
+     * results through arbitrary injective maps (TVM fuses whole
+     * injective chains: slice/reshape/transpose + arithmetic).
+     * Reads of in-cluster *reduction* outputs still require identity
+     * alignment.
+     */
+    bool fuseInjectiveReads = false;
+    /**
+     * Fuse one-relies-on-one producers into a consumer reduction
+     * (IREE's producer-consumer tile-and-fuse).
+     */
+    bool fusePrologueIntoReduction = false;
+    /** Max reduction TEs per memory-intensive cluster (XLA: 1). */
+    int maxReductionsPerCluster = 1;
+};
+
+/**
+ * Cluster @p lowered into kernels under @p rules. @p graph supplies op
+ * kinds (conv vs matmul) for the per-kind library factors.
+ */
+ModulePlan clusterKernels(const Graph &graph, const LoweredModel &lowered,
+                          const GlobalAnalysis &analysis,
+                          const ClusterRules &rules);
+
+} // namespace souffle

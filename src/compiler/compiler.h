@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Top-level compiler interface: every strategy (Souffle and the six
+ * baselines of paper Sec. 7.2) takes an operator graph and produces a
+ * compiled module for the simulated device, plus the (possibly
+ * transformed) TE program that defines its semantics.
+ */
+
+#include <string>
+
+#include "gpu/device.h"
+#include "graph/graph.h"
+#include "graph/lowering.h"
+#include "kernel/kernel_ir.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/** The compilers evaluated in the paper (Table 3). */
+enum class CompilerId : uint8_t {
+    kSouffle,
+    kXla,
+    kAnsor,
+    kTensorRT,
+    kRammer,
+    kApollo,
+    kIree,
+};
+
+std::string compilerName(CompilerId id);
+
+/** Result of compiling a graph with one strategy. */
+struct Compiled
+{
+    std::string name;
+    /** Semantics of the compiled code (possibly transformed TEs). */
+    TeProgram program;
+    /** The kernels handed to the simulator. */
+    CompiledModule module;
+
+    // Compile-time statistics.
+    double compileTimeMs = 0.0;
+    int subprograms = 0;
+    int horizontalGroups = 0;
+    int verticalMerges = 0;
+    int loadsOverlapped = 0;
+    int loadsCached = 0;
+    /** Subprograms split back into per-stage kernels by the
+     *  adaptive-fusion profitability pass. */
+    int adaptiveSplits = 0;
+};
+
+/**
+ * Compile @p graph with strategy @p id on @p device.
+ *
+ * @throws UnsupportedError when the strategy's documented support
+ *         matrix rejects the model (mirrors the "Failed" entries of
+ *         paper Table 3).
+ */
+Compiled compileWith(CompilerId id, const Graph &graph,
+                     const DeviceSpec &device);
+
+} // namespace souffle

@@ -1,0 +1,258 @@
+#include "compiler/souffle.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "gpu/sim.h"
+#include "kernel/pipeline_opt.h"
+#include "kernel/reuse_opt.h"
+#include "sched/schedule.h"
+#include "transform/horizontal.h"
+#include "transform/partition.h"
+#include "transform/vertical.h"
+
+namespace souffle {
+
+namespace {
+
+/** Epilogue-fusion plan shared by Souffle V0..V2 and the Ansor row. */
+ModulePlan
+epilogueFusionPlan(const TeProgram &program)
+{
+    ModulePlan plan;
+    KernelPlan current;
+    std::unordered_set<TensorId> produced;
+
+    auto reads_aligned = [&](const TensorExpr &te) {
+        std::vector<ReadAccess> reads;
+        te.body->collectReads(reads);
+        for (const ReadAccess &access : reads) {
+            const TensorId in = te.inputs[access.inputSlot];
+            if (!produced.count(in))
+                continue;
+            if (!access.flat && access.map->isIdentity())
+                continue;
+            // TVM fuses injective chains freely; only reads of
+            // in-kernel reduction outputs require identity alignment.
+            const int producer = program.tensor(in).producer;
+            if (producer >= 0 && !program.te(producer).hasReduce())
+                continue;
+            return false;
+        }
+        return true;
+    };
+
+    auto close = [&]() {
+        if (!current.stages.empty())
+            plan.kernels.push_back(std::move(current));
+        current = KernelPlan{};
+        produced.clear();
+    };
+
+    for (const auto &te : program.tes()) {
+        const bool joinable = !current.stages.empty() && !te.hasReduce()
+                              && reads_aligned(te);
+        if (!joinable)
+            close();
+        if (current.stages.empty()) {
+            current.name = te.name;
+            current.stages.push_back(StagePlan{});
+        }
+        current.stages[0].tes.push_back(te.id);
+        produced.insert(te.output);
+    }
+    close();
+    return plan;
+}
+
+/**
+ * Two-phase reduction handling (Sec. 6.3): inside a multi-stage
+ * kernel, reductions whose consumers all live in the same kernel
+ * reduce per-block and combine partial results with atomicAdd; only
+ * the partial result touches global memory.
+ */
+void
+applyTwoPhaseReduction(CompiledModule &module, const TeProgram &program,
+                       const GlobalAnalysis &analysis)
+{
+    for (auto &kernel : module.kernels) {
+        if (kernel.stages.size() < 2)
+            continue;
+        std::unordered_set<int> kernel_tes;
+        for (const auto &stage : kernel.stages)
+            kernel_tes.insert(stage.teIds.begin(), stage.teIds.end());
+        for (auto &stage : kernel.stages) {
+            for (auto &instr : stage.instrs) {
+                if (instr.kind != InstrKind::kStoreGlobal
+                    || instr.tensor < 0)
+                    continue;
+                const int producer =
+                    program.tensor(instr.tensor).producer;
+                if (producer < 0 || !program.te(producer).hasReduce())
+                    continue;
+                // Contractions reduce block-locally inside their own
+                // k-loop; only memory-intensive reductions (whose rows
+                // are shared across blocks under a propagated
+                // schedule) need the atomic combine.
+                if (analysis.teInfo(producer).computeIntensive)
+                    continue;
+                bool internal = program.tensor(instr.tensor).role
+                                != TensorRole::kOutput;
+                for (int consumer : analysis.consumers(instr.tensor)) {
+                    if (!kernel_tes.count(consumer)) {
+                        internal = false;
+                        break;
+                    }
+                }
+                if (internal)
+                    instr.kind = InstrKind::kAtomicAdd;
+            }
+        }
+    }
+}
+
+} // namespace
+
+ModulePlan
+ansorStylePlan(const Graph &graph, const LoweredModel &lowered,
+               const GlobalAnalysis &analysis)
+{
+    (void)graph;
+    (void)analysis;
+    return epilogueFusionPlan(lowered.program);
+}
+
+Compiled
+compileSouffle(const Graph &graph, const SouffleOptions &options)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    Compiled result;
+    result.name = "Souffle(V"
+                  + std::to_string(static_cast<int>(options.level))
+                  + ")";
+
+    // 1. TE lowering.
+    LoweredModel lowered = lowerToTe(graph);
+    result.program = std::move(lowered.program);
+
+    // 2-4. Global analysis feeds the semantic-preserving transforms.
+    if (options.level >= SouffleLevel::kV1) {
+        const HorizontalStats h =
+            horizontalTransform(result.program, options.horizontalCap);
+        result.horizontalGroups = h.groups;
+    }
+    if (options.level >= SouffleLevel::kV2) {
+        const VerticalStats v = verticalTransform(result.program);
+        result.verticalMerges = v.merged;
+    }
+
+    // 5. Scheduling (Ansor stand-in) on the transformed program.
+    const GlobalAnalysis analysis(result.program,
+                                  options.intensityThreshold);
+    AutoScheduler scheduler(result.program, analysis, options.device,
+                            options.schedulerMode);
+    const std::vector<Schedule> schedules = scheduler.scheduleAll();
+
+    ModulePlan plan;
+    if (options.level >= SouffleLevel::kV3) {
+        // Resource-aware partitioning: one kernel per subprogram,
+        // grid-sync stages inside.
+        const PartitionResult partition = partitionProgram(
+            result.program, analysis, schedules, options.device);
+        result.subprograms =
+            static_cast<int>(partition.subprograms.size());
+        int index = 0;
+        for (const auto &subprogram : partition.subprograms) {
+            KernelPlan kernel;
+            kernel.name = "subprogram_" + std::to_string(index++);
+            kernel.stages =
+                groupStages(result.program, analysis, subprogram.tes);
+            plan.kernels.push_back(std::move(kernel));
+        }
+    } else {
+        // V0..V2: Souffle's code generation without global
+        // synchronization -- every register-level stage becomes its
+        // own kernel (launch-separated instead of grid.sync()ed).
+        std::vector<int> all_tes(result.program.numTes());
+        for (int i = 0; i < result.program.numTes(); ++i)
+            all_tes[i] = i;
+        const std::vector<StagePlan> stages =
+            groupStages(result.program, analysis, all_tes);
+        int index = 0;
+        for (const StagePlan &stage : stages) {
+            KernelPlan kernel;
+            kernel.name = "stage_" + std::to_string(index++);
+            kernel.stages.push_back(stage);
+            plan.kernels.push_back(std::move(kernel));
+        }
+        result.subprograms = static_cast<int>(plan.kernels.size());
+    }
+
+    // 6. Merge schedules into kernels.
+    result.module = buildModule(result.program, analysis, schedules,
+                                plan, options.device, result.name);
+    if (options.level >= SouffleLevel::kV3)
+        applyTwoPhaseReduction(result.module, result.program, analysis);
+
+    // 7. Subprogram-level optimizations.
+    if (options.level >= SouffleLevel::kV4) {
+        const PipelineStats p =
+            pipelineOptimize(result.module, result.program);
+        result.loadsOverlapped = p.loadsOverlapped;
+        const ReuseStats r = reuseOptimize(result.module, result.program,
+                                           options.device);
+        result.loadsCached = r.loadsCached;
+    }
+
+    // 8. Optional adaptive fusion (the Sec. 9 "Slowdown" remedy):
+    // keep a subprogram fused only when the cost model says the
+    // grid-sync mega-kernel actually beats per-stage launches.
+    if (options.adaptiveFusion && options.level >= SouffleLevel::kV3) {
+        CompiledModule adapted;
+        adapted.compilerName = result.module.compilerName;
+        for (size_t k = 0; k < result.module.kernels.size(); ++k) {
+            Kernel &merged = result.module.kernels[k];
+            if (merged.stages.size() < 2) {
+                adapted.kernels.push_back(std::move(merged));
+                continue;
+            }
+            CompiledModule merged_only;
+            merged_only.kernels.push_back(merged);
+            const double merged_us =
+                simulate(merged_only, options.device).totalUs;
+
+            CompiledModule split;
+            for (size_t s = 0; s < plan.kernels[k].stages.size();
+                 ++s) {
+                KernelPlan stage_plan;
+                stage_plan.name = plan.kernels[k].name + "_s"
+                                  + std::to_string(s);
+                stage_plan.stages.push_back(
+                    plan.kernels[k].stages[s]);
+                split.kernels.push_back(
+                    buildKernel(result.program, analysis, schedules,
+                                stage_plan, options.device));
+            }
+            const double split_us =
+                simulate(split, options.device).totalUs;
+
+            if (split_us < merged_us) {
+                ++result.adaptiveSplits;
+                for (auto &kernel : split.kernels)
+                    adapted.kernels.push_back(std::move(kernel));
+            } else {
+                adapted.kernels.push_back(std::move(merged));
+            }
+        }
+        result.module = std::move(adapted);
+    }
+
+    const auto end = std::chrono::steady_clock::now();
+    result.compileTimeMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return result;
+}
+
+} // namespace souffle

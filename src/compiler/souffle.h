@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * The Souffle compiler driver: the paper's full pipeline.
+ *
+ *  1. TE lowering (Sec. 4)                 -- graph/lowering
+ *  2. Global analysis (Sec. 5)             -- analysis
+ *  3. Horizontal transformation (Sec. 6.1) -- transform/horizontal
+ *  4. Vertical transformation (Sec. 6.2)   -- transform/vertical
+ *  5. Scheduling + resource-aware partitioning (Sec. 5.4/6.3)
+ *  6. Schedule merging into per-subprogram kernels with grid sync and
+ *     two-phase (atomicAdd) reductions (Sec. 6.4)
+ *  7. Subprogram-level optimization: cross-TE instruction pipelining
+ *     and LRU tensor reuse (Sec. 6.5)
+ *
+ * The ablation levels match Table 4 of the paper:
+ *   V0 = TVM+Ansor-style per-op kernels (no Souffle optimizations)
+ *   V1 = V0 + horizontal transformation
+ *   V2 = V1 + vertical transformation
+ *   V3 = V2 + global synchronization (subprogram mega-kernels)
+ *   V4 = V3 + subprogram-level optimizations (pipelining + reuse)
+ */
+
+#include "compiler/compiler.h"
+#include "kernel/build.h"
+#include "sched/schedule.h"
+
+namespace souffle {
+
+/** Ablation levels of Table 4. */
+enum class SouffleLevel : uint8_t {
+    kV0 = 0,
+    kV1 = 1,
+    kV2 = 2,
+    kV3 = 3,
+    kV4 = 4,
+};
+
+/** Options for the Souffle driver. */
+struct SouffleOptions
+{
+    DeviceSpec device = DeviceSpec::a100();
+    SouffleLevel level = SouffleLevel::kV4;
+    /** Cap on horizontal merge group size. */
+    int horizontalCap = 64;
+    /**
+     * Cost-model-guided fusion profitability (the remedy the paper
+     * sketches in Sec. 9 "Slowdown"): after building each subprogram
+     * mega-kernel, compare its simulated time against launching one
+     * kernel per stage, and keep whichever is faster. Off by default
+     * to preserve the paper's V3/V4 semantics.
+     */
+    bool adaptiveFusion = false;
+    /** Compute/memory classification threshold (paper: 3). */
+    double intensityThreshold = kComputeIntensityThreshold;
+    /**
+     * Schedule-search strategy: kSearch (Ansor stand-in, default) or
+     * kRoller (Sec. 8.5's faster constructive optimizer).
+     */
+    SchedulerMode schedulerMode = SchedulerMode::kSearch;
+};
+
+/** Compile @p graph with Souffle at the requested ablation level. */
+Compiled compileSouffle(const Graph &graph,
+                        const SouffleOptions &options = {});
+
+/**
+ * The TVM+Ansor-style baseline plan: one kernel per anchor TE with
+ * identity-aligned epilogue fusion. Exposed because it is both
+ * Souffle's V0 and the Ansor baseline.
+ */
+ModulePlan ansorStylePlan(const Graph &graph, const LoweredModel &lowered,
+                          const GlobalAnalysis &analysis);
+
+} // namespace souffle

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * Analytic GPU device model.
+ *
+ * The paper evaluates on a 40 GB NVIDIA A100 (CUDA 11.7). This repo has
+ * no GPU, so the A100 is modeled analytically: SM count, per-SM shared
+ * memory / register / thread limits (which bound occupancy and thus
+ * the cooperative-launch wave size that grid.sync() requires), DRAM
+ * bandwidth with a latency term that penalizes small transfers,
+ * tensor-core and FMA throughput, and fixed launch/sync overheads.
+ * All compiler strategies are timed against the same device model, so
+ * relative orderings track the mechanics the paper attributes them to
+ * (global-memory traffic, kernel-launch counts, pipelining).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "te/dtype.h"
+
+namespace souffle {
+
+/** Compute pipe used by a kernel stage. */
+enum class ComputePipe : uint8_t {
+    kTensorCore, ///< HMMA (fp16 matmul-accumulate)
+    kFma,        ///< fp32 fused multiply-add
+    kAlu,        ///< general int/fp ALU (element-wise, address math)
+};
+
+/** Analytic device description (defaults: NVIDIA A100-SXM4-40GB). */
+struct DeviceSpec
+{
+    std::string name = "A100-SXM4-40GB (simulated)";
+
+    int numSms = 108;
+    int64_t sharedMemPerSmBytes = 164 * 1024;
+    int64_t sharedMemPerBlockLimit = 160 * 1024;
+    int64_t regsPerSm = 65536;
+    int maxThreadsPerSm = 2048;
+    int maxBlocksPerSm = 32;
+
+    /** DRAM bandwidth in bytes per microsecond (1555 GB/s). */
+    double globalBytesPerUs = 1555.0e3;
+    /** Effective DRAM latency charged once per kernel stage (us). */
+    double memLatencyUs = 0.9;
+
+    /** Peak fp16 tensor-core throughput, FLOPs per microsecond. */
+    double tensorCoreFlopsPerUs = 312.0e6;
+    /** Peak fp32 FMA throughput, FLOPs per microsecond. */
+    double fmaFlopsPerUs = 19.5e6;
+    /** General ALU throughput for element-wise work. */
+    double aluFlopsPerUs = 19.5e6;
+
+    /** Achievable fraction of peak for well-tiled kernels. */
+    double tensorCoreEfficiency = 0.55;
+    double fmaEfficiency = 0.70;
+    double aluEfficiency = 0.70;
+
+    /** Kernel launch overhead (paper Sec. 8.3: ~2 us on A100). */
+    double kernelLaunchUs = 2.0;
+    /** Cooperative grid.sync() cost per synchronization. */
+    double gridSyncUs = 0.35;
+    /** Block-level barrier cost. */
+    double barrierUs = 0.05;
+
+    /** Blocks per SM given one block's resource usage. */
+    int
+    blocksPerSm(int64_t shared_mem_bytes, int64_t regs_per_block,
+                int threads_per_block) const
+    {
+        int by_smem = shared_mem_bytes > 0
+                          ? static_cast<int>(sharedMemPerSmBytes
+                                             / shared_mem_bytes)
+                          : maxBlocksPerSm;
+        int by_regs = regs_per_block > 0
+                          ? static_cast<int>(regsPerSm / regs_per_block)
+                          : maxBlocksPerSm;
+        int by_threads = threads_per_block > 0
+                             ? maxThreadsPerSm / threads_per_block
+                             : maxBlocksPerSm;
+        return std::max(
+            0, std::min({by_smem, by_regs, by_threads, maxBlocksPerSm}));
+    }
+
+    /**
+     * Maximum resident blocks in one cooperative wave (the constraint
+     * on grid synchronization, paper Sec. 5.4).
+     */
+    int64_t
+    maxBlocksPerWave(int64_t shared_mem_bytes, int64_t regs_per_block,
+                     int threads_per_block) const
+    {
+        return static_cast<int64_t>(blocksPerSm(shared_mem_bytes,
+                                                regs_per_block,
+                                                threads_per_block))
+               * numSms;
+    }
+
+    /** Time to move @p bytes through DRAM, including latency (us). */
+    double
+    memTimeUs(double bytes) const
+    {
+        if (bytes <= 0.0)
+            return 0.0;
+        return memLatencyUs + bytes / globalBytesPerUs;
+    }
+
+    /** Time for @p flops on @p pipe at achievable efficiency (us). */
+    double
+    computeTimeUs(double flops, ComputePipe pipe) const
+    {
+        if (flops <= 0.0)
+            return 0.0;
+        switch (pipe) {
+          case ComputePipe::kTensorCore:
+            return flops / (tensorCoreFlopsPerUs * tensorCoreEfficiency);
+          case ComputePipe::kFma:
+            return flops / (fmaFlopsPerUs * fmaEfficiency);
+          case ComputePipe::kAlu:
+            return flops / (aluFlopsPerUs * aluEfficiency);
+        }
+        return 0.0;
+    }
+
+    /** The standard paper configuration. */
+    static DeviceSpec a100() { return DeviceSpec{}; }
+};
+
+} // namespace souffle

@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Kernel-grain timing simulator for the analytic A100 model.
+ *
+ * The simulator charges each kernel stage with a roofline time:
+ * max(compute time across pipes, DRAM time for its global traffic),
+ * plus launch overheads per kernel, grid.sync() costs per
+ * synchronization, and wave quantization when a kernel's grid exceeds
+ * one resident wave. Loads marked `overlapped` (the cross-TE pipeline
+ * optimization of Sec. 6.5) are charged against the *previous* stage's
+ * compute time instead of their own stage's memory time. Cached loads
+ * (the tensor-reuse optimization) cost shared-memory bandwidth, which
+ * is modeled as free at this granularity, and crucially do not count
+ * as global traffic.
+ *
+ * It also produces the Nsight-Compute-style counters the paper
+ * reports: kernel launch counts, global bytes loaded/stored, and
+ * LSU/FMA pipe utilization.
+ */
+
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "kernel/kernel_ir.h"
+
+namespace souffle {
+
+/** Aggregate performance counters for one simulated run. */
+struct SimCounters
+{
+    int kernelLaunches = 0;
+    int gridSyncs = 0;
+    double bytesLoaded = 0.0;
+    double bytesStored = 0.0;
+    double bytesAtomic = 0.0;
+    /** Bytes served from the on-chip reuse cache (not global). */
+    double bytesCached = 0.0;
+
+    /** Busy time per unit (us). */
+    double lsuBusyUs = 0.0;
+    double tensorCoreBusyUs = 0.0;
+    double fmaBusyUs = 0.0;
+    double aluBusyUs = 0.0;
+
+    double totalGlobalBytes() const { return bytesLoaded + bytesStored; }
+};
+
+/** Per-kernel timing breakdown. */
+struct KernelTiming
+{
+    std::string name;
+    double timeUs = 0.0;
+    double launchUs = 0.0;
+    double globalBytes = 0.0;
+    bool computeBound = false;
+    /** Busy time of the compute pipes across all stages (us). */
+    double computeBusyUs = 0.0;
+    /** DRAM busy time across all stages (us). */
+    double memBusyUs = 0.0;
+};
+
+/** Result of simulating a compiled module. */
+struct SimResult
+{
+    double totalUs = 0.0;
+    SimCounters counters;
+    std::vector<KernelTiming> kernels;
+
+    double lsuUtilization() const
+    {
+        return totalUs > 0 ? counters.lsuBusyUs / totalUs : 0.0;
+    }
+    double fmaUtilization() const
+    {
+        return totalUs > 0
+                   ? (counters.fmaBusyUs + counters.aluBusyUs) / totalUs
+                   : 0.0;
+    }
+    double tensorCoreUtilization() const
+    {
+        return totalUs > 0 ? counters.tensorCoreBusyUs / totalUs : 0.0;
+    }
+
+    std::string toString() const;
+};
+
+/** Simulate @p module on @p device. */
+SimResult simulate(const CompiledModule &module, const DeviceSpec &device);
+
+} // namespace souffle

@@ -1,0 +1,85 @@
+#include "gpu/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+/** Minimal JSON string escaping. */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const SimResult &result, const std::string &process_name)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &name, const char *tid,
+                    double start_us, double duration_us,
+                    const std::string &args) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << escape(name) << "\",\"ph\":\"X\","
+           << "\"pid\":\"" << escape(process_name) << "\","
+           << "\"tid\":\"" << tid << "\",\"ts\":" << start_us
+           << ",\"dur\":" << duration_us;
+        if (!args.empty())
+            os << ",\"args\":{" << args << "}";
+        os << "}";
+    };
+
+    double clock = 0.0;
+    for (const KernelTiming &kernel : result.kernels) {
+        emit("launch", "host", clock, kernel.launchUs, "");
+        clock += kernel.launchUs;
+        std::ostringstream args;
+        args << "\"globalBytes\":" << kernel.globalBytes
+             << ",\"bound\":\""
+             << (kernel.computeBound ? "compute" : "memory") << "\"";
+        emit(kernel.name, "gpu", clock, kernel.timeUs, args.str());
+        clock += kernel.timeUs;
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+void
+writeChromeTrace(const SimResult &result,
+                 const std::string &process_name,
+                 const std::string &path)
+{
+    std::ofstream file(path);
+    SOUFFLE_REQUIRE(file.good(), "cannot open trace file " << path);
+    file << toChromeTrace(result, process_name);
+    SOUFFLE_REQUIRE(file.good(), "failed writing trace file " << path);
+}
+
+} // namespace souffle

@@ -1,0 +1,32 @@
+#pragma once
+
+/**
+ * @file
+ * Chrome-trace export of simulated execution timelines.
+ *
+ * Emits the simulator's per-kernel timing as a `chrome://tracing` /
+ * Perfetto-compatible JSON document: one row for kernel execution,
+ * one for the launch gaps, so a run of a baseline (hundreds of tiny
+ * kernels separated by launch overhead) and a Souffle run (a few
+ * mega-kernels) are visually comparable.
+ */
+
+#include <string>
+
+#include "gpu/sim.h"
+
+namespace souffle {
+
+/**
+ * Render @p result as chrome-trace JSON. @p process_name labels the
+ * row group (typically the compiler name).
+ */
+std::string toChromeTrace(const SimResult &result,
+                          const std::string &process_name);
+
+/** Write chrome-trace JSON to @p path (throws FatalError on I/O). */
+void writeChromeTrace(const SimResult &result,
+                      const std::string &process_name,
+                      const std::string &path);
+
+} // namespace souffle

@@ -1,0 +1,627 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kRelu:
+        return "relu";
+      case OpKind::kSigmoid:
+        return "sigmoid";
+      case OpKind::kTanh:
+        return "tanh";
+      case OpKind::kExp:
+        return "exp";
+      case OpKind::kSqrt:
+        return "sqrt";
+      case OpKind::kGelu:
+        return "gelu";
+      case OpKind::kSilu:
+        return "silu";
+      case OpKind::kAdd:
+        return "add";
+      case OpKind::kSub:
+        return "sub";
+      case OpKind::kMul:
+        return "mul";
+      case OpKind::kDiv:
+        return "div";
+      case OpKind::kMaximum:
+        return "maximum";
+      case OpKind::kMinimum:
+        return "minimum";
+      case OpKind::kScale:
+        return "scale";
+      case OpKind::kAddScalar:
+        return "add_scalar";
+      case OpKind::kMatmul:
+        return "matmul";
+      case OpKind::kBatchMatmul:
+        return "batch_matmul";
+      case OpKind::kConv2d:
+        return "conv2d";
+      case OpKind::kMaxPool2d:
+        return "max_pool2d";
+      case OpKind::kAvgPool2d:
+        return "avg_pool2d";
+      case OpKind::kGlobalAvgPool:
+        return "global_avg_pool";
+      case OpKind::kSoftmax:
+        return "softmax";
+      case OpKind::kLayerNorm:
+        return "layer_norm";
+      case OpKind::kBatchNormInf:
+        return "batch_norm_inf";
+      case OpKind::kReduceSum:
+        return "reduce_sum";
+      case OpKind::kReduceMean:
+        return "reduce_mean";
+      case OpKind::kReduceMax:
+        return "reduce_max";
+      case OpKind::kReshape:
+        return "reshape";
+      case OpKind::kTranspose:
+        return "transpose";
+      case OpKind::kSlice:
+        return "slice";
+      case OpKind::kConcat:
+        return "concat";
+    }
+    return "?";
+}
+
+bool
+isUnaryOpKind(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kRelu:
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kExp:
+      case OpKind::kSqrt:
+      case OpKind::kGelu:
+      case OpKind::kSilu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBinaryOpKind(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul:
+      case OpKind::kDiv:
+      case OpKind::kMaximum:
+      case OpKind::kMinimum:
+        return true;
+      default:
+        return false;
+    }
+}
+
+ValueId
+Graph::addValue(const std::string &name, std::vector<int64_t> shape,
+                DType dtype, TensorRole role)
+{
+    GraphValue value;
+    value.id = static_cast<ValueId>(valueTable.size());
+    value.name = name;
+    value.shape = std::move(shape);
+    value.dtype = dtype;
+    value.role = role;
+    valueTable.push_back(std::move(value));
+    return valueTable.back().id;
+}
+
+ValueId
+Graph::addOp(OpKind kind, std::vector<ValueId> inputs,
+             std::vector<int64_t> out_shape, DType out_dtype,
+             OpAttrs attrs)
+{
+    for (ValueId in : inputs) {
+        SOUFFLE_REQUIRE(in >= 0 && in < numValues(),
+                        "op input value out of range");
+    }
+    GraphOp op;
+    op.id = static_cast<int>(opList.size());
+    op.kind = kind;
+    op.name = opKindName(kind) + "_" + std::to_string(nameCounter++);
+    op.inputs = std::move(inputs);
+    op.attrs = std::move(attrs);
+    op.output = addValue(op.name + ":out", std::move(out_shape), out_dtype,
+                         TensorRole::kIntermediate);
+    valueTable[op.output].producer = op.id;
+    opList.push_back(std::move(op));
+    return opList.back().output;
+}
+
+ValueId
+Graph::input(const std::string &name, std::vector<int64_t> shape,
+             DType dtype)
+{
+    return addValue(name, std::move(shape), dtype, TensorRole::kInput);
+}
+
+ValueId
+Graph::param(const std::string &name, std::vector<int64_t> shape,
+             DType dtype)
+{
+    return addValue(name, std::move(shape), dtype, TensorRole::kParam);
+}
+
+void
+Graph::markOutput(ValueId value)
+{
+    SOUFFLE_REQUIRE(value >= 0 && value < numValues(),
+                    "markOutput: value out of range");
+    valueTable[value].role = TensorRole::kOutput;
+}
+
+ValueId
+Graph::unaryOp(OpKind kind, ValueId x)
+{
+    const GraphValue &in = value(x);
+    return addOp(kind, {x}, in.shape, in.dtype);
+}
+
+ValueId
+Graph::relu(ValueId x)
+{
+    return unaryOp(OpKind::kRelu, x);
+}
+
+ValueId
+Graph::sigmoid(ValueId x)
+{
+    return unaryOp(OpKind::kSigmoid, x);
+}
+
+ValueId
+Graph::tanh(ValueId x)
+{
+    return unaryOp(OpKind::kTanh, x);
+}
+
+ValueId
+Graph::exp(ValueId x)
+{
+    return unaryOp(OpKind::kExp, x);
+}
+
+ValueId
+Graph::sqrt(ValueId x)
+{
+    return unaryOp(OpKind::kSqrt, x);
+}
+
+ValueId
+Graph::gelu(ValueId x)
+{
+    return unaryOp(OpKind::kGelu, x);
+}
+
+ValueId
+Graph::silu(ValueId x)
+{
+    return unaryOp(OpKind::kSilu, x);
+}
+
+std::vector<int64_t>
+Graph::broadcastShapes(const std::vector<int64_t> &a,
+                       const std::vector<int64_t> &b)
+{
+    const int rank = std::max(a.size(), b.size());
+    std::vector<int64_t> out(rank, 1);
+    for (int i = 0; i < rank; ++i) {
+        const int64_t da =
+            i < static_cast<int>(a.size())
+                ? a[a.size() - 1 - i]
+                : 1;
+        const int64_t db =
+            i < static_cast<int>(b.size())
+                ? b[b.size() - 1 - i]
+                : 1;
+        SOUFFLE_REQUIRE(da == db || da == 1 || db == 1,
+                        "cannot broadcast shapes " << shapeToString(a)
+                            << " and " << shapeToString(b));
+        out[rank - 1 - i] = std::max(da, db);
+    }
+    return out;
+}
+
+ValueId
+Graph::binaryOp(OpKind kind, ValueId a, ValueId b)
+{
+    const GraphValue &va = value(a);
+    const GraphValue &vb = value(b);
+    auto out_shape = broadcastShapes(va.shape, vb.shape);
+    return addOp(kind, {a, b}, std::move(out_shape), va.dtype);
+}
+
+ValueId
+Graph::add(ValueId a, ValueId b)
+{
+    return binaryOp(OpKind::kAdd, a, b);
+}
+
+ValueId
+Graph::sub(ValueId a, ValueId b)
+{
+    return binaryOp(OpKind::kSub, a, b);
+}
+
+ValueId
+Graph::mul(ValueId a, ValueId b)
+{
+    return binaryOp(OpKind::kMul, a, b);
+}
+
+ValueId
+Graph::div(ValueId a, ValueId b)
+{
+    return binaryOp(OpKind::kDiv, a, b);
+}
+
+ValueId
+Graph::maximum(ValueId a, ValueId b)
+{
+    return binaryOp(OpKind::kMaximum, a, b);
+}
+
+ValueId
+Graph::minimum(ValueId a, ValueId b)
+{
+    return binaryOp(OpKind::kMinimum, a, b);
+}
+
+ValueId
+Graph::scale(ValueId x, double alpha)
+{
+    OpAttrs attrs;
+    attrs.alpha = alpha;
+    const GraphValue &in = value(x);
+    return addOp(OpKind::kScale, {x}, in.shape, in.dtype, attrs);
+}
+
+ValueId
+Graph::addScalar(ValueId x, double alpha)
+{
+    OpAttrs attrs;
+    attrs.alpha = alpha;
+    const GraphValue &in = value(x);
+    return addOp(OpKind::kAddScalar, {x}, in.shape, in.dtype, attrs);
+}
+
+ValueId
+Graph::matmul(ValueId a, ValueId b, bool trans_b)
+{
+    const GraphValue &va = value(a);
+    const GraphValue &vb = value(b);
+    SOUFFLE_REQUIRE(va.rank() == 2 && vb.rank() == 2,
+                    "matmul expects rank-2 operands, got "
+                        << shapeToString(va.shape) << " x "
+                        << shapeToString(vb.shape));
+    const int64_t k = va.shape[1];
+    const int64_t kb = trans_b ? vb.shape[1] : vb.shape[0];
+    const int64_t n = trans_b ? vb.shape[0] : vb.shape[1];
+    SOUFFLE_REQUIRE(k == kb, "matmul contraction mismatch: " << k
+                                 << " vs " << kb);
+    OpAttrs attrs;
+    attrs.transB = trans_b;
+    return addOp(OpKind::kMatmul, {a, b}, {va.shape[0], n}, va.dtype,
+                 attrs);
+}
+
+ValueId
+Graph::batchMatmul(ValueId a, ValueId b, bool trans_b)
+{
+    const GraphValue &va = value(a);
+    const GraphValue &vb = value(b);
+    SOUFFLE_REQUIRE(va.rank() >= 3 && va.rank() == vb.rank(),
+                    "batch_matmul expects equal ranks >= 3");
+    const int rank = va.rank();
+    for (int i = 0; i < rank - 2; ++i) {
+        SOUFFLE_REQUIRE(va.shape[i] == vb.shape[i],
+                        "batch_matmul batch dim mismatch at " << i);
+    }
+    const int64_t m = va.shape[rank - 2];
+    const int64_t k = va.shape[rank - 1];
+    const int64_t kb = trans_b ? vb.shape[rank - 1] : vb.shape[rank - 2];
+    const int64_t n = trans_b ? vb.shape[rank - 2] : vb.shape[rank - 1];
+    SOUFFLE_REQUIRE(k == kb, "batch_matmul contraction mismatch");
+    std::vector<int64_t> out_shape(va.shape.begin(),
+                                   va.shape.end() - 2);
+    out_shape.push_back(m);
+    out_shape.push_back(n);
+    OpAttrs attrs;
+    attrs.transB = trans_b;
+    return addOp(OpKind::kBatchMatmul, {a, b}, std::move(out_shape),
+                 va.dtype, attrs);
+}
+
+ValueId
+Graph::conv2d(ValueId x, ValueId w, int64_t stride, int64_t padding,
+              int64_t groups)
+{
+    const GraphValue &vx = value(x);
+    const GraphValue &vw = value(w);
+    SOUFFLE_REQUIRE(vx.rank() == 4 && vw.rank() == 4,
+                    "conv2d expects NCHW input and OIHW weight");
+    const int64_t c = vx.shape[1];
+    SOUFFLE_REQUIRE(c % groups == 0 && vw.shape[0] % groups == 0,
+                    "conv2d channels not divisible by groups");
+    SOUFFLE_REQUIRE(vw.shape[1] == c / groups,
+                    "conv2d weight in-channels mismatch: "
+                        << vw.shape[1] << " vs " << c / groups);
+    const int64_t oh =
+        (vx.shape[2] + 2 * padding - vw.shape[2]) / stride + 1;
+    const int64_t ow =
+        (vx.shape[3] + 2 * padding - vw.shape[3]) / stride + 1;
+    SOUFFLE_REQUIRE(oh > 0 && ow > 0, "conv2d output is empty");
+    OpAttrs attrs;
+    attrs.stride = stride;
+    attrs.padding = padding;
+    attrs.groups = groups;
+    return addOp(OpKind::kConv2d, {x, w},
+                 {vx.shape[0], vw.shape[0], oh, ow}, vx.dtype, attrs);
+}
+
+ValueId
+Graph::poolOp(OpKind kind, ValueId x, int64_t kernel, int64_t stride,
+              int64_t padding)
+{
+    const GraphValue &vx = value(x);
+    SOUFFLE_REQUIRE(vx.rank() == 4, "pooling expects NCHW input");
+    const int64_t oh = (vx.shape[2] + 2 * padding - kernel) / stride + 1;
+    const int64_t ow = (vx.shape[3] + 2 * padding - kernel) / stride + 1;
+    SOUFFLE_REQUIRE(oh > 0 && ow > 0, "pool output is empty");
+    OpAttrs attrs;
+    attrs.kernel = kernel;
+    attrs.stride = stride;
+    attrs.padding = padding;
+    return addOp(kind, {x}, {vx.shape[0], vx.shape[1], oh, ow}, vx.dtype,
+                 attrs);
+}
+
+ValueId
+Graph::maxPool2d(ValueId x, int64_t kernel, int64_t stride,
+                 int64_t padding)
+{
+    return poolOp(OpKind::kMaxPool2d, x, kernel, stride, padding);
+}
+
+ValueId
+Graph::avgPool2d(ValueId x, int64_t kernel, int64_t stride,
+                 int64_t padding)
+{
+    return poolOp(OpKind::kAvgPool2d, x, kernel, stride, padding);
+}
+
+ValueId
+Graph::globalAvgPool(ValueId x)
+{
+    const GraphValue &vx = value(x);
+    SOUFFLE_REQUIRE(vx.rank() == 4, "global_avg_pool expects NCHW input");
+    return addOp(OpKind::kGlobalAvgPool, {x},
+                 {vx.shape[0], vx.shape[1], 1, 1}, vx.dtype);
+}
+
+ValueId
+Graph::softmax(ValueId x)
+{
+    const GraphValue &vx = value(x);
+    SOUFFLE_REQUIRE(vx.rank() >= 1, "softmax expects rank >= 1");
+    return addOp(OpKind::kSoftmax, {x}, vx.shape, vx.dtype);
+}
+
+ValueId
+Graph::layerNorm(ValueId x, ValueId gamma, ValueId beta, double eps)
+{
+    const GraphValue &vx = value(x);
+    const int64_t last = vx.shape.back();
+    SOUFFLE_REQUIRE(value(gamma).shape == std::vector<int64_t>{last}
+                        && value(beta).shape == std::vector<int64_t>{last},
+                    "layer_norm gamma/beta must be [last_dim]");
+    OpAttrs attrs;
+    attrs.eps = eps;
+    return addOp(OpKind::kLayerNorm, {x, gamma, beta}, vx.shape, vx.dtype,
+                 attrs);
+}
+
+ValueId
+Graph::batchNormInf(ValueId x, ValueId scale, ValueId shift)
+{
+    const GraphValue &vx = value(x);
+    SOUFFLE_REQUIRE(vx.rank() == 4, "batch_norm_inf expects NCHW input");
+    const int64_t c = vx.shape[1];
+    SOUFFLE_REQUIRE(value(scale).shape == std::vector<int64_t>{c}
+                        && value(shift).shape == std::vector<int64_t>{c},
+                    "batch_norm_inf scale/shift must be [C]");
+    return addOp(OpKind::kBatchNormInf, {x, scale, shift}, vx.shape,
+                 vx.dtype);
+}
+
+ValueId
+Graph::reduceOp(OpKind kind, ValueId x, std::vector<int64_t> axes,
+                bool keepdims)
+{
+    const GraphValue &vx = value(x);
+    std::sort(axes.begin(), axes.end());
+    std::vector<int64_t> out_shape;
+    for (int i = 0; i < vx.rank(); ++i) {
+        const bool reduced =
+            std::find(axes.begin(), axes.end(), i) != axes.end();
+        if (!reduced)
+            out_shape.push_back(vx.shape[i]);
+        else if (keepdims)
+            out_shape.push_back(1);
+    }
+    if (out_shape.empty())
+        out_shape.push_back(1);
+    OpAttrs attrs;
+    attrs.dims = std::move(axes);
+    attrs.keepdims = keepdims;
+    return addOp(kind, {x}, std::move(out_shape), vx.dtype, attrs);
+}
+
+ValueId
+Graph::reduceSum(ValueId x, std::vector<int64_t> axes, bool keepdims)
+{
+    return reduceOp(OpKind::kReduceSum, x, std::move(axes), keepdims);
+}
+
+ValueId
+Graph::reduceMean(ValueId x, std::vector<int64_t> axes, bool keepdims)
+{
+    return reduceOp(OpKind::kReduceMean, x, std::move(axes), keepdims);
+}
+
+ValueId
+Graph::reduceMax(ValueId x, std::vector<int64_t> axes, bool keepdims)
+{
+    return reduceOp(OpKind::kReduceMax, x, std::move(axes), keepdims);
+}
+
+ValueId
+Graph::reshape(ValueId x, std::vector<int64_t> new_shape)
+{
+    const GraphValue &vx = value(x);
+    int64_t n = 1;
+    for (int64_t d : new_shape)
+        n *= d;
+    SOUFFLE_REQUIRE(n == vx.numElements(),
+                    "reshape element count mismatch: "
+                        << shapeToString(vx.shape) << " -> "
+                        << shapeToString(new_shape));
+    OpAttrs attrs;
+    attrs.dims = new_shape;
+    return addOp(OpKind::kReshape, {x}, std::move(new_shape), vx.dtype,
+                 attrs);
+}
+
+ValueId
+Graph::transpose(ValueId x, std::vector<int64_t> perm)
+{
+    const GraphValue &vx = value(x);
+    SOUFFLE_REQUIRE(static_cast<int>(perm.size()) == vx.rank(),
+                    "transpose perm rank mismatch");
+    std::vector<int64_t> out_shape(vx.rank());
+    std::vector<bool> seen(vx.rank(), false);
+    for (int i = 0; i < vx.rank(); ++i) {
+        SOUFFLE_REQUIRE(perm[i] >= 0 && perm[i] < vx.rank()
+                            && !seen[perm[i]],
+                        "transpose perm is not a permutation");
+        seen[perm[i]] = true;
+        out_shape[i] = vx.shape[perm[i]];
+    }
+    OpAttrs attrs;
+    attrs.dims = std::move(perm);
+    return addOp(OpKind::kTranspose, {x}, std::move(out_shape), vx.dtype,
+                 attrs);
+}
+
+ValueId
+Graph::slice(ValueId x, std::vector<int64_t> begins,
+             std::vector<int64_t> ends)
+{
+    const GraphValue &vx = value(x);
+    SOUFFLE_REQUIRE(static_cast<int>(begins.size()) == vx.rank()
+                        && static_cast<int>(ends.size()) == vx.rank(),
+                    "slice begins/ends rank mismatch");
+    std::vector<int64_t> out_shape(vx.rank());
+    for (int i = 0; i < vx.rank(); ++i) {
+        SOUFFLE_REQUIRE(0 <= begins[i] && begins[i] < ends[i]
+                            && ends[i] <= vx.shape[i],
+                        "slice bounds invalid at dim " << i);
+        out_shape[i] = ends[i] - begins[i];
+    }
+    OpAttrs attrs;
+    attrs.begins = std::move(begins);
+    attrs.ends = std::move(ends);
+    return addOp(OpKind::kSlice, {x}, std::move(out_shape), vx.dtype,
+                 attrs);
+}
+
+ValueId
+Graph::concat(const std::vector<ValueId> &xs, int64_t axis)
+{
+    SOUFFLE_REQUIRE(!xs.empty(), "concat needs at least one input");
+    const GraphValue &first = value(xs[0]);
+    SOUFFLE_REQUIRE(axis >= 0 && axis < first.rank(),
+                    "concat axis out of range");
+    std::vector<int64_t> out_shape = first.shape;
+    for (size_t i = 1; i < xs.size(); ++i) {
+        const GraphValue &vi = value(xs[i]);
+        SOUFFLE_REQUIRE(vi.rank() == first.rank(),
+                        "concat rank mismatch");
+        for (int d = 0; d < first.rank(); ++d) {
+            if (d == axis)
+                continue;
+            SOUFFLE_REQUIRE(vi.shape[d] == first.shape[d],
+                            "concat non-axis dim mismatch at " << d);
+        }
+        out_shape[axis] += vi.shape[axis];
+    }
+    OpAttrs attrs;
+    attrs.axis = axis;
+    return addOp(OpKind::kConcat, xs, std::move(out_shape), first.dtype,
+                 attrs);
+}
+
+const GraphValue &
+Graph::value(ValueId id) const
+{
+    SOUFFLE_CHECK(id >= 0 && id < numValues(), "value id out of range");
+    return valueTable[id];
+}
+
+const GraphOp &
+Graph::op(int id) const
+{
+    SOUFFLE_CHECK(id >= 0 && id < numOps(), "op id out of range");
+    return opList[id];
+}
+
+std::vector<ValueId>
+Graph::outputValues() const
+{
+    std::vector<ValueId> result;
+    for (const auto &value : valueTable) {
+        if (value.role == TensorRole::kOutput)
+            result.push_back(value.id);
+    }
+    return result;
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream os;
+    os << "Graph '" << graphName << "': " << numOps() << " ops, "
+       << numValues() << " values\n";
+    for (const auto &op : opList) {
+        os << "  %" << op.output << " = " << opKindName(op.kind) << "(";
+        for (size_t i = 0; i < op.inputs.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << "%" << op.inputs[i];
+        }
+        os << ") : " << shapeToString(valueTable[op.output].shape)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace souffle

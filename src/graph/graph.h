@@ -1,0 +1,142 @@
+#pragma once
+
+/**
+ * @file
+ * Computation-graph builder with inline shape inference.
+ *
+ * This is the model-construction API used by the model zoo
+ * (src/models) and by library users; `lowerToTe` (graph/lowering.h)
+ * converts a finished graph into the TE program that all of Souffle's
+ * analyses operate on.
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+
+namespace souffle {
+
+/** A DNN computation graph under construction. */
+class Graph
+{
+  public:
+    explicit Graph(std::string name = "model") : graphName(std::move(name))
+    {}
+
+    const std::string &name() const { return graphName; }
+
+    /** Declare a runtime input value. */
+    ValueId input(const std::string &name, std::vector<int64_t> shape,
+                  DType dtype = DType::kFP32);
+
+    /** Declare a weight/constant value. */
+    ValueId param(const std::string &name, std::vector<int64_t> shape,
+                  DType dtype = DType::kFP32);
+
+    /** Mark a value as a model output. */
+    void markOutput(ValueId value);
+
+    // ----- element-wise -------------------------------------------------
+    ValueId relu(ValueId x);
+    ValueId sigmoid(ValueId x);
+    ValueId tanh(ValueId x);
+    ValueId exp(ValueId x);
+    ValueId sqrt(ValueId x);
+    ValueId gelu(ValueId x);
+    /** SiLU / swish: x * sigmoid(x). */
+    ValueId silu(ValueId x);
+
+    ValueId add(ValueId a, ValueId b);
+    ValueId sub(ValueId a, ValueId b);
+    ValueId mul(ValueId a, ValueId b);
+    ValueId div(ValueId a, ValueId b);
+    ValueId maximum(ValueId a, ValueId b);
+    ValueId minimum(ValueId a, ValueId b);
+
+    ValueId scale(ValueId x, double alpha);
+    ValueId addScalar(ValueId x, double alpha);
+
+    // ----- contractions -------------------------------------------------
+    /** [M,K] x [K,N] (or [N,K] with trans_b) -> [M,N]. */
+    ValueId matmul(ValueId a, ValueId b, bool trans_b = false);
+
+    /** [B...,M,K] x [B...,K,N] (or [B...,N,K]) -> [B...,M,N]. */
+    ValueId batchMatmul(ValueId a, ValueId b, bool trans_b = false);
+
+    /**
+     * NCHW convolution: x [N,C,H,W], w [OC, C/groups, KH, KW].
+     * Symmetric zero padding; square stride.
+     */
+    ValueId conv2d(ValueId x, ValueId w, int64_t stride = 1,
+                   int64_t padding = 0, int64_t groups = 1);
+
+    // ----- pooling ------------------------------------------------------
+    ValueId maxPool2d(ValueId x, int64_t kernel, int64_t stride,
+                      int64_t padding = 0);
+    ValueId avgPool2d(ValueId x, int64_t kernel, int64_t stride,
+                      int64_t padding = 0);
+    /** NCHW -> [N, C, 1, 1]. */
+    ValueId globalAvgPool(ValueId x);
+
+    // ----- normalization ------------------------------------------------
+    /** Softmax over the last axis. */
+    ValueId softmax(ValueId x);
+    /** Layer normalization over the last axis. */
+    ValueId layerNorm(ValueId x, ValueId gamma, ValueId beta,
+                      double eps = 1e-5);
+    /** Inference-mode batch norm folded to per-channel scale + shift. */
+    ValueId batchNormInf(ValueId x, ValueId scale, ValueId shift);
+
+    // ----- reductions ---------------------------------------------------
+    ValueId reduceSum(ValueId x, std::vector<int64_t> axes,
+                      bool keepdims = false);
+    ValueId reduceMean(ValueId x, std::vector<int64_t> axes,
+                       bool keepdims = false);
+    ValueId reduceMax(ValueId x, std::vector<int64_t> axes,
+                      bool keepdims = false);
+
+    // ----- data movement ------------------------------------------------
+    ValueId reshape(ValueId x, std::vector<int64_t> new_shape);
+    ValueId transpose(ValueId x, std::vector<int64_t> perm);
+    ValueId slice(ValueId x, std::vector<int64_t> begins,
+                  std::vector<int64_t> ends);
+    ValueId concat(const std::vector<ValueId> &xs, int64_t axis);
+
+    // ----- access -------------------------------------------------------
+    const std::vector<GraphValue> &values() const { return valueTable; }
+    const std::vector<GraphOp> &ops() const { return opList; }
+    const GraphValue &value(ValueId id) const;
+    const GraphOp &op(int id) const;
+    int numOps() const { return static_cast<int>(opList.size()); }
+    int numValues() const { return static_cast<int>(valueTable.size()); }
+    std::vector<ValueId> outputValues() const;
+
+    /** Broadcast two shapes with numpy semantics (throws on mismatch). */
+    static std::vector<int64_t>
+    broadcastShapes(const std::vector<int64_t> &a,
+                    const std::vector<int64_t> &b);
+
+    /** Human-readable dump. */
+    std::string toString() const;
+
+  private:
+    ValueId addValue(const std::string &name, std::vector<int64_t> shape,
+                     DType dtype, TensorRole role);
+    ValueId addOp(OpKind kind, std::vector<ValueId> inputs,
+                  std::vector<int64_t> out_shape, DType out_dtype,
+                  OpAttrs attrs = {});
+    ValueId unaryOp(OpKind kind, ValueId x);
+    ValueId binaryOp(OpKind kind, ValueId a, ValueId b);
+    ValueId reduceOp(OpKind kind, ValueId x, std::vector<int64_t> axes,
+                     bool keepdims);
+    ValueId poolOp(OpKind kind, ValueId x, int64_t kernel, int64_t stride,
+                   int64_t padding);
+
+    std::string graphName;
+    std::vector<GraphValue> valueTable;
+    std::vector<GraphOp> opList;
+    int nameCounter = 0;
+};
+
+} // namespace souffle

@@ -1,0 +1,874 @@
+#include "graph/lowering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+AffineMap
+broadcastReadMap(const std::vector<int64_t> &out_shape,
+                 const std::vector<int64_t> &in_shape, int iter_rank)
+{
+    const int out_rank = static_cast<int>(out_shape.size());
+    const int in_rank = static_cast<int>(in_shape.size());
+    SOUFFLE_CHECK(in_rank <= out_rank, "broadcast input rank too large");
+    if (in_rank == 0)
+        return AffineMap::zero(0, iter_rank);
+    std::vector<std::vector<int64_t>> mat(
+        in_rank, std::vector<int64_t>(iter_rank, 0));
+    for (int i = 0; i < in_rank; ++i) {
+        const int out_dim = out_rank - in_rank + i;
+        if (in_shape[i] != 1) {
+            SOUFFLE_CHECK(in_shape[i] == out_shape[out_dim],
+                          "broadcast dim mismatch");
+            mat[i][out_dim] = 1;
+        }
+        // Size-1 input dims stay pinned at index 0 (zero row).
+    }
+    return AffineMap(std::move(mat), std::vector<int64_t>(in_rank, 0));
+}
+
+namespace {
+
+/** Lowering context for one graph. */
+class Lowerer
+{
+  public:
+    explicit Lowerer(const Graph &graph) : graph(graph)
+    {
+        result.valueToTensor.assign(graph.numValues(), -1);
+    }
+
+    LoweredModel
+    run()
+    {
+        // Declare tensors for every non-intermediate value up front so
+        // inputs/params exist before any op references them.
+        for (const auto &value : graph.values()) {
+            if (value.role == TensorRole::kInput
+                || value.role == TensorRole::kParam) {
+                result.valueToTensor[value.id] = result.program.addTensor(
+                    value.name, value.shape, value.dtype, value.role);
+            }
+        }
+        for (const auto &op : graph.ops())
+            lowerOp(op);
+        // Propagate output roles.
+        for (const auto &value : graph.values()) {
+            if (value.role == TensorRole::kOutput)
+                result.program.markOutput(
+                    result.valueToTensor[value.id]);
+        }
+        result.program.validate();
+        return std::move(result);
+    }
+
+  private:
+    const Graph &graph;
+    LoweredModel result;
+
+    /** Tensor id of a graph value (must already be materialized). */
+    TensorId
+    tensorOf(ValueId value) const
+    {
+        const TensorId id = result.valueToTensor[value];
+        SOUFFLE_CHECK(id >= 0, "value lowered before its producer");
+        return id;
+    }
+
+    /** Declare the output tensor of @p op. */
+    TensorId
+    declareOutput(const GraphOp &op)
+    {
+        const GraphValue &value = graph.value(op.output);
+        const TensorId id = result.program.addTensor(
+            value.name, value.shape, value.dtype,
+            TensorRole::kIntermediate);
+        result.valueToTensor[op.output] = id;
+        return id;
+    }
+
+    /** Declare a helper intermediate tensor. */
+    TensorId
+    declareTemp(const std::string &name, std::vector<int64_t> shape,
+                DType dtype)
+    {
+        return result.program.addTensor(name, std::move(shape), dtype,
+                                        TensorRole::kIntermediate);
+    }
+
+    int
+    emitTe(const GraphOp &op, const std::string &suffix,
+           std::vector<TensorId> inputs, TensorId output,
+           std::vector<int64_t> reduce_extents, Combiner combiner,
+           ExprPtr body)
+    {
+        const int te = result.program.addTe(
+            op.name + suffix, std::move(inputs), output,
+            std::move(reduce_extents), combiner, std::move(body));
+        result.teToOp.push_back(op.id);
+        SOUFFLE_CHECK(static_cast<int>(result.teToOp.size())
+                          == result.program.numTes(),
+                      "teToOp out of sync");
+        return te;
+    }
+
+    void
+    lowerOp(const GraphOp &op)
+    {
+        if (isUnaryOpKind(op.kind)) {
+            lowerUnary(op);
+            return;
+        }
+        if (isBinaryOpKind(op.kind)) {
+            lowerBinary(op);
+            return;
+        }
+        switch (op.kind) {
+          case OpKind::kScale:
+          case OpKind::kAddScalar:
+            lowerScalar(op);
+            return;
+          case OpKind::kMatmul:
+            lowerMatmul(op);
+            return;
+          case OpKind::kBatchMatmul:
+            lowerBatchMatmul(op);
+            return;
+          case OpKind::kConv2d:
+            lowerConv2d(op);
+            return;
+          case OpKind::kMaxPool2d:
+          case OpKind::kAvgPool2d:
+            lowerPool(op);
+            return;
+          case OpKind::kGlobalAvgPool:
+            lowerGlobalAvgPool(op);
+            return;
+          case OpKind::kSoftmax:
+            lowerSoftmax(op);
+            return;
+          case OpKind::kLayerNorm:
+            lowerLayerNorm(op);
+            return;
+          case OpKind::kBatchNormInf:
+            lowerBatchNormInf(op);
+            return;
+          case OpKind::kReduceSum:
+          case OpKind::kReduceMean:
+          case OpKind::kReduceMax:
+            lowerReduce(op);
+            return;
+          case OpKind::kReshape:
+            lowerReshape(op);
+            return;
+          case OpKind::kTranspose:
+            lowerTranspose(op);
+            return;
+          case OpKind::kSlice:
+            lowerSlice(op);
+            return;
+          case OpKind::kConcat:
+            lowerConcat(op);
+            return;
+          default:
+            SOUFFLE_PANIC("unhandled op kind "
+                          << opKindName(op.kind));
+        }
+    }
+
+    // ----- element-wise -------------------------------------------------
+
+    void
+    lowerUnary(const GraphOp &op)
+    {
+        const GraphValue &out = graph.value(op.output);
+        const int rank = out.rank();
+        auto x = Expr::read(0, AffineMap::identity(rank));
+        ExprPtr body;
+        switch (op.kind) {
+          case OpKind::kRelu:
+            body = Expr::unary(UnaryOp::kRelu, x);
+            break;
+          case OpKind::kSigmoid:
+            body = Expr::unary(UnaryOp::kSigmoid, x);
+            break;
+          case OpKind::kTanh:
+            body = Expr::unary(UnaryOp::kTanh, x);
+            break;
+          case OpKind::kExp:
+            body = Expr::unary(UnaryOp::kExp, x);
+            break;
+          case OpKind::kSqrt:
+            body = Expr::unary(UnaryOp::kSqrt, x);
+            break;
+          case OpKind::kGelu:
+            // 0.5 * x * (1 + erf(x / sqrt(2)))
+            body = Expr::binary(
+                BinaryOp::kMul,
+                Expr::binary(BinaryOp::kMul, Expr::constant(0.5), x),
+                Expr::binary(
+                    BinaryOp::kAdd, Expr::constant(1.0),
+                    Expr::unary(UnaryOp::kErf,
+                                Expr::binary(BinaryOp::kMul, x,
+                                             Expr::constant(
+                                                 1.0 / std::sqrt(2.0))))));
+            break;
+          case OpKind::kSilu:
+            body = Expr::binary(BinaryOp::kMul, x,
+                                Expr::unary(UnaryOp::kSigmoid, x));
+            break;
+          default:
+            SOUFFLE_PANIC("not a unary op");
+        }
+        emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op), {},
+               Combiner::kNone, std::move(body));
+    }
+
+    void
+    lowerBinary(const GraphOp &op)
+    {
+        const GraphValue &out = graph.value(op.output);
+        const GraphValue &a = graph.value(op.inputs[0]);
+        const GraphValue &b = graph.value(op.inputs[1]);
+        const int rank = out.rank();
+        auto ra = Expr::read(0,
+                             broadcastReadMap(out.shape, a.shape, rank));
+        auto rb = Expr::read(1,
+                             broadcastReadMap(out.shape, b.shape, rank));
+        BinaryOp bop;
+        switch (op.kind) {
+          case OpKind::kAdd:
+            bop = BinaryOp::kAdd;
+            break;
+          case OpKind::kSub:
+            bop = BinaryOp::kSub;
+            break;
+          case OpKind::kMul:
+            bop = BinaryOp::kMul;
+            break;
+          case OpKind::kDiv:
+            bop = BinaryOp::kDiv;
+            break;
+          case OpKind::kMaximum:
+            bop = BinaryOp::kMax;
+            break;
+          case OpKind::kMinimum:
+            bop = BinaryOp::kMin;
+            break;
+          default:
+            SOUFFLE_PANIC("not a binary op");
+        }
+        emitTe(op, "",
+               {tensorOf(op.inputs[0]), tensorOf(op.inputs[1])},
+               declareOutput(op), {}, Combiner::kNone,
+               Expr::binary(bop, ra, rb));
+    }
+
+    void
+    lowerScalar(const GraphOp &op)
+    {
+        const GraphValue &out = graph.value(op.output);
+        auto x = Expr::read(0, AffineMap::identity(out.rank()));
+        const BinaryOp bop = op.kind == OpKind::kScale ? BinaryOp::kMul
+                                                       : BinaryOp::kAdd;
+        emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op), {},
+               Combiner::kNone,
+               Expr::binary(bop, x, Expr::constant(op.attrs.alpha)));
+    }
+
+    // ----- contractions -------------------------------------------------
+
+    void
+    lowerMatmul(const GraphOp &op)
+    {
+        const GraphValue &a = graph.value(op.inputs[0]);
+        const int64_t k = a.shape[1];
+        // Iteration space (i, j, rk).
+        auto ra = Expr::read(0, AffineMap::select({0, 2}, 3));
+        auto rb = Expr::read(
+            1, op.attrs.transB ? AffineMap::select({1, 2}, 3)
+                               : AffineMap::select({2, 1}, 3));
+        emitTe(op, "",
+               {tensorOf(op.inputs[0]), tensorOf(op.inputs[1])},
+               declareOutput(op), {k}, Combiner::kSum,
+               Expr::binary(BinaryOp::kMul, ra, rb));
+    }
+
+    void
+    lowerBatchMatmul(const GraphOp &op)
+    {
+        const GraphValue &a = graph.value(op.inputs[0]);
+        const int rank = a.rank();
+        const int64_t k = a.shape[rank - 1];
+        const int iter = rank + 1; // batch..., m, n, rk
+        std::vector<int> a_dims, b_dims;
+        for (int i = 0; i < rank - 2; ++i) {
+            a_dims.push_back(i);
+            b_dims.push_back(i);
+        }
+        a_dims.push_back(rank - 2); // m
+        a_dims.push_back(rank);     // rk
+        if (op.attrs.transB) {
+            b_dims.push_back(rank - 1); // n
+            b_dims.push_back(rank);     // rk
+        } else {
+            b_dims.push_back(rank);     // rk
+            b_dims.push_back(rank - 1); // n
+        }
+        auto ra = Expr::read(0, AffineMap::select(a_dims, iter));
+        auto rb = Expr::read(1, AffineMap::select(b_dims, iter));
+        emitTe(op, "",
+               {tensorOf(op.inputs[0]), tensorOf(op.inputs[1])},
+               declareOutput(op), {k}, Combiner::kSum,
+               Expr::binary(BinaryOp::kMul, ra, rb));
+    }
+
+    void
+    lowerConv2d(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const GraphValue &w = graph.value(op.inputs[1]);
+        const GraphValue &out = graph.value(op.output);
+        const int64_t groups = op.attrs.groups;
+        const int64_t stride = op.attrs.stride;
+        const int64_t pad = op.attrs.padding;
+        const int64_t cg = x.shape[1] / groups;  // in channels / group
+        const int64_t ocg = w.shape[0] / groups; // out channels / group
+        const int64_t kh = w.shape[2], kw = w.shape[3];
+        const int64_t h = x.shape[2], wdim = x.shape[3];
+        const int64_t n = out.shape[0], oh = out.shape[2],
+                      ow = out.shape[3];
+
+        const TensorId x_t = tensorOf(op.inputs[0]);
+        const TensorId w_t = tensorOf(op.inputs[1]);
+
+        if (groups > 1 && cg == 1 && ocg == 1) {
+            // Depthwise convolution: the output channel indexes the
+            // input channel directly, so one TE suffices (no per-group
+            // split). Iteration space (n, f, oh, ow, rh, rw).
+            const int iter = 6;
+            std::vector<std::vector<int64_t>> xm(
+                4, std::vector<int64_t>(iter, 0));
+            std::vector<int64_t> xo(4, 0);
+            xm[0][0] = 1;
+            xm[1][1] = 1;
+            xm[2][2] = stride;
+            xm[2][4] = 1;
+            xo[2] = -pad;
+            xm[3][3] = stride;
+            xm[3][5] = 1;
+            xo[3] = -pad;
+            auto rx = Expr::read(0, AffineMap(xm, xo));
+            std::vector<std::vector<int64_t>> wm(
+                4, std::vector<int64_t>(iter, 0));
+            wm[0][1] = 1;
+            wm[2][4] = 1;
+            wm[3][5] = 1;
+            auto rw =
+                Expr::read(1, AffineMap(wm, std::vector<int64_t>(4, 0)));
+            ExprPtr body = Expr::binary(BinaryOp::kMul, rx, rw);
+            if (pad > 0) {
+                Predicate inside;
+                inside.push_back(AffineCond{
+                    {0, 0, stride, 0, 1, 0}, -pad, CmpOp::kGE});
+                inside.push_back(AffineCond{{0, 0, stride, 0, 1, 0},
+                                            -pad - h, CmpOp::kLT});
+                inside.push_back(AffineCond{
+                    {0, 0, 0, stride, 0, 1}, -pad, CmpOp::kGE});
+                inside.push_back(AffineCond{{0, 0, 0, stride, 0, 1},
+                                            -pad - wdim, CmpOp::kLT});
+                body = Expr::select(std::move(inside), std::move(body),
+                                    Expr::constant(0.0));
+            }
+            emitTe(op, "_dw", {x_t, w_t}, declareOutput(op), {kh, kw},
+                   Combiner::kSum, std::move(body));
+            return;
+        }
+
+        std::vector<TensorId> group_outs;
+        for (int64_t g = 0; g < groups; ++g) {
+            TensorId out_t;
+            if (groups == 1) {
+                out_t = declareOutput(op);
+            } else {
+                out_t = declareTemp(op.name + "_g"
+                                        + std::to_string(g),
+                                    {n, ocg, oh, ow}, out.dtype);
+            }
+            group_outs.push_back(out_t);
+
+            // Iteration space (n, f, oh, ow, rc, rh, rw).
+            const int iter = 7;
+            // x read: (n, g*cg + rc, stride*oh + rh - pad,
+            //          stride*ow + rw - pad)
+            std::vector<std::vector<int64_t>> xm(
+                4, std::vector<int64_t>(iter, 0));
+            std::vector<int64_t> xo(4, 0);
+            xm[0][0] = 1;
+            xm[1][4] = 1;
+            xo[1] = g * cg;
+            xm[2][2] = stride;
+            xm[2][5] = 1;
+            xo[2] = -pad;
+            xm[3][3] = stride;
+            xm[3][6] = 1;
+            xo[3] = -pad;
+            auto rx = Expr::read(0, AffineMap(xm, xo));
+
+            // w read: (g*ocg + f, rc, rh, rw)
+            std::vector<std::vector<int64_t>> wm(
+                4, std::vector<int64_t>(iter, 0));
+            std::vector<int64_t> wo(4, 0);
+            wm[0][1] = 1;
+            wo[0] = g * ocg;
+            wm[1][4] = 1;
+            wm[2][5] = 1;
+            wm[3][6] = 1;
+            auto rw = Expr::read(1, AffineMap(wm, wo));
+
+            ExprPtr body = Expr::binary(BinaryOp::kMul, rx, rw);
+            if (pad > 0) {
+                // 0 <= stride*oh + rh - pad < H (and same for width).
+                Predicate inside;
+                inside.push_back(AffineCond{
+                    {0, 0, stride, 0, 0, 1, 0}, -pad, CmpOp::kGE});
+                inside.push_back(AffineCond{
+                    {0, 0, stride, 0, 0, 1, 0}, -pad - h, CmpOp::kLT});
+                inside.push_back(AffineCond{
+                    {0, 0, 0, stride, 0, 0, 1}, -pad, CmpOp::kGE});
+                inside.push_back(AffineCond{{0, 0, 0, stride, 0, 0, 1},
+                                            -pad - wdim, CmpOp::kLT});
+                body = Expr::select(std::move(inside), std::move(body),
+                                    Expr::constant(0.0));
+            }
+            emitTe(op, groups == 1 ? "" : "_g" + std::to_string(g),
+                   {x_t, w_t}, out_t, {cg, kh, kw}, Combiner::kSum,
+                   std::move(body));
+        }
+
+        if (groups > 1) {
+            // Concatenate the per-group outputs along the channel axis.
+            const TensorId out_t = declareOutput(op);
+            emitConcat(op, "_concat", group_outs, out_t, 1);
+        }
+    }
+
+    // ----- pooling ------------------------------------------------------
+
+    void
+    lowerPool(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const GraphValue &out = graph.value(op.output);
+        const int64_t kernel = op.attrs.kernel;
+        const int64_t stride = op.attrs.stride;
+        const int64_t pad = op.attrs.padding;
+        const int64_t h = x.shape[2], w = x.shape[3];
+        const bool is_max = op.kind == OpKind::kMaxPool2d;
+
+        // Iteration space (n, c, oh, ow, rh, rw).
+        const int iter = 6;
+        std::vector<std::vector<int64_t>> xm(
+            4, std::vector<int64_t>(iter, 0));
+        std::vector<int64_t> xo(4, 0);
+        xm[0][0] = 1;
+        xm[1][1] = 1;
+        xm[2][2] = stride;
+        xm[2][4] = 1;
+        xo[2] = -pad;
+        xm[3][3] = stride;
+        xm[3][5] = 1;
+        xo[3] = -pad;
+        ExprPtr body = Expr::read(0, AffineMap(xm, xo));
+        if (pad > 0) {
+            Predicate inside;
+            inside.push_back(
+                AffineCond{{0, 0, stride, 0, 1, 0}, -pad, CmpOp::kGE});
+            inside.push_back(AffineCond{{0, 0, stride, 0, 1, 0},
+                                        -pad - h, CmpOp::kLT});
+            inside.push_back(
+                AffineCond{{0, 0, 0, stride, 0, 1}, -pad, CmpOp::kGE});
+            inside.push_back(AffineCond{{0, 0, 0, stride, 0, 1},
+                                        -pad - w, CmpOp::kLT});
+            const double fill =
+                is_max ? -std::numeric_limits<double>::infinity() : 0.0;
+            body = Expr::select(std::move(inside), std::move(body),
+                                Expr::constant(fill));
+        }
+
+        if (is_max) {
+            emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op),
+                   {kernel, kernel}, Combiner::kMax, std::move(body));
+            return;
+        }
+        // Average pool: windowed sum, then scale by 1/kernel^2
+        // (count-include-pad semantics).
+        const TensorId sum_t =
+            declareTemp(op.name + "_sum", out.shape, out.dtype);
+        emitTe(op, "_sum", {tensorOf(op.inputs[0])}, sum_t,
+               {kernel, kernel}, Combiner::kSum, std::move(body));
+        const TensorId out_t = declareOutput(op);
+        emitTe(op, "_scale", {sum_t}, out_t, {}, Combiner::kNone,
+               Expr::binary(BinaryOp::kMul,
+                            Expr::read(0, AffineMap::identity(4)),
+                            Expr::constant(
+                                1.0 / static_cast<double>(kernel * kernel))));
+    }
+
+    void
+    lowerGlobalAvgPool(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const GraphValue &out = graph.value(op.output);
+        const int64_t h = x.shape[2], w = x.shape[3];
+        // Sum over (h, w): iteration space (n, c, 1, 1, rh, rw).
+        std::vector<std::vector<int64_t>> xm(
+            4, std::vector<int64_t>(6, 0));
+        xm[0][0] = 1;
+        xm[1][1] = 1;
+        xm[2][4] = 1;
+        xm[3][5] = 1;
+        const TensorId sum_t =
+            declareTemp(op.name + "_sum", out.shape, out.dtype);
+        emitTe(op, "_sum", {tensorOf(op.inputs[0])}, sum_t, {h, w},
+               Combiner::kSum,
+               Expr::read(0, AffineMap(xm, std::vector<int64_t>(4, 0))));
+        const TensorId out_t = declareOutput(op);
+        emitTe(op, "_scale", {sum_t}, out_t, {}, Combiner::kNone,
+               Expr::binary(BinaryOp::kMul,
+                            Expr::read(0, AffineMap::identity(4)),
+                            Expr::constant(
+                                1.0 / static_cast<double>(h * w))));
+    }
+
+    // ----- normalization ------------------------------------------------
+
+    void
+    lowerSoftmax(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const int rank = x.rank();
+        const int64_t n = x.shape[rank - 1];
+        std::vector<int64_t> lead(x.shape.begin(), x.shape.end() - 1);
+        if (lead.empty())
+            lead.push_back(1);
+        const int lead_rank = static_cast<int>(lead.size());
+
+        // Read map for x inside a reduction over the last axis:
+        // iteration space (lead..., rk).
+        std::vector<int> red_dims;
+        const bool rank1 = rank == 1;
+        if (rank1) {
+            red_dims = {1}; // lead dim is a dummy size-1 dim
+        } else {
+            for (int i = 0; i < rank - 1; ++i)
+                red_dims.push_back(i);
+            red_dims.push_back(rank - 1);
+        }
+        const AffineMap red_read =
+            AffineMap::select(red_dims, lead_rank + 1);
+
+        const TensorId x_t = tensorOf(op.inputs[0]);
+        const TensorId mx_t =
+            declareTemp(op.name + "_max", lead, x.dtype);
+        emitTe(op, "_max", {x_t}, mx_t, {n}, Combiner::kMax,
+               Expr::read(0, red_read));
+
+        // Broadcast read of the reduced tensor inside full-rank TEs.
+        std::vector<std::vector<int64_t>> bm(
+            lead_rank, std::vector<int64_t>(rank, 0));
+        if (!rank1) {
+            for (int i = 0; i < lead_rank; ++i)
+                bm[i][i] = 1;
+        }
+        AffineMap lead_read(bm, std::vector<int64_t>(lead_rank, 0));
+        if (rank1) {
+            // x is rank-1; the reduced tensor is the dummy shape {1}.
+            lead_read = AffineMap::zero(1, 1);
+        }
+
+        const TensorId ex_t =
+            declareTemp(op.name + "_exp", x.shape, x.dtype);
+        emitTe(op, "_exp", {x_t, mx_t}, ex_t, {}, Combiner::kNone,
+               Expr::unary(UnaryOp::kExp,
+                           Expr::binary(
+                               BinaryOp::kSub,
+                               Expr::read(0, AffineMap::identity(rank)),
+                               Expr::read(1, lead_read))));
+
+        const TensorId sum_t =
+            declareTemp(op.name + "_denom", lead, x.dtype);
+        emitTe(op, "_denom", {ex_t}, sum_t, {n}, Combiner::kSum,
+               Expr::read(0, red_read));
+
+        emitTe(op, "_div", {ex_t, sum_t}, declareOutput(op), {},
+               Combiner::kNone,
+               Expr::binary(BinaryOp::kDiv,
+                            Expr::read(0, AffineMap::identity(rank)),
+                            Expr::read(1, lead_read)));
+    }
+
+    void
+    lowerLayerNorm(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const int rank = x.rank();
+        SOUFFLE_REQUIRE(rank >= 2, "layer_norm expects rank >= 2");
+        const int64_t n = x.shape[rank - 1];
+        std::vector<int64_t> lead(x.shape.begin(), x.shape.end() - 1);
+        const int lead_rank = static_cast<int>(lead.size());
+
+        std::vector<int> red_dims;
+        for (int i = 0; i < rank - 1; ++i)
+            red_dims.push_back(i);
+        red_dims.push_back(rank - 1);
+        const AffineMap red_read =
+            AffineMap::select(red_dims, lead_rank + 1);
+
+        std::vector<std::vector<int64_t>> bm(
+            lead_rank, std::vector<int64_t>(rank, 0));
+        for (int i = 0; i < lead_rank; ++i)
+            bm[i][i] = 1;
+        const AffineMap lead_read(bm,
+                                  std::vector<int64_t>(lead_rank, 0));
+        // lead read inside a reduction TE (iteration lead... + rk).
+        std::vector<std::vector<int64_t>> bmr(
+            lead_rank, std::vector<int64_t>(lead_rank + 1, 0));
+        for (int i = 0; i < lead_rank; ++i)
+            bmr[i][i] = 1;
+        const AffineMap lead_read_red(
+            bmr, std::vector<int64_t>(lead_rank, 0));
+
+        const TensorId x_t = tensorOf(op.inputs[0]);
+        const TensorId gamma_t = tensorOf(op.inputs[1]);
+        const TensorId beta_t = tensorOf(op.inputs[2]);
+        const double inv_n = 1.0 / static_cast<double>(n);
+
+        const TensorId sum_t =
+            declareTemp(op.name + "_sum", lead, x.dtype);
+        emitTe(op, "_sum", {x_t}, sum_t, {n}, Combiner::kSum,
+               Expr::read(0, red_read));
+
+        const TensorId mean_t =
+            declareTemp(op.name + "_mean", lead, x.dtype);
+        emitTe(op, "_mean", {sum_t}, mean_t, {}, Combiner::kNone,
+               Expr::binary(BinaryOp::kMul,
+                            Expr::read(0, AffineMap::identity(lead_rank)),
+                            Expr::constant(inv_n)));
+
+        const TensorId sq_t =
+            declareTemp(op.name + "_sqsum", lead, x.dtype);
+        auto centered = Expr::binary(BinaryOp::kSub,
+                                     Expr::read(0, red_read),
+                                     Expr::read(1, lead_read_red));
+        emitTe(op, "_sqsum", {x_t, mean_t}, sq_t, {n}, Combiner::kSum,
+               Expr::binary(BinaryOp::kMul, centered, centered));
+
+        const TensorId rstd_t =
+            declareTemp(op.name + "_rstd", lead, x.dtype);
+        emitTe(op, "_rstd", {sq_t}, rstd_t, {}, Combiner::kNone,
+               Expr::unary(
+                   UnaryOp::kRsqrt,
+                   Expr::binary(
+                       BinaryOp::kAdd,
+                       Expr::binary(
+                           BinaryOp::kMul,
+                           Expr::read(0, AffineMap::identity(lead_rank)),
+                           Expr::constant(inv_n)),
+                       Expr::constant(op.attrs.eps))));
+
+        // out = (x - mean) * rstd * gamma + beta
+        const AffineMap last_read =
+            AffineMap::select({rank - 1}, rank);
+        auto body = Expr::binary(
+            BinaryOp::kAdd,
+            Expr::binary(
+                BinaryOp::kMul,
+                Expr::binary(
+                    BinaryOp::kMul,
+                    Expr::binary(BinaryOp::kSub,
+                                 Expr::read(0, AffineMap::identity(rank)),
+                                 Expr::read(1, lead_read)),
+                    Expr::read(2, lead_read)),
+                Expr::read(3, last_read)),
+            Expr::read(4, last_read));
+        emitTe(op, "_norm", {x_t, mean_t, rstd_t, gamma_t, beta_t},
+               declareOutput(op), {}, Combiner::kNone, std::move(body));
+    }
+
+    void
+    lowerBatchNormInf(const GraphOp &op)
+    {
+        const AffineMap chan_read = AffineMap::select({1}, 4);
+        auto body = Expr::binary(
+            BinaryOp::kAdd,
+            Expr::binary(BinaryOp::kMul,
+                         Expr::read(0, AffineMap::identity(4)),
+                         Expr::read(1, chan_read)),
+            Expr::read(2, chan_read));
+        emitTe(op, "",
+               {tensorOf(op.inputs[0]), tensorOf(op.inputs[1]),
+                tensorOf(op.inputs[2])},
+               declareOutput(op), {}, Combiner::kNone, std::move(body));
+    }
+
+    // ----- reductions ---------------------------------------------------
+
+    void
+    lowerReduce(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const GraphValue &out = graph.value(op.output);
+        const auto &axes = op.attrs.dims;
+        const int out_rank = out.rank();
+
+        std::vector<int64_t> reduce_extents;
+        for (int64_t axis : axes)
+            reduce_extents.push_back(x.shape[axis]);
+        const int iter =
+            out_rank + static_cast<int>(reduce_extents.size());
+
+        // Build the x read: reduced dims come from the reduction part
+        // of the iteration space, others from the output part. With
+        // keepdims the output rank equals the input rank (reduced
+        // output dims are size-1 and never indexed); without it the
+        // non-reduced dims pack densely. If everything is reduced the
+        // output is the dummy shape {1}.
+        std::vector<int> x_dims(x.rank());
+        int red_pos = out_rank, out_pos = 0;
+        for (int d = 0; d < x.rank(); ++d) {
+            const bool reduced =
+                std::find(axes.begin(), axes.end(), d) != axes.end();
+            if (reduced)
+                x_dims[d] = red_pos++;
+            else
+                x_dims[d] = op.attrs.keepdims ? d : out_pos++;
+        }
+
+        auto body = Expr::read(0, AffineMap::select(x_dims, iter));
+        const Combiner combiner = op.kind == OpKind::kReduceMax
+                                      ? Combiner::kMax
+                                      : Combiner::kSum;
+        if (op.kind == OpKind::kReduceMean) {
+            int64_t count = 1;
+            for (int64_t e : reduce_extents)
+                count *= e;
+            const TensorId sum_t =
+                declareTemp(op.name + "_sum", out.shape, out.dtype);
+            emitTe(op, "_sum", {tensorOf(op.inputs[0])}, sum_t,
+                   std::move(reduce_extents), Combiner::kSum,
+                   std::move(body));
+            emitTe(op, "_scale", {sum_t}, declareOutput(op), {},
+                   Combiner::kNone,
+                   Expr::binary(
+                       BinaryOp::kMul,
+                       Expr::read(0, AffineMap::identity(out_rank)),
+                       Expr::constant(1.0 / static_cast<double>(count))));
+            return;
+        }
+        emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op),
+               std::move(reduce_extents), combiner, std::move(body));
+    }
+
+    // ----- data movement ------------------------------------------------
+
+    void
+    lowerReshape(const GraphOp &op)
+    {
+        const GraphValue &out = graph.value(op.output);
+        emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op), {},
+               Combiner::kNone,
+               Expr::readFlat(0, flatIdentityMap(out.shape)));
+    }
+
+    void
+    lowerTranspose(const GraphOp &op)
+    {
+        const GraphValue &x = graph.value(op.inputs[0]);
+        const auto &perm = op.attrs.dims;
+        const int rank = x.rank();
+        std::vector<int> inv(rank);
+        for (int i = 0; i < rank; ++i)
+            inv[perm[i]] = i;
+        emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op), {},
+               Combiner::kNone,
+               Expr::read(0, AffineMap::select(inv, rank)));
+    }
+
+    void
+    lowerSlice(const GraphOp &op)
+    {
+        const GraphValue &out = graph.value(op.output);
+        const int rank = out.rank();
+        AffineMap map = AffineMap::identity(rank);
+        for (int d = 0; d < rank; ++d)
+            map.addOffset(d, op.attrs.begins[d]);
+        emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op), {},
+               Combiner::kNone, Expr::read(0, std::move(map)));
+    }
+
+    void
+    lowerConcat(const GraphOp &op)
+    {
+        std::vector<TensorId> inputs;
+        for (ValueId in : op.inputs)
+            inputs.push_back(tensorOf(in));
+        emitConcat(op, "", inputs, declareOutput(op),
+                   op.attrs.axis);
+    }
+
+    /**
+     * Emit a concat TE: nested selects on the concat axis with reads
+     * shifted into each input's local coordinates.
+     */
+    void
+    emitConcat(const GraphOp &op, const std::string &suffix,
+               const std::vector<TensorId> &inputs, TensorId output,
+               int64_t axis)
+    {
+        const TensorDecl &out_decl = result.program.tensor(output);
+        const int rank = out_decl.rank();
+        // Per-input read with the axis offset subtracted.
+        std::vector<int64_t> offsets;
+        int64_t running = 0;
+        for (TensorId in : inputs) {
+            offsets.push_back(running);
+            running += result.program.tensor(in).shape[axis];
+        }
+        SOUFFLE_CHECK(running == out_decl.shape[axis],
+                      "concat extent mismatch");
+
+        auto read_of = [&](size_t j) {
+            AffineMap map = AffineMap::identity(rank);
+            map.addOffset(static_cast<int>(axis), -offsets[j]);
+            return Expr::read(static_cast<int>(j), std::move(map));
+        };
+
+        ExprPtr body = read_of(inputs.size() - 1);
+        for (int j = static_cast<int>(inputs.size()) - 2; j >= 0; --j) {
+            // idx[axis] < offsets[j+1]
+            std::vector<int64_t> coefs(rank, 0);
+            coefs[axis] = 1;
+            Predicate pred{AffineCond{coefs, -offsets[j + 1],
+                                      CmpOp::kLT}};
+            body = Expr::select(std::move(pred), read_of(j),
+                                std::move(body));
+        }
+        emitTe(op, suffix, inputs, output, {}, Combiner::kNone,
+               std::move(body));
+    }
+};
+
+} // namespace
+
+LoweredModel
+lowerToTe(const Graph &graph)
+{
+    return Lowerer(graph).run();
+}
+
+} // namespace souffle

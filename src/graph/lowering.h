@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Lowering of operator graphs to tensor-expression programs
+ * (paper Sec. 4, "TE lowering").
+ *
+ * Every operator becomes one or more TEs: e.g. softmax becomes a
+ * reduction (max), an element-wise exp, another reduction (sum) and an
+ * element-wise division; grouped convolutions become one reduction TE
+ * per group plus a concat TE. The result is the whole-model TE program
+ * Souffle's global analysis operates on.
+ */
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/** A graph lowered to a TE program. */
+struct LoweredModel
+{
+    TeProgram program;
+    /** Graph value id -> TE program tensor id. */
+    std::vector<TensorId> valueToTensor;
+    /** TE id -> originating graph op id. */
+    std::vector<int> teToOp;
+};
+
+/** Lower @p graph to a TE program. */
+LoweredModel lowerToTe(const Graph &graph);
+
+/**
+ * Read map for broadcasting @p in_shape against @p out_shape with
+ * numpy trailing-dimension alignment, over an iteration space of
+ * @p iter_rank dims whose first out_shape.size() dims are the output
+ * dims. Exposed for tests.
+ */
+AffineMap broadcastReadMap(const std::vector<int64_t> &out_shape,
+                           const std::vector<int64_t> &in_shape,
+                           int iter_rank);
+
+} // namespace souffle

@@ -1,0 +1,136 @@
+#pragma once
+
+/**
+ * @file
+ * High-level DNN operators. A model is first expressed as a graph of
+ * these operators (the representation TensorFlow/ONNX front ends would
+ * produce); Souffle immediately lowers it to tensor expressions
+ * (paper Sec. 4, "TE lowering") and never optimizes at this level.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "te/dtype.h"
+#include "te/tensor.h"
+
+namespace souffle {
+
+/** High-level operator kinds. */
+enum class OpKind : uint8_t {
+    // Element-wise unary.
+    kRelu,
+    kSigmoid,
+    kTanh,
+    kExp,
+    kSqrt,
+    kGelu,
+    kSilu,
+    // Element-wise binary with numpy broadcasting.
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMaximum,
+    kMinimum,
+    // Element-wise with a scalar attribute.
+    kScale,
+    kAddScalar,
+    // Contractions.
+    kMatmul,
+    kBatchMatmul,
+    kConv2d,
+    // Pooling.
+    kMaxPool2d,
+    kAvgPool2d,
+    kGlobalAvgPool,
+    // Normalization / composite.
+    kSoftmax,
+    kLayerNorm,
+    kBatchNormInf,
+    // Reductions.
+    kReduceSum,
+    kReduceMean,
+    kReduceMax,
+    // Data movement.
+    kReshape,
+    kTranspose,
+    kSlice,
+    kConcat,
+};
+
+std::string opKindName(OpKind kind);
+
+/** True for the element-wise unary kinds. */
+bool isUnaryOpKind(OpKind kind);
+
+/** True for the broadcasting element-wise binary kinds. */
+bool isBinaryOpKind(OpKind kind);
+
+/** Attribute bag for graph operators; fields are used per-kind. */
+struct OpAttrs
+{
+    /** Conv/pool stride (both spatial dims). */
+    int64_t stride = 1;
+    /** Conv/pool symmetric zero padding. */
+    int64_t padding = 0;
+    /** Conv groups (grouped/depthwise convolution). */
+    int64_t groups = 1;
+    /** Pool window size. */
+    int64_t kernel = 1;
+    /** Matmul: treat the second operand as [N, K] instead of [K, N]. */
+    bool transB = false;
+    /** Reduce: keep reduced dims as size-1. */
+    bool keepdims = false;
+    /** Concat axis. */
+    int64_t axis = 0;
+    /** Scalar for kScale / kAddScalar. */
+    double alpha = 0.0;
+    /** Epsilon for normalization ops. */
+    double eps = 1e-5;
+    /** Reshape target / transpose permutation / reduce axes. */
+    std::vector<int64_t> dims;
+    /** Slice begin offsets. */
+    std::vector<int64_t> begins;
+    /** Slice end offsets (exclusive). */
+    std::vector<int64_t> ends;
+};
+
+using ValueId = int32_t;
+
+/** A graph value (tensor-typed SSA value). */
+struct GraphValue
+{
+    ValueId id = -1;
+    std::string name;
+    std::vector<int64_t> shape;
+    DType dtype = DType::kFP32;
+    TensorRole role = TensorRole::kIntermediate;
+    /** Producing op id, or -1 for inputs/params. */
+    int producer = -1;
+
+    int rank() const { return static_cast<int>(shape.size()); }
+
+    int64_t
+    numElements() const
+    {
+        int64_t n = 1;
+        for (int64_t d : shape)
+            n *= d;
+        return n;
+    }
+};
+
+/** A graph operator node. */
+struct GraphOp
+{
+    int id = -1;
+    OpKind kind = OpKind::kRelu;
+    std::string name;
+    std::vector<ValueId> inputs;
+    ValueId output = -1;
+    OpAttrs attrs;
+};
+
+} // namespace souffle

@@ -1,0 +1,455 @@
+#include "graph/serialize.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+
+namespace {
+
+std::string
+intList(const std::vector<int64_t> &values)
+{
+    return "[" + joinToString(values, ",") + "]";
+}
+
+/** Attributes serialized for each op kind. */
+void
+writeAttrs(std::ostringstream &os, const GraphOp &op)
+{
+    os.precision(17); // round-trip doubles exactly
+    const OpAttrs &attrs = op.attrs;
+    switch (op.kind) {
+      case OpKind::kScale:
+      case OpKind::kAddScalar:
+        os << " alpha=" << attrs.alpha;
+        break;
+      case OpKind::kMatmul:
+      case OpKind::kBatchMatmul:
+        os << " transB=" << (attrs.transB ? 1 : 0);
+        break;
+      case OpKind::kConv2d:
+        os << " stride=" << attrs.stride << " padding=" << attrs.padding
+           << " groups=" << attrs.groups;
+        break;
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+        os << " kernel=" << attrs.kernel << " stride=" << attrs.stride
+           << " padding=" << attrs.padding;
+        break;
+      case OpKind::kLayerNorm:
+        os << " eps=" << attrs.eps;
+        break;
+      case OpKind::kReduceSum:
+      case OpKind::kReduceMean:
+      case OpKind::kReduceMax:
+        os << " axes=" << intList(attrs.dims)
+           << " keepdims=" << (attrs.keepdims ? 1 : 0);
+        break;
+      case OpKind::kReshape:
+      case OpKind::kTranspose:
+        os << " dims=" << intList(attrs.dims);
+        break;
+      case OpKind::kSlice:
+        os << " begins=" << intList(attrs.begins)
+           << " ends=" << intList(attrs.ends);
+        break;
+      case OpKind::kConcat:
+        os << " axis=" << attrs.axis;
+        break;
+      default:
+        break;
+    }
+}
+
+/** Tokenized `key=value` attributes of one op line. */
+class AttrReader
+{
+  public:
+    explicit AttrReader(std::istringstream &line)
+    {
+        std::string token;
+        while (line >> token) {
+            const size_t eq = token.find('=');
+            SOUFFLE_REQUIRE(eq != std::string::npos,
+                            "malformed attribute '" << token << "'");
+            attrs[token.substr(0, eq)] = token.substr(eq + 1);
+        }
+    }
+
+    int64_t
+    getInt(const std::string &key) const
+    {
+        return std::stoll(require(key));
+    }
+
+    double
+    getDouble(const std::string &key) const
+    {
+        return std::stod(require(key));
+    }
+
+    bool getBool(const std::string &key) const
+    {
+        return getInt(key) != 0;
+    }
+
+    std::vector<int64_t>
+    getList(const std::string &key) const
+    {
+        const std::string text = require(key);
+        SOUFFLE_REQUIRE(text.size() >= 2 && text.front() == '['
+                            && text.back() == ']',
+                        "malformed list attribute '" << text << "'");
+        std::vector<int64_t> values;
+        std::istringstream body(text.substr(1, text.size() - 2));
+        std::string item;
+        while (std::getline(body, item, ',')) {
+            if (!item.empty())
+                values.push_back(std::stoll(item));
+        }
+        return values;
+    }
+
+  private:
+    const std::string &
+    require(const std::string &key) const
+    {
+        auto it = attrs.find(key);
+        SOUFFLE_REQUIRE(it != attrs.end(),
+                        "missing attribute '" << key << "'");
+        return it->second;
+    }
+
+    std::unordered_map<std::string, std::string> attrs;
+};
+
+std::vector<int64_t>
+parseShape(std::istringstream &line)
+{
+    std::string token;
+    line >> token;
+    // Shape may span tokens: re-join until the closing bracket.
+    while (token.find(']') == std::string::npos) {
+        std::string more;
+        SOUFFLE_REQUIRE(static_cast<bool>(line >> more),
+                        "unterminated shape literal");
+        token += more;
+    }
+    SOUFFLE_REQUIRE(token.front() == '[' && token.back() == ']',
+                    "malformed shape '" << token << "'");
+    std::vector<int64_t> shape;
+    std::istringstream body(token.substr(1, token.size() - 2));
+    std::string item;
+    while (std::getline(body, item, ','))
+        if (!item.empty())
+            shape.push_back(std::stoll(item));
+    return shape;
+}
+
+DType
+parseDType(const std::string &name)
+{
+    if (name == "fp16")
+        return DType::kFP16;
+    if (name == "fp32")
+        return DType::kFP32;
+    if (name == "int32")
+        return DType::kInt32;
+    if (name == "bool")
+        return DType::kBool;
+    SOUFFLE_FATAL("unknown dtype '" << name << "'");
+}
+
+} // namespace
+
+std::string
+serializeGraph(const Graph &graph)
+{
+    std::ostringstream os;
+    os << "model \"" << graph.name() << "\"\n";
+    // Declarations for all non-op-produced values.
+    for (const auto &value : graph.values()) {
+        if (value.producer >= 0)
+            continue;
+        os << (value.role == TensorRole::kParam ? "param" : "input")
+           << " %" << value.id << " \"" << value.name << "\" ["
+           << joinToString(value.shape, ",") << "] "
+           << dtypeName(value.dtype) << "\n";
+    }
+    for (const auto &op : graph.ops()) {
+        std::ostringstream line;
+        line << "%" << op.output << " = " << opKindName(op.kind) << "(";
+        for (size_t i = 0; i < op.inputs.size(); ++i) {
+            if (i)
+                line << ", ";
+            line << "%" << op.inputs[i];
+        }
+        line << ")";
+        writeAttrs(line, op);
+        os << line.str() << "\n";
+    }
+    for (ValueId out : graph.outputValues())
+        os << "output %" << out << "\n";
+    return os.str();
+}
+
+Graph
+parseGraph(const std::string &text)
+{
+    std::istringstream input(text);
+    std::string line;
+
+    std::string model_name = "model";
+    // Old value id -> new value id.
+    std::unordered_map<int, ValueId> values;
+    std::unique_ptr<Graph> graph;
+
+    auto ref = [&](std::string token) {
+        if (!token.empty() && token.back() == ',')
+            token.pop_back();
+        if (!token.empty() && token.back() == ')')
+            token.pop_back();
+        SOUFFLE_REQUIRE(token.size() >= 2 && token[0] == '%',
+                        "malformed value reference '" << token << "'");
+        const int id = std::stoi(token.substr(1));
+        auto it = values.find(id);
+        SOUFFLE_REQUIRE(it != values.end(),
+                        "reference to undefined value %" << id);
+        return it->second;
+    };
+
+    while (std::getline(input, line)) {
+        // Strip comments: a '#' at line start or preceded by
+        // whitespace ('#' may appear inside tensor names).
+        for (size_t pos = line.find('#'); pos != std::string::npos;
+             pos = line.find('#', pos + 1)) {
+            if (pos == 0 || line[pos - 1] == ' '
+                || line[pos - 1] == '\t') {
+                line = line.substr(0, pos);
+                break;
+            }
+        }
+        std::istringstream ls(line);
+        std::string head;
+        if (!(ls >> head))
+            continue;
+
+        if (head == "model") {
+            std::string quoted;
+            std::getline(ls, quoted);
+            const size_t first = quoted.find('"');
+            const size_t last = quoted.rfind('"');
+            if (first != std::string::npos && last > first)
+                model_name = quoted.substr(first + 1, last - first - 1);
+            graph = std::make_unique<Graph>(model_name);
+            continue;
+        }
+        if (!graph)
+            graph = std::make_unique<Graph>(model_name);
+
+        if (head == "input" || head == "param") {
+            std::string id_token, name_token;
+            ls >> id_token >> name_token;
+            SOUFFLE_REQUIRE(id_token.size() >= 2 && id_token[0] == '%',
+                            "malformed declaration id");
+            const int id = std::stoi(id_token.substr(1));
+            SOUFFLE_REQUIRE(name_token.size() >= 2
+                                && name_token.front() == '"'
+                                && name_token.back() == '"',
+                            "malformed declaration name");
+            const std::string name =
+                name_token.substr(1, name_token.size() - 2);
+            const std::vector<int64_t> shape = parseShape(ls);
+            std::string dtype_token = "fp32";
+            ls >> dtype_token;
+            const DType dtype = parseDType(dtype_token);
+            values[id] = head == "input"
+                             ? graph->input(name, shape, dtype)
+                             : graph->param(name, shape, dtype);
+            continue;
+        }
+        if (head == "output") {
+            std::string id_token;
+            ls >> id_token;
+            graph->markOutput(ref(id_token));
+            continue;
+        }
+
+        // Op line: %N = kind(%a, %b, ...) attrs...
+        SOUFFLE_REQUIRE(head.size() >= 2 && head[0] == '%',
+                        "unrecognized line '" << line << "'");
+        const int out_id = std::stoi(head.substr(1));
+        std::string eq, call;
+        ls >> eq >> call;
+        SOUFFLE_REQUIRE(eq == "=", "expected '=' in op line");
+        const size_t paren = call.find('(');
+        SOUFFLE_REQUIRE(paren != std::string::npos,
+                        "expected '(' in op line");
+        const std::string kind = call.substr(0, paren);
+
+        // Collect operand tokens up to the one containing ')'.
+        std::vector<ValueId> operands;
+        std::string rest = call.substr(paren + 1);
+        bool closed = rest.find(')') != std::string::npos;
+        if (!rest.empty() && rest != ")")
+            operands.push_back(ref(rest));
+        while (!closed) {
+            std::string token;
+            SOUFFLE_REQUIRE(static_cast<bool>(ls >> token),
+                            "unterminated operand list");
+            closed = token.find(')') != std::string::npos;
+            if (token != ")")
+                operands.push_back(ref(token));
+        }
+        AttrReader attrs(ls);
+
+        auto arity = [&](size_t n) {
+            SOUFFLE_REQUIRE(operands.size() == n,
+                            kind << " expects " << n << " operands, got "
+                                 << operands.size());
+        };
+
+        ValueId result = -1;
+        Graph &g = *graph;
+        if (kind == "relu") {
+            arity(1);
+            result = g.relu(operands[0]);
+        } else if (kind == "sigmoid") {
+            arity(1);
+            result = g.sigmoid(operands[0]);
+        } else if (kind == "tanh") {
+            arity(1);
+            result = g.tanh(operands[0]);
+        } else if (kind == "exp") {
+            arity(1);
+            result = g.exp(operands[0]);
+        } else if (kind == "sqrt") {
+            arity(1);
+            result = g.sqrt(operands[0]);
+        } else if (kind == "gelu") {
+            arity(1);
+            result = g.gelu(operands[0]);
+        } else if (kind == "silu") {
+            arity(1);
+            result = g.silu(operands[0]);
+        } else if (kind == "add") {
+            arity(2);
+            result = g.add(operands[0], operands[1]);
+        } else if (kind == "sub") {
+            arity(2);
+            result = g.sub(operands[0], operands[1]);
+        } else if (kind == "mul") {
+            arity(2);
+            result = g.mul(operands[0], operands[1]);
+        } else if (kind == "div") {
+            arity(2);
+            result = g.div(operands[0], operands[1]);
+        } else if (kind == "maximum") {
+            arity(2);
+            result = g.maximum(operands[0], operands[1]);
+        } else if (kind == "minimum") {
+            arity(2);
+            result = g.minimum(operands[0], operands[1]);
+        } else if (kind == "scale") {
+            arity(1);
+            result = g.scale(operands[0], attrs.getDouble("alpha"));
+        } else if (kind == "add_scalar") {
+            arity(1);
+            result = g.addScalar(operands[0], attrs.getDouble("alpha"));
+        } else if (kind == "matmul") {
+            arity(2);
+            result = g.matmul(operands[0], operands[1],
+                              attrs.getBool("transB"));
+        } else if (kind == "batch_matmul") {
+            arity(2);
+            result = g.batchMatmul(operands[0], operands[1],
+                                   attrs.getBool("transB"));
+        } else if (kind == "conv2d") {
+            arity(2);
+            result = g.conv2d(operands[0], operands[1],
+                              attrs.getInt("stride"),
+                              attrs.getInt("padding"),
+                              attrs.getInt("groups"));
+        } else if (kind == "max_pool2d") {
+            arity(1);
+            result = g.maxPool2d(operands[0], attrs.getInt("kernel"),
+                                 attrs.getInt("stride"),
+                                 attrs.getInt("padding"));
+        } else if (kind == "avg_pool2d") {
+            arity(1);
+            result = g.avgPool2d(operands[0], attrs.getInt("kernel"),
+                                 attrs.getInt("stride"),
+                                 attrs.getInt("padding"));
+        } else if (kind == "global_avg_pool") {
+            arity(1);
+            result = g.globalAvgPool(operands[0]);
+        } else if (kind == "softmax") {
+            arity(1);
+            result = g.softmax(operands[0]);
+        } else if (kind == "layer_norm") {
+            arity(3);
+            result = g.layerNorm(operands[0], operands[1], operands[2],
+                                 attrs.getDouble("eps"));
+        } else if (kind == "batch_norm_inf") {
+            arity(3);
+            result = g.batchNormInf(operands[0], operands[1],
+                                    operands[2]);
+        } else if (kind == "reduce_sum") {
+            arity(1);
+            result = g.reduceSum(operands[0], attrs.getList("axes"),
+                                 attrs.getBool("keepdims"));
+        } else if (kind == "reduce_mean") {
+            arity(1);
+            result = g.reduceMean(operands[0], attrs.getList("axes"),
+                                  attrs.getBool("keepdims"));
+        } else if (kind == "reduce_max") {
+            arity(1);
+            result = g.reduceMax(operands[0], attrs.getList("axes"),
+                                 attrs.getBool("keepdims"));
+        } else if (kind == "reshape") {
+            arity(1);
+            result = g.reshape(operands[0], attrs.getList("dims"));
+        } else if (kind == "transpose") {
+            arity(1);
+            result = g.transpose(operands[0], attrs.getList("dims"));
+        } else if (kind == "slice") {
+            arity(1);
+            result = g.slice(operands[0], attrs.getList("begins"),
+                             attrs.getList("ends"));
+        } else if (kind == "concat") {
+            result = g.concat(operands, attrs.getInt("axis"));
+        } else {
+            SOUFFLE_FATAL("unknown op kind '" << kind << "'");
+        }
+        values[out_id] = result;
+    }
+    SOUFFLE_REQUIRE(graph != nullptr, "empty graph text");
+    return std::move(*graph);
+}
+
+void
+saveGraph(const Graph &graph, const std::string &path)
+{
+    std::ofstream file(path);
+    SOUFFLE_REQUIRE(file.good(), "cannot open " << path);
+    file << serializeGraph(graph);
+    SOUFFLE_REQUIRE(file.good(), "failed writing " << path);
+}
+
+Graph
+loadGraph(const std::string &path)
+{
+    std::ifstream file(path);
+    SOUFFLE_REQUIRE(file.good(), "cannot open " << path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    return parseGraph(buffer.str());
+}
+
+} // namespace souffle

@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Text serialization of computation graphs.
+ *
+ * The paper's Souffle consumes TensorFlow/ONNX models; this repo's
+ * exchange format is a minimal line-based text form that round-trips
+ * through the Graph builder, so models can be stored, diffed, and
+ * loaded without a protobuf dependency:
+ *
+ *   model "mlp"
+ *   input %0 "x" [8, 64] fp32
+ *   param %1 "w1" [64, 128] fp32
+ *   %2 = matmul(%0, %1) transB=0
+ *   %3 = relu(%2)
+ *   output %3
+ *
+ * Op lines reference operands by value id; attributes are `key=value`
+ * pairs with `[a,b,c]` for integer lists.
+ */
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace souffle {
+
+/** Render @p graph in the text format above. */
+std::string serializeGraph(const Graph &graph);
+
+/**
+ * Parse a graph from the text format. Throws FatalError on malformed
+ * input (unknown ops, bad references, attribute errors); the rebuilt
+ * graph re-runs all builder shape checks.
+ */
+Graph parseGraph(const std::string &text);
+
+/** Convenience file I/O (throws FatalError on I/O failure). */
+void saveGraph(const Graph &graph, const std::string &path);
+Graph loadGraph(const std::string &path);
+
+} // namespace souffle

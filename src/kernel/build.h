@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Materialization of kernel plans into kernel IR.
+ *
+ * A *plan* says which TEs go into which kernel and, inside a kernel,
+ * which TEs are fused into the same stage (register-level fusion via
+ * schedule propagation, Sec. 6.3). The builder derives the abstract
+ * instruction stream: inputs produced inside the same stage cost
+ * nothing; inputs produced in an earlier stage of the same kernel are
+ * loaded from global memory (until the reuse optimizer converts them
+ * to cached loads); stage boundaries get grid synchronization.
+ */
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "kernel/kernel_ir.h"
+#include "sched/schedule.h"
+
+namespace souffle {
+
+/** TEs fused into one kernel stage. */
+struct StagePlan
+{
+    std::vector<int> tes;
+};
+
+/** Stages fused into one kernel (separated by grid sync). */
+struct KernelPlan
+{
+    std::string name;
+    std::vector<StagePlan> stages;
+    bool library = false;
+    double libraryTimeFactor = 1.0;
+};
+
+/** A whole-program kernel plan. */
+struct ModulePlan
+{
+    std::vector<KernelPlan> kernels;
+
+    /** One kernel, one stage per TE: the fully unfused plan. */
+    static ModulePlan unfused(const TeProgram &program);
+};
+
+/**
+ * Build the kernel IR for @p plan.
+ *
+ * Every TE of the program must appear in exactly one stage of exactly
+ * one kernel, in topological order (checked).
+ */
+CompiledModule buildModule(const TeProgram &program,
+                           const GlobalAnalysis &analysis,
+                           const std::vector<Schedule> &schedules,
+                           const ModulePlan &plan,
+                           const DeviceSpec &device,
+                           const std::string &compiler_name);
+
+/**
+ * Build one kernel from @p plan without whole-program coverage
+ * checks. Used by the adaptive-fusion profitability pass, which
+ * evaluates merged vs. split variants of a single subprogram.
+ */
+Kernel buildKernel(const TeProgram &program,
+                   const GlobalAnalysis &analysis,
+                   const std::vector<Schedule> &schedules,
+                   const KernelPlan &plan, const DeviceSpec &device);
+
+} // namespace souffle

@@ -1,0 +1,129 @@
+#include "kernel/kernel_ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace souffle {
+
+std::string
+instrKindName(InstrKind kind)
+{
+    switch (kind) {
+      case InstrKind::kLoadGlobal:
+        return "ldg2s";
+      case InstrKind::kLoadCached:
+        return "lds";
+      case InstrKind::kStoreGlobal:
+        return "sts2g";
+      case InstrKind::kCompute:
+        return "compute";
+      case InstrKind::kAtomicAdd:
+        return "atomic_add";
+      case InstrKind::kGridSync:
+        return "grid.sync";
+      case InstrKind::kBarrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+int64_t
+Kernel::numBlocks() const
+{
+    int64_t blocks = 1;
+    for (const auto &stage : stages)
+        blocks = std::max(blocks, stage.numBlocks);
+    return blocks;
+}
+
+int
+Kernel::threadsPerBlock() const
+{
+    int threads = 1;
+    for (const auto &stage : stages)
+        threads = std::max(threads, stage.threadsPerBlock);
+    return threads;
+}
+
+int64_t
+Kernel::sharedMemBytes() const
+{
+    int64_t bytes = 0;
+    for (const auto &stage : stages)
+        bytes = std::max(bytes, stage.sharedMemBytes);
+    return bytes;
+}
+
+int64_t
+Kernel::regsPerBlock() const
+{
+    int64_t regs = 0;
+    for (const auto &stage : stages)
+        regs = std::max(regs, stage.regsPerBlock);
+    return regs;
+}
+
+int
+Kernel::gridSyncCount() const
+{
+    int count = 0;
+    for (const auto &stage : stages) {
+        for (const auto &instr : stage.instrs) {
+            if (instr.kind == InstrKind::kGridSync)
+                ++count;
+        }
+    }
+    return count;
+}
+
+std::vector<int>
+Kernel::teIds() const
+{
+    std::vector<int> ids;
+    for (const auto &stage : stages)
+        ids.insert(ids.end(), stage.teIds.begin(), stage.teIds.end());
+    return ids;
+}
+
+std::string
+Kernel::toString() const
+{
+    std::ostringstream os;
+    os << "kernel " << name << " <<<" << numBlocks() << ", "
+       << threadsPerBlock() << ", " << sharedMemBytes() << "B>>>";
+    if (usesLibrary)
+        os << " [library x" << libraryTimeFactor << "]";
+    os << "\n";
+    for (const auto &stage : stages) {
+        os << "  stage " << stage.name << " (blocks=" << stage.numBlocks
+           << (stage.predicated ? ", predicated" : "") << ")\n";
+        for (const auto &instr : stage.instrs) {
+            os << "    " << instrKindName(instr.kind);
+            if (instr.bytes > 0)
+                os << " " << bytesToString(instr.bytes);
+            if (instr.flops > 0)
+                os << " " << instr.flops << " flops";
+            if (instr.tensor >= 0)
+                os << " t" << instr.tensor;
+            if (instr.overlapped)
+                os << " [async-overlap]";
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+CompiledModule::toString() const
+{
+    std::ostringstream os;
+    os << "CompiledModule(" << compilerName << "): " << kernels.size()
+       << " kernels\n";
+    for (const auto &kernel : kernels)
+        os << kernel.toString();
+    return os.str();
+}
+
+} // namespace souffle

@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * Kernel-level IR (the TensorIR analogue of paper Sec. 6.4/6.5).
+ *
+ * A compiled program is a sequence of kernels; each kernel is a
+ * sequence of *stages* separated by grid-wide synchronization. A stage
+ * covers one or more TEs fused at the register/shared-memory level
+ * (schedule propagation), and carries an abstract instruction stream:
+ * global<->shared data movement, compute on a pipe, atomics and
+ * barriers. The timing simulator charges these instructions against
+ * the device model; the reuse and pipelining optimizations of Sec. 6.5
+ * are rewrites of this instruction stream.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "te/tensor.h"
+
+namespace souffle {
+
+/** Abstract kernel instruction kinds. */
+enum class InstrKind : uint8_t {
+    kLoadGlobal,  ///< ldg2s: global memory -> shared/registers
+    kLoadCached,  ///< served from the software-managed shared cache
+    kStoreGlobal, ///< sts2g: shared/registers -> global memory
+    kCompute,     ///< arithmetic on a compute pipe
+    kAtomicAdd,   ///< cross-block reduction through global atomics
+    kGridSync,    ///< cooperative grid.sync()
+    kBarrier,     ///< block-level __syncthreads()
+};
+
+std::string instrKindName(InstrKind kind);
+
+/** One abstract instruction; byte/flop fields are program totals. */
+struct Instr
+{
+    InstrKind kind = InstrKind::kCompute;
+    ComputePipe pipe = ComputePipe::kAlu;
+    /** Bytes moved (loads/stores/atomics). */
+    double bytes = 0.0;
+    /** FLOPs executed (compute). */
+    double flops = 0.0;
+    /** Tensor this instruction touches, if any. */
+    TensorId tensor = -1;
+    /**
+     * True if this load is issued asynchronously and overlapped with
+     * the *previous* stage's compute (cross-TE pipelining, Sec. 6.5).
+     */
+    bool overlapped = false;
+};
+
+/** A kernel stage: TEs fused at the register level. */
+struct KernelStage
+{
+    std::string name;
+    /** TEs covered by this stage, in program order. */
+    std::vector<int> teIds;
+    int64_t numBlocks = 1;
+    int threadsPerBlock = 256;
+    int64_t sharedMemBytes = 0;
+    int64_t regsPerBlock = 0;
+    /** Wrapped in `if (blockIdx < ...)` due to launch-dim mismatch. */
+    bool predicated = false;
+    /**
+     * All fused TEs use grid-stride loops, so the stage can execute
+     * correctly with any block count (lets the kernel fit one
+     * cooperative wave).
+     */
+    bool flexibleBlocks = false;
+    std::vector<Instr> instrs;
+};
+
+/** One GPU kernel: stages separated by grid synchronization. */
+struct Kernel
+{
+    std::string name;
+    std::vector<KernelStage> stages;
+    /**
+     * Closed-source library implementation (cuBLAS/cuDNN style, used
+     * by the TensorRT/XLA baselines): stage times are scaled by
+     * `libraryTimeFactor` and the kernel cannot be fused with others.
+     */
+    bool usesLibrary = false;
+    double libraryTimeFactor = 1.0;
+
+    /** Launch block count: max over stages. */
+    int64_t numBlocks() const;
+    int threadsPerBlock() const;
+    /** Static shared memory: max over stages. */
+    int64_t sharedMemBytes() const;
+    int64_t regsPerBlock() const;
+    /** Number of grid.sync() instructions across all stages. */
+    int gridSyncCount() const;
+    /** All TE ids covered by the kernel. */
+    std::vector<int> teIds() const;
+
+    std::string toString() const;
+};
+
+/** A fully compiled program: the executable the simulator runs. */
+struct CompiledModule
+{
+    std::string compilerName;
+    std::vector<Kernel> kernels;
+
+    int numKernels() const { return static_cast<int>(kernels.size()); }
+    std::string toString() const;
+};
+
+} // namespace souffle

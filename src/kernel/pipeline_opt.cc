@@ -1,0 +1,39 @@
+#include "kernel/pipeline_opt.h"
+
+#include <unordered_set>
+
+namespace souffle {
+
+PipelineStats
+pipelineOptimize(CompiledModule &module, const TeProgram &program)
+{
+    PipelineStats stats;
+    for (auto &kernel : module.kernels) {
+        if (kernel.stages.size() < 2)
+            continue;
+        // Tensors produced anywhere in this kernel: their loads carry
+        // RAW dependences on in-kernel stores and cannot be prefetched.
+        std::unordered_set<int> kernel_tes;
+        for (const auto &stage : kernel.stages)
+            kernel_tes.insert(stage.teIds.begin(), stage.teIds.end());
+
+        for (size_t s = 1; s < kernel.stages.size(); ++s) {
+            for (auto &instr : kernel.stages[s].instrs) {
+                if (instr.kind != InstrKind::kLoadGlobal)
+                    continue;
+                const int producer =
+                    instr.tensor >= 0
+                        ? program.tensor(instr.tensor).producer
+                        : -1;
+                if (producer >= 0 && kernel_tes.count(producer))
+                    continue; // RAW inside the kernel
+                instr.overlapped = true;
+                ++stats.loadsOverlapped;
+                stats.bytesOverlapped += instr.bytes;
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace souffle

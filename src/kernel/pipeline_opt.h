@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Instruction-level pipelining across TE boundaries (paper Sec. 6.5).
+ *
+ * Inside a multi-stage kernel, global loads of tensors that are *not*
+ * produced within the kernel (weights, external activations) carry no
+ * RAW dependence on the preceding stage, so they can be issued as
+ * asynchronous copies (LDGSTS on Ampere) while the previous stage is
+ * still computing -- the GEMM2/GEMM3 pipeline of paper Fig. 1(d).
+ * Loads of tensors produced by an earlier stage of the same kernel
+ * must wait for the grid sync and stay synchronous.
+ */
+
+#include "kernel/kernel_ir.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/** Statistics of the pipelining pass. */
+struct PipelineStats
+{
+    int loadsOverlapped = 0;
+    double bytesOverlapped = 0.0;
+};
+
+/**
+ * Mark overlappable loads in @p module (in place). @p program supplies
+ * producer information for each tensor.
+ */
+PipelineStats pipelineOptimize(CompiledModule &module,
+                               const TeProgram &program);
+
+} // namespace souffle

@@ -1,0 +1,145 @@
+#include "kernel/reuse_opt.h"
+
+#include <list>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+int64_t
+reuseCacheCapacity(const Kernel &kernel, const DeviceSpec &device)
+{
+    // Shared memory left over after the kernel's working tiles, across
+    // all SMs, plus half the register file (accumulator-resident
+    // buffers). This is the aggregate on-chip capacity cooperating
+    // blocks can dedicate to the software cache.
+    const int64_t spare_smem_per_sm = std::max<int64_t>(
+        0, device.sharedMemPerSmBytes - kernel.sharedMemBytes());
+    const int64_t reg_bytes_per_sm = device.regsPerSm * 4 / 2;
+    return (spare_smem_per_sm + reg_bytes_per_sm) * device.numSms;
+}
+
+namespace {
+
+/** Simple LRU cache of tensor buffers. */
+class LruCache
+{
+  public:
+    explicit LruCache(int64_t capacity) : capacity(capacity) {}
+
+    bool contains(TensorId id) const { return entries.count(id) > 0; }
+
+    void
+    touch(TensorId id)
+    {
+        auto it = entries.find(id);
+        if (it == entries.end())
+            return;
+        order.erase(it->second.pos);
+        order.push_front(id);
+        it->second.pos = order.begin();
+    }
+
+    /** Insert (or refresh) a buffer; returns evictions performed. */
+    int
+    insert(TensorId id, int64_t bytes)
+    {
+        if (bytes > capacity)
+            return 0; // cannot ever be resident
+        auto it = entries.find(id);
+        if (it != entries.end()) {
+            touch(id);
+            return 0;
+        }
+        int evictions = 0;
+        while (used + bytes > capacity && !order.empty()) {
+            const TensorId victim = order.back();
+            order.pop_back();
+            used -= entries.at(victim).bytes;
+            entries.erase(victim);
+            ++evictions;
+        }
+        if (used + bytes > capacity)
+            return evictions;
+        order.push_front(id);
+        entries.emplace(id, Entry{bytes, order.begin()});
+        used += bytes;
+        return evictions;
+    }
+
+  private:
+    struct Entry
+    {
+        int64_t bytes;
+        std::list<TensorId>::iterator pos;
+    };
+
+    int64_t capacity;
+    int64_t used = 0;
+    std::list<TensorId> order;
+    std::unordered_map<TensorId, Entry> entries;
+};
+
+} // namespace
+
+ReuseStats
+reuseOptimize(CompiledModule &module, const TeProgram &program,
+              const DeviceSpec &device)
+{
+    ReuseStats stats;
+    for (auto &kernel : module.kernels) {
+        if (kernel.stages.size() < 2)
+            continue; // no cross-stage reuse inside one stage
+        LruCache cache(reuseCacheCapacity(kernel, device));
+        for (auto &stage : kernel.stages) {
+            int evictions = 0;
+            for (auto &instr : stage.instrs) {
+                switch (instr.kind) {
+                  case InstrKind::kLoadGlobal: {
+                    if (instr.tensor < 0)
+                        break;
+                    if (cache.contains(instr.tensor)) {
+                        instr.kind = InstrKind::kLoadCached;
+                        instr.overlapped = false;
+                        ++stats.loadsCached;
+                        stats.bytesSaved += instr.bytes;
+                        cache.touch(instr.tensor);
+                    } else {
+                        evictions += cache.insert(
+                            instr.tensor,
+                            program.tensor(instr.tensor).bytes());
+                    }
+                    break;
+                  }
+                  case InstrKind::kCompute:
+                  case InstrKind::kStoreGlobal:
+                  case InstrKind::kAtomicAdd:
+                    // Produced data is on-chip right after computation.
+                    if (instr.tensor >= 0) {
+                        evictions += cache.insert(
+                            instr.tensor,
+                            program.tensor(instr.tensor).bytes());
+                    }
+                    break;
+                  default:
+                    break;
+                }
+            }
+            // Spills add a memory barrier (paper: "spilling the
+            // shared memory ... adding a memory barrier"). Evicted
+            // buffers are never dirty here -- every produced tensor
+            // keeps its global store -- so one barrier per stage with
+            // evictions bounds the cost.
+            if (evictions > 0) {
+                Instr barrier;
+                barrier.kind = InstrKind::kBarrier;
+                stage.instrs.push_back(barrier);
+            }
+            stats.evictions += evictions;
+        }
+    }
+    return stats;
+}
+
+} // namespace souffle

@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Tensor-reuse optimization: the software-managed on-chip cache with
+ * LRU replacement of paper Sec. 6.5.
+ *
+ * Within one kernel, a tensor that was produced by an earlier stage or
+ * loaded by an earlier stage may still be resident in shared memory or
+ * registers. The pass scans the kernel's instruction stream linearly,
+ * models an LRU cache over the device's spare on-chip capacity, and
+ * converts hits from global loads into cached loads. When capacity is
+ * exhausted, the least-recently-used buffer is spilled (a block-level
+ * barrier is charged, matching the paper's "spill + memory barrier").
+ */
+
+#include "analysis/analysis.h"
+#include "gpu/device.h"
+#include "kernel/kernel_ir.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/** Statistics of the reuse pass. */
+struct ReuseStats
+{
+    int loadsCached = 0;
+    double bytesSaved = 0.0;
+    int evictions = 0;
+};
+
+/**
+ * Apply the LRU tensor-reuse optimization to @p module (in place).
+ */
+ReuseStats reuseOptimize(CompiledModule &module, const TeProgram &program,
+                         const DeviceSpec &device);
+
+/** Spare on-chip bytes available to the software cache of @p kernel. */
+int64_t reuseCacheCapacity(const Kernel &kernel, const DeviceSpec &device);
+
+} // namespace souffle

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * BERT-base encoder builder (paper Table 2: base version, 12 layers,
+ * as shipped with the TensorRT demo; batch 1, FP16 so GEMMs are
+ * tensor-core eligible).
+ */
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "models/zoo.h"
+
+namespace souffle {
+
+namespace {
+
+/** One transformer encoder layer on [seq, hidden] tokens. */
+ValueId
+bertLayer(Graph &g, ValueId x, int layer, int64_t seq, int64_t hidden,
+          int heads, DType dtype)
+{
+    const int64_t dh = hidden / heads;
+    const std::string p = "l" + std::to_string(layer) + ".";
+
+    auto dense = [&](ValueId in, int64_t in_dim, int64_t out_dim,
+                     const std::string &name) {
+        const ValueId w =
+            g.param(p + name + ".w", {in_dim, out_dim}, dtype);
+        const ValueId b = g.param(p + name + ".b", {out_dim}, dtype);
+        return g.add(g.matmul(in, w), b);
+    };
+
+    // Self-attention: three independent projections of the same input
+    // (the spatial-reuse pattern of paper Sec. 5.1).
+    const ValueId q = dense(x, hidden, hidden, "q");
+    const ValueId k = dense(x, hidden, hidden, "k");
+    const ValueId v = dense(x, hidden, hidden, "v");
+
+    auto to_heads = [&](ValueId t) {
+        // [S, H] -> [S, heads, dh] -> [heads, S, dh]
+        return g.transpose(g.reshape(t, {seq, heads, dh}), {1, 0, 2});
+    };
+    const ValueId qh = to_heads(q);
+    const ValueId kh = to_heads(k);
+    const ValueId vh = to_heads(v);
+
+    // scores = softmax(q k^T / sqrt(dh)) : the GEMM + reduction
+    // pattern TensorRT/Apollo split into separate kernels (Sec. 2.3).
+    const ValueId scores = g.softmax(
+        g.scale(g.batchMatmul(qh, kh, /*trans_b=*/true),
+                1.0 / std::sqrt(static_cast<double>(dh))));
+    const ValueId ctx = g.batchMatmul(scores, vh); // [heads, S, dh]
+
+    // Back to [S, H].
+    const ValueId merged =
+        g.reshape(g.transpose(ctx, {1, 0, 2}), {seq, hidden});
+    const ValueId proj = dense(merged, hidden, hidden, "proj");
+
+    const ValueId ln1_g = g.param(p + "ln1.g", {hidden}, dtype);
+    const ValueId ln1_b = g.param(p + "ln1.b", {hidden}, dtype);
+    const ValueId attn_out =
+        g.layerNorm(g.add(x, proj), ln1_g, ln1_b);
+
+    // Feed-forward network.
+    const ValueId ffn1 =
+        g.gelu(dense(attn_out, hidden, 4 * hidden, "ffn1"));
+    const ValueId ffn2 = dense(ffn1, 4 * hidden, hidden, "ffn2");
+
+    const ValueId ln2_g = g.param(p + "ln2.g", {hidden}, dtype);
+    const ValueId ln2_b = g.param(p + "ln2.b", {hidden}, dtype);
+    return g.layerNorm(g.add(attn_out, ffn2), ln2_g, ln2_b);
+}
+
+} // namespace
+
+Graph
+buildBert(int layers, int64_t seq, int64_t hidden, int heads, DType dtype)
+{
+    SOUFFLE_REQUIRE(hidden % heads == 0,
+                    "hidden must be divisible by heads");
+    Graph g("BERT");
+    ValueId x = g.input("embeddings", {seq, hidden}, dtype);
+    for (int layer = 0; layer < layers; ++layer)
+        x = bertLayer(g, x, layer, seq, hidden, heads, dtype);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace souffle

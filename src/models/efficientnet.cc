@@ -1,0 +1,114 @@
+/**
+ * @file
+ * EfficientNet-B0 builder (paper Table 2: Efficient-b0 from the
+ * source publication). MBConv blocks with expansion, depthwise
+ * convolution, squeeze-and-excitation and swish activations -- the
+ * sub-module pattern of paper Fig. 5/6 "that existing DNN frameworks
+ * fail to optimize optimally".
+ */
+
+#include <string>
+
+#include "models/zoo.h"
+
+namespace souffle {
+
+namespace {
+
+struct EffNetBuilder
+{
+    Graph &g;
+    int convIndex = 0;
+
+    ValueId
+    convBn(ValueId x, int64_t in_c, int64_t out_c, int64_t kernel,
+           int64_t stride, int64_t pad, int64_t groups, bool swish)
+    {
+        const std::string p = "conv" + std::to_string(convIndex++);
+        const ValueId w = g.param(
+            p + ".w", {out_c, in_c / groups, kernel, kernel});
+        const ValueId scale = g.param(p + ".bn_s", {out_c});
+        const ValueId shift = g.param(p + ".bn_b", {out_c});
+        ValueId y = g.batchNormInf(g.conv2d(x, w, stride, pad, groups),
+                                   scale, shift);
+        return swish ? g.silu(y) : y;
+    }
+
+    /** Squeeze-and-excitation: pool -> fc -> swish -> fc -> sigmoid. */
+    ValueId
+    squeezeExcite(ValueId x, int64_t channels, int64_t reduced)
+    {
+        const std::string p = "se" + std::to_string(convIndex++);
+        const ValueId pooled = g.globalAvgPool(x); // [1, C, 1, 1]
+        const ValueId w1 =
+            g.param(p + ".w1", {reduced, channels, 1, 1});
+        const ValueId w2 =
+            g.param(p + ".w2", {channels, reduced, 1, 1});
+        const ValueId squeezed = g.silu(g.conv2d(pooled, w1, 1, 0, 1));
+        const ValueId excited =
+            g.sigmoid(g.conv2d(squeezed, w2, 1, 0, 1));
+        return g.mul(x, excited); // broadcast over H, W
+    }
+
+    /** MBConv: expand -> depthwise -> SE -> project (+ residual). */
+    ValueId
+    mbconv(ValueId x, int64_t in_c, int64_t out_c, int expand,
+           int64_t kernel, int64_t stride)
+    {
+        const int64_t mid = in_c * expand;
+        ValueId y = x;
+        if (expand != 1)
+            y = convBn(y, in_c, mid, 1, 1, 0, 1, true);
+        y = convBn(y, mid, mid, kernel, stride, kernel / 2, mid, true);
+        y = squeezeExcite(y, mid, std::max<int64_t>(1, in_c / 4));
+        y = convBn(y, mid, out_c, 1, 1, 0, 1, false);
+        if (in_c == out_c && stride == 1)
+            y = g.add(y, x);
+        return y;
+    }
+};
+
+} // namespace
+
+Graph
+buildEfficientNet(int64_t image)
+{
+    Graph g("EfficientNet");
+    EffNetBuilder b{g};
+
+    const ValueId x = g.input("image", {1, 3, image, image});
+    ValueId y = b.convBn(x, 3, 32, 3, 2, 1, 1, true);
+
+    // B0 stage table: (expand, channels, repeats, stride, kernel).
+    struct Stage
+    {
+        int expand;
+        int64_t channels;
+        int repeats;
+        int64_t stride;
+        int64_t kernel;
+    };
+    const Stage stages[] = {
+        {1, 16, 1, 1, 3},  {6, 24, 2, 2, 3},  {6, 40, 2, 2, 5},
+        {6, 80, 3, 2, 3},  {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5},
+        {6, 320, 1, 1, 3},
+    };
+    int64_t in_c = 32;
+    for (const Stage &stage : stages) {
+        for (int r = 0; r < stage.repeats; ++r) {
+            y = b.mbconv(y, in_c, stage.channels, stage.expand,
+                         stage.kernel, r == 0 ? stage.stride : 1);
+            in_c = stage.channels;
+        }
+    }
+
+    // Head.
+    y = b.convBn(y, in_c, 1280, 1, 1, 0, 1, true);
+    const ValueId pooled = g.reshape(g.globalAvgPool(y), {1, 1280});
+    const ValueId fc_w = g.param("fc.w", {1280, 1000});
+    const ValueId fc_b = g.param("fc.b", {1000});
+    g.markOutput(g.add(g.matmul(pooled, fc_w), fc_b));
+    return g;
+}
+
+} // namespace souffle

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fully-unrolled stacked LSTM (paper Table 2: input length 100,
+ * hidden size 256, 10 layers; Sec. 8.4 case study).
+ *
+ * Each cell-step computes gates = x_t W + h_{t-1} U + b, splits into
+ * the four gates, and updates (c, h). Unrolling exposes the wavefront
+ * parallelism both Rammer and Souffle exploit (Fig. 7) and the
+ * weight-tensor temporal reuse only Souffle captures (Table 6): the
+ * same W/U are consumed by all 100 time steps.
+ */
+
+#include <string>
+
+#include "models/zoo.h"
+
+namespace souffle {
+
+Graph
+buildLstm(int time_steps, int cells, int64_t hidden, int64_t input)
+{
+    Graph g("LSTM");
+
+    // Per-cell weights, shared across time steps (temporal reuse).
+    std::vector<ValueId> w(cells), u(cells), b(cells);
+    for (int n = 0; n < cells; ++n) {
+        const std::string p = "cell" + std::to_string(n) + ".";
+        const int64_t in_dim = n == 0 ? input : hidden;
+        w[n] = g.param(p + "W", {in_dim, 4 * hidden});
+        u[n] = g.param(p + "U", {hidden, 4 * hidden});
+        b[n] = g.param(p + "b", {4 * hidden});
+    }
+
+    // Initial hidden and cell states.
+    std::vector<ValueId> h(cells), c(cells);
+    for (int n = 0; n < cells; ++n) {
+        const std::string p = "cell" + std::to_string(n) + ".";
+        h[n] = g.input(p + "h0", {1, hidden});
+        c[n] = g.input(p + "c0", {1, hidden});
+    }
+
+    for (int t = 0; t < time_steps; ++t) {
+        ValueId x = g.input("x_t" + std::to_string(t), {1, input});
+        for (int n = 0; n < cells; ++n) {
+            // gates = x W + h U + b : two GEMVs per cell-step.
+            const ValueId gates = g.add(
+                g.add(g.matmul(x, w[n]), g.matmul(h[n], u[n])), b[n]);
+            const ValueId i_g = g.sigmoid(
+                g.slice(gates, {0, 0}, {1, hidden}));
+            const ValueId f_g = g.sigmoid(
+                g.slice(gates, {0, hidden}, {1, 2 * hidden}));
+            const ValueId g_g = g.tanh(
+                g.slice(gates, {0, 2 * hidden}, {1, 3 * hidden}));
+            const ValueId o_g = g.sigmoid(
+                g.slice(gates, {0, 3 * hidden}, {1, 4 * hidden}));
+            c[n] = g.add(g.mul(f_g, c[n]), g.mul(i_g, g_g));
+            h[n] = g.mul(o_g, g.tanh(c[n]));
+            x = h[n]; // input to the next cell in the stack
+        }
+    }
+    g.markOutput(h[cells - 1]);
+    return g;
+}
+
+} // namespace souffle

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Swin-Transformer Base builder (paper Table 2: base version, patch
+ * size 4, window size 7). Window attention requires the reshape /
+ * permute choreography that lowers to one-relies-on-one memory TEs --
+ * exactly what Souffle's vertical transformation eliminates. The
+ * cyclic shift of SW-MSA blocks is omitted (identical shapes, FLOPs
+ * and memory traffic; only the attention mask differs).
+ */
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "models/zoo.h"
+
+namespace souffle {
+
+namespace {
+
+struct SwinBuilder
+{
+    Graph &g;
+    DType dtype;
+    int paramIndex = 0;
+
+    ValueId
+    param(const std::string &tag, std::vector<int64_t> shape)
+    {
+        return g.param(tag + "#" + std::to_string(paramIndex++),
+                       std::move(shape), dtype);
+    }
+
+    ValueId
+    dense(ValueId x, int64_t in_dim, int64_t out_dim,
+          const std::string &tag)
+    {
+        const ValueId w = param(tag + ".w", {in_dim, out_dim});
+        const ValueId b = param(tag + ".b", {out_dim});
+        return g.add(g.matmul(x, w), b);
+    }
+
+    ValueId
+    layerNorm(ValueId x, int64_t dim, const std::string &tag)
+    {
+        return g.layerNorm(x, param(tag + ".g", {dim}),
+                           param(tag + ".b", {dim}));
+    }
+
+    /** One W-MSA block over [tokens, C] at resolution res x res. */
+    ValueId
+    block(ValueId x, int64_t res, int64_t c, int heads, int64_t window,
+          const std::string &tag)
+    {
+        const int64_t m = window;
+        const int64_t nw = (res / m) * (res / m);
+        const int64_t wlen = m * m;
+        const int64_t dh = c / heads;
+
+        const ValueId normed = layerNorm(x, c, tag + ".ln1");
+
+        // Window partition: [res*res, C] -> [nW*M*M, C].
+        const ValueId part = g.reshape(
+            g.transpose(
+                g.reshape(normed, {res / m, m, res / m, m, c}),
+                {0, 2, 1, 3, 4}),
+            {nw * wlen, c});
+
+        auto to_heads = [&](ValueId t) {
+            return g.transpose(g.reshape(t, {nw, wlen, heads, dh}),
+                               {0, 2, 1, 3}); // [nW, h, M*M, dh]
+        };
+        const ValueId q = to_heads(dense(part, c, c, tag + ".q"));
+        const ValueId k = to_heads(dense(part, c, c, tag + ".k"));
+        const ValueId v = to_heads(dense(part, c, c, tag + ".v"));
+
+        // Attention with relative position bias.
+        const ValueId bias =
+            param(tag + ".relpos", {heads, wlen, wlen});
+        const ValueId scores = g.softmax(g.add(
+            g.scale(g.batchMatmul(q, k, /*trans_b=*/true),
+                    1.0 / std::sqrt(static_cast<double>(dh))),
+            bias));
+        const ValueId ctx = g.batchMatmul(scores, v);
+
+        // Back to tokens, project, reverse windows.
+        const ValueId merged = g.reshape(
+            g.transpose(ctx, {0, 2, 1, 3}), {nw * wlen, c});
+        const ValueId proj = dense(merged, c, c, tag + ".proj");
+        const ValueId reversed = g.reshape(
+            g.transpose(
+                g.reshape(proj, {res / m, res / m, m, m, c}),
+                {0, 2, 1, 3, 4}),
+            {res * res, c});
+
+        const ValueId attn = g.add(x, reversed);
+
+        // MLP with expansion 4.
+        const ValueId mlp_in = layerNorm(attn, c, tag + ".ln2");
+        const ValueId mlp = dense(
+            g.gelu(dense(mlp_in, c, 4 * c, tag + ".fc1")), 4 * c, c,
+            tag + ".fc2");
+        return g.add(attn, mlp);
+    }
+
+    /** Patch merging: [res*res, C] -> [res/2*res/2, 2C]. */
+    ValueId
+    patchMerge(ValueId x, int64_t res, int64_t c, const std::string &tag)
+    {
+        const ValueId folded = g.reshape(
+            g.transpose(g.reshape(x, {res / 2, 2, res / 2, 2, c}),
+                        {0, 2, 1, 3, 4}),
+            {(res / 2) * (res / 2), 4 * c});
+        const ValueId normed = layerNorm(folded, 4 * c, tag + ".ln");
+        const ValueId w = param(tag + ".w", {4 * c, 2 * c});
+        return g.matmul(normed, w);
+    }
+};
+
+} // namespace
+
+Graph
+buildSwin(int64_t image, int64_t embed, const std::vector<int> &depths,
+          const std::vector<int> &heads, int64_t window)
+{
+    SOUFFLE_REQUIRE(depths.size() == heads.size(),
+                    "depths/heads must align");
+    const DType dtype = DType::kFP16;
+    Graph g("SwinTransformer");
+    SwinBuilder b{g, dtype};
+
+    // Patch embedding: 4x4 conv, stride 4.
+    const ValueId x = g.input("image", {1, 3, image, image}, dtype);
+    const ValueId pw = b.param("patch.w", {embed, 3, 4, 4});
+    int64_t res = image / 4;
+    ValueId tokens = g.transpose(
+        g.reshape(g.conv2d(x, pw, 4, 0, 1), {embed, res * res}),
+        {1, 0});
+    tokens = b.layerNorm(tokens, embed, "patch.ln");
+
+    int64_t c = embed;
+    for (size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            const std::string tag = "s" + std::to_string(stage) + ".b"
+                                    + std::to_string(d);
+            tokens = b.block(tokens, res, c, heads[stage], window, tag);
+        }
+        if (stage + 1 < depths.size()) {
+            tokens = b.patchMerge(
+                tokens, res, c, "merge" + std::to_string(stage));
+            res /= 2;
+            c *= 2;
+        }
+    }
+
+    // Classification head: mean over tokens + linear.
+    tokens = b.layerNorm(tokens, c, "head.ln");
+    const ValueId pooled =
+        g.reshape(g.reduceMean(tokens, {0}), {1, c});
+    const ValueId fc = b.dense(pooled, c, 1000, "head.fc");
+    g.markOutput(fc);
+    return g;
+}
+
+} // namespace souffle

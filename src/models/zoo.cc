@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Zoo registry: the paper configurations of Table 2 plus scaled-down
+ * variants for interpreter-based testing.
+ */
+
+#include "models/zoo.h"
+
+#include "common/logging.h"
+
+namespace souffle {
+
+std::vector<std::string>
+paperModelNames()
+{
+    return {"BERT",   "ResNeXt",      "LSTM",
+            "EfficientNet", "SwinTransformer", "MMoE"};
+}
+
+Graph
+buildPaperModel(const std::string &name)
+{
+    if (name == "BERT")
+        return buildBert();
+    if (name == "ResNeXt")
+        return buildResNeXt();
+    if (name == "LSTM")
+        return buildLstm();
+    if (name == "EfficientNet")
+        return buildEfficientNet();
+    if (name == "SwinTransformer")
+        return buildSwin();
+    if (name == "MMoE")
+        return buildMmoe();
+    SOUFFLE_FATAL("unknown model '" << name << "'");
+}
+
+Graph
+buildTinyModel(const std::string &name)
+{
+    if (name == "BERT")
+        return buildBert(/*layers=*/2, /*seq=*/8, /*hidden=*/16,
+                         /*heads=*/2);
+    if (name == "ResNeXt") {
+        return buildResNeXt(/*image=*/16, /*cardinality=*/4,
+                            /*stage_blocks=*/{1, 1},
+                            /*stem_channels=*/8);
+    }
+    if (name == "LSTM")
+        return buildLstm(/*time_steps=*/3, /*cells=*/2, /*hidden=*/8,
+                         /*input=*/8);
+    if (name == "EfficientNet")
+        return buildEfficientNet(/*image=*/32);
+    if (name == "SwinTransformer") {
+        return buildSwin(/*image=*/16, /*embed=*/8, /*depths=*/{1, 1},
+                         /*heads=*/{2, 2}, /*window=*/2);
+    }
+    if (name == "MMoE")
+        return buildMmoe(/*features=*/12, /*experts=*/4,
+                         /*expert_hidden=*/6, /*tower_hidden=*/4);
+    SOUFFLE_FATAL("unknown model '" << name << "'");
+}
+
+} // namespace souffle

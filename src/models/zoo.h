@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * The model zoo: graph builders for the six DNN workloads of paper
+ * Table 2, with paper-faithful hyper-parameters, plus scaled-down
+ * variants used by the test suite (the functional interpreter is
+ * element-wise and only runs small shapes quickly).
+ *
+ *   ResNeXt-101 (64x4d)           ImageNet, batch 1, fp32
+ *   EfficientNet-B0               ImageNet, batch 1, fp32
+ *   Swin-Transformer-B            patch 4, window 7, fp16
+ *   BERT-base                     12 layers, SQuAD seq 384, fp16
+ *   LSTM                          input length 100, hidden 256, 10 cells
+ *   MMoE                          8 experts, 2 tasks (base model)
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace souffle {
+
+/** BERT-base encoder stack (no embedding lookup; input is embedded). */
+Graph buildBert(int layers = 12, int64_t seq = 384, int64_t hidden = 768,
+                int heads = 12, DType dtype = DType::kFP16);
+
+/** ResNeXt-101 64x4d. @p image spatial size, @p cardinality groups. */
+Graph buildResNeXt(int64_t image = 224, int cardinality = 64,
+                   const std::vector<int> &stage_blocks = {3, 4, 23, 3},
+                   int64_t stem_channels = 64);
+
+/** Fully unrolled stacked LSTM (paper Sec. 8.4 case study). */
+Graph buildLstm(int time_steps = 100, int cells = 10,
+                int64_t hidden = 256, int64_t input = 256);
+
+/** EfficientNet-B0. */
+Graph buildEfficientNet(int64_t image = 224);
+
+/** Swin-Transformer Base (W-MSA blocks; cyclic shift omitted). */
+Graph buildSwin(int64_t image = 224, int64_t embed = 128,
+                const std::vector<int> &depths = {2, 2, 18, 2},
+                const std::vector<int> &heads = {4, 8, 16, 32},
+                int64_t window = 7);
+
+/** MMoE base model: 8 experts, 2 gated tasks. */
+Graph buildMmoe(int64_t features = 499, int experts = 8,
+                int64_t expert_hidden = 16, int64_t tower_hidden = 8,
+                int tasks = 2);
+
+/** Names of the six paper workloads, in Table 3 order. */
+std::vector<std::string> paperModelNames();
+
+/** Full-size paper configuration by name (throws on unknown name). */
+Graph buildPaperModel(const std::string &name);
+
+/** Scaled-down configuration suitable for interpreter-based tests. */
+Graph buildTinyModel(const std::string &name);
+
+} // namespace souffle

@@ -1,0 +1,82 @@
+#include "runtime/executor.h"
+
+#include "common/logging.h"
+
+namespace souffle {
+
+Executor::Executor(const Compiled &compiled, DeviceSpec device)
+    : compiled(compiled), device(std::move(device))
+{
+    const GlobalAnalysis analysis(compiled.program);
+    plan = planMemory(compiled.program, analysis);
+}
+
+ExecutionResult
+Executor::run(const NamedBuffers &inputs) const
+{
+    const TeProgram &program = compiled.program;
+    BufferMap bindings;
+    for (const auto &decl : program.tensors()) {
+        if (decl.role != TensorRole::kInput
+            && decl.role != TensorRole::kParam)
+            continue;
+        auto it = inputs.find(decl.name);
+        SOUFFLE_REQUIRE(it != inputs.end(),
+                        "missing input buffer '" << decl.name << "'");
+        SOUFFLE_REQUIRE(static_cast<int64_t>(it->second.size())
+                            == decl.numElements(),
+                        "buffer '" << decl.name << "' has "
+                                   << it->second.size()
+                                   << " elements, expected "
+                                   << decl.numElements());
+        bindings[decl.id] = it->second;
+    }
+
+    ExecutionResult result;
+    const BufferMap all = Interpreter(program).run(bindings);
+    for (TensorId id : program.outputTensors())
+        result.outputs[program.tensor(id).name] = all.at(id);
+    result.timing = simulate(compiled.module, device);
+    return result;
+}
+
+NamedBuffers
+Executor::randomInputs(uint64_t seed) const
+{
+    NamedBuffers buffers;
+    for (const auto &decl : compiled.program.tensors()) {
+        if (decl.role != TensorRole::kInput
+            && decl.role != TensorRole::kParam)
+            continue;
+        uint64_t h = seed;
+        for (char ch : decl.name)
+            h = h * 131 + static_cast<unsigned char>(ch);
+        buffers[decl.name] = randomBuffer(decl.numElements(), h);
+    }
+    return buffers;
+}
+
+std::vector<std::pair<std::string, std::vector<int64_t>>>
+Executor::inputSignature() const
+{
+    std::vector<std::pair<std::string, std::vector<int64_t>>> result;
+    for (const auto &decl : compiled.program.tensors()) {
+        if (decl.role == TensorRole::kInput
+            || decl.role == TensorRole::kParam)
+            result.emplace_back(decl.name, decl.shape);
+    }
+    return result;
+}
+
+std::vector<std::pair<std::string, std::vector<int64_t>>>
+Executor::outputSignature() const
+{
+    std::vector<std::pair<std::string, std::vector<int64_t>>> result;
+    for (const auto &decl : compiled.program.tensors()) {
+        if (decl.role == TensorRole::kOutput)
+            result.emplace_back(decl.name, decl.shape);
+    }
+    return result;
+}
+
+} // namespace souffle

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Execution front end for compiled programs.
+ *
+ * Wraps the three back-end services a deployed runtime needs into one
+ * object: functional evaluation (via the TE interpreter), simulated
+ * A100 timing (via the kernel-grain simulator), and workspace
+ * planning (via the live-range memory planner). Name-based binding is
+ * provided because Souffle's transformations renumber tensor ids; the
+ * stable interface between a model and its compiled form is the
+ * input/parameter names.
+ */
+
+#include <string>
+#include <unordered_map>
+
+#include "compiler/compiler.h"
+#include "gpu/sim.h"
+#include "runtime/memory_plan.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+
+/** Buffers keyed by tensor name. */
+using NamedBuffers = std::unordered_map<std::string, Buffer>;
+
+/** Output of one execution. */
+struct ExecutionResult
+{
+    /** Model outputs keyed by tensor name. */
+    NamedBuffers outputs;
+    /** Simulated device timing and counters. */
+    SimResult timing;
+};
+
+/** Executes a compiled program on the simulated device. */
+class Executor
+{
+  public:
+    /**
+     * Bind an executor to @p compiled (which must outlive it) on
+     * @p device.
+     */
+    Executor(const Compiled &compiled,
+             DeviceSpec device = DeviceSpec::a100());
+
+    /**
+     * Run the program. @p inputs must provide a buffer for every
+     * input *and* parameter tensor, keyed by name; missing or
+     * wrongly-sized buffers raise FatalError.
+     */
+    ExecutionResult run(const NamedBuffers &inputs) const;
+
+    /** Deterministic random buffers for every input and parameter. */
+    NamedBuffers randomInputs(uint64_t seed) const;
+
+    /** Names and shapes of the required inputs/parameters. */
+    std::vector<std::pair<std::string, std::vector<int64_t>>>
+    inputSignature() const;
+
+    /** Names and shapes of the produced outputs. */
+    std::vector<std::pair<std::string, std::vector<int64_t>>>
+    outputSignature() const;
+
+    /** The static workspace plan for the program's intermediates. */
+    const MemoryPlan &memoryPlan() const { return plan; }
+
+  private:
+    const Compiled &compiled;
+    DeviceSpec device;
+    MemoryPlan plan;
+};
+
+} // namespace souffle

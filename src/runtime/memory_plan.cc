@@ -1,0 +1,168 @@
+#include "runtime/memory_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+
+namespace {
+
+/** Free-list allocator over a growable linear arena. */
+class ArenaAllocator
+{
+  public:
+    int64_t
+    allocate(int64_t bytes)
+    {
+        // First fit over free holes.
+        for (auto it = holes.begin(); it != holes.end(); ++it) {
+            if (it->second >= bytes) {
+                const int64_t offset = it->first;
+                const int64_t hole_bytes = it->second;
+                holes.erase(it);
+                if (hole_bytes > bytes)
+                    addHole(offset + bytes, hole_bytes - bytes);
+                return offset;
+            }
+        }
+        const int64_t offset = top;
+        top += bytes;
+        return offset;
+    }
+
+    void
+    release(int64_t offset, int64_t bytes)
+    {
+        addHole(offset, bytes);
+        // Coalesce adjacent holes (map is ordered by offset).
+        auto it = holes.begin();
+        while (it != holes.end()) {
+            auto next = std::next(it);
+            if (next != holes.end()
+                && it->first + it->second == next->first) {
+                it->second += next->second;
+                holes.erase(next);
+            } else {
+                ++it;
+            }
+        }
+        // Shrink the top if the last hole touches it.
+        if (!holes.empty()) {
+            auto last = std::prev(holes.end());
+            if (last->first + last->second == top) {
+                top = last->first;
+                holes.erase(last);
+            }
+        }
+    }
+
+    int64_t peak() const { return highWater; }
+
+    void
+    noteHighWater()
+    {
+        highWater = std::max(highWater, top);
+    }
+
+  private:
+    void addHole(int64_t offset, int64_t bytes)
+    {
+        holes.emplace(offset, bytes);
+    }
+
+    std::map<int64_t, int64_t> holes; // offset -> size
+    int64_t top = 0;
+    int64_t highWater = 0;
+};
+
+constexpr int64_t kAlignment = 256; // typical GPU allocation alignment
+
+int64_t
+alignUp(int64_t bytes)
+{
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+} // namespace
+
+MemoryPlan
+planMemory(const TeProgram &program, const GlobalAnalysis &analysis)
+{
+    MemoryPlan plan;
+
+    // Tensors to plan: intermediates with a producer.
+    struct Event
+    {
+        TensorId tensor;
+        int def;
+        int last;
+    };
+    std::vector<Event> events;
+    for (const auto &decl : program.tensors()) {
+        if (decl.role != TensorRole::kIntermediate)
+            continue;
+        const LiveRange &range = analysis.liveRange(decl.id);
+        if (range.def < 0)
+            continue; // unproduced (shouldn't happen post-DCE)
+        events.push_back(Event{decl.id, range.def,
+                               std::max(range.lastUse, range.def)});
+        plan.totalIntermediateBytes += alignUp(decl.bytes());
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.def < b.def;
+              });
+
+    // Sweep TE order: release dead buffers, then allocate new ones.
+    ArenaAllocator arena;
+    std::vector<std::pair<int, size_t>> active; // (lastUse, index)
+    size_t next_event = 0;
+    for (int step = 0; step < program.numTes(); ++step) {
+        // Release buffers whose last use has passed.
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->first < step) {
+                const BufferAssignment &dead =
+                    plan.assignments[it->second];
+                arena.release(dead.offset, alignUp(dead.bytes));
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // Allocate buffers defined at this step.
+        while (next_event < events.size()
+               && events[next_event].def == step) {
+            const Event &event = events[next_event++];
+            const TensorDecl &decl = program.tensor(event.tensor);
+            BufferAssignment assignment;
+            assignment.tensor = event.tensor;
+            assignment.bytes = decl.bytes();
+            assignment.liveFrom = event.def;
+            assignment.liveTo = event.last;
+            assignment.offset = arena.allocate(alignUp(decl.bytes()));
+            plan.assignments.push_back(assignment);
+            active.emplace_back(event.last,
+                                plan.assignments.size() - 1);
+            arena.noteHighWater();
+        }
+    }
+    plan.workspaceBytes = arena.peak();
+    return plan;
+}
+
+std::string
+MemoryPlan::toString() const
+{
+    std::ostringstream os;
+    os << "MemoryPlan: workspace " << bytesToString(workspaceBytes)
+       << " for " << assignments.size() << " intermediates ("
+       << bytesToString(totalIntermediateBytes)
+       << " unplanned, reuse factor " << reuseFactor() << "x)";
+    return os.str();
+}
+
+} // namespace souffle

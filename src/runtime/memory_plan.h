@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Static memory planning for compiled programs.
+ *
+ * Inference runtimes allocate one workspace and assign every
+ * intermediate tensor an offset, reusing the space of tensors whose
+ * live ranges have ended (the tensor-level live-range analysis of
+ * paper Sec. 5 feeds straight into this). The planner implements the
+ * standard first-fit free-list algorithm over the TE program order
+ * and reports both the peak workspace and the unplanned total, so the
+ * savings are visible.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/** Placement of one intermediate tensor in the workspace. */
+struct BufferAssignment
+{
+    TensorId tensor = -1;
+    int64_t offset = 0;
+    int64_t bytes = 0;
+    /** TE index interval during which the buffer is live. */
+    int liveFrom = 0;
+    int liveTo = 0;
+};
+
+/** A complete workspace plan. */
+struct MemoryPlan
+{
+    /** Peak workspace bytes with live-range reuse. */
+    int64_t workspaceBytes = 0;
+    /** Sum of all intermediate tensor sizes (no reuse). */
+    int64_t totalIntermediateBytes = 0;
+    std::vector<BufferAssignment> assignments;
+
+    /** Reuse factor: unplanned / planned (>= 1). */
+    double
+    reuseFactor() const
+    {
+        return workspaceBytes > 0
+                   ? static_cast<double>(totalIntermediateBytes)
+                         / static_cast<double>(workspaceBytes)
+                   : 1.0;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Plan workspace offsets for every intermediate tensor of @p program
+ * using the live ranges from @p analysis. Inputs, parameters and
+ * model outputs are externally allocated and excluded.
+ */
+MemoryPlan planMemory(const TeProgram &program,
+                      const GlobalAnalysis &analysis);
+
+} // namespace souffle

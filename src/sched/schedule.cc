@@ -1,0 +1,261 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+
+std::string
+Schedule::toString() const
+{
+    std::ostringstream os;
+    os << "Schedule(te=" << teId << ", tile=" << tileM << "x" << tileN
+       << "x" << tileK << ", blocks=" << numBlocks
+       << ", threads=" << threadsPerBlock << ", smem=" << sharedMemBytes
+       << "B, regs/t=" << regsPerThread
+       << (useTensorCore ? ", tensor-core" : "")
+       << (gridStride ? ", grid-stride" : "") << ", est="
+       << timeToString(estTimeUs) << ")";
+    return os.str();
+}
+
+AutoScheduler::AutoScheduler(const TeProgram &program,
+                             const GlobalAnalysis &analysis,
+                             DeviceSpec device, SchedulerMode mode)
+    : prog(program), analysis(analysis), deviceSpec(std::move(device)),
+      mode(mode)
+{}
+
+std::string
+AutoScheduler::signatureOf(const TensorExpr &te) const
+{
+    const TeInfo &info = analysis.teInfo(te.id);
+    std::ostringstream os;
+    os << (info.computeIntensive ? "C" : "M")
+       << (te.hasReduce() ? "R" : "E") << "|"
+       << joinToString(te.outShape, "x") << "|r"
+       << joinToString(te.reduceExtents, "x") << "|"
+       << dtypeName(prog.tensor(te.output).dtype) << "|o"
+       << countUnitOps(te.body) << "|n" << te.body->numReads();
+    return os.str();
+}
+
+Schedule
+AutoScheduler::schedule(int te_id)
+{
+    const TensorExpr &te = prog.te(te_id);
+    const std::string sig = signatureOf(te);
+    auto it = memo.find(sig);
+    if (it != memo.end()) {
+        ++hits;
+        Schedule sched = it->second;
+        sched.teId = te_id;
+        return sched;
+    }
+
+    const TeInfo &info = analysis.teInfo(te_id);
+    Schedule sched;
+    if (info.computeIntensive && te.hasReduce())
+        sched = scheduleContraction(te, info);
+    else if (te.hasReduce())
+        sched = scheduleReduction(te, info);
+    else
+        sched = scheduleElementwise(te, info);
+    sched.teId = te_id;
+    memo.emplace(sig, sched);
+    return sched;
+}
+
+std::vector<Schedule>
+AutoScheduler::scheduleAll()
+{
+    std::vector<Schedule> result;
+    result.reserve(prog.numTes());
+    for (int i = 0; i < prog.numTes(); ++i)
+        result.push_back(schedule(i));
+    return result;
+}
+
+Schedule
+AutoScheduler::scheduleContraction(const TensorExpr &te,
+                                   const TeInfo &info)
+{
+    // View the output as an M x N matrix (N = last dim) contracted
+    // over K = the reduction domain.
+    const int64_t n = te.outShape.back();
+    const int64_t m = std::max<int64_t>(1, te.outDomainSize() / n);
+    const int64_t k = te.reduceDomainSize();
+    const DType dtype = prog.tensor(te.output).dtype;
+    const int64_t elem_bytes = dtypeBytes(dtype);
+    const bool tc_eligible =
+        dtype == DType::kFP16 && te.combiner == Combiner::kSum;
+
+    static constexpr int64_t kTileChoices[] = {16, 32, 64, 128};
+    static constexpr int64_t kKTileChoices[] = {8, 16, 32};
+
+    // Evaluate one tile candidate; returns infinity time if infeasible.
+    auto evaluate = [&](int64_t tm, int64_t tn, int64_t tk) {
+        ++evaluated;
+        Schedule cand;
+        cand.estTimeUs = std::numeric_limits<double>::infinity();
+        cand.tileM = tm;
+        cand.tileN = tn;
+        cand.tileK = tk;
+        cand.threadsPerBlock = tm * tn >= 64 * 64 ? 256 : 128;
+        cand.useTensorCore =
+            tc_eligible && tm >= 16 && tn >= 16 && tk >= 8;
+        // Double-buffered operand tiles + fp32 accumulators.
+        cand.sharedMemBytes =
+            2 * (tm * tk + tk * tn) * elem_bytes + tm * tn * 4;
+        if (cand.sharedMemBytes > deviceSpec.sharedMemPerBlockLimit)
+            return cand;
+        cand.regsPerThread = static_cast<int64_t>(std::clamp<int64_t>(
+            tm * tn / cand.threadsPerBlock + 32, 32, 255));
+        const int64_t blocks_m = (m + tm - 1) / tm;
+        const int64_t blocks_n = (n + tn - 1) / tn;
+        cand.numBlocks = blocks_m * blocks_n;
+
+        // Tiled-contraction global traffic: each block tile streams
+        // an M-tile and N-tile strip of the operands.
+        const double traffic =
+            static_cast<double>(m) * k * blocks_n * elem_bytes
+            + static_cast<double>(n) * k * blocks_m * elem_bytes
+            + static_cast<double>(m) * n * elem_bytes;
+        const ComputePipe pipe = cand.useTensorCore
+                                     ? ComputePipe::kTensorCore
+                                     : ComputePipe::kFma;
+        // Same under-parallelism model as the simulator: the
+        // throughput terms scale with occupied SM fraction.
+        const double util = std::min(
+            1.0,
+            static_cast<double>(cand.numBlocks) / deviceSpec.numSms);
+        const double scale = 1.0 / std::max(util, 1.0 / 32.0);
+        double time = std::max(
+            deviceSpec.memLatencyUs
+                + traffic / deviceSpec.globalBytesPerUs * scale,
+            deviceSpec.computeTimeUs(static_cast<double>(info.flops),
+                                     pipe)
+                * scale);
+        // Wave quantization: a partially-filled final wave still
+        // occupies the device for a full wave.
+        const int64_t wave = deviceSpec.maxBlocksPerWave(
+            cand.sharedMemBytes, cand.regsPerBlock(),
+            cand.threadsPerBlock);
+        if (wave == 0)
+            return cand; // block does not fit on an SM at all
+        const double waves =
+            static_cast<double>(cand.numBlocks) / wave;
+        if (waves > 1.0)
+            time *= std::ceil(waves) / waves;
+        cand.estGlobalBytes = traffic;
+        cand.estTimeUs = time;
+        return cand;
+    };
+
+    if (mode == SchedulerMode::kRoller) {
+        // Roller-style construction: take the largest hardware-aligned
+        // tiles not exceeding the problem, stepping the reduction tile
+        // (then the output tiles) down until the block fits. One (or
+        // very few) candidates instead of a search.
+        auto largest = [](int64_t dim, std::span<const int64_t> choices) {
+            int64_t pick = choices[0];
+            for (int64_t choice : choices) {
+                if (choice <= std::max(dim, choices[0]))
+                    pick = choice;
+            }
+            return pick;
+        };
+        int64_t tm = largest(m, kTileChoices);
+        int64_t tn = largest(n, kTileChoices);
+        int64_t tk = largest(k, kKTileChoices);
+        Schedule cand = evaluate(tm, tn, tk);
+        while (!std::isfinite(cand.estTimeUs)
+               && (tk > 8 || tn > 16 || tm > 16)) {
+            if (tk > 8)
+                tk /= 2;
+            else if (tn > 16)
+                tn /= 2;
+            else
+                tm /= 2;
+            cand = evaluate(tm, tn, tk);
+        }
+        SOUFFLE_CHECK(std::isfinite(cand.estTimeUs),
+                      "no feasible roller schedule for TE " << te.name);
+        return cand;
+    }
+
+    Schedule best;
+    best.estTimeUs = std::numeric_limits<double>::infinity();
+    for (int64_t tm : kTileChoices) {
+        if (tm > m && tm != 16)
+            continue;
+        for (int64_t tn : kTileChoices) {
+            if (tn > n && tn != 16)
+                continue;
+            for (int64_t tk : kKTileChoices) {
+                if (tk > k && tk != 8)
+                    continue;
+                const Schedule cand = evaluate(tm, tn, tk);
+                if (cand.estTimeUs < best.estTimeUs)
+                    best = cand;
+            }
+        }
+    }
+    SOUFFLE_CHECK(std::isfinite(best.estTimeUs),
+                  "no feasible schedule for TE " << te.name);
+    return best;
+}
+
+Schedule
+AutoScheduler::scheduleElementwise(const TensorExpr &te,
+                                   const TeInfo &info)
+{
+    Schedule sched;
+    sched.threadsPerBlock = 256;
+    const int64_t elems = te.outDomainSize();
+    const int64_t work_per_block = sched.threadsPerBlock * 4; // vec4
+    const int64_t needed = (elems + work_per_block - 1) / work_per_block;
+    const int64_t wave = deviceSpec.maxBlocksPerWave(
+        0, sched.regsPerBlock(), sched.threadsPerBlock);
+    sched.numBlocks = std::max<int64_t>(1, std::min(needed, wave));
+    // Element-wise kernels use grid-stride loops: any block count is
+    // functionally correct, so they never constrain cooperative waves.
+    sched.gridStride = true;
+    sched.estGlobalBytes = static_cast<double>(info.memFootprintBytes);
+    sched.estTimeUs = std::max(
+        deviceSpec.memTimeUs(sched.estGlobalBytes),
+        deviceSpec.computeTimeUs(static_cast<double>(info.flops),
+                                 ComputePipe::kAlu));
+    ++evaluated;
+    return sched;
+}
+
+Schedule
+AutoScheduler::scheduleReduction(const TensorExpr &te, const TeInfo &info)
+{
+    Schedule sched;
+    sched.threadsPerBlock = 256;
+    sched.sharedMemBytes = sched.threadsPerBlock * 4; // tree reduction
+    sched.tileK = std::min<int64_t>(te.reduceDomainSize(), 256);
+    const int64_t rows = te.outDomainSize();
+    const int64_t wave = deviceSpec.maxBlocksPerWave(
+        sched.sharedMemBytes, sched.regsPerBlock(),
+        sched.threadsPerBlock);
+    sched.numBlocks = std::max<int64_t>(1, std::min(rows, wave));
+    // Reductions reduce per-block and combine with atomics (the
+    // two-phase scheme of Sec. 6.3), so any block count works.
+    sched.gridStride = true;
+    sched.estGlobalBytes = static_cast<double>(info.memFootprintBytes);
+    sched.estTimeUs = std::max(
+        deviceSpec.memTimeUs(sched.estGlobalBytes),
+        deviceSpec.computeTimeUs(static_cast<double>(info.flops),
+                                 ComputePipe::kAlu));
+    ++evaluated;
+    return sched;
+}
+
+} // namespace souffle

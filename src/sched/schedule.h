@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * Per-TE schedules and the auto-scheduler (the Ansor stand-in).
+ *
+ * Souffle uses Ansor only to obtain, for each TE, a tiled schedule
+ * with its launch dimensions and register/shared-memory occupancy
+ * (paper Sec. 5.4 "Get required resource" and Sec. 6.3). This module
+ * provides the same interface: a deterministic search over tile-size
+ * candidates ranked by an analytic cost model on the device spec.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/analysis.h"
+#include "gpu/device.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/** A scheduled TE: tiling decisions plus resource/launch info. */
+struct Schedule
+{
+    int teId = -1;
+
+    /** Tile of the two innermost output dims and the reduction dim. */
+    int64_t tileM = 1;
+    int64_t tileN = 1;
+    int64_t tileK = 1;
+
+    int threadsPerBlock = 256;
+    int64_t numBlocks = 1;
+    int64_t sharedMemBytes = 0;
+    int64_t regsPerThread = 32;
+    bool useTensorCore = false;
+    /** Grid-stride loop: block count clamped to a resident wave. */
+    bool gridStride = false;
+
+    /** Cost-model estimate of standalone kernel time (us). */
+    double estTimeUs = 0.0;
+    /** Estimated global traffic of the standalone kernel (bytes). */
+    double estGlobalBytes = 0.0;
+
+    int64_t regsPerBlock() const
+    {
+        return regsPerThread * threadsPerBlock;
+    }
+
+    std::string toString() const;
+};
+
+/** Schedule-search strategy. */
+enum class SchedulerMode : uint8_t
+{
+    /** Enumerate tile candidates, rank by the analytic cost model
+     *  (the Ansor stand-in; default). */
+    kSearch,
+    /**
+     * Roller-style construction (paper Sec. 8.5 cites Roller as the
+     * faster optimizer): pick the largest hardware-aligned tiles that
+     * fit shared memory directly, evaluating a single candidate.
+     */
+    kRoller,
+};
+
+/**
+ * Deterministic tile-size auto-scheduler with an analytic cost model
+ * (drop-in for Ansor from the paper's perspective). Results are
+ * memoized by TE shape signature, which keeps scheduling of
+ * fully-unrolled models (e.g. the 10x100-cell LSTM) fast.
+ */
+class AutoScheduler
+{
+  public:
+    AutoScheduler(const TeProgram &program, const GlobalAnalysis &analysis,
+                  DeviceSpec device,
+                  SchedulerMode mode = SchedulerMode::kSearch);
+
+    /** Schedule one TE. */
+    Schedule schedule(int te_id);
+
+    /** Schedule every TE in the program. */
+    std::vector<Schedule> scheduleAll();
+
+    const DeviceSpec &device() const { return deviceSpec; }
+
+    /** Number of cost-model evaluations performed (for stats/tests). */
+    int64_t candidatesEvaluated() const { return evaluated; }
+    /** Number of memoization hits (for stats/tests). */
+    int64_t memoHits() const { return hits; }
+
+  private:
+    Schedule scheduleContraction(const TensorExpr &te, const TeInfo &info);
+    Schedule scheduleElementwise(const TensorExpr &te, const TeInfo &info);
+    Schedule scheduleReduction(const TensorExpr &te, const TeInfo &info);
+    std::string signatureOf(const TensorExpr &te) const;
+
+    const TeProgram &prog;
+    const GlobalAnalysis &analysis;
+    DeviceSpec deviceSpec;
+    SchedulerMode mode;
+    std::unordered_map<std::string, Schedule> memo;
+    int64_t evaluated = 0;
+    int64_t hits = 0;
+};
+
+} // namespace souffle

@@ -1,0 +1,286 @@
+#include "te/affine.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+AffineMap::AffineMap(std::vector<std::vector<int64_t>> matrix,
+                     std::vector<int64_t> offset)
+    : matrixRows(std::move(matrix)), offsetVec(std::move(offset))
+{
+    SOUFFLE_CHECK(matrixRows.size() == offsetVec.size(),
+                  "matrix rows must match offset size");
+    numInDims = matrixRows.empty()
+                    ? 0
+                    : static_cast<int>(matrixRows.front().size());
+    for (const auto &row : matrixRows) {
+        SOUFFLE_CHECK(static_cast<int>(row.size()) == numInDims,
+                      "ragged affine matrix");
+    }
+}
+
+AffineMap
+AffineMap::identity(int dims)
+{
+    std::vector<std::vector<int64_t>> mat(
+        dims, std::vector<int64_t>(dims, 0));
+    for (int i = 0; i < dims; ++i)
+        mat[i][i] = 1;
+    return AffineMap(std::move(mat), std::vector<int64_t>(dims, 0));
+}
+
+AffineMap
+AffineMap::zero(int out_dims, int in_dims)
+{
+    std::vector<std::vector<int64_t>> mat(
+        out_dims, std::vector<int64_t>(in_dims, 0));
+    AffineMap map(std::move(mat), std::vector<int64_t>(out_dims, 0));
+    map.numInDims = in_dims;
+    return map;
+}
+
+AffineMap
+AffineMap::select(const std::vector<int> &dims, int in_dims)
+{
+    std::vector<std::vector<int64_t>> mat(
+        dims.size(), std::vector<int64_t>(in_dims, 0));
+    for (size_t k = 0; k < dims.size(); ++k) {
+        SOUFFLE_CHECK(dims[k] >= 0 && dims[k] < in_dims,
+                      "select dim out of range: " << dims[k]);
+        mat[k][dims[k]] = 1;
+    }
+    AffineMap map(std::move(mat),
+                  std::vector<int64_t>(dims.size(), 0));
+    map.numInDims = in_dims;
+    return map;
+}
+
+std::vector<int64_t>
+AffineMap::apply(std::span<const int64_t> index) const
+{
+    std::vector<int64_t> out(offsetVec.size());
+    applyInto(index, out);
+    return out;
+}
+
+void
+AffineMap::applyInto(std::span<const int64_t> index,
+                     std::span<int64_t> out) const
+{
+    SOUFFLE_CHECK(static_cast<int>(index.size()) == numInDims,
+                  "affine apply: index rank " << index.size()
+                      << " vs map in-dims " << numInDims);
+    for (size_t r = 0; r < matrixRows.size(); ++r) {
+        int64_t acc = offsetVec[r];
+        const auto &row = matrixRows[r];
+        for (int c = 0; c < numInDims; ++c)
+            acc += row[c] * index[c];
+        out[r] = acc;
+    }
+}
+
+AffineMap
+AffineMap::compose(const AffineMap &inner) const
+{
+    SOUFFLE_CHECK(inner.outDims() == inDims(),
+                  "affine compose rank mismatch: inner out "
+                      << inner.outDims() << " vs outer in " << inDims());
+    const int m = outDims();
+    const int k = inDims();
+    const int n = inner.inDims();
+    std::vector<std::vector<int64_t>> mat(m, std::vector<int64_t>(n, 0));
+    std::vector<int64_t> off(m, 0);
+    for (int r = 0; r < m; ++r) {
+        int64_t acc = offsetVec[r];
+        for (int j = 0; j < k; ++j) {
+            const int64_t a = matrixRows[r][j];
+            if (a == 0)
+                continue;
+            acc += a * inner.offsetVec[j];
+            for (int c = 0; c < n; ++c)
+                mat[r][c] += a * inner.matrixRows[j][c];
+        }
+        off[r] = acc;
+    }
+    AffineMap result(std::move(mat), std::move(off));
+    result.numInDims = n;
+    return result;
+}
+
+bool
+AffineMap::isIdentity() const
+{
+    if (outDims() != inDims())
+        return false;
+    for (int r = 0; r < outDims(); ++r) {
+        if (offsetVec[r] != 0)
+            return false;
+        for (int c = 0; c < inDims(); ++c) {
+            if (matrixRows[r][c] != (r == c ? 1 : 0))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+AffineMap::isPermutation() const
+{
+    for (int r = 0; r < outDims(); ++r) {
+        if (offsetVec[r] != 0)
+            return false;
+        int units = 0;
+        for (int c = 0; c < inDims(); ++c) {
+            if (matrixRows[r][c] == 1)
+                ++units;
+            else if (matrixRows[r][c] != 0)
+                return false;
+        }
+        if (units != 1)
+            return false;
+    }
+    return true;
+}
+
+int64_t
+AffineMap::rowRangeExtent(int row, std::span<const int64_t> extents) const
+{
+    SOUFFLE_CHECK(static_cast<int>(extents.size()) == numInDims,
+                  "rowRangeExtent rank mismatch");
+    int64_t span = 0;
+    for (int c = 0; c < numInDims; ++c) {
+        const int64_t a = matrixRows[row][c];
+        if (a != 0)
+            span += std::abs(a) * (extents[c] - 1);
+    }
+    return span + 1;
+}
+
+bool
+AffineMap::operator==(const AffineMap &other) const
+{
+    return matrixRows == other.matrixRows && offsetVec == other.offsetVec
+           && numInDims == other.numInDims;
+}
+
+std::string
+AffineMap::toString() const
+{
+    std::ostringstream os;
+    os << "(";
+    for (int r = 0; r < outDims(); ++r) {
+        if (r)
+            os << ", ";
+        bool first = true;
+        for (int c = 0; c < inDims(); ++c) {
+            const int64_t a = matrixRows[r][c];
+            if (a == 0)
+                continue;
+            if (!first)
+                os << "+";
+            if (a != 1)
+                os << a << "*";
+            os << "d" << c;
+            first = false;
+        }
+        if (offsetVec[r] != 0 || first) {
+            if (!first && offsetVec[r] >= 0)
+                os << "+";
+            os << offsetVec[r];
+        }
+    }
+    os << ")";
+    return os.str();
+}
+
+bool
+AffineCond::eval(std::span<const int64_t> index) const
+{
+    int64_t acc = offset;
+    const size_t n = std::min(coefs.size(), index.size());
+    for (size_t i = 0; i < n; ++i)
+        acc += coefs[i] * index[i];
+    switch (op) {
+      case CmpOp::kGE:
+        return acc >= 0;
+      case CmpOp::kLT:
+        return acc < 0;
+      case CmpOp::kEQ:
+        return acc == 0;
+    }
+    return false;
+}
+
+AffineCond
+AffineCond::substitute(const AffineMap &map) const
+{
+    SOUFFLE_CHECK(static_cast<int>(coefs.size()) <= map.outDims(),
+                  "predicate rank exceeds substitution rank");
+    AffineCond result;
+    result.op = op;
+    result.coefs.assign(map.inDims(), 0);
+    result.offset = offset;
+    for (size_t r = 0; r < coefs.size(); ++r) {
+        const int64_t a = coefs[r];
+        if (a == 0)
+            continue;
+        result.offset += a * map.offsetAt(static_cast<int>(r));
+        for (int c = 0; c < map.inDims(); ++c)
+            result.coefs[c] += a * map.coef(static_cast<int>(r), c);
+    }
+    return result;
+}
+
+bool
+AffineCond::operator==(const AffineCond &other) const
+{
+    return coefs == other.coefs && offset == other.offset && op == other.op;
+}
+
+std::string
+AffineCond::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (size_t c = 0; c < coefs.size(); ++c) {
+        if (coefs[c] == 0)
+            continue;
+        if (!first)
+            os << "+";
+        if (coefs[c] != 1)
+            os << coefs[c] << "*";
+        os << "d" << c;
+        first = false;
+    }
+    if (offset != 0 || first) {
+        if (!first && offset >= 0)
+            os << "+";
+        os << offset;
+    }
+    switch (op) {
+      case CmpOp::kGE:
+        os << " >= 0";
+        break;
+      case CmpOp::kLT:
+        os << " < 0";
+        break;
+      case CmpOp::kEQ:
+        os << " == 0";
+        break;
+    }
+    return os.str();
+}
+
+bool
+evalPredicate(const Predicate &pred, std::span<const int64_t> index)
+{
+    for (const auto &cond : pred) {
+        if (!cond.eval(index))
+            return false;
+    }
+    return true;
+}
+
+} // namespace souffle

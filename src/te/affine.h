@@ -1,0 +1,136 @@
+#pragma once
+
+/**
+ * @file
+ * Quasi-affine index maps and affine predicates (Sec. 5.2 of the paper).
+ *
+ * An AffineMap represents y = M x + c mapping an n-dimensional index
+ * vector x (the TE iteration space: output dims followed by reduction
+ * dims) to an m-dimensional tensor index y. Composition of maps
+ * implements the vertical-transformation algebra of Eq. (2):
+ * f_{i+1,i}(v) = M_{i+1} (M_i v + c_i) + c_{i+1}.
+ *
+ * An AffineCond is a single comparison `coefs . x + offset  op  0` used
+ * to express piecewise TEs (zero padding for convolutions, branch
+ * selection after horizontal transformation).
+ */
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace souffle {
+
+/** A quasi-affine index map y = M x + c. */
+class AffineMap
+{
+  public:
+    AffineMap() = default;
+
+    /**
+     * Construct from an explicit matrix and offset.
+     *
+     * @param matrix m rows of n coefficients each.
+     * @param offset m constants.
+     */
+    AffineMap(std::vector<std::vector<int64_t>> matrix,
+              std::vector<int64_t> offset);
+
+    /** Identity map over @p dims dimensions. */
+    static AffineMap identity(int dims);
+
+    /** All-zero map from @p in_dims to @p out_dims (broadcast-to-scalar). */
+    static AffineMap zero(int out_dims, int in_dims);
+
+    /**
+     * Map selecting a subset of input dimensions.
+     *
+     * Row k of the result reads input dimension dims[k]; used for
+     * broadcasting and for reduction-variable wiring.
+     */
+    static AffineMap select(const std::vector<int> &dims, int in_dims);
+
+    int outDims() const { return static_cast<int>(offsetVec.size()); }
+    int inDims() const { return numInDims; }
+
+    /** Apply the map to an index vector. */
+    std::vector<int64_t> apply(std::span<const int64_t> index) const;
+
+    /** Apply and write into a caller-provided buffer (hot path). */
+    void applyInto(std::span<const int64_t> index,
+                   std::span<int64_t> out) const;
+
+    /**
+     * Compose with an inner map: result(x) = this(inner(x)).
+     *
+     * Requires inner.outDims() == this->inDims().
+     */
+    AffineMap compose(const AffineMap &inner) const;
+
+    /** True if the map is the identity on its (square) space. */
+    bool isIdentity() const;
+
+    /** True if every row has exactly one unit coefficient and no offset. */
+    bool isPermutation() const;
+
+    /** Coefficient access: row is output dim, col is input dim. */
+    int64_t coef(int row, int col) const { return matrixRows[row][col]; }
+    int64_t offsetAt(int row) const { return offsetVec[row]; }
+
+    /** Mutable offset access (used to shift reads into concat outputs). */
+    void addOffset(int row, int64_t delta) { offsetVec[row] += delta; }
+
+    /**
+     * Extent of the value range of row @p row over the box domain
+     * [0, extents). Used for footprint estimation (Sec. 5.3).
+     */
+    int64_t rowRangeExtent(int row,
+                           std::span<const int64_t> extents) const;
+
+    /** Equality (exact coefficients and offsets). */
+    bool operator==(const AffineMap &other) const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<std::vector<int64_t>> matrixRows;
+    std::vector<int64_t> offsetVec;
+    int numInDims = 0;
+};
+
+/** Comparison operator for affine predicates. */
+enum class CmpOp : uint8_t {
+    kGE, ///< coefs.x + offset >= 0
+    kLT, ///< coefs.x + offset <  0
+    kEQ, ///< coefs.x + offset == 0
+};
+
+/** A single affine comparison over the TE iteration space. */
+struct AffineCond
+{
+    std::vector<int64_t> coefs;
+    int64_t offset = 0;
+    CmpOp op = CmpOp::kGE;
+
+    /** Evaluate the condition at @p index. */
+    bool eval(std::span<const int64_t> index) const;
+
+    /**
+     * Rewrite the condition through an affine substitution x = A(z):
+     * produces a condition over z with the same truth value.
+     */
+    AffineCond substitute(const AffineMap &map) const;
+
+    bool operator==(const AffineCond &other) const;
+
+    std::string toString() const;
+};
+
+/** Conjunction of affine comparisons. */
+using Predicate = std::vector<AffineCond>;
+
+/** Evaluate a conjunction of conditions. */
+bool evalPredicate(const Predicate &pred, std::span<const int64_t> index);
+
+} // namespace souffle

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Element data types for tensors.
+ *
+ * The functional interpreter computes everything in double precision;
+ * the data type only controls byte accounting in the cost/timing models
+ * and whether a matmul is eligible for the tensor-core pipe.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace souffle {
+
+/** Tensor element types supported by the IR. */
+enum class DType : uint8_t {
+    kFP16,
+    kFP32,
+    kInt32,
+    kBool,
+};
+
+/** Size of one element of @p dtype in bytes. */
+inline int64_t
+dtypeBytes(DType dtype)
+{
+    switch (dtype) {
+      case DType::kFP16:
+        return 2;
+      case DType::kFP32:
+        return 4;
+      case DType::kInt32:
+        return 4;
+      case DType::kBool:
+        return 1;
+    }
+    return 4;
+}
+
+/** Printable name of @p dtype. */
+inline std::string
+dtypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::kFP16:
+        return "fp16";
+      case DType::kFP32:
+        return "fp32";
+      case DType::kInt32:
+        return "int32";
+      case DType::kBool:
+        return "bool";
+    }
+    return "?";
+}
+
+} // namespace souffle

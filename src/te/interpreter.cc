@@ -1,0 +1,174 @@
+#include "te/interpreter.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+std::vector<int64_t>
+rowMajorStrides(const std::vector<int64_t> &shape)
+{
+    std::vector<int64_t> strides(shape.size(), 1);
+    for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i)
+        strides[i] = strides[i + 1] * shape[i + 1];
+    return strides;
+}
+
+int64_t
+flattenIndex(std::span<const int64_t> index,
+             std::span<const int64_t> strides)
+{
+    int64_t flat = 0;
+    for (size_t i = 0; i < index.size(); ++i)
+        flat += index[i] * strides[i];
+    return flat;
+}
+
+void
+forEachIndex(std::span<const int64_t> extents,
+             const std::function<void(std::span<const int64_t>)> &fn)
+{
+    const int rank = static_cast<int>(extents.size());
+    if (rank == 0) {
+        fn({});
+        return;
+    }
+    std::vector<int64_t> index(rank, 0);
+    while (true) {
+        fn(index);
+        int d = rank - 1;
+        while (d >= 0) {
+            if (++index[d] < extents[d])
+                break;
+            index[d] = 0;
+            --d;
+        }
+        if (d < 0)
+            return;
+    }
+}
+
+Buffer
+randomBuffer(int64_t n, uint64_t seed)
+{
+    // SplitMix64: deterministic across platforms.
+    Buffer buf(static_cast<size_t>(n));
+    uint64_t state = seed + 0x9e3779b97f4a7c15ULL;
+    for (int64_t i = 0; i < n; ++i) {
+        state += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z = z ^ (z >> 31);
+        buf[static_cast<size_t>(i)] =
+            2.0 * (static_cast<double>(z >> 11) / 9007199254740992.0)
+            - 1.0;
+    }
+    return buf;
+}
+
+Interpreter::Interpreter(const TeProgram &program) : prog(program) {}
+
+Buffer
+Interpreter::evalTe(const TensorExpr &te, const BufferMap &buffers) const
+{
+    // Pre-compute strides of every input.
+    std::vector<std::vector<int64_t>> in_strides(te.inputs.size());
+    std::vector<const Buffer *> in_bufs(te.inputs.size());
+    for (size_t s = 0; s < te.inputs.size(); ++s) {
+        const TensorDecl &decl = prog.tensor(te.inputs[s]);
+        in_strides[s] = rowMajorStrides(decl.shape);
+        auto it = buffers.find(te.inputs[s]);
+        SOUFFLE_REQUIRE(it != buffers.end(),
+                        "missing buffer for tensor '" << decl.name << "'");
+        SOUFFLE_REQUIRE(static_cast<int64_t>(it->second.size())
+                            == decl.numElements(),
+                        "buffer size mismatch for '" << decl.name << "'");
+        in_bufs[s] = &it->second;
+    }
+
+    EvalContext ctx;
+    ctx.readFlat = [&](int slot, int64_t offset) -> double {
+        const Buffer &buf = *in_bufs[slot];
+        SOUFFLE_CHECK(offset >= 0
+                          && offset < static_cast<int64_t>(buf.size()),
+                      "out-of-bounds flat read in TE '"
+                          << te.name << "' slot " << slot << " offset "
+                          << offset);
+        return buf[static_cast<size_t>(offset)];
+    };
+    ctx.read = [&](int slot, std::span<const int64_t> index) -> double {
+        const auto &strides = in_strides[slot];
+        const Buffer &buf = *in_bufs[slot];
+        const int64_t flat = flattenIndex(index, strides);
+        SOUFFLE_CHECK(flat >= 0
+                          && flat < static_cast<int64_t>(buf.size()),
+                      "out-of-bounds read in TE '"
+                          << te.name << "' slot " << slot << " flat "
+                          << flat << " size " << buf.size());
+        return buf[static_cast<size_t>(flat)];
+    };
+
+    Buffer out(static_cast<size_t>(te.outDomainSize()));
+    const auto out_strides = rowMajorStrides(te.outShape);
+
+    std::vector<int64_t> full_index(te.iterRank());
+    forEachIndex(te.outShape, [&](std::span<const int64_t> out_index) {
+        std::copy(out_index.begin(), out_index.end(), full_index.begin());
+        double acc;
+        if (!te.hasReduce()) {
+            acc = te.body->eval(full_index, ctx);
+        } else {
+            acc = combinerInit(te.combiner);
+            forEachIndex(
+                te.reduceExtents,
+                [&](std::span<const int64_t> red_index) {
+                    std::copy(red_index.begin(), red_index.end(),
+                              full_index.begin() + te.outRank());
+                    acc = combinerApply(te.combiner, acc,
+                                        te.body->eval(full_index, ctx));
+                });
+        }
+        out[static_cast<size_t>(flattenIndex(out_index, out_strides))] =
+            acc;
+    });
+    return out;
+}
+
+BufferMap
+Interpreter::run(const BufferMap &bindings) const
+{
+    BufferMap buffers = bindings;
+    for (const auto &te : prog.tes())
+        buffers[te.output] = evalTe(te, buffers);
+    return buffers;
+}
+
+BufferMap
+randomBindings(const TeProgram &program, uint64_t seed)
+{
+    BufferMap bindings;
+    for (const auto &decl : program.tensors()) {
+        if (decl.role == TensorRole::kInput
+            || decl.role == TensorRole::kParam) {
+            bindings[decl.id] = randomBuffer(
+                decl.numElements(),
+                seed ^ (static_cast<uint64_t>(decl.id) * 0x5bd1e995ULL));
+        }
+    }
+    return bindings;
+}
+
+double
+maxAbsDiff(const Buffer &a, const Buffer &b)
+{
+    if (a.size() != b.size())
+        return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+} // namespace souffle

@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * Reference functional interpreter for TE programs.
+ *
+ * Evaluates every TE element-by-element in double precision. This is
+ * the semantic ground truth used to verify that Souffle's program
+ * transformations are semantics-preserving (paper Sec. 6): a
+ * transformed program must produce the same output values as the
+ * original, up to floating-point associativity of reductions.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "te/program.h"
+
+namespace souffle {
+
+/** Flattened row-major tensor storage. */
+using Buffer = std::vector<double>;
+
+/** Named buffers keyed by tensor id. */
+using BufferMap = std::unordered_map<TensorId, Buffer>;
+
+/** Row-major strides of a shape. */
+std::vector<int64_t> rowMajorStrides(const std::vector<int64_t> &shape);
+
+/** Flatten a multi-index with the given strides. */
+int64_t flattenIndex(std::span<const int64_t> index,
+                     std::span<const int64_t> strides);
+
+/**
+ * Call @p fn for every point of the box domain [0, extents), in
+ * lexicographic order.
+ */
+void forEachIndex(std::span<const int64_t> extents,
+                  const std::function<void(std::span<const int64_t>)> &fn);
+
+/** Deterministic pseudo-random buffer (values in [-1, 1]). */
+Buffer randomBuffer(int64_t n, uint64_t seed);
+
+/** Functional evaluator for TE programs. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const TeProgram &program);
+
+    /**
+     * Evaluate the program.
+     *
+     * @param bindings buffers for every kInput and kParam tensor.
+     * @return buffers for every tensor in the program (including
+     *         intermediates), keyed by tensor id.
+     */
+    BufferMap run(const BufferMap &bindings) const;
+
+    /**
+     * Evaluate a single TE given already-materialized input buffers.
+     * Exposed for unit tests of individual lowerings.
+     */
+    Buffer evalTe(const TensorExpr &te, const BufferMap &buffers) const;
+
+  private:
+    const TeProgram &prog;
+};
+
+/**
+ * Convenience: bind random data to every input/param of @p program
+ * (seeded deterministically per tensor) and return the bindings.
+ */
+BufferMap randomBindings(const TeProgram &program, uint64_t seed);
+
+/** Max absolute element difference between two buffers. */
+double maxAbsDiff(const Buffer &a, const Buffer &b);
+
+} // namespace souffle

@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * The TE program: a topologically-ordered list of tensor expressions
+ * over a table of tensor declarations. This is the unit Souffle's
+ * global analysis, partitioning, and transformations operate on.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "te/te.h"
+#include "te/tensor.h"
+
+namespace souffle {
+
+/** A whole-model tensor expression program. */
+class TeProgram
+{
+  public:
+    TeProgram() = default;
+
+    /** Declare a tensor and return its id. */
+    TensorId addTensor(const std::string &name,
+                       std::vector<int64_t> shape, DType dtype,
+                       TensorRole role = TensorRole::kIntermediate);
+
+    /**
+     * Append a TE producing @p output from @p inputs.
+     *
+     * Inputs must already be declared and, if intermediate, already be
+     * produced by an earlier TE (the program is built in topological
+     * order). Returns the TE id.
+     */
+    int addTe(const std::string &name, std::vector<TensorId> inputs,
+              TensorId output, std::vector<int64_t> reduce_extents,
+              Combiner combiner, ExprPtr body);
+
+    const std::vector<TensorDecl> &tensors() const { return tensorTable; }
+    const std::vector<TensorExpr> &tes() const { return teList; }
+
+    std::vector<TensorDecl> &mutableTensors() { return tensorTable; }
+    std::vector<TensorExpr> &mutableTes() { return teList; }
+
+    const TensorDecl &tensor(TensorId id) const;
+    TensorDecl &mutableTensor(TensorId id);
+    const TensorExpr &te(int id) const;
+    TensorExpr &mutableTe(int id);
+
+    int numTes() const { return static_cast<int>(teList.size()); }
+    int numTensors() const { return static_cast<int>(tensorTable.size()); }
+
+    /** TE ids consuming tensor @p id (in program order). */
+    std::vector<int> consumersOf(TensorId id) const;
+
+    /** Tensor ids with role kOutput. */
+    std::vector<TensorId> outputTensors() const;
+
+    /** Tensor ids with role kInput. */
+    std::vector<TensorId> inputTensors() const;
+
+    /** Tensor ids with role kParam. */
+    std::vector<TensorId> paramTensors() const;
+
+    /** Mark a tensor as a model output. */
+    void markOutput(TensorId id);
+
+    /**
+     * Check structural invariants: topological ordering, slot/rank
+     * consistency of every read map, in-range tensor ids. Panics on
+     * violation (these are compiler bugs, not user errors).
+     */
+    void validate() const;
+
+    /**
+     * Drop TEs whose outputs do not (transitively) feed any model
+     * output, then drop unreferenced tensors. Returns the number of
+     * TEs removed. TE and tensor ids are renumbered.
+     */
+    int removeDeadCode();
+
+    /** Total bytes of all parameter tensors. */
+    int64_t paramBytes() const;
+
+    /** Human-readable dump of the whole program. */
+    std::string toString() const;
+
+  private:
+    std::vector<TensorDecl> tensorTable;
+    std::vector<TensorExpr> teList;
+};
+
+} // namespace souffle

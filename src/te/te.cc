@@ -1,0 +1,66 @@
+#include "te/te.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+std::string
+combinerName(Combiner combiner)
+{
+    switch (combiner) {
+      case Combiner::kNone:
+        return "none";
+      case Combiner::kSum:
+        return "sum";
+      case Combiner::kMax:
+        return "max";
+      case Combiner::kMin:
+        return "min";
+    }
+    return "?";
+}
+
+double
+combinerInit(Combiner combiner)
+{
+    switch (combiner) {
+      case Combiner::kNone:
+        return 0.0;
+      case Combiner::kSum:
+        return 0.0;
+      case Combiner::kMax:
+        return -std::numeric_limits<double>::infinity();
+      case Combiner::kMin:
+        return std::numeric_limits<double>::infinity();
+    }
+    return 0.0;
+}
+
+double
+combinerApply(Combiner combiner, double acc, double value)
+{
+    switch (combiner) {
+      case Combiner::kNone:
+        return value;
+      case Combiner::kSum:
+        return acc + value;
+      case Combiner::kMax:
+        return acc > value ? acc : value;
+      case Combiner::kMin:
+        return acc < value ? acc : value;
+    }
+    return value;
+}
+
+std::vector<int64_t>
+TensorExpr::iterExtents() const
+{
+    std::vector<int64_t> extents = outShape;
+    extents.insert(extents.end(), reduceExtents.begin(),
+                   reduceExtents.end());
+    return extents;
+}
+
+} // namespace souffle

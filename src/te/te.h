@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * The tensor expression (TE) node.
+ *
+ * A TE computes each element of its output tensor as
+ *
+ *   out[i...] = combine_{r...} body(i..., r...)
+ *
+ * where `combine` is an optional reduction over the reduce extents and
+ * `body` is a scalar expression reading input tensors through
+ * quasi-affine maps over the full index vector (output dims followed
+ * by reduction dims). TEs without a reduction are *one-relies-on-one*;
+ * TEs with a reduction are *one-relies-on-many* (paper Sec. 5.2).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "te/expr.h"
+#include "te/tensor.h"
+
+namespace souffle {
+
+/** Reduction combiner of a TE. */
+enum class Combiner : uint8_t {
+    kNone,
+    kSum,
+    kMax,
+    kMin,
+};
+
+std::string combinerName(Combiner combiner);
+
+/** Identity element for a combiner. */
+double combinerInit(Combiner combiner);
+
+/** Apply a combiner step. */
+double combinerApply(Combiner combiner, double acc, double value);
+
+/** A single tensor expression. */
+struct TensorExpr
+{
+    int id = -1;
+    std::string name;
+    /** Input tensor ids, indexed by the read slots of `body`. */
+    std::vector<TensorId> inputs;
+    TensorId output = -1;
+    /** Cached output shape (iteration domain prefix). */
+    std::vector<int64_t> outShape;
+    /** Extents of the reduction axes; empty for one-relies-on-one TEs. */
+    std::vector<int64_t> reduceExtents;
+    Combiner combiner = Combiner::kNone;
+    ExprPtr body;
+
+    bool hasReduce() const { return !reduceExtents.empty(); }
+
+    int outRank() const { return static_cast<int>(outShape.size()); }
+    int reduceRank() const
+    {
+        return static_cast<int>(reduceExtents.size());
+    }
+
+    /** Rank of the full iteration space (output + reduction dims). */
+    int iterRank() const { return outRank() + reduceRank(); }
+
+    /** Number of points in the output domain. */
+    int64_t
+    outDomainSize() const
+    {
+        int64_t n = 1;
+        for (int64_t d : outShape)
+            n *= d;
+        return n;
+    }
+
+    /** Number of points in the reduction domain. */
+    int64_t
+    reduceDomainSize() const
+    {
+        int64_t n = 1;
+        for (int64_t d : reduceExtents)
+            n *= d;
+        return n;
+    }
+
+    /** Number of points in the full iteration space. */
+    int64_t iterDomainSize() const
+    {
+        return outDomainSize() * reduceDomainSize();
+    }
+
+    /** Full iteration extents (output shape ++ reduce extents). */
+    std::vector<int64_t> iterExtents() const;
+};
+
+} // namespace souffle

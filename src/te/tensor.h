@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Tensor declarations referenced by tensor expressions.
+ */
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "te/dtype.h"
+
+namespace souffle {
+
+using TensorId = int32_t;
+
+/** Role of a tensor inside a TE program. */
+enum class TensorRole : uint8_t {
+    kInput,        ///< model input (activations fed at runtime)
+    kParam,        ///< weight/constant known at compile time
+    kIntermediate, ///< produced and consumed inside the program
+    kOutput,       ///< model output
+};
+
+/** A tensor declaration: shape, element type and role. */
+struct TensorDecl
+{
+    TensorId id = -1;
+    std::string name;
+    std::vector<int64_t> shape;
+    DType dtype = DType::kFP32;
+    TensorRole role = TensorRole::kIntermediate;
+    /** Producing TE id, or -1 for inputs/params. */
+    int producer = -1;
+
+    int rank() const { return static_cast<int>(shape.size()); }
+
+    int64_t
+    numElements() const
+    {
+        int64_t n = 1;
+        for (int64_t d : shape)
+            n *= d;
+        return n;
+    }
+
+    int64_t bytes() const { return numElements() * dtypeBytes(dtype); }
+};
+
+} // namespace souffle

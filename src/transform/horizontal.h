@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Horizontal transformation for independent TEs (paper Sec. 6.1).
+ *
+ * Independent TEs with compatible shapes (equal trailing dims, equal
+ * reduction extents and combiner) are concatenated along their first
+ * output dimension into a single TE whose body selects the member
+ * bodies with affine predicates (Fig. 3 of the paper). Consumers of
+ * the member outputs are rewired to read offset slices of the merged
+ * tensor. Shared inputs collapse into one slot, realizing the spatial
+ * data-reuse opportunity of Sec. 5.1 (the tensor is loaded once for
+ * all branches).
+ *
+ * This covers the QKV projections of attention layers, the per-group
+ * convolutions of ResNeXt, the experts of MMoE, and the wavefront
+ * GEMVs of an unrolled LSTM.
+ */
+
+#include "te/program.h"
+
+namespace souffle {
+
+/** Statistics returned by the horizontal transformation. */
+struct HorizontalStats
+{
+    int groups = 0;    ///< merge groups formed
+    int tesMerged = 0; ///< TEs folded into merged TEs
+};
+
+/**
+ * Merge independent compatible TEs in @p program (rebuilds the program
+ * in place). @p max_group_size caps how many TEs fold into one.
+ */
+HorizontalStats horizontalTransform(TeProgram &program,
+                                    int max_group_size = 64);
+
+} // namespace souffle

@@ -1,0 +1,127 @@
+#include "transform/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+/** Running resource envelope of a subprogram under construction. */
+struct Envelope
+{
+    /** Max blocks over schedules with a fixed tiling (contractions). */
+    int64_t maxRigidBlocks = 0;
+    int64_t maxSmem = 0;
+    int64_t maxRegsPerBlock = 0;
+    int maxThreads = 0;
+
+    void
+    add(const Schedule &sched)
+    {
+        // Grid-stride schedules (element-wise / reduction TEs) can run
+        // with any block count, so only rigidly-tiled schedules
+        // constrain the cooperative wave.
+        if (!sched.gridStride)
+            maxRigidBlocks = std::max(maxRigidBlocks, sched.numBlocks);
+        maxSmem = std::max(maxSmem, sched.sharedMemBytes);
+        maxRegsPerBlock = std::max(maxRegsPerBlock, sched.regsPerBlock());
+        maxThreads = std::max(maxThreads, sched.threadsPerBlock);
+    }
+
+    /** max_grid * max_occ < C, expressed as wave residency. */
+    bool
+    feasible(const DeviceSpec &device) const
+    {
+        const int64_t wave = device.maxBlocksPerWave(
+            maxSmem, maxRegsPerBlock, maxThreads);
+        return wave > 0 && maxRigidBlocks <= wave;
+    }
+};
+
+} // namespace
+
+PartitionResult
+partitionProgram(const TeProgram &program, const GlobalAnalysis &analysis,
+                 const std::vector<Schedule> &schedules,
+                 const DeviceSpec &device)
+{
+    (void)analysis;
+    PartitionResult result;
+    Subprogram current;
+    Envelope envelope;
+
+    for (int te_id = 0; te_id < program.numTes(); ++te_id) {
+        Envelope candidate = envelope;
+        candidate.add(schedules.at(te_id));
+        if (!current.tes.empty() && !candidate.feasible(device)) {
+            // Close the current subprogram and open a new one with
+            // this TE (paper Sec. 5.4, greedy BFS split).
+            result.subprograms.push_back(std::move(current));
+            current = Subprogram{};
+            envelope = Envelope{};
+            envelope.add(schedules.at(te_id));
+        } else {
+            envelope = candidate;
+        }
+        current.tes.push_back(te_id);
+    }
+    if (!current.tes.empty())
+        result.subprograms.push_back(std::move(current));
+    return result;
+}
+
+std::vector<StagePlan>
+groupStages(const TeProgram &program, const GlobalAnalysis &analysis,
+            const std::vector<int> &tes)
+{
+    (void)analysis;
+    std::vector<StagePlan> stages;
+    StagePlan current;
+    std::unordered_set<TensorId> produced_in_stage;
+
+    auto reads_aligned = [&](const TensorExpr &te, size_t slot) {
+        std::vector<ReadAccess> reads;
+        te.body->collectReads(reads);
+        for (const ReadAccess &access : reads) {
+            if (access.inputSlot != static_cast<int>(slot))
+                continue;
+            if (access.flat || !access.map->isIdentity())
+                return false;
+        }
+        return true;
+    };
+
+    for (int te_id : tes) {
+        const TensorExpr &te = program.te(te_id);
+        bool needs_sync = false;
+        if (!current.tes.empty()) {
+            for (size_t slot = 0; slot < te.inputs.size(); ++slot) {
+                if (!produced_in_stage.count(te.inputs[slot]))
+                    continue;
+                // In-stage dependence: reductions re-tile the data and
+                // non-identity reads cross block boundaries; both need
+                // a grid.sync() (new stage). Identity epilogue reads
+                // stay in registers/shared memory of the same block.
+                if (te.hasReduce() || !reads_aligned(te, slot)) {
+                    needs_sync = true;
+                    break;
+                }
+            }
+        }
+        if (needs_sync) {
+            stages.push_back(std::move(current));
+            current = StagePlan{};
+            produced_in_stage.clear();
+        }
+        current.tes.push_back(te_id);
+        produced_in_stage.insert(te.output);
+    }
+    if (!current.tes.empty())
+        stages.push_back(std::move(current));
+    return stages;
+}
+
+} // namespace souffle

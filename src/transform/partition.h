@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Resource-aware TE program partitioning (paper Sec. 5.4) and stage
+ * grouping inside a subprogram (Sec. 6.3/6.4).
+ *
+ * Souffle wants one kernel per subprogram so it can keep data on-chip
+ * and synchronize with grid.sync(). Cooperative launch requires every
+ * block of the grid to be resident simultaneously, so a subprogram is
+ * feasible only while max_grid x max_occupancy fits the device
+ * (paper: `max_grid * max_occ < C`). The partitioner walks the TE
+ * program in topological order and greedily accumulates TEs until the
+ * constraint would break, then opens a new subprogram.
+ *
+ * Within a subprogram, TEs are grouped into kernel *stages*: a TE
+ * joins the current stage when its in-stage inputs are read through
+ * identity maps (register-level epilogue fusion via schedule
+ * propagation); reductions over in-stage data, and reads that cross
+ * block tiles (broadcast/transpose of in-stage results), start a new
+ * stage behind a grid synchronization.
+ */
+
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "gpu/device.h"
+#include "kernel/build.h"
+#include "sched/schedule.h"
+
+namespace souffle {
+
+/** One subprogram: a contiguous set of TEs mapped to one kernel. */
+struct Subprogram
+{
+    std::vector<int> tes;
+};
+
+/** Result of resource-aware partitioning. */
+struct PartitionResult
+{
+    std::vector<Subprogram> subprograms;
+};
+
+/** Partition @p program under the wave-residency constraint. */
+PartitionResult partitionProgram(const TeProgram &program,
+                                 const GlobalAnalysis &analysis,
+                                 const std::vector<Schedule> &schedules,
+                                 const DeviceSpec &device);
+
+/**
+ * Group the TEs of one subprogram into kernel stages (grid-sync
+ * boundaries), per the rules above.
+ */
+std::vector<StagePlan> groupStages(const TeProgram &program,
+                                   const GlobalAnalysis &analysis,
+                                   const std::vector<int> &tes);
+
+} // namespace souffle

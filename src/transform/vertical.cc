@@ -1,0 +1,148 @@
+#include "transform/vertical.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+/** Max expression-tree size produced by one inlining step. */
+constexpr int64_t kInlineNodeBudget = 512;
+
+/** Drop input slots that are no longer read and renumber the rest. */
+void
+compactSlots(TensorExpr &te)
+{
+    std::vector<ReadAccess> reads;
+    te.body->collectReads(reads);
+    std::vector<bool> used(te.inputs.size(), false);
+    for (const ReadAccess &access : reads)
+        used[access.inputSlot] = true;
+
+    std::vector<int> remap(te.inputs.size(), 0);
+    std::vector<TensorId> new_inputs;
+    for (size_t s = 0; s < te.inputs.size(); ++s) {
+        if (!used[s])
+            continue;
+        remap[s] = static_cast<int>(new_inputs.size());
+        new_inputs.push_back(te.inputs[s]);
+    }
+    if (new_inputs.size() == te.inputs.size())
+        return;
+    te.body = te.body->remapSlots(remap);
+    te.inputs = std::move(new_inputs);
+}
+
+/** True if any read of @p slot in @p body is a flat read. */
+bool
+readsSlotFlat(const ExprPtr &body, int slot)
+{
+    std::vector<ReadAccess> reads;
+    body->collectReads(reads);
+    for (const ReadAccess &access : reads) {
+        if (access.inputSlot == slot && access.flat)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+VerticalStats
+verticalTransform(TeProgram &program)
+{
+    VerticalStats stats;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++stats.rounds;
+
+        // Consumer counts for the current program state.
+        std::vector<int> consumer_count(program.numTensors(), 0);
+        for (const auto &te : program.tes()) {
+            std::vector<TensorId> seen;
+            for (TensorId in : te.inputs) {
+                if (std::find(seen.begin(), seen.end(), in)
+                    != seen.end())
+                    continue;
+                seen.push_back(in);
+                ++consumer_count[in];
+            }
+        }
+
+        for (int v_id = 0; v_id < program.numTes(); ++v_id) {
+            TensorExpr &v = program.mutableTe(v_id);
+            if (v.hasReduce())
+                continue; // vertical transform targets one-on-one TEs
+            for (size_t slot = 0; slot < v.inputs.size(); ++slot) {
+                const TensorId t = v.inputs[slot];
+                const TensorDecl &t_decl = program.tensor(t);
+                const int u_id = t_decl.producer;
+                if (u_id < 0)
+                    continue;
+                if (t_decl.role == TensorRole::kOutput)
+                    continue;
+                const TensorExpr &u = program.te(u_id);
+                if (u.hasReduce())
+                    continue;
+                if (consumer_count[t] != 1)
+                    continue;
+                if (readsSlotFlat(v.body, static_cast<int>(slot))
+                    && !isFlatTransparent(u.body, u.outShape))
+                    continue;
+                // Inlining substitutes the whole producer body at
+                // every read site; cap the resulting tree size so
+                // chains of horizontally-merged TEs (many reads x
+                // many-branch bodies) cannot grow exponentially.
+                int64_t site_count = 0;
+                {
+                    std::vector<ReadAccess> reads;
+                    v.body->collectReads(reads);
+                    for (const ReadAccess &access : reads) {
+                        if (access.inputSlot
+                            == static_cast<int>(slot))
+                            ++site_count;
+                    }
+                }
+                if (v.body->nodeCount()
+                        + site_count * u.body->nodeCount()
+                    > kInlineNodeBudget)
+                    continue;
+
+                // Build the slot remap for u's inputs into v's space.
+                std::vector<int> u_remap(u.inputs.size(), 0);
+                std::vector<TensorId> new_inputs = v.inputs;
+                for (size_t us = 0; us < u.inputs.size(); ++us) {
+                    const TensorId u_in = u.inputs[us];
+                    auto it = std::find(new_inputs.begin(),
+                                        new_inputs.end(), u_in);
+                    if (it != new_inputs.end()) {
+                        u_remap[us] = static_cast<int>(
+                            it - new_inputs.begin());
+                    } else {
+                        u_remap[us] =
+                            static_cast<int>(new_inputs.size());
+                        new_inputs.push_back(u_in);
+                    }
+                }
+
+                v.body = v.body->inlineSlot(static_cast<int>(slot),
+                                            u.body, u_remap);
+                v.inputs = std::move(new_inputs);
+                compactSlots(v);
+                ++stats.merged;
+                changed = true;
+                break; // inputs changed; revisit this TE next round
+            }
+        }
+
+        if (changed)
+            program.removeDeadCode();
+    }
+    program.validate();
+    return stats;
+}
+
+} // namespace souffle

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Vertical transformation for one-relies-on-one TEs (paper Sec. 6.2).
+ *
+ * Chains of one-relies-on-one TEs (element-wise arithmetic, reshape,
+ * transpose, slice, ...) are collapsed into a single TE by composing
+ * their quasi-affine index maps (Eq. 2):
+ *
+ *   f_{i+1,i}(v) = M_{i+1} (M_i v + c_i) + c_{i+1}
+ *
+ * This eliminates the intermediate tensors entirely, removing both the
+ * kernels and the global-memory round trips between them.
+ */
+
+#include "te/program.h"
+
+namespace souffle {
+
+/** Statistics returned by the vertical transformation. */
+struct VerticalStats
+{
+    /** Number of producer TEs inlined into their consumers. */
+    int merged = 0;
+    /** Fixpoint iterations executed. */
+    int rounds = 0;
+};
+
+/**
+ * Collapse one-relies-on-one producer/consumer chains in @p program
+ * (in place). A producer is inlined when it is one-relies-on-one, has
+ * a single consumer, and its output is not a model output. Consumers
+ * reading through flat (reshape) maps inline only flat-transparent
+ * producers. Runs to fixpoint and removes dead TEs.
+ */
+VerticalStats verticalTransform(TeProgram &program);
+
+} // namespace souffle

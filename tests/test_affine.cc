@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for quasi-affine maps and predicates (paper Sec. 5.2/6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "te/affine.h"
+
+namespace souffle {
+namespace {
+
+TEST(AffineMap, IdentityAppliesAsIdentity)
+{
+    const AffineMap id = AffineMap::identity(3);
+    const std::vector<int64_t> index{4, 7, 9};
+    EXPECT_EQ(id.apply(index), index);
+    EXPECT_TRUE(id.isIdentity());
+    EXPECT_TRUE(id.isPermutation());
+}
+
+TEST(AffineMap, ZeroMapBroadcasts)
+{
+    const AffineMap z = AffineMap::zero(2, 3);
+    const std::vector<int64_t> index{4, 7, 9};
+    EXPECT_EQ(z.apply(index), (std::vector<int64_t>{0, 0}));
+    EXPECT_FALSE(z.isIdentity());
+    EXPECT_FALSE(z.isPermutation());
+}
+
+TEST(AffineMap, SelectPicksDims)
+{
+    const AffineMap sel = AffineMap::select({2, 0}, 3);
+    const std::vector<int64_t> index{4, 7, 9};
+    EXPECT_EQ(sel.apply(index), (std::vector<int64_t>{9, 4}));
+    EXPECT_TRUE(sel.isPermutation());
+    EXPECT_FALSE(sel.isIdentity());
+}
+
+TEST(AffineMap, ApplyWithOffsetAndScale)
+{
+    // y0 = 2*x0 + x1 - 3 ; y1 = x1
+    AffineMap map({{2, 1}, {0, 1}}, {-3, 0});
+    EXPECT_EQ(map.apply(std::vector<int64_t>{5, 4}),
+              (std::vector<int64_t>{11, 4}));
+}
+
+TEST(AffineMap, ComposeMatchesSequentialApplication)
+{
+    // inner: z -> (2 z0 + 1, z1), outer: y -> (y0 + y1, 3 y1 - 2)
+    AffineMap inner({{2, 0}, {0, 1}}, {1, 0});
+    AffineMap outer({{1, 1}, {0, 3}}, {0, -2});
+    const AffineMap composed = outer.compose(inner);
+    for (int64_t z0 = -2; z0 <= 2; ++z0) {
+        for (int64_t z1 = -2; z1 <= 2; ++z1) {
+            const std::vector<int64_t> z{z0, z1};
+            EXPECT_EQ(composed.apply(z), outer.apply(inner.apply(z)));
+        }
+    }
+}
+
+TEST(AffineMap, ComposeWithIdentityIsNoOp)
+{
+    AffineMap map({{0, 1}, {2, 0}}, {0, 0});
+    EXPECT_EQ(map.compose(AffineMap::identity(2)), map);
+    EXPECT_EQ(AffineMap::identity(2).compose(map), map);
+}
+
+TEST(AffineMap, ComposeIsAssociative)
+{
+    AffineMap a({{1, 2}, {0, 1}}, {3, -1});
+    AffineMap b({{2, 0}, {1, 1}}, {0, 5});
+    AffineMap c({{1, 0}, {0, 2}}, {-2, 1});
+    EXPECT_EQ(a.compose(b).compose(c), a.compose(b.compose(c)));
+}
+
+TEST(AffineMap, PaperFig4Composition)
+{
+    // Fig. 4: D[i,j] = C[j,i], C[i,j] = B[2i,j], B = relu(A).
+    // Semantically D[i,j] = relu(A[2j, i]), i.e. the composed map is
+    // [[0,2],[1,0]]. (The paper's printed product multiplies the
+    // matrices in the opposite order and shows A[j, 2i]; we keep the
+    // order that matches the code in the same figure.)
+    const AffineMap relu = AffineMap::identity(2);
+    AffineMap strided({{2, 0}, {0, 1}}, {0, 0}); // C[i,j] = B[2i, j]
+    AffineMap permute({{0, 1}, {1, 0}}, {0, 0}); // D[i,j] = C[j, i]
+    // D reads A through relu(strided(permute(x))): innermost-first.
+    const AffineMap total = relu.compose(strided.compose(permute));
+    AffineMap expected({{0, 2}, {1, 0}}, {0, 0});
+    EXPECT_EQ(total, expected);
+    // Cross-check by evaluation.
+    EXPECT_EQ(total.apply(std::vector<int64_t>{1, 3}),
+              (std::vector<int64_t>{6, 1}));
+}
+
+TEST(AffineMap, RowRangeExtentComputesFootprint)
+{
+    // y0 = x0 + x1 over extents (4, 3): range size 4-1 + 3-1 + 1 = 6.
+    AffineMap map({{1, 1}}, {0});
+    const std::vector<int64_t> extents{4, 3};
+    EXPECT_EQ(map.rowRangeExtent(0, extents), 6);
+
+    // Broadcast row: constant -> extent 1.
+    AffineMap bcast({{0, 0}}, {5});
+    EXPECT_EQ(bcast.rowRangeExtent(0, extents), 1);
+
+    // Strided row 2*x0: |2|*(4-1)+1 = 7 candidate positions.
+    AffineMap strided({{2, 0}}, {0});
+    EXPECT_EQ(strided.rowRangeExtent(0, extents), 7);
+}
+
+TEST(AffineCond, EvalComparisons)
+{
+    AffineCond ge{{1, -1}, 0, CmpOp::kGE}; // x0 - x1 >= 0
+    EXPECT_TRUE(ge.eval(std::vector<int64_t>{3, 2}));
+    EXPECT_TRUE(ge.eval(std::vector<int64_t>{2, 2}));
+    EXPECT_FALSE(ge.eval(std::vector<int64_t>{1, 2}));
+
+    AffineCond lt{{1, 0}, -4, CmpOp::kLT}; // x0 - 4 < 0
+    EXPECT_TRUE(lt.eval(std::vector<int64_t>{3, 0}));
+    EXPECT_FALSE(lt.eval(std::vector<int64_t>{4, 0}));
+
+    AffineCond eq{{1, 0}, -2, CmpOp::kEQ}; // x0 == 2
+    EXPECT_TRUE(eq.eval(std::vector<int64_t>{2, 9}));
+    EXPECT_FALSE(eq.eval(std::vector<int64_t>{3, 9}));
+}
+
+TEST(AffineCond, SubstitutePreservesTruth)
+{
+    // cond: x0 - 4 >= 0 ; substitution x = A(z) with x0 = 2 z0 + z1.
+    AffineCond cond{{1, 0}, -4, CmpOp::kGE};
+    AffineMap sub({{2, 1}, {0, 1}}, {0, 0});
+    const AffineCond rewritten = cond.substitute(sub);
+    for (int64_t z0 = 0; z0 < 5; ++z0) {
+        for (int64_t z1 = 0; z1 < 5; ++z1) {
+            const std::vector<int64_t> z{z0, z1};
+            EXPECT_EQ(rewritten.eval(z), cond.eval(sub.apply(z)))
+                << "z = (" << z0 << ", " << z1 << ")";
+        }
+    }
+}
+
+TEST(AffineCond, SubstituteThroughOffsetMap)
+{
+    // cond over 1-d space: x0 < 6; substitution x0 = z0 + 10.
+    AffineCond cond{{1}, -6, CmpOp::kLT};
+    AffineMap sub({{1, 0}}, {10});
+    const AffineCond rewritten = cond.substitute(sub);
+    EXPECT_FALSE(rewritten.eval(std::vector<int64_t>{0, 0}));
+    AffineMap sub_neg({{1, 0}}, {-10});
+    const AffineCond r2 = cond.substitute(sub_neg);
+    EXPECT_TRUE(r2.eval(std::vector<int64_t>{15, 0}));
+    EXPECT_FALSE(r2.eval(std::vector<int64_t>{16, 0}));
+}
+
+TEST(Predicate, ConjunctionSemantics)
+{
+    Predicate pred{
+        AffineCond{{1, 0}, 0, CmpOp::kGE},  // x0 >= 0
+        AffineCond{{1, 0}, -4, CmpOp::kLT}, // x0 < 4
+    };
+    EXPECT_TRUE(evalPredicate(pred, std::vector<int64_t>{0, 0}));
+    EXPECT_TRUE(evalPredicate(pred, std::vector<int64_t>{3, 0}));
+    EXPECT_FALSE(evalPredicate(pred, std::vector<int64_t>{4, 0}));
+    EXPECT_FALSE(evalPredicate(pred, std::vector<int64_t>{-1, 0}));
+    EXPECT_TRUE(evalPredicate({}, std::vector<int64_t>{7, 7}));
+}
+
+} // namespace
+} // namespace souffle

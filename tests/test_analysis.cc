@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the global computation-graph analysis (paper Sec. 5):
+ * dependence classification, compute/memory characterization with the
+ * threshold of 3, footprint estimation, live ranges, reuse detection
+ * and TE-level reachability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "graph/lowering.h"
+
+namespace souffle {
+namespace {
+
+/** x -> matmul -> sigmoid -> matmul -> add(skip) pattern of Fig. 2. */
+LoweredModel
+fig2Program()
+{
+    Graph g;
+    const ValueId i0 = g.input("I0", {64, 64});
+    const ValueId w0 = g.param("W0", {64, 64});
+    const ValueId w2 = g.param("W2", {64, 64});
+    const ValueId w4 = g.param("W4", {64, 256});
+    const ValueId o0 = g.matmul(i0, w0);       // TE0
+    const ValueId o1 = g.sigmoid(o0);          // TE1
+    const ValueId o2 = g.matmul(o1, w2);       // TE2
+    const ValueId o3 = g.add(o0, o2);          // TE3 (reuses O0)
+    const ValueId o4 = g.matmul(o3, w4);       // TE4
+    g.markOutput(o4);
+    return lowerToTe(g);
+}
+
+TEST(Analysis, Fig2Classification)
+{
+    const LoweredModel lowered = fig2Program();
+    const GlobalAnalysis analysis(lowered.program);
+
+    // TE0/TE2/TE4 are one-relies-on-many compute-intensive; TE1/TE3
+    // one-relies-on-one memory-intensive (exactly the Fig. 2 labels).
+    EXPECT_EQ(analysis.teInfo(0).dep, DepKind::kOneToMany);
+    EXPECT_TRUE(analysis.teInfo(0).computeIntensive);
+    EXPECT_EQ(analysis.teInfo(1).dep, DepKind::kOneToOne);
+    EXPECT_FALSE(analysis.teInfo(1).computeIntensive);
+    EXPECT_EQ(analysis.teInfo(2).dep, DepKind::kOneToMany);
+    EXPECT_TRUE(analysis.teInfo(2).computeIntensive);
+    EXPECT_EQ(analysis.teInfo(3).dep, DepKind::kOneToOne);
+    EXPECT_FALSE(analysis.teInfo(3).computeIntensive);
+    EXPECT_EQ(analysis.teInfo(4).dep, DepKind::kOneToMany);
+    EXPECT_TRUE(analysis.teInfo(4).computeIntensive);
+
+    EXPECT_EQ(analysis.computeIntensiveTes(),
+              (std::vector<int>{0, 2, 4}));
+    EXPECT_EQ(analysis.memoryIntensiveTes(), (std::vector<int>{1, 3}));
+}
+
+TEST(Analysis, Fig2SharedTensorO0)
+{
+    const LoweredModel lowered = fig2Program();
+    const GlobalAnalysis analysis(lowered.program);
+
+    // O0 is consumed by TE1 and TE3 ({O0: [TE1, TE3]} in Fig. 2);
+    // TE1 reaches TE3 (via TE2), so this is temporal reuse.
+    bool found = false;
+    for (const SharedTensor &shared : analysis.sharedTensors()) {
+        if (shared.consumers == std::vector<int>{1, 3}) {
+            found = true;
+            EXPECT_TRUE(shared.temporal);
+            EXPECT_FALSE(shared.spatial);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, SpatialReuseForIndependentConsumers)
+{
+    Graph g;
+    const ValueId x = g.input("x", {8, 8});
+    const ValueId wq = g.param("wq", {8, 8});
+    const ValueId wk = g.param("wk", {8, 8});
+    const ValueId q = g.matmul(x, wq);
+    const ValueId k = g.matmul(x, wk);
+    g.markOutput(g.add(q, k));
+
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    bool found = false;
+    for (const SharedTensor &shared : analysis.sharedTensors()) {
+        if (lowered.program.tensor(shared.tensor).name == "x") {
+            found = true;
+            EXPECT_TRUE(shared.spatial);
+            EXPECT_FALSE(shared.temporal);
+            EXPECT_EQ(shared.consumers.size(), 2u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, ReachabilityFollowsDataflow)
+{
+    const LoweredModel lowered = fig2Program();
+    const GlobalAnalysis analysis(lowered.program);
+    EXPECT_TRUE(analysis.reachable(0, 1));
+    EXPECT_TRUE(analysis.reachable(0, 4));
+    EXPECT_TRUE(analysis.reachable(1, 3));
+    EXPECT_FALSE(analysis.reachable(1, 0)); // edges point forward
+    EXPECT_TRUE(analysis.reachable(2, 2));  // reflexive
+}
+
+TEST(Analysis, ReachabilityIndependentBranches)
+{
+    Graph g;
+    const ValueId x = g.input("x", {4, 4});
+    const ValueId a = g.relu(x);    // TE0
+    const ValueId b = g.sigmoid(x); // TE1 (independent of TE0)
+    g.markOutput(g.add(a, b));      // TE2
+
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    EXPECT_FALSE(analysis.reachable(0, 1));
+    EXPECT_TRUE(analysis.reachable(0, 2));
+    EXPECT_TRUE(analysis.reachable(1, 2));
+}
+
+TEST(Analysis, LiveRangesSpanDefToLastUse)
+{
+    const LoweredModel lowered = fig2Program();
+    const GlobalAnalysis analysis(lowered.program);
+    const TeProgram &prog = lowered.program;
+
+    // O0 defined by TE0, last used by TE3.
+    const TensorId o0 = prog.te(0).output;
+    EXPECT_EQ(analysis.liveRange(o0).def, 0);
+    EXPECT_EQ(analysis.liveRange(o0).lastUse, 3);
+
+    // Inputs have def -1.
+    for (TensorId id : prog.inputTensors())
+        EXPECT_EQ(analysis.liveRange(id).def, -1);
+}
+
+TEST(Analysis, GemmFootprintIsOperandRegions)
+{
+    // GEMM [M,K]x[K,N]: unique input elements = M*K + K*N, not the
+    // M*N*K raw access count (Sec. 5.3 needs unique footprints so the
+    // compute/memory ratio comes out large for contractions).
+    Graph g;
+    const ValueId a = g.input("a", {32, 16});
+    const ValueId b = g.param("b", {16, 24});
+    g.markOutput(g.matmul(a, b));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    EXPECT_EQ(analysis.teInfo(0).inputFootprintElems,
+              32 * 16 + 16 * 24);
+}
+
+TEST(Analysis, BroadcastFootprintIsSmall)
+{
+    Graph g;
+    const ValueId x = g.input("x", {64, 64});
+    const ValueId bias = g.param("bias", {64});
+    g.markOutput(g.add(x, bias));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    // x (4096) + bias (64): the bias row is counted once, not per row.
+    EXPECT_EQ(analysis.teInfo(0).inputFootprintElems, 4096 + 64);
+}
+
+TEST(Analysis, SliceFootprintIsWindow)
+{
+    Graph g;
+    const ValueId x = g.input("x", {16, 16});
+    g.markOutput(g.slice(x, {4, 0}, {8, 16}));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    EXPECT_EQ(analysis.teInfo(0).inputFootprintElems, 4 * 16);
+}
+
+TEST(Analysis, RatioThresholdBoundary)
+{
+    // An element-wise op with ~1 instruction per 2 accesses must be
+    // memory-intensive; a GEMM with K=64 must be compute-intensive.
+    Graph g;
+    const ValueId x = g.input("x", {64, 64});
+    const ValueId w = g.param("w", {64, 64});
+    const ValueId mm = g.matmul(x, w);
+    const ValueId r = g.relu(mm);
+    g.markOutput(r);
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    EXPECT_GT(analysis.teInfo(0).computeMemRatio,
+              kComputeIntensityThreshold);
+    EXPECT_LT(analysis.teInfo(1).computeMemRatio,
+              kComputeIntensityThreshold);
+}
+
+TEST(Analysis, FlopsScaleWithDomain)
+{
+    Graph g;
+    const ValueId a = g.input("a", {8, 8});
+    const ValueId b = g.param("b", {8, 8});
+    g.markOutput(g.matmul(a, b));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    // mul + combiner add per reduction point: 2 * 8^3 weighted flops.
+    EXPECT_EQ(analysis.teInfo(0).flops, 2 * 8 * 8 * 8);
+    EXPECT_EQ(analysis.teInfo(0).arithInstrs, 2 * 8 * 8 * 8);
+}
+
+TEST(Analysis, CountUnitOpsTreatsSelectChainsAsDispatch)
+{
+    // A deep concat select chain costs one dispatch + worst branch.
+    auto leaf = Expr::binary(BinaryOp::kMul,
+                             Expr::read(0, AffineMap::identity(1)),
+                             Expr::read(0, AffineMap::identity(1)));
+    ExprPtr chain = leaf;
+    for (int i = 0; i < 10; ++i) {
+        Predicate pred{AffineCond{{1}, -i, CmpOp::kLT}};
+        chain = Expr::select(pred, leaf, chain);
+    }
+    EXPECT_EQ(countUnitOps(chain), 1 + countUnitOps(leaf));
+    EXPECT_EQ(chain->arithOps(), 1 + leaf->arithOps());
+}
+
+TEST(Analysis, ConsumersDeduplicatedPerTe)
+{
+    // silu reads x twice in one TE: the consumer list counts it once.
+    Graph g;
+    const ValueId x = g.input("x", {4});
+    g.markOutput(g.silu(x));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    EXPECT_EQ(analysis.consumers(0).size(), 1u);
+}
+
+TEST(Analysis, SummaryStringMentionsCounts)
+{
+    const LoweredModel lowered = fig2Program();
+    const GlobalAnalysis analysis(lowered.program);
+    const std::string summary = analysis.toString();
+    EXPECT_NE(summary.find("5 TEs"), std::string::npos);
+    EXPECT_NE(summary.find("compute-intensive"), std::string::npos);
+}
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the baseline fusion-rule models (paper Sec. 7.2/8.1):
+ * each baseline must exhibit exactly the documented limitation that
+ * Sec. 8.1 blames for its gap, plus the adaptive-fusion extension of
+ * the Souffle driver (Sec. 9's suggested remedy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "compiler/souffle.h"
+#include "gpu/sim.h"
+#include "models/zoo.h"
+
+namespace souffle {
+namespace {
+
+const DeviceSpec kDevice = DeviceSpec::a100();
+
+/** x -> matmul -> softmax: the GEMM+Softmax fusion probe. */
+Graph
+gemmSoftmax()
+{
+    Graph g;
+    const ValueId x = g.input("x", {32, 64});
+    const ValueId w = g.param("w", {64, 64});
+    g.markOutput(g.softmax(g.matmul(x, w)));
+    return g;
+}
+
+TEST(ClusterRules, XlaSoftmaxIsTwoKernels)
+{
+    // XLA's loop fusion fuses element-wise + one reduction per fused
+    // loop, so softmax = (max+exp) and (sum+div): two kernels; the
+    // GEMM is a separate library call it cannot fuse with.
+    const Compiled c =
+        compileWith(CompilerId::kXla, gemmSoftmax(), kDevice);
+    EXPECT_EQ(c.module.numKernels(), 3); // gemm + 2 softmax kernels
+    EXPECT_TRUE(c.module.kernels[0].usesLibrary);
+}
+
+TEST(ClusterRules, XlaCannotFuseEpilogueIntoLibraryGemm)
+{
+    Graph g;
+    const ValueId x = g.input("x", {32, 64});
+    const ValueId w = g.param("w", {64, 64});
+    g.markOutput(g.relu(g.matmul(x, w)));
+    const Compiled c = compileWith(CompilerId::kXla, g, kDevice);
+    EXPECT_EQ(c.module.numKernels(), 2); // gemm | relu
+}
+
+TEST(ClusterRules, TensorRtFusesGemmBiasActivation)
+{
+    Graph g;
+    const ValueId x = g.input("x", {32, 64});
+    const ValueId w = g.param("w", {64, 64});
+    const ValueId b = g.param("b", {64});
+    g.markOutput(g.relu(g.add(g.matmul(x, w), b)));
+    const Compiled c = compileWith(CompilerId::kTensorRT, g, kDevice);
+    EXPECT_EQ(c.module.numKernels(), 1); // the classic GEMM tactic
+    EXPECT_TRUE(c.module.kernels[0].usesLibrary);
+    EXPECT_LT(c.module.kernels[0].libraryTimeFactor, 1.0);
+}
+
+TEST(ClusterRules, TensorRtCannotFuseGemmWithSoftmax)
+{
+    const Compiled c =
+        compileWith(CompilerId::kTensorRT, gemmSoftmax(), kDevice);
+    EXPECT_GE(c.module.numKernels(), 2);
+}
+
+TEST(ClusterRules, ApolloSplitsSoftmaxFinely)
+{
+    // Apollo's conservative rules (no broadcast fusion, reductions
+    // never join element-wise clusters) give softmax one kernel per
+    // TE: 4 kernels + the GEMM.
+    const Compiled c =
+        compileWith(CompilerId::kApollo, gemmSoftmax(), kDevice);
+    EXPECT_EQ(c.module.numKernels(), 5);
+}
+
+TEST(ClusterRules, ApolloGeneratedGemmSlowerThanTrtLibrary)
+{
+    const Graph g = gemmSoftmax();
+    const SimResult apollo =
+        simulate(compileWith(CompilerId::kApollo, g, kDevice).module,
+                 kDevice);
+    const SimResult trt = simulate(
+        compileWith(CompilerId::kTensorRT, g, kDevice).module, kDevice);
+    EXPECT_GT(apollo.totalUs, trt.totalUs);
+}
+
+TEST(ClusterRules, IreeFusesPrologueIntoReduction)
+{
+    // IREE's producer-consumer tile-and-fuse pulls element-wise
+    // producers into the consuming reduction.
+    Graph g;
+    const ValueId x = g.input("x", {32, 64});
+    g.markOutput(g.reduceSum(g.exp(x), {1}));
+    const Compiled c = compileWith(CompilerId::kIree, g, kDevice);
+    EXPECT_EQ(c.module.numKernels(), 1);
+}
+
+TEST(ClusterRules, IreeConvPenaltyApplies)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 16, 32, 32});
+    const ValueId w = g.param("w", {16, 16, 3, 3});
+    g.markOutput(g.conv2d(x, w, 1, 1));
+    const Compiled c = compileWith(CompilerId::kIree, g, kDevice);
+    ASSERT_EQ(c.module.numKernels(), 1);
+    EXPECT_GT(c.module.kernels[0].libraryTimeFactor, 1.0);
+}
+
+TEST(ClusterRules, AnsorFusesInjectiveChains)
+{
+    // slice -> sigmoid -> mul chains (the LSTM gate pattern) fuse
+    // into one kernel for TVM-style codegen.
+    Graph g;
+    const ValueId x = g.input("x", {1, 32});
+    const ValueId a = g.sigmoid(g.slice(x, {0, 0}, {1, 16}));
+    const ValueId b = g.tanh(g.slice(x, {0, 16}, {1, 32}));
+    g.markOutput(g.mul(a, b));
+    const Compiled c = compileWith(CompilerId::kAnsor, g, kDevice);
+    EXPECT_EQ(c.module.numKernels(), 1);
+}
+
+TEST(ClusterRules, RammerMergesSiblingOperators)
+{
+    // Rammer's rTask co-scheduling merges the independent experts.
+    Graph g;
+    const ValueId x = g.input("x", {8, 16});
+    const ValueId a = g.relu(x);
+    const ValueId b = g.relu(x);
+    const ValueId c_v = g.relu(x);
+    g.markOutput(g.add(g.add(a, b), c_v));
+    const Compiled c = compileWith(CompilerId::kRammer, g, kDevice);
+    EXPECT_GE(c.horizontalGroups, 1);
+    EXPECT_LE(c.module.numKernels(), 2);
+}
+
+TEST(AdaptiveFusion, NeverSlowerThanPlainV4)
+{
+    for (const std::string model :
+         {"BERT", "LSTM", "MMoE", "SwinTransformer"}) {
+        const Graph graph = buildTinyModel(model);
+        SouffleOptions plain;
+        SouffleOptions adaptive;
+        adaptive.adaptiveFusion = true;
+        const double plain_us =
+            simulate(compileSouffle(graph, plain).module, kDevice)
+                .totalUs;
+        const double adaptive_us =
+            simulate(compileSouffle(graph, adaptive).module, kDevice)
+                .totalUs;
+        EXPECT_LE(adaptive_us, plain_us * 1.0001) << model;
+    }
+}
+
+TEST(AdaptiveFusion, SplitsUnprofitableMegaKernels)
+{
+    // A chain of tiny dependent reductions: grid syncs + per-stage
+    // latency can exceed per-kernel launches; adaptive fusion must
+    // at least consider splitting without breaking coverage.
+    Graph g;
+    ValueId x = g.input("x", {4, 4});
+    for (int i = 0; i < 6; ++i) {
+        const ValueId row_sum =
+            g.reduceSum(g.relu(x), {0}, /*keepdims=*/true);
+        x = g.add(x, row_sum); // broadcast: forces a sync each round
+    }
+    g.markOutput(x);
+
+    SouffleOptions adaptive;
+    adaptive.adaptiveFusion = true;
+    const Compiled c = compileSouffle(g, adaptive);
+    // Coverage must survive the rewrite.
+    int covered = 0;
+    for (const auto &kernel : c.module.kernels)
+        covered += static_cast<int>(kernel.teIds().size());
+    EXPECT_EQ(covered, c.program.numTes());
+}
+
+TEST(IntensityThreshold, ExtremeThresholdsStillCompile)
+{
+    const Graph graph = buildTinyModel("BERT");
+    for (double threshold : {0.5, 3.0, 100.0}) {
+        SouffleOptions options;
+        options.intensityThreshold = threshold;
+        const Compiled c = compileSouffle(graph, options);
+        const SimResult sim = simulate(c.module, kDevice);
+        EXPECT_GT(sim.totalUs, 0.0) << "threshold " << threshold;
+    }
+}
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the common utilities: logging verbosity, check macros,
+ * and string formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+namespace {
+
+TEST(Logging, FatalThrowsWithMessageAndLocation)
+{
+    try {
+        SOUFFLE_FATAL("bad config value " << 42);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("bad config value 42"), std::string::npos);
+        EXPECT_NE(what.find("test_common.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, RequireThrowsOnlyWhenFalse)
+{
+    EXPECT_NO_THROW(SOUFFLE_REQUIRE(1 + 1 == 2, "fine"));
+    EXPECT_THROW(SOUFFLE_REQUIRE(1 + 1 == 3, "broken"), FatalError);
+}
+
+TEST(Logging, CheckAbortsOnFalse)
+{
+    EXPECT_NO_THROW(SOUFFLE_CHECK(true, "fine"));
+    EXPECT_DEATH(SOUFFLE_CHECK(false, "invariant broken"),
+                 "invariant broken");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(SOUFFLE_PANIC("internal bug " << 7), "internal bug 7");
+}
+
+TEST(Logging, VerbosityControlsWarnings)
+{
+    const int old = logVerbosity();
+    setLogVerbosity(0);
+    testing::internal::CaptureStderr();
+    SOUFFLE_WARN("should be suppressed");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogVerbosity(1);
+    testing::internal::CaptureStderr();
+    SOUFFLE_WARN("should appear");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "should appear"),
+              std::string::npos);
+    setLogVerbosity(old);
+}
+
+TEST(StringUtil, JoinToString)
+{
+    EXPECT_EQ(joinToString(std::vector<int64_t>{1, 2, 3}, "x"),
+              "1x2x3");
+    EXPECT_EQ(joinToString(std::vector<int64_t>{}, ","), "");
+    EXPECT_EQ(joinToString(std::vector<int64_t>{7}, ","), "7");
+}
+
+TEST(StringUtil, ShapeToString)
+{
+    EXPECT_EQ(shapeToString({2, 3, 4}), "[2, 3, 4]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+TEST(StringUtil, BytesToString)
+{
+    EXPECT_EQ(bytesToString(512), "512.00 B");
+    EXPECT_EQ(bytesToString(2048), "2.00 KB");
+    EXPECT_EQ(bytesToString(3.5 * 1024 * 1024), "3.50 MB");
+    EXPECT_EQ(bytesToString(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+}
+
+TEST(StringUtil, TimeToString)
+{
+    EXPECT_EQ(timeToString(12.345), "12.35 us");
+    EXPECT_EQ(timeToString(2500.0), "2.50 ms");
+}
+
+} // namespace
+} // namespace souffle

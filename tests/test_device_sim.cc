@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the A100 device model and the kernel-grain timing
+ * simulator: occupancy math, wave limits, roofline charging, launch
+ * and sync overheads, pipelining credits, and counter accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.h"
+#include "gpu/sim.h"
+
+namespace souffle {
+namespace {
+
+TEST(Device, BlocksPerSmLimits)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    // Shared-memory bound: 80 KB blocks -> 2 per SM.
+    EXPECT_EQ(device.blocksPerSm(80 * 1024, 0, 128), 2);
+    // Register bound: 32k regs per block -> 2 per SM.
+    EXPECT_EQ(device.blocksPerSm(0, 32 * 1024, 128), 2);
+    // Thread bound: 1024-thread blocks -> 2 per SM.
+    EXPECT_EQ(device.blocksPerSm(0, 0, 1024), 2);
+    // Hard cap.
+    EXPECT_EQ(device.blocksPerSm(0, 0, 32), device.maxBlocksPerSm);
+}
+
+TEST(Device, WaveIsBlocksTimesSms)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    EXPECT_EQ(device.maxBlocksPerWave(80 * 1024, 0, 128),
+              2 * device.numSms);
+}
+
+TEST(Device, MemTimeHasLatencyFloor)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    EXPECT_DOUBLE_EQ(device.memTimeUs(0), 0.0);
+    EXPECT_GE(device.memTimeUs(1), device.memLatencyUs);
+    // 1.555 GB at 1555 GB/s ~ 1000 us (plus latency).
+    EXPECT_NEAR(device.memTimeUs(1.555e9), 1000.0 + device.memLatencyUs,
+                1.0);
+}
+
+TEST(Device, ComputePipesHaveDistinctThroughput)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    const double flops = 1e9;
+    const double tc = device.computeTimeUs(flops,
+                                           ComputePipe::kTensorCore);
+    const double fma = device.computeTimeUs(flops, ComputePipe::kFma);
+    EXPECT_LT(tc, fma); // tensor cores are ~16x faster at peak
+    EXPECT_GT(tc, 0.0);
+}
+
+/** Build a single-stage kernel from raw instructions. */
+Kernel
+makeKernel(std::vector<Instr> instrs, int64_t blocks = 256)
+{
+    Kernel kernel;
+    kernel.name = "k";
+    KernelStage stage;
+    stage.name = "s";
+    stage.teIds = {0};
+    stage.numBlocks = blocks;
+    stage.instrs = std::move(instrs);
+    kernel.stages.push_back(std::move(stage));
+    return kernel;
+}
+
+Instr
+load(double bytes, TensorId tensor = 0, bool overlapped = false)
+{
+    Instr instr;
+    instr.kind = InstrKind::kLoadGlobal;
+    instr.bytes = bytes;
+    instr.tensor = tensor;
+    instr.overlapped = overlapped;
+    return instr;
+}
+
+Instr
+compute(double flops, ComputePipe pipe = ComputePipe::kFma)
+{
+    Instr instr;
+    instr.kind = InstrKind::kCompute;
+    instr.pipe = pipe;
+    instr.flops = flops;
+    return instr;
+}
+
+Instr
+store(double bytes, TensorId tensor = 1)
+{
+    Instr instr;
+    instr.kind = InstrKind::kStoreGlobal;
+    instr.bytes = bytes;
+    instr.tensor = tensor;
+    return instr;
+}
+
+TEST(Sim, LaunchOverheadPerKernel)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    CompiledModule module;
+    module.kernels.push_back(makeKernel({compute(1.0)}));
+    module.kernels.push_back(makeKernel({compute(1.0)}));
+    const SimResult result = simulate(module, device);
+    EXPECT_EQ(result.counters.kernelLaunches, 2);
+    EXPECT_GE(result.totalUs, 2 * device.kernelLaunchUs);
+}
+
+TEST(Sim, RooflineTakesMaxOfComputeAndMemory)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    // Memory-bound kernel: huge load, tiny compute.
+    CompiledModule mem_module;
+    mem_module.kernels.push_back(
+        makeKernel({load(1.0e9), compute(1.0)}));
+    const SimResult mem = simulate(mem_module, device);
+    EXPECT_FALSE(mem.kernels[0].computeBound);
+
+    // Compute-bound: tiny load, huge fp32 FLOPs.
+    CompiledModule comp_module;
+    comp_module.kernels.push_back(
+        makeKernel({load(64.0), compute(1.0e9)}));
+    const SimResult comp = simulate(comp_module, device);
+    EXPECT_TRUE(comp.kernels[0].computeBound);
+    // And the bound dominates the total.
+    EXPECT_NEAR(comp.kernels[0].timeUs,
+                device.computeTimeUs(1.0e9, ComputePipe::kFma), 1.0);
+}
+
+TEST(Sim, CountersAccumulateTraffic)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    CompiledModule module;
+    module.kernels.push_back(
+        makeKernel({load(1000.0), compute(10.0), store(500.0)}));
+    const SimResult result = simulate(module, device);
+    EXPECT_DOUBLE_EQ(result.counters.bytesLoaded, 1000.0);
+    EXPECT_DOUBLE_EQ(result.counters.bytesStored, 500.0);
+    EXPECT_DOUBLE_EQ(result.counters.totalGlobalBytes(), 1500.0);
+}
+
+TEST(Sim, CachedLoadsDoNotCountAsGlobalTraffic)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    Instr cached = load(1000.0);
+    cached.kind = InstrKind::kLoadCached;
+    CompiledModule module;
+    module.kernels.push_back(makeKernel({cached, compute(10.0)}));
+    const SimResult result = simulate(module, device);
+    EXPECT_DOUBLE_EQ(result.counters.bytesLoaded, 0.0);
+    EXPECT_DOUBLE_EQ(result.counters.bytesCached, 1000.0);
+}
+
+TEST(Sim, AtomicsChargedTwice)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    Instr atomic;
+    atomic.kind = InstrKind::kAtomicAdd;
+    atomic.bytes = 1.0e8;
+    atomic.tensor = 2;
+
+    CompiledModule atomic_module;
+    atomic_module.kernels.push_back(makeKernel({atomic}));
+    CompiledModule store_module;
+    store_module.kernels.push_back(makeKernel({store(1.0e8)}));
+
+    const double atomic_time =
+        simulate(atomic_module, device).totalUs;
+    const double store_time = simulate(store_module, device).totalUs;
+    EXPECT_GT(atomic_time, store_time * 1.5);
+}
+
+TEST(Sim, GridSyncCostsPerSync)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    Kernel kernel = makeKernel({compute(1.0)});
+    KernelStage second;
+    second.name = "s2";
+    second.teIds = {1};
+    second.numBlocks = 256;
+    Instr sync;
+    sync.kind = InstrKind::kGridSync;
+    second.instrs = {sync, compute(1.0)};
+    kernel.stages.push_back(second);
+
+    CompiledModule module;
+    module.kernels.push_back(kernel);
+    const SimResult result = simulate(module, device);
+    EXPECT_EQ(result.counters.gridSyncs, 1);
+    EXPECT_EQ(result.counters.kernelLaunches, 1);
+    EXPECT_GE(result.totalUs, device.gridSyncUs);
+}
+
+TEST(Sim, LibraryFactorScalesKernelTime)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    CompiledModule plain;
+    plain.kernels.push_back(makeKernel({load(1.0e8), compute(1.0e8)}));
+    CompiledModule lib = plain;
+    lib.kernels[0].usesLibrary = true;
+    lib.kernels[0].libraryTimeFactor = 0.5;
+
+    const double plain_kernel =
+        simulate(plain, device).kernels[0].timeUs;
+    const double lib_kernel = simulate(lib, device).kernels[0].timeUs;
+    EXPECT_NEAR(lib_kernel, plain_kernel * 0.5, 1e-9);
+}
+
+TEST(Sim, PrefetchNeverSlowsAKernelDown)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    // Two stages; the second loads weights that can be prefetched.
+    auto build = [&](bool overlapped) {
+        Kernel kernel = makeKernel({load(1.0e7, 0), compute(5.0e7)});
+        KernelStage second;
+        second.name = "s2";
+        second.teIds = {1};
+        second.numBlocks = 256;
+        Instr sync;
+        sync.kind = InstrKind::kGridSync;
+        second.instrs = {sync, load(2.0e7, 3, overlapped),
+                         compute(5.0e7)};
+        kernel.stages.push_back(second);
+        CompiledModule module;
+        module.kernels.push_back(kernel);
+        return module;
+    };
+    const double without =
+        simulate(build(false), device).totalUs;
+    const double with = simulate(build(true), device).totalUs;
+    EXPECT_LE(with, without + 1e-9);
+    EXPECT_LT(with, without); // memory-bound stage: overlap must help
+}
+
+TEST(Sim, UnderParallelismPenalizesTinyGrids)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    CompiledModule wide;
+    wide.kernels.push_back(
+        makeKernel({compute(1.0e9)}, /*blocks=*/256));
+    CompiledModule narrow;
+    narrow.kernels.push_back(
+        makeKernel({compute(1.0e9)}, /*blocks=*/13));
+    const double wide_time = simulate(wide, device).totalUs;
+    const double narrow_time = simulate(narrow, device).totalUs;
+    EXPECT_GT(narrow_time, wide_time * 4.0);
+}
+
+TEST(Sim, WaveQuantizationRoundsUp)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    // Blocks just above one wave cost ~2 waves.
+    auto make = [&](int64_t blocks) {
+        Kernel kernel = makeKernel({compute(1.0e9)}, blocks);
+        kernel.stages[0].sharedMemBytes = 80 * 1024; // wave = 216
+        CompiledModule module;
+        module.kernels.push_back(kernel);
+        return module;
+    };
+    const double one_wave = simulate(make(216), device).totalUs;
+    const double just_over = simulate(make(217), device).totalUs;
+    EXPECT_GT(just_over, one_wave * 1.5);
+}
+
+TEST(Sim, UtilizationRatiosBounded)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    CompiledModule module;
+    module.kernels.push_back(
+        makeKernel({load(1.0e8), compute(1.0e8), store(1.0e7)}));
+    const SimResult result = simulate(module, device);
+    EXPECT_GE(result.lsuUtilization(), 0.0);
+    EXPECT_LE(result.lsuUtilization(), 1.0);
+    EXPECT_GE(result.fmaUtilization(), 0.0);
+    EXPECT_LE(result.fmaUtilization(), 1.0 + 1e-9);
+}
+
+TEST(Sim, EmptyModuleIsFree)
+{
+    const SimResult result =
+        simulate(CompiledModule{}, DeviceSpec::a100());
+    EXPECT_DOUBLE_EQ(result.totalUs, 0.0);
+    EXPECT_EQ(result.counters.kernelLaunches, 0);
+}
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the graph-builder API: shape inference, broadcasting
+ * rules, and rejection of ill-formed models (user-facing FatalError,
+ * not process aborts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "graph/lowering.h"
+
+namespace souffle {
+namespace {
+
+TEST(GraphApi, BroadcastShapes)
+{
+    EXPECT_EQ(Graph::broadcastShapes({2, 3}, {3}),
+              (std::vector<int64_t>{2, 3}));
+    EXPECT_EQ(Graph::broadcastShapes({2, 1, 4}, {2, 3, 1}),
+              (std::vector<int64_t>{2, 3, 4}));
+    EXPECT_EQ(Graph::broadcastShapes({5}, {5}),
+              (std::vector<int64_t>{5}));
+    EXPECT_EQ(Graph::broadcastShapes({1}, {7, 1}),
+              (std::vector<int64_t>{7, 1}));
+    EXPECT_THROW(Graph::broadcastShapes({2, 3}, {4}), FatalError);
+}
+
+TEST(GraphApi, MatmulShapeChecks)
+{
+    Graph g;
+    const ValueId a = g.input("a", {4, 8});
+    const ValueId bad = g.param("bad", {7, 3});
+    EXPECT_THROW(g.matmul(a, bad), FatalError);
+    const ValueId rank3 = g.param("r3", {2, 8, 3});
+    EXPECT_THROW(g.matmul(a, rank3), FatalError);
+    const ValueId ok = g.param("ok", {8, 3});
+    EXPECT_EQ(g.value(g.matmul(a, ok)).shape,
+              (std::vector<int64_t>{4, 3}));
+}
+
+TEST(GraphApi, BatchMatmulChecksBatchDims)
+{
+    Graph g;
+    const ValueId a = g.input("a", {2, 4, 8});
+    const ValueId mismatched = g.input("b", {3, 8, 5});
+    EXPECT_THROW(g.batchMatmul(a, mismatched), FatalError);
+    const ValueId ok = g.input("c", {2, 8, 5});
+    EXPECT_EQ(g.value(g.batchMatmul(a, ok)).shape,
+              (std::vector<int64_t>{2, 4, 5}));
+    const ValueId trans = g.input("d", {2, 5, 8});
+    EXPECT_EQ(g.value(g.batchMatmul(a, trans, true)).shape,
+              (std::vector<int64_t>{2, 4, 5}));
+}
+
+TEST(GraphApi, ConvShapeInference)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 16, 32, 32});
+    const ValueId w = g.param("w", {8, 16, 3, 3});
+    EXPECT_EQ(g.value(g.conv2d(x, w, 1, 1)).shape,
+              (std::vector<int64_t>{1, 8, 32, 32}));
+    EXPECT_EQ(g.value(g.conv2d(x, w, 2, 1)).shape,
+              (std::vector<int64_t>{1, 8, 16, 16}));
+    // Grouped weight shape mismatch.
+    const ValueId wg = g.param("wg", {8, 8, 3, 3});
+    EXPECT_THROW(g.conv2d(x, wg, 1, 1, /*groups=*/1), FatalError);
+    EXPECT_NO_THROW(g.conv2d(x, wg, 1, 1, /*groups=*/2));
+    // Channels not divisible by groups.
+    EXPECT_THROW(g.conv2d(x, w, 1, 1, /*groups=*/3), FatalError);
+}
+
+TEST(GraphApi, PoolingShapes)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 4, 16, 16});
+    EXPECT_EQ(g.value(g.maxPool2d(x, 2, 2)).shape,
+              (std::vector<int64_t>{1, 4, 8, 8}));
+    EXPECT_EQ(g.value(g.avgPool2d(x, 3, 2, 1)).shape,
+              (std::vector<int64_t>{1, 4, 8, 8}));
+    EXPECT_EQ(g.value(g.globalAvgPool(x)).shape,
+              (std::vector<int64_t>{1, 4, 1, 1}));
+    const ValueId rank2 = g.input("r2", {4, 4});
+    EXPECT_THROW(g.maxPool2d(rank2, 2, 2), FatalError);
+}
+
+TEST(GraphApi, ReshapeElementCountChecked)
+{
+    Graph g;
+    const ValueId x = g.input("x", {4, 6});
+    EXPECT_NO_THROW(g.reshape(x, {2, 12}));
+    EXPECT_THROW(g.reshape(x, {5, 5}), FatalError);
+}
+
+TEST(GraphApi, TransposeRequiresPermutation)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 3, 4});
+    EXPECT_THROW(g.transpose(x, {0, 1}), FatalError);   // wrong rank
+    EXPECT_THROW(g.transpose(x, {0, 0, 1}), FatalError); // repeated
+    EXPECT_THROW(g.transpose(x, {0, 1, 3}), FatalError); // out of range
+    EXPECT_EQ(g.value(g.transpose(x, {2, 1, 0})).shape,
+              (std::vector<int64_t>{4, 3, 2}));
+}
+
+TEST(GraphApi, SliceBoundsChecked)
+{
+    Graph g;
+    const ValueId x = g.input("x", {4, 6});
+    EXPECT_THROW(g.slice(x, {0, 0}, {5, 6}), FatalError); // end > dim
+    EXPECT_THROW(g.slice(x, {2, 0}, {2, 6}), FatalError); // empty
+    EXPECT_THROW(g.slice(x, {0}, {4}), FatalError);       // rank
+    EXPECT_EQ(g.value(g.slice(x, {1, 2}, {3, 6})).shape,
+              (std::vector<int64_t>{2, 4}));
+}
+
+TEST(GraphApi, ConcatChecksDims)
+{
+    Graph g;
+    const ValueId a = g.input("a", {2, 3});
+    const ValueId b = g.input("b", {2, 5});
+    const ValueId c = g.input("c", {3, 3});
+    EXPECT_EQ(g.value(g.concat({a, b}, 1)).shape,
+              (std::vector<int64_t>{2, 8}));
+    EXPECT_THROW(g.concat({a, c}, 1), FatalError); // non-axis mismatch
+    EXPECT_THROW(g.concat({a, b}, 5), FatalError); // axis out of range
+    EXPECT_THROW(g.concat({}, 0), FatalError);     // empty
+}
+
+TEST(GraphApi, LayerNormParamShapes)
+{
+    Graph g;
+    const ValueId x = g.input("x", {4, 8});
+    const ValueId good = g.param("g", {8});
+    const ValueId bad = g.param("b", {4});
+    EXPECT_THROW(g.layerNorm(x, bad, bad), FatalError);
+    EXPECT_NO_THROW(g.layerNorm(x, good, good));
+}
+
+TEST(GraphApi, ReduceShapes)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 3, 4});
+    EXPECT_EQ(g.value(g.reduceSum(x, {1})).shape,
+              (std::vector<int64_t>{2, 4}));
+    EXPECT_EQ(g.value(g.reduceMax(x, {1}, true)).shape,
+              (std::vector<int64_t>{2, 1, 4}));
+    EXPECT_EQ(g.value(g.reduceMean(x, {0, 1, 2})).shape,
+              (std::vector<int64_t>{1}));
+}
+
+TEST(GraphApi, ZeroDimsRejectedAtLowering)
+{
+    // Graph construction is permissive; the TE program rejects
+    // non-positive dims when tensors are declared during lowering.
+    Graph g;
+    const ValueId bad = g.input("bad", {0, 2});
+    g.markOutput(g.relu(bad));
+    EXPECT_THROW(lowerToTe(g), FatalError);
+}
+
+TEST(GraphApi, ToStringListsOps)
+{
+    Graph g("demo");
+    const ValueId x = g.input("x", {2, 2});
+    g.markOutput(g.relu(x));
+    const std::string str = g.toString();
+    EXPECT_NE(str.find("demo"), std::string::npos);
+    EXPECT_NE(str.find("relu"), std::string::npos);
+}
+
+TEST(GraphApi, OutputValuesTracked)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2});
+    const ValueId y = g.relu(x);
+    const ValueId z = g.sigmoid(x);
+    g.markOutput(y);
+    g.markOutput(z);
+    EXPECT_EQ(g.outputValues(), (std::vector<ValueId>{y, z}));
+}
+
+} // namespace
+} // namespace souffle

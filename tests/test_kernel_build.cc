@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the plan -> kernel-IR builder (paper Sec. 6.4 "Merging TEs
+ * Schedule") and the two subprogram-level optimizers of Sec. 6.5:
+ * cross-TE pipelining and LRU tensor reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/lowering.h"
+#include "kernel/build.h"
+#include "kernel/pipeline_opt.h"
+#include "kernel/reuse_opt.h"
+
+namespace souffle {
+namespace {
+
+struct Ctx
+{
+    LoweredModel lowered;
+    std::unique_ptr<GlobalAnalysis> analysis;
+    std::vector<Schedule> schedules;
+    DeviceSpec device = DeviceSpec::a100();
+
+    CompiledModule
+    build(const ModulePlan &plan)
+    {
+        return buildModule(lowered.program, *analysis, schedules, plan,
+                           device, "test");
+    }
+};
+
+Ctx
+prepare(const Graph &graph)
+{
+    Ctx ctx;
+    ctx.lowered = lowerToTe(graph);
+    ctx.analysis = std::make_unique<GlobalAnalysis>(ctx.lowered.program);
+    AutoScheduler scheduler(ctx.lowered.program, *ctx.analysis,
+                            ctx.device);
+    ctx.schedules = scheduler.scheduleAll();
+    return ctx;
+}
+
+/** matmul -> relu -> matmul with weights, a 3-TE chain. */
+Graph
+chainGraph()
+{
+    Graph g;
+    const ValueId x = g.input("x", {64, 64});
+    const ValueId w1 = g.param("w1", {64, 64});
+    const ValueId w2 = g.param("w2", {64, 64});
+    g.markOutput(g.matmul(g.relu(g.matmul(x, w1)), w2));
+    return g;
+}
+
+double
+totalBytes(const Kernel &kernel, InstrKind kind)
+{
+    double bytes = 0;
+    for (const auto &stage : kernel.stages) {
+        for (const auto &instr : stage.instrs) {
+            if (instr.kind == kind)
+                bytes += instr.bytes;
+        }
+    }
+    return bytes;
+}
+
+TEST(Builder, UnfusedPlanHasKernelPerTe)
+{
+    Ctx ctx = prepare(chainGraph());
+    const CompiledModule module =
+        ctx.build(ModulePlan::unfused(ctx.lowered.program));
+    EXPECT_EQ(module.numKernels(), ctx.lowered.program.numTes());
+}
+
+TEST(Builder, StageFusionElidesIntermediateTraffic)
+{
+    Ctx ctx = prepare(chainGraph());
+    // Plan A: matmul and relu in one stage; plan B: separate kernels.
+    ModulePlan fused;
+    fused.kernels.push_back(KernelPlan{"k0", {StagePlan{{0, 1}}}, false,
+                                       1.0});
+    fused.kernels.push_back(
+        KernelPlan{"k1", {StagePlan{{2}}}, false, 1.0});
+    const CompiledModule fused_module = ctx.build(fused);
+
+    const CompiledModule unfused_module =
+        ctx.build(ModulePlan::unfused(ctx.lowered.program));
+
+    double fused_loads = 0, unfused_loads = 0;
+    for (const auto &kernel : fused_module.kernels)
+        fused_loads += totalBytes(kernel, InstrKind::kLoadGlobal);
+    for (const auto &kernel : unfused_module.kernels)
+        unfused_loads += totalBytes(kernel, InstrKind::kLoadGlobal);
+    // The fused stage does not reload the matmul result for relu.
+    EXPECT_LT(fused_loads, unfused_loads);
+
+    // And the fused kernel does not store the matmul intermediate.
+    const TensorId mm_out = ctx.lowered.program.te(0).output;
+    for (const auto &stage : fused_module.kernels[0].stages) {
+        for (const auto &instr : stage.instrs) {
+            if (instr.kind == InstrKind::kStoreGlobal) {
+                EXPECT_NE(instr.tensor, mm_out);
+            }
+        }
+    }
+}
+
+TEST(Builder, MultiStageKernelGetsGridSync)
+{
+    Ctx ctx = prepare(chainGraph());
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0, 1}}, StagePlan{{2}}}, false, 1.0});
+    const CompiledModule module = ctx.build(plan);
+    ASSERT_EQ(module.numKernels(), 1);
+    EXPECT_EQ(module.kernels[0].gridSyncCount(), 1);
+}
+
+TEST(Builder, SharedInputLoadedOncePerStage)
+{
+    // Two TEs in one stage reading the same tensor stage it once.
+    Graph g;
+    const ValueId x = g.input("x", {64, 64});
+    const ValueId a = g.relu(x);
+    const ValueId b = g.sigmoid(x);
+    g.markOutput(g.add(a, b));
+    Ctx ctx = prepare(g);
+    ModulePlan plan;
+    plan.kernels.push_back(
+        KernelPlan{"k", {StagePlan{{0, 1, 2}}}, false, 1.0});
+    const CompiledModule module = ctx.build(plan);
+    int x_loads = 0;
+    for (const auto &instr : module.kernels[0].stages[0].instrs) {
+        if (instr.kind == InstrKind::kLoadGlobal && instr.tensor == 0)
+            ++x_loads;
+    }
+    EXPECT_EQ(x_loads, 1);
+}
+
+TEST(Builder, PredicationForMismatchedLaunchDims)
+{
+    Ctx ctx = prepare(chainGraph());
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0}}, StagePlan{{1}}, StagePlan{{2}}},
+        false, 1.0});
+    const CompiledModule module = ctx.build(plan);
+    const Kernel &kernel = module.kernels[0];
+    const int64_t launch = kernel.numBlocks();
+    for (const auto &stage : kernel.stages) {
+        if (stage.numBlocks < launch) {
+            EXPECT_TRUE(stage.predicated);
+        }
+    }
+}
+
+TEST(Builder, RejectsIncompletePlans)
+{
+    Ctx ctx = prepare(chainGraph());
+    ModulePlan plan; // covers nothing
+    EXPECT_DEATH(ctx.build(plan), "plan covers");
+}
+
+TEST(PipelineOpt, PrefetchesOnlyRawFreeLoads)
+{
+    Ctx ctx = prepare(chainGraph());
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0, 1}}, StagePlan{{2}}}, false, 1.0});
+    CompiledModule module = ctx.build(plan);
+    const PipelineStats stats =
+        pipelineOptimize(module, ctx.lowered.program);
+    EXPECT_GE(stats.loadsOverlapped, 1);
+
+    const TensorId relu_out = ctx.lowered.program.te(1).output;
+    for (const auto &stage : module.kernels[0].stages) {
+        for (const auto &instr : stage.instrs) {
+            if (instr.kind != InstrKind::kLoadGlobal)
+                continue;
+            if (instr.tensor == relu_out) {
+                // Produced in stage 0 of the same kernel: RAW, must
+                // not be prefetched.
+                EXPECT_FALSE(instr.overlapped);
+            }
+        }
+    }
+}
+
+TEST(PipelineOpt, SingleStageKernelsUntouched)
+{
+    Ctx ctx = prepare(chainGraph());
+    CompiledModule module =
+        ctx.build(ModulePlan::unfused(ctx.lowered.program));
+    const PipelineStats stats =
+        pipelineOptimize(module, ctx.lowered.program);
+    EXPECT_EQ(stats.loadsOverlapped, 0);
+}
+
+TEST(ReuseOpt, CrossStageReloadBecomesCached)
+{
+    Ctx ctx = prepare(chainGraph());
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0, 1}}, StagePlan{{2}}}, false, 1.0});
+    CompiledModule module = ctx.build(plan);
+    const ReuseStats stats =
+        reuseOptimize(module, ctx.lowered.program, ctx.device);
+    // Stage 1 reloads relu's output, which stage 0 just produced.
+    EXPECT_GE(stats.loadsCached, 1);
+    EXPECT_GT(stats.bytesSaved, 0.0);
+
+    bool cached_found = false;
+    for (const auto &instr : module.kernels[0].stages[1].instrs) {
+        if (instr.kind == InstrKind::kLoadCached)
+            cached_found = true;
+    }
+    EXPECT_TRUE(cached_found);
+}
+
+TEST(ReuseOpt, RepeatedWeightLoadsCached)
+{
+    // The LSTM pattern in miniature: the same weight used by two
+    // dependent matmuls in one kernel loads from DRAM only once.
+    Graph g;
+    const ValueId x = g.input("x", {32, 32});
+    const ValueId w = g.param("w", {32, 32});
+    g.markOutput(g.matmul(g.relu(g.matmul(x, w)), w));
+    Ctx ctx = prepare(g);
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0, 1}}, StagePlan{{2}}}, false, 1.0});
+    CompiledModule module = ctx.build(plan);
+    reuseOptimize(module, ctx.lowered.program, ctx.device);
+
+    int w_global = 0, w_cached = 0;
+    for (const auto &stage : module.kernels[0].stages) {
+        for (const auto &instr : stage.instrs) {
+            if (instr.tensor != 1)
+                continue;
+            if (instr.kind == InstrKind::kLoadGlobal)
+                ++w_global;
+            if (instr.kind == InstrKind::kLoadCached)
+                ++w_cached;
+        }
+    }
+    EXPECT_EQ(w_global, 1);
+    EXPECT_EQ(w_cached, 1);
+}
+
+TEST(ReuseOpt, CapacityBoundRespected)
+{
+    const DeviceSpec device = DeviceSpec::a100();
+    Kernel kernel;
+    kernel.stages.resize(2);
+    const int64_t capacity = reuseCacheCapacity(kernel, device);
+    EXPECT_GT(capacity, 0);
+    // Spare smem + half the register file, across 108 SMs: tens of MB.
+    EXPECT_GT(capacity, 10e6);
+    EXPECT_LT(capacity, 100e6);
+
+    // A kernel already using all shared memory has less spare.
+    Kernel heavy = kernel;
+    heavy.stages[0].sharedMemBytes = device.sharedMemPerSmBytes;
+    EXPECT_LT(reuseCacheCapacity(heavy, device), capacity);
+}
+
+TEST(ReuseOpt, OversizedTensorNeverCached)
+{
+    // A tensor larger than the whole on-chip capacity cannot be
+    // reused; its reload must stay a global load.
+    Graph g;
+    const ValueId x = g.input("x", {4096, 4096}); // 64 MB fp32
+    const ValueId a = g.relu(x);
+    const ValueId t = g.transpose(a, {1, 0});
+    g.markOutput(t);
+    Ctx ctx = prepare(g);
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0}}, StagePlan{{1}}}, false, 1.0});
+    CompiledModule module = ctx.build(plan);
+    const ReuseStats stats =
+        reuseOptimize(module, ctx.lowered.program, ctx.device);
+    EXPECT_EQ(stats.loadsCached, 0);
+}
+
+TEST(KernelIr, AggregateAccessors)
+{
+    Ctx ctx = prepare(chainGraph());
+    ModulePlan plan;
+    plan.kernels.push_back(KernelPlan{
+        "mega", {StagePlan{{0, 1}}, StagePlan{{2}}}, false, 1.0});
+    const CompiledModule module = ctx.build(plan);
+    const Kernel &kernel = module.kernels[0];
+    EXPECT_EQ(kernel.teIds(), (std::vector<int>{0, 1, 2}));
+    EXPECT_GE(kernel.numBlocks(), 1);
+    EXPECT_GE(kernel.threadsPerBlock(), 1);
+    EXPECT_NE(kernel.toString().find("grid.sync"), std::string::npos);
+    EXPECT_NE(module.toString().find("mega"), std::string::npos);
+}
+
+} // namespace
+} // namespace souffle

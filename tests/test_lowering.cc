@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Tests that every operator lowering produces TEs whose interpreted
+ * semantics match a straightforward reference implementation.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "graph/lowering.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+namespace {
+
+/** Lower, bind random data, interpret, and return the output buffer. */
+Buffer
+runGraph(const Graph &graph, ValueId out, BufferMap &bindings,
+         uint64_t seed = 123)
+{
+    LoweredModel lowered = lowerToTe(graph);
+    // Bind per *graph value* so the caller can index bindings by the
+    // graph's value ids.
+    BufferMap te_bindings;
+    for (const auto &value : graph.values()) {
+        if (value.role == TensorRole::kInput
+            || value.role == TensorRole::kParam) {
+            auto it = bindings.find(value.id);
+            Buffer buf = it != bindings.end()
+                             ? it->second
+                             : randomBuffer(value.numElements(),
+                                            seed + value.id);
+            bindings[value.id] = buf;
+            te_bindings[lowered.valueToTensor[value.id]] =
+                std::move(buf);
+        }
+    }
+    const BufferMap result =
+        Interpreter(lowered.program).run(te_bindings);
+    return result.at(lowered.valueToTensor[out]);
+}
+
+TEST(Lowering, ReluAndGeluAndSilu)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 3});
+    const ValueId r = g.relu(x);
+    const ValueId ge = g.gelu(x);
+    const ValueId si = g.silu(x);
+    g.markOutput(r);
+    g.markOutput(ge);
+    g.markOutput(si);
+
+    BufferMap bind;
+    bind[x] = {-1.0, -0.5, 0.0, 0.5, 1.0, 2.0};
+    BufferMap b1 = bind, b2 = bind, b3 = bind;
+    const Buffer rr = runGraph(g, r, b1);
+    const Buffer rg = runGraph(g, ge, b2);
+    const Buffer rs = runGraph(g, si, b3);
+    for (int i = 0; i < 6; ++i) {
+        const double v = bind[x][i];
+        EXPECT_DOUBLE_EQ(rr[i], v > 0 ? v : 0.0);
+        EXPECT_NEAR(rg[i], 0.5 * v * (1.0 + std::erf(v / std::sqrt(2.0))),
+                    1e-12);
+        EXPECT_NEAR(rs[i], v / (1.0 + std::exp(-v)), 1e-12);
+    }
+}
+
+TEST(Lowering, BroadcastAddTrailing)
+{
+    Graph g;
+    const ValueId a = g.input("a", {2, 3});
+    const ValueId b = g.input("b", {3});
+    const ValueId c = g.add(a, b);
+    g.markOutput(c);
+
+    BufferMap bind;
+    bind[a] = {1, 2, 3, 4, 5, 6};
+    bind[b] = {10, 20, 30};
+    const Buffer out = runGraph(g, c, bind);
+    EXPECT_EQ(out, (Buffer{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(Lowering, BroadcastMulKeepdimShapes)
+{
+    // [2,1,4] * [2,3,1] -> [2,3,4]
+    Graph g;
+    const ValueId a = g.input("a", {2, 1, 4});
+    const ValueId b = g.input("b", {2, 3, 1});
+    const ValueId c = g.mul(a, b);
+    g.markOutput(c);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, c, bind);
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            for (int k = 0; k < 4; ++k) {
+                EXPECT_NEAR(out[(i * 3 + j) * 4 + k],
+                            bind[a][i * 4 + k] * bind[b][i * 3 + j],
+                            1e-12);
+            }
+        }
+    }
+}
+
+TEST(Lowering, MatmulAndTransB)
+{
+    Graph g;
+    const ValueId a = g.input("a", {3, 4});
+    const ValueId w = g.param("w", {4, 2});
+    const ValueId wt = g.param("wt", {2, 4});
+    const ValueId c1 = g.matmul(a, w);
+    const ValueId c2 = g.matmul(a, wt, /*trans_b=*/true);
+    g.markOutput(c1);
+    g.markOutput(c2);
+
+    BufferMap b1, b2;
+    const Buffer o1 = runGraph(g, c1, b1);
+    const Buffer o2 = runGraph(g, c2, b2);
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            double acc1 = 0, acc2 = 0;
+            for (int k = 0; k < 4; ++k) {
+                acc1 += b1[a][i * 4 + k] * b1[w][k * 2 + j];
+                acc2 += b2[a][i * 4 + k] * b2[wt][j * 4 + k];
+            }
+            EXPECT_NEAR(o1[i * 2 + j], acc1, 1e-12);
+            EXPECT_NEAR(o2[i * 2 + j], acc2, 1e-12);
+        }
+    }
+}
+
+TEST(Lowering, BatchMatmul3d)
+{
+    Graph g;
+    const ValueId a = g.input("a", {2, 3, 4});
+    const ValueId b = g.input("b", {2, 4, 5});
+    const ValueId c = g.batchMatmul(a, b);
+    g.markOutput(c);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, c, bind);
+    for (int n = 0; n < 2; ++n) {
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 5; ++j) {
+                double acc = 0;
+                for (int k = 0; k < 4; ++k) {
+                    acc += bind[a][(n * 3 + i) * 4 + k]
+                           * bind[b][(n * 4 + k) * 5 + j];
+                }
+                EXPECT_NEAR(out[(n * 3 + i) * 5 + j], acc, 1e-12);
+            }
+        }
+    }
+}
+
+TEST(Lowering, BatchMatmulTransB)
+{
+    Graph g;
+    const ValueId a = g.input("a", {2, 3, 4});
+    const ValueId b = g.input("b", {2, 5, 4});
+    const ValueId c = g.batchMatmul(a, b, /*trans_b=*/true);
+    g.markOutput(c);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, c, bind);
+    for (int n = 0; n < 2; ++n) {
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 5; ++j) {
+                double acc = 0;
+                for (int k = 0; k < 4; ++k) {
+                    acc += bind[a][(n * 3 + i) * 4 + k]
+                           * bind[b][(n * 5 + j) * 4 + k];
+                }
+                EXPECT_NEAR(out[(n * 3 + i) * 5 + j], acc, 1e-12);
+            }
+        }
+    }
+}
+
+/** Reference NCHW conv with groups. */
+Buffer
+refConv(const Buffer &x, const Buffer &w, int64_t n, int64_t c,
+        int64_t h, int64_t wd, int64_t oc, int64_t kh, int64_t kw,
+        int64_t stride, int64_t pad, int64_t groups)
+{
+    const int64_t cg = c / groups, ocg = oc / groups;
+    const int64_t oh = (h + 2 * pad - kh) / stride + 1;
+    const int64_t ow = (wd + 2 * pad - kw) / stride + 1;
+    Buffer out(n * oc * oh * ow, 0.0);
+    for (int64_t in = 0; in < n; ++in)
+        for (int64_t f = 0; f < oc; ++f) {
+            const int64_t g = f / ocg;
+            for (int64_t y = 0; y < oh; ++y)
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    double acc = 0;
+                    for (int64_t rc = 0; rc < cg; ++rc)
+                        for (int64_t ry = 0; ry < kh; ++ry)
+                            for (int64_t rx = 0; rx < kw; ++rx) {
+                                const int64_t iy = y * stride + ry - pad;
+                                const int64_t ix = xo * stride + rx - pad;
+                                if (iy < 0 || iy >= h || ix < 0
+                                    || ix >= wd)
+                                    continue;
+                                acc += x[((in * c + g * cg + rc) * h + iy)
+                                             * wd
+                                         + ix]
+                                       * w[((f * cg + rc) * kh + ry) * kw
+                                           + rx];
+                            }
+                    out[((in * oc + f) * oh + y) * ow + xo] = acc;
+                }
+        }
+    return out;
+}
+
+TEST(Lowering, Conv2dPaddedStrided)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 3, 5, 5});
+    const ValueId w = g.param("w", {4, 3, 3, 3});
+    const ValueId y = g.conv2d(x, w, /*stride=*/2, /*padding=*/1);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    const Buffer expect =
+        refConv(bind[x], bind[w], 1, 3, 5, 5, 4, 3, 3, 2, 1, 1);
+    ASSERT_EQ(out.size(), expect.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], expect[i], 1e-12) << "at " << i;
+}
+
+TEST(Lowering, GroupedConvMatchesReference)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 4, 4, 4});
+    const ValueId w = g.param("w", {6, 2, 3, 3}); // groups=2, cg=2
+    const ValueId y = g.conv2d(x, w, 1, 1, /*groups=*/2);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    const Buffer expect =
+        refConv(bind[x], bind[w], 1, 4, 4, 4, 6, 3, 3, 1, 1, 2);
+    ASSERT_EQ(out.size(), expect.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], expect[i], 1e-12) << "at " << i;
+}
+
+TEST(Lowering, DepthwiseConvViaGroups)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 3, 4, 4});
+    const ValueId w = g.param("w", {3, 1, 3, 3});
+    const ValueId y = g.conv2d(x, w, 1, 1, /*groups=*/3);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    const Buffer expect =
+        refConv(bind[x], bind[w], 1, 3, 4, 4, 3, 3, 3, 1, 1, 3);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], expect[i], 1e-12);
+}
+
+TEST(Lowering, MaxPoolWithPadding)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 1, 4, 4});
+    const ValueId y = g.maxPool2d(x, 3, 2, 1);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    const auto &xb = bind[x];
+    // oh = ow = 2.
+    for (int64_t py = 0; py < 2; ++py)
+        for (int64_t px = 0; px < 2; ++px) {
+            double best = -std::numeric_limits<double>::infinity();
+            for (int64_t ry = 0; ry < 3; ++ry)
+                for (int64_t rx = 0; rx < 3; ++rx) {
+                    const int64_t iy = py * 2 + ry - 1;
+                    const int64_t ix = px * 2 + rx - 1;
+                    if (iy < 0 || iy >= 4 || ix < 0 || ix >= 4)
+                        continue;
+                    best = std::max(best, xb[iy * 4 + ix]);
+                }
+            EXPECT_DOUBLE_EQ(out[py * 2 + px], best);
+        }
+}
+
+TEST(Lowering, AvgPoolCountIncludePad)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 1, 2, 2});
+    const ValueId y = g.avgPool2d(x, 2, 2, 1);
+    g.markOutput(y);
+
+    BufferMap bind;
+    bind[x] = {4.0, 8.0, 12.0, 16.0};
+    const Buffer out = runGraph(g, y, bind);
+    // Each 2x2 window covers exactly one interior element; the divisor
+    // includes padded positions (count-include-pad).
+    EXPECT_EQ(out, (Buffer{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Lowering, GlobalAvgPool)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 2, 2, 2});
+    const ValueId y = g.globalAvgPool(x);
+    g.markOutput(y);
+
+    BufferMap bind;
+    bind[x] = {1, 2, 3, 4, 10, 20, 30, 40};
+    const Buffer out = runGraph(g, y, bind);
+    EXPECT_EQ(out, (Buffer{2.5, 25.0}));
+}
+
+TEST(Lowering, SoftmaxRowsSumToOne)
+{
+    Graph g;
+    const ValueId x = g.input("x", {3, 5});
+    const ValueId y = g.softmax(x);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int i = 0; i < 3; ++i) {
+        double total = 0, mx = -1e30;
+        for (int j = 0; j < 5; ++j)
+            mx = std::max(mx, bind[x][i * 5 + j]);
+        for (int j = 0; j < 5; ++j) {
+            double denom = 0;
+            for (int k = 0; k < 5; ++k)
+                denom += std::exp(bind[x][i * 5 + k] - mx);
+            EXPECT_NEAR(out[i * 5 + j],
+                        std::exp(bind[x][i * 5 + j] - mx) / denom, 1e-12);
+            total += out[i * 5 + j];
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(Lowering, SoftmaxRank3)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 3, 4});
+    const ValueId y = g.softmax(x);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int r = 0; r < 6; ++r) {
+        double total = 0;
+        for (int j = 0; j < 4; ++j)
+            total += out[r * 4 + j];
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(Lowering, LayerNormMatchesReference)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 6});
+    const ValueId gamma = g.param("gamma", {6});
+    const ValueId beta = g.param("beta", {6});
+    const ValueId y = g.layerNorm(x, gamma, beta, 1e-5);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int i = 0; i < 2; ++i) {
+        double mean = 0;
+        for (int j = 0; j < 6; ++j)
+            mean += bind[x][i * 6 + j];
+        mean /= 6.0;
+        double var = 0;
+        for (int j = 0; j < 6; ++j) {
+            const double d = bind[x][i * 6 + j] - mean;
+            var += d * d;
+        }
+        var /= 6.0;
+        const double rstd = 1.0 / std::sqrt(var + 1e-5);
+        for (int j = 0; j < 6; ++j) {
+            const double expect = (bind[x][i * 6 + j] - mean) * rstd
+                                      * bind[gamma][j]
+                                  + bind[beta][j];
+            EXPECT_NEAR(out[i * 6 + j], expect, 1e-9);
+        }
+    }
+}
+
+TEST(Lowering, BatchNormInference)
+{
+    Graph g;
+    const ValueId x = g.input("x", {1, 2, 2, 2});
+    const ValueId s = g.param("s", {2});
+    const ValueId sh = g.param("sh", {2});
+    const ValueId y = g.batchNormInf(x, s, sh);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int c = 0; c < 2; ++c)
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_NEAR(out[c * 4 + i],
+                        bind[x][c * 4 + i] * bind[s][c] + bind[sh][c],
+                        1e-12);
+        }
+}
+
+TEST(Lowering, ReduceVariants)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 3, 4});
+    const ValueId s = g.reduceSum(x, {1});
+    const ValueId m = g.reduceMean(x, {0, 2});
+    const ValueId mx = g.reduceMax(x, {2}, /*keepdims=*/true);
+    const ValueId all = g.reduceSum(x, {0, 1, 2});
+    g.markOutput(s);
+    g.markOutput(m);
+    g.markOutput(mx);
+    g.markOutput(all);
+
+    BufferMap b1, b2, b3, b4;
+    const Buffer os = runGraph(g, s, b1);
+    const Buffer om = runGraph(g, m, b2);
+    const Buffer omx = runGraph(g, mx, b3);
+    const Buffer oall = runGraph(g, all, b4);
+
+    // sum over axis 1 -> [2,4]
+    for (int i = 0; i < 2; ++i)
+        for (int k = 0; k < 4; ++k) {
+            double acc = 0;
+            for (int j = 0; j < 3; ++j)
+                acc += b1[x][(i * 3 + j) * 4 + k];
+            EXPECT_NEAR(os[i * 4 + k], acc, 1e-12);
+        }
+    // mean over axes {0,2} -> [3]
+    for (int j = 0; j < 3; ++j) {
+        double acc = 0;
+        for (int i = 0; i < 2; ++i)
+            for (int k = 0; k < 4; ++k)
+                acc += b2[x][(i * 3 + j) * 4 + k];
+        EXPECT_NEAR(om[j], acc / 8.0, 1e-12);
+    }
+    // max over axis 2 keepdims -> [2,3,1]
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 3; ++j) {
+            double best = -1e30;
+            for (int k = 0; k < 4; ++k)
+                best = std::max(best, b3[x][(i * 3 + j) * 4 + k]);
+            EXPECT_DOUBLE_EQ(omx[i * 3 + j], best);
+        }
+    // all-reduce -> {1}
+    double acc = 0;
+    for (double v : b4[x])
+        acc += v;
+    ASSERT_EQ(oall.size(), 1u);
+    EXPECT_NEAR(oall[0], acc, 1e-12);
+}
+
+TEST(Lowering, ReshapeIsFlatIdentity)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 6});
+    const ValueId y = g.reshape(x, {3, 4});
+    const ValueId z = g.reshape(y, {12});
+    g.markOutput(z);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, z, bind);
+    EXPECT_EQ(out, bind[x]);
+}
+
+TEST(Lowering, TransposePermutesData)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 3, 4});
+    const ValueId y = g.transpose(x, {2, 0, 1});
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 4; ++k) {
+                EXPECT_DOUBLE_EQ(out[(k * 2 + i) * 3 + j],
+                                 bind[x][(i * 3 + j) * 4 + k]);
+            }
+}
+
+TEST(Lowering, SliceExtractsWindow)
+{
+    Graph g;
+    const ValueId x = g.input("x", {4, 5});
+    const ValueId y = g.slice(x, {1, 2}, {3, 5});
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 3; ++j) {
+            EXPECT_DOUBLE_EQ(out[i * 3 + j],
+                             bind[x][(i + 1) * 5 + (j + 2)]);
+        }
+}
+
+TEST(Lowering, ConcatThreeInputs)
+{
+    Graph g;
+    const ValueId a = g.input("a", {2, 2});
+    const ValueId b = g.input("b", {2, 3});
+    const ValueId c = g.input("c", {2, 1});
+    const ValueId y = g.concat({a, b, c}, 1);
+    g.markOutput(y);
+
+    BufferMap bind;
+    const Buffer out = runGraph(g, y, bind);
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_DOUBLE_EQ(out[i * 6 + 0], bind[a][i * 2 + 0]);
+        EXPECT_DOUBLE_EQ(out[i * 6 + 1], bind[a][i * 2 + 1]);
+        EXPECT_DOUBLE_EQ(out[i * 6 + 2], bind[b][i * 3 + 0]);
+        EXPECT_DOUBLE_EQ(out[i * 6 + 4], bind[b][i * 3 + 2]);
+        EXPECT_DOUBLE_EQ(out[i * 6 + 5], bind[c][i]);
+    }
+}
+
+TEST(Lowering, ScaleAndAddScalar)
+{
+    Graph g;
+    const ValueId x = g.input("x", {4});
+    const ValueId y = g.addScalar(g.scale(x, 2.0), -1.0);
+    g.markOutput(y);
+
+    BufferMap bind;
+    bind[x] = {0.0, 1.0, 2.0, 3.0};
+    const Buffer out = runGraph(g, y, bind);
+    EXPECT_EQ(out, (Buffer{-1.0, 1.0, 3.0, 5.0}));
+}
+
+TEST(Lowering, SoftmaxLoweredToFourTes)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 8});
+    g.markOutput(g.softmax(x));
+    const LoweredModel lowered = lowerToTe(g);
+    EXPECT_EQ(lowered.program.numTes(), 4);
+    // max, exp, denom, div: reductions at positions 0 and 2.
+    EXPECT_TRUE(lowered.program.te(0).hasReduce());
+    EXPECT_FALSE(lowered.program.te(1).hasReduce());
+    EXPECT_TRUE(lowered.program.te(2).hasReduce());
+    EXPECT_FALSE(lowered.program.te(3).hasReduce());
+}
+
+TEST(Lowering, TeToOpMappingCoversAllTes)
+{
+    Graph g;
+    const ValueId x = g.input("x", {2, 8});
+    const ValueId w = g.param("w", {8, 8});
+    g.markOutput(g.softmax(g.matmul(x, w)));
+    const LoweredModel lowered = lowerToTe(g);
+    ASSERT_EQ(static_cast<int>(lowered.teToOp.size()),
+              lowered.program.numTes());
+    EXPECT_EQ(lowered.teToOp[0], 0); // matmul
+    for (int i = 1; i < lowered.program.numTes(); ++i)
+        EXPECT_EQ(lowered.teToOp[i], 1); // softmax pieces
+}
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for resource-aware partitioning (paper Sec. 5.4) and the
+ * grid-sync stage grouping inside a subprogram (Sec. 6.3/6.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/lowering.h"
+#include "transform/partition.h"
+
+namespace souffle {
+namespace {
+
+struct Ctx
+{
+    LoweredModel lowered;
+    std::unique_ptr<GlobalAnalysis> analysis;
+    std::vector<Schedule> schedules;
+    DeviceSpec device = DeviceSpec::a100();
+};
+
+Ctx
+prepare(const Graph &graph)
+{
+    Ctx ctx;
+    ctx.lowered = lowerToTe(graph);
+    ctx.analysis = std::make_unique<GlobalAnalysis>(ctx.lowered.program);
+    AutoScheduler scheduler(ctx.lowered.program, *ctx.analysis,
+                            ctx.device);
+    ctx.schedules = scheduler.scheduleAll();
+    return ctx;
+}
+
+TEST(Partition, CoversEveryTeExactlyOnceInOrder)
+{
+    Graph g;
+    ValueId x = g.input("x", {128, 256});
+    for (int i = 0; i < 4; ++i) {
+        const ValueId w =
+            g.param("w" + std::to_string(i), {256, 256});
+        x = g.relu(g.matmul(x, w));
+    }
+    g.markOutput(x);
+    Ctx ctx = prepare(g);
+    const PartitionResult result = partitionProgram(
+        ctx.lowered.program, *ctx.analysis, ctx.schedules, ctx.device);
+
+    int expected = 0;
+    for (const Subprogram &sub : result.subprograms) {
+        for (int te : sub.tes)
+            EXPECT_EQ(te, expected++);
+    }
+    EXPECT_EQ(expected, ctx.lowered.program.numTes());
+}
+
+TEST(Partition, SubprogramsSatisfyWaveConstraint)
+{
+    // A model whose contractions are large enough to matter.
+    Graph g;
+    ValueId x = g.input("x", {2048, 2048});
+    for (int i = 0; i < 3; ++i) {
+        const ValueId w =
+            g.param("w" + std::to_string(i), {2048, 2048});
+        x = g.relu(g.matmul(x, w));
+    }
+    g.markOutput(x);
+    Ctx ctx = prepare(g);
+    const PartitionResult result = partitionProgram(
+        ctx.lowered.program, *ctx.analysis, ctx.schedules, ctx.device);
+
+    for (const Subprogram &sub : result.subprograms) {
+        int64_t max_rigid = 0, max_smem = 0, max_regs = 0;
+        int max_threads = 0;
+        for (int te : sub.tes) {
+            const Schedule &sched = ctx.schedules[te];
+            if (!sched.gridStride)
+                max_rigid = std::max(max_rigid, sched.numBlocks);
+            max_smem = std::max(max_smem, sched.sharedMemBytes);
+            max_regs = std::max(max_regs, sched.regsPerBlock());
+            max_threads =
+                std::max(max_threads, sched.threadsPerBlock);
+        }
+        if (sub.tes.size() > 1) {
+            EXPECT_LE(max_rigid,
+                      ctx.device.maxBlocksPerWave(max_smem, max_regs,
+                                                  max_threads));
+        }
+    }
+}
+
+TEST(Partition, SingleTeNeverSplits)
+{
+    Graph g;
+    const ValueId a = g.input("a", {64, 64});
+    const ValueId b = g.param("b", {64, 64});
+    g.markOutput(g.matmul(a, b));
+    Ctx ctx = prepare(g);
+    const PartitionResult result = partitionProgram(
+        ctx.lowered.program, *ctx.analysis, ctx.schedules, ctx.device);
+    EXPECT_EQ(result.subprograms.size(), 1u);
+}
+
+TEST(StageGrouping, EpilogueJoinsContractionStage)
+{
+    // matmul -> relu (identity epilogue): one stage, no sync.
+    Graph g;
+    const ValueId a = g.input("a", {64, 64});
+    const ValueId b = g.param("b", {64, 64});
+    g.markOutput(g.relu(g.matmul(a, b)));
+    Ctx ctx = prepare(g);
+    const auto stages =
+        groupStages(ctx.lowered.program, *ctx.analysis, {0, 1});
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].tes, (std::vector<int>{0, 1}));
+}
+
+TEST(StageGrouping, DependentReductionStartsNewStage)
+{
+    // matmul -> matmul: the second contraction consumes the first
+    // across block tiles, so a grid sync separates them (Fig. 2).
+    Graph g;
+    const ValueId a = g.input("a", {64, 64});
+    const ValueId w1 = g.param("w1", {64, 64});
+    const ValueId w2 = g.param("w2", {64, 64});
+    g.markOutput(g.matmul(g.matmul(a, w1), w2));
+    Ctx ctx = prepare(g);
+    const auto stages =
+        groupStages(ctx.lowered.program, *ctx.analysis, {0, 1});
+    ASSERT_EQ(stages.size(), 2u);
+}
+
+TEST(StageGrouping, BroadcastConsumerOfReductionNeedsSync)
+{
+    // softmax: max | exp (broadcast read of max) | sum | div.
+    Graph g;
+    const ValueId x = g.input("x", {32, 64});
+    g.markOutput(g.softmax(x));
+    Ctx ctx = prepare(g);
+    std::vector<int> all{0, 1, 2, 3};
+    const auto stages =
+        groupStages(ctx.lowered.program, *ctx.analysis, all);
+    // max | exp | sum+? | div...: at least 3 sync boundaries total.
+    EXPECT_GE(stages.size(), 3u);
+}
+
+TEST(StageGrouping, IndependentTesShareAStage)
+{
+    // Two GEMMs with no dependence can occupy one stage (no sync).
+    Graph g;
+    const ValueId a = g.input("a", {64, 64});
+    const ValueId w1 = g.param("w1", {64, 64});
+    const ValueId w2 = g.param("w2", {64, 64});
+    const ValueId m1 = g.matmul(a, w1);
+    const ValueId m2 = g.matmul(a, w2);
+    g.markOutput(g.add(m1, m2));
+    Ctx ctx = prepare(g);
+    const auto stages =
+        groupStages(ctx.lowered.program, *ctx.analysis, {0, 1, 2});
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].tes.size(), 3u);
+}
+
+TEST(StageGrouping, TransposeOfInStageResultNeedsSync)
+{
+    Graph g;
+    const ValueId a = g.input("a", {64, 64});
+    const ValueId w = g.param("w", {64, 64});
+    g.markOutput(g.transpose(g.matmul(a, w), {1, 0}));
+    Ctx ctx = prepare(g);
+    const auto stages =
+        groupStages(ctx.lowered.program, *ctx.analysis, {0, 1});
+    EXPECT_EQ(stages.size(), 2u);
+}
+
+} // namespace
+} // namespace souffle

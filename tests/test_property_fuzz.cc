@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Property-based tests: randomly generated computation graphs are
+ * compiled at every Souffle ablation level and by every baseline, and
+ * the invariants that must hold for *any* model are checked --
+ * semantic preservation of the transformed TE program (bit-accurate
+ * against the untransformed lowering, modulo reduction reassociation),
+ * full TE coverage of every kernel plan, and the monotone resource
+ * claims (Souffle never moves more global bytes than the unfused
+ * code, never launches more kernels than Ansor).
+ */
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "compiler/souffle.h"
+#include "gpu/sim.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+namespace {
+
+/** Deterministic random-graph generator. */
+class GraphFuzzer
+{
+  public:
+    explicit GraphFuzzer(uint64_t seed) : rng(seed) {}
+
+    Graph
+    generate()
+    {
+        Graph g("fuzz");
+        // A pool of live values with their shapes.
+        std::vector<ValueId> live;
+        live.push_back(g.input("x0", randomShape()));
+        if (chance(0.5))
+            live.push_back(g.input("x1", randomShape()));
+
+        const int ops = 4 + static_cast<int>(rng() % 14);
+        for (int i = 0; i < ops; ++i)
+            live.push_back(randomOp(g, live));
+
+        // Mark 1-2 sinks as outputs (always the last value so the
+        // whole graph stays live).
+        g.markOutput(live.back());
+        if (live.size() > 2 && chance(0.3))
+            g.markOutput(live[live.size() - 2]);
+        return g;
+    }
+
+  private:
+    std::mt19937_64 rng;
+
+    bool chance(double p) { return std::uniform_real_distribution<>(
+                                       0.0, 1.0)(rng) < p; }
+
+    int64_t
+    dim()
+    {
+        static const int64_t kDims[] = {1, 2, 3, 4, 6, 8};
+        return kDims[rng() % 6];
+    }
+
+    std::vector<int64_t>
+    randomShape()
+    {
+        const int rank = 1 + static_cast<int>(rng() % 3);
+        std::vector<int64_t> shape;
+        for (int i = 0; i < rank; ++i)
+            shape.push_back(dim());
+        return shape;
+    }
+
+    ValueId
+    pick(const std::vector<ValueId> &live)
+    {
+        return live[rng() % live.size()];
+    }
+
+    ValueId
+    randomOp(Graph &g, const std::vector<ValueId> &live)
+    {
+        const ValueId x = pick(live);
+        const auto &shape = g.value(x).shape;
+        switch (rng() % 12) {
+          case 0:
+            return g.relu(x);
+          case 1:
+            return g.sigmoid(x);
+          case 2:
+            return g.tanh(x);
+          case 3:
+            return g.gelu(x);
+          case 4: { // binary with self-broadcast
+            const ValueId y = pick(live);
+            const auto &ys = g.value(y).shape;
+            // Try broadcast; fall back to unary on mismatch.
+            try {
+                Graph::broadcastShapes(shape, ys);
+                return g.add(x, y);
+            } catch (const std::exception &) {
+                return g.scale(x, 0.5);
+            }
+          }
+          case 5: { // matmul with a fresh weight
+            const int64_t rows = shape.back();
+            const int64_t cols = dim() * 2;
+            if (shape.size() != 2)
+                return g.addScalar(x, 1.0);
+            const ValueId w = g.param(
+                "w" + std::to_string(g.numValues()), {rows, cols});
+            return g.matmul(x, w);
+          }
+          case 6:
+            return g.softmax(x);
+          case 7: { // reduce over a random axis
+            const int64_t axis =
+                static_cast<int64_t>(rng() % shape.size());
+            return g.reduceSum(x, {axis}, chance(0.5));
+          }
+          case 8: { // reshape to a permuted factorization
+            int64_t n = 1;
+            for (int64_t d : shape)
+                n *= d;
+            // Split n into 2 factors.
+            for (int64_t f = 2; f * f <= n; ++f) {
+                if (n % f == 0 && chance(0.7))
+                    return g.reshape(x, {f, n / f});
+            }
+            return g.reshape(x, {n});
+          }
+          case 9: { // transpose
+            std::vector<int64_t> perm(shape.size());
+            for (size_t d = 0; d < perm.size(); ++d)
+                perm[d] = static_cast<int64_t>(d);
+            std::shuffle(perm.begin(), perm.end(), rng);
+            return g.transpose(x, perm);
+          }
+          case 10: { // slice a prefix window
+            std::vector<int64_t> begins(shape.size(), 0);
+            std::vector<int64_t> ends = shape;
+            const size_t axis = rng() % shape.size();
+            ends[axis] = 1 + static_cast<int64_t>(
+                             rng() % shape[axis]);
+            return g.slice(x, begins, ends);
+          }
+          default: { // scale
+            return g.scale(x, 0.25);
+          }
+        }
+    }
+};
+
+/** Interpret outputs, keyed & sorted by tensor name. */
+std::vector<std::pair<std::string, Buffer>>
+runByName(const TeProgram &program, uint64_t seed)
+{
+    BufferMap bindings;
+    for (const auto &decl : program.tensors()) {
+        if (decl.role != TensorRole::kInput
+            && decl.role != TensorRole::kParam)
+            continue;
+        uint64_t h = seed;
+        for (char ch : decl.name)
+            h = h * 131 + static_cast<unsigned char>(ch);
+        bindings[decl.id] = randomBuffer(decl.numElements(), h);
+    }
+    const BufferMap result = Interpreter(program).run(bindings);
+    std::vector<std::pair<std::string, Buffer>> outputs;
+    for (TensorId id : program.outputTensors())
+        outputs.emplace_back(program.tensor(id).name, result.at(id));
+    std::sort(outputs.begin(), outputs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return outputs;
+}
+
+class FuzzSemantics : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FuzzSemantics, AllLevelsPreserveSemantics)
+{
+    GraphFuzzer fuzzer(GetParam());
+    const Graph graph = fuzzer.generate();
+    const LoweredModel reference = lowerToTe(graph);
+    const auto ref_out = runByName(reference.program, GetParam());
+
+    for (int level = 0; level <= 4; ++level) {
+        SouffleOptions options;
+        options.level = static_cast<SouffleLevel>(level);
+        const Compiled compiled = compileSouffle(graph, options);
+        compiled.program.validate();
+        const auto out = runByName(compiled.program, GetParam());
+        ASSERT_EQ(out.size(), ref_out.size())
+            << "V" << level << " seed " << GetParam() << "\n"
+            << graph.toString();
+        for (size_t i = 0; i < out.size(); ++i) {
+            ASSERT_EQ(out[i].second.size(), ref_out[i].second.size())
+                << "V" << level << " seed " << GetParam();
+            EXPECT_LE(maxAbsDiff(out[i].second, ref_out[i].second),
+                      1e-7)
+                << "V" << level << " output " << out[i].first
+                << " seed " << GetParam() << "\n"
+                << graph.toString();
+        }
+    }
+}
+
+TEST_P(FuzzSemantics, KernelPlansCoverAllTes)
+{
+    GraphFuzzer fuzzer(GetParam() ^ 0xabcdef);
+    const Graph graph = fuzzer.generate();
+    const DeviceSpec device = DeviceSpec::a100();
+    for (CompilerId id :
+         {CompilerId::kSouffle, CompilerId::kXla, CompilerId::kAnsor,
+          CompilerId::kTensorRT, CompilerId::kApollo,
+          CompilerId::kIree}) {
+        const Compiled compiled = compileWith(id, graph, device);
+        std::vector<int> covered;
+        for (const auto &kernel : compiled.module.kernels) {
+            const auto ids = kernel.teIds();
+            covered.insert(covered.end(), ids.begin(), ids.end());
+        }
+        std::sort(covered.begin(), covered.end());
+        ASSERT_EQ(static_cast<int>(covered.size()),
+                  compiled.program.numTes())
+            << compiled.name << " seed " << GetParam();
+        for (int i = 0; i < compiled.program.numTes(); ++i)
+            EXPECT_EQ(covered[i], i) << compiled.name;
+    }
+}
+
+TEST_P(FuzzSemantics, SouffleResourceInvariants)
+{
+    GraphFuzzer fuzzer(GetParam() ^ 0x5eed);
+    const Graph graph = fuzzer.generate();
+    const DeviceSpec device = DeviceSpec::a100();
+    const Compiled souffle_c =
+        compileWith(CompilerId::kSouffle, graph, device);
+    const Compiled ansor_c =
+        compileWith(CompilerId::kAnsor, graph, device);
+    const SimResult souffle_sim = simulate(souffle_c.module, device);
+    const SimResult ansor_sim = simulate(ansor_c.module, device);
+
+    EXPECT_LE(souffle_c.module.numKernels(),
+              ansor_c.module.numKernels())
+        << "seed " << GetParam();
+    // Allow 5% slack for footprint-estimate wobble across merged TEs.
+    EXPECT_LE(souffle_sim.counters.bytesLoaded,
+              ansor_sim.counters.bytesLoaded * 1.05)
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSemantics,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Roller-style constructive scheduler (the faster
+ * optimizer paper Sec. 8.5 cites): drastically fewer cost-model
+ * evaluations, feasible schedules, and end-to-end quality within a
+ * small factor of the searched schedules.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compiler/souffle.h"
+#include "gpu/sim.h"
+#include "graph/lowering.h"
+#include "models/zoo.h"
+
+namespace souffle {
+namespace {
+
+TEST(Roller, EvaluatesFarFewerCandidates)
+{
+    Graph g;
+    const ValueId a = g.input("a", {512, 512});
+    const ValueId b = g.param("b", {512, 512});
+    g.markOutput(g.matmul(a, b));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+
+    AutoScheduler search(lowered.program, analysis, DeviceSpec::a100(),
+                         SchedulerMode::kSearch);
+    AutoScheduler roller(lowered.program, analysis, DeviceSpec::a100(),
+                         SchedulerMode::kRoller);
+    search.schedule(0);
+    roller.schedule(0);
+    EXPECT_GT(search.candidatesEvaluated(),
+              4 * roller.candidatesEvaluated());
+    EXPECT_LE(roller.candidatesEvaluated(), 8);
+}
+
+TEST(Roller, SchedulesAreFeasible)
+{
+    for (const std::string model : {"BERT", "MMoE", "ResNeXt"}) {
+        const Graph graph = buildTinyModel(model);
+        const LoweredModel lowered = lowerToTe(graph);
+        const GlobalAnalysis analysis(lowered.program);
+        AutoScheduler roller(lowered.program, analysis,
+                             DeviceSpec::a100(), SchedulerMode::kRoller);
+        for (const Schedule &sched : roller.scheduleAll()) {
+            EXPECT_GT(sched.numBlocks, 0);
+            EXPECT_LE(sched.sharedMemBytes,
+                      DeviceSpec::a100().sharedMemPerBlockLimit);
+            EXPECT_TRUE(std::isfinite(sched.estTimeUs));
+        }
+    }
+}
+
+TEST(Roller, QualityWithinSmallFactorOfSearch)
+{
+    // The Roller trade-off: much cheaper compilation, end-to-end time
+    // within ~2x of the searched schedules.
+    const Graph graph = buildPaperModel("BERT");
+    SouffleOptions search_opts;
+    SouffleOptions roller_opts;
+    roller_opts.schedulerMode = SchedulerMode::kRoller;
+
+    const double search_us =
+        simulate(compileSouffle(graph, search_opts).module,
+                 DeviceSpec::a100())
+            .totalUs;
+    const double roller_us =
+        simulate(compileSouffle(graph, roller_opts).module,
+                 DeviceSpec::a100())
+            .totalUs;
+    EXPECT_LE(roller_us, search_us * 2.0);
+    EXPECT_GE(roller_us, search_us * 0.99); // search should not lose
+}
+
+TEST(Roller, SemanticsUnaffected)
+{
+    // Scheduling mode changes performance only, never the program.
+    const Graph graph = buildTinyModel("MMoE");
+    SouffleOptions roller_opts;
+    roller_opts.schedulerMode = SchedulerMode::kRoller;
+    const Compiled compiled = compileSouffle(graph, roller_opts);
+    compiled.program.validate();
+    int covered = 0;
+    for (const auto &kernel : compiled.module.kernels)
+        covered += static_cast<int>(kernel.teIds().size());
+    EXPECT_EQ(covered, compiled.program.numTes());
+}
+
+} // namespace
+} // namespace souffle

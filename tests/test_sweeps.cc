@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Parameterized property sweeps: lowering correctness over grids of
+ * matmul/conv/pool/softmax shapes, verified element-wise against
+ * straightforward reference loops, plus invariant sweeps over the
+ * affine machinery.
+ */
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/lowering.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+namespace {
+
+BufferMap
+bindRandom(const LoweredModel &lowered, uint64_t seed)
+{
+    BufferMap bindings;
+    for (const auto &decl : lowered.program.tensors()) {
+        if (decl.role == TensorRole::kInput
+            || decl.role == TensorRole::kParam)
+            bindings[decl.id] =
+                randomBuffer(decl.numElements(), seed + decl.id);
+    }
+    return bindings;
+}
+
+// ---------------------------------------------------------------------
+// Matmul sweep: (M, K, N, transB)
+// ---------------------------------------------------------------------
+class MatmulSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, bool>>
+{};
+
+TEST_P(MatmulSweep, MatchesNaiveLoops)
+{
+    const auto [m, k, n, trans_b] = GetParam();
+    Graph g;
+    const ValueId a = g.input("a", {m, k});
+    const ValueId b = trans_b ? g.param("b", {n, k})
+                              : g.param("b", {k, n});
+    g.markOutput(g.matmul(a, b, trans_b));
+
+    const LoweredModel lowered = lowerToTe(g);
+    const BufferMap bindings = bindRandom(lowered, 7);
+    const Buffer out = Interpreter(lowered.program)
+                           .run(bindings)
+                           .at(lowered.program.outputTensors()[0]);
+    const Buffer &av = bindings.at(0);
+    const Buffer &bv = bindings.at(1);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0;
+            for (int64_t r = 0; r < k; ++r) {
+                acc += av[i * k + r]
+                       * (trans_b ? bv[j * k + r] : bv[r * n + j]);
+            }
+            ASSERT_NEAR(out[i * n + j], acc, 1e-10)
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSweep,
+    ::testing::Combine(::testing::Values<int64_t>(1, 3, 8),
+                       ::testing::Values<int64_t>(1, 5, 16),
+                       ::testing::Values<int64_t>(1, 4, 9),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// Conv sweep: (channels, kernel, stride, padding, groups)
+// ---------------------------------------------------------------------
+class ConvSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, int64_t>>
+{};
+
+TEST_P(ConvSweep, MatchesNaiveLoops)
+{
+    const auto [kernel, stride, pad, groups] = GetParam();
+    const int64_t c = 4, oc = 4, h = 6;
+    if ((h + 2 * pad - kernel) / stride + 1 <= 0)
+        GTEST_SKIP();
+    Graph g;
+    const ValueId x = g.input("x", {1, c, h, h});
+    const ValueId w =
+        g.param("w", {oc, c / groups, kernel, kernel});
+    g.markOutput(g.conv2d(x, w, stride, pad, groups));
+
+    const LoweredModel lowered = lowerToTe(g);
+    const BufferMap bindings = bindRandom(lowered, 13);
+    const Buffer out = Interpreter(lowered.program)
+                           .run(bindings)
+                           .at(lowered.program.outputTensors()[0]);
+
+    const Buffer &xv = bindings.at(0);
+    const Buffer &wv = bindings.at(1);
+    const int64_t cg = c / groups, ocg = oc / groups;
+    const int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+    for (int64_t f = 0; f < oc; ++f) {
+        const int64_t grp = f / ocg;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t xo = 0; xo < oh; ++xo) {
+                double acc = 0;
+                for (int64_t rc = 0; rc < cg; ++rc)
+                    for (int64_t ry = 0; ry < kernel; ++ry)
+                        for (int64_t rx = 0; rx < kernel; ++rx) {
+                            const int64_t iy = y * stride + ry - pad;
+                            const int64_t ix = xo * stride + rx - pad;
+                            if (iy < 0 || iy >= h || ix < 0 || ix >= h)
+                                continue;
+                            acc += xv[((grp * cg + rc) * h + iy) * h
+                                      + ix]
+                                   * wv[((f * cg + rc) * kernel + ry)
+                                            * kernel
+                                        + rx];
+                        }
+                ASSERT_NEAR(out[(f * oh + y) * oh + xo], acc, 1e-10);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Combine(::testing::Values<int64_t>(1, 3),
+                       ::testing::Values<int64_t>(1, 2),
+                       ::testing::Values<int64_t>(0, 1),
+                       ::testing::Values<int64_t>(1, 2, 4)));
+
+// ---------------------------------------------------------------------
+// Softmax rank/shape sweep: rows sum to one, order-preserving.
+// ---------------------------------------------------------------------
+class SoftmaxSweep
+    : public ::testing::TestWithParam<std::vector<int64_t>>
+{};
+
+TEST_P(SoftmaxSweep, RowsSumToOneAndPreserveOrder)
+{
+    const std::vector<int64_t> shape = GetParam();
+    Graph g;
+    const ValueId x = g.input("x", shape);
+    g.markOutput(g.softmax(x));
+    const LoweredModel lowered = lowerToTe(g);
+    const BufferMap bindings = bindRandom(lowered, 21);
+    const Buffer out = Interpreter(lowered.program)
+                           .run(bindings)
+                           .at(lowered.program.outputTensors()[0]);
+    const Buffer &xv = bindings.at(0);
+
+    const int64_t n = shape.back();
+    const int64_t rows = static_cast<int64_t>(out.size()) / n;
+    for (int64_t r = 0; r < rows; ++r) {
+        double total = 0;
+        for (int64_t j = 0; j < n; ++j) {
+            total += out[r * n + j];
+            EXPECT_GT(out[r * n + j], 0.0);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-10);
+        for (int64_t j = 1; j < n; ++j) {
+            // Monotone: softmax preserves the argsort of the logits.
+            EXPECT_EQ(out[r * n + j] > out[r * n + j - 1],
+                      xv[r * n + j] > xv[r * n + j - 1]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SoftmaxSweep,
+    ::testing::Values(std::vector<int64_t>{7},
+                      std::vector<int64_t>{3, 5},
+                      std::vector<int64_t>{2, 3, 4},
+                      std::vector<int64_t>{2, 1, 6},
+                      std::vector<int64_t>{1, 9}));
+
+// ---------------------------------------------------------------------
+// Reshape/transpose round-trip sweep.
+// ---------------------------------------------------------------------
+class MovementSweep
+    : public ::testing::TestWithParam<std::vector<int64_t>>
+{};
+
+TEST_P(MovementSweep, TransposeRoundTripIsIdentity)
+{
+    const std::vector<int64_t> shape = GetParam();
+    Graph g;
+    const ValueId x = g.input("x", shape);
+    std::vector<int64_t> perm(shape.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        perm[i] = static_cast<int64_t>(perm.size() - 1 - i);
+    const ValueId t = g.transpose(x, perm);
+    g.markOutput(g.transpose(t, perm)); // reversing twice = identity
+    const LoweredModel lowered = lowerToTe(g);
+    const BufferMap bindings = bindRandom(lowered, 5);
+    const Buffer out = Interpreter(lowered.program)
+                           .run(bindings)
+                           .at(lowered.program.outputTensors()[0]);
+    EXPECT_EQ(out, bindings.at(0));
+}
+
+TEST_P(MovementSweep, ReshapeFlattenRoundTrip)
+{
+    const std::vector<int64_t> shape = GetParam();
+    int64_t n = 1;
+    for (int64_t d : shape)
+        n *= d;
+    Graph g;
+    const ValueId x = g.input("x", shape);
+    g.markOutput(g.reshape(g.reshape(x, {n}), shape));
+    const LoweredModel lowered = lowerToTe(g);
+    const BufferMap bindings = bindRandom(lowered, 6);
+    const Buffer out = Interpreter(lowered.program)
+                           .run(bindings)
+                           .at(lowered.program.outputTensors()[0]);
+    EXPECT_EQ(out, bindings.at(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MovementSweep,
+    ::testing::Values(std::vector<int64_t>{6},
+                      std::vector<int64_t>{2, 3},
+                      std::vector<int64_t>{2, 3, 4},
+                      std::vector<int64_t>{4, 1, 5}));
+
+// ---------------------------------------------------------------------
+// Affine composition random sweep.
+// ---------------------------------------------------------------------
+class AffineSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AffineSweep, ComposeAgreesWithSequentialApply)
+{
+    std::mt19937_64 rng(GetParam());
+    auto random_map = [&](int out_dims, int in_dims) {
+        std::vector<std::vector<int64_t>> mat(
+            out_dims, std::vector<int64_t>(in_dims));
+        std::vector<int64_t> off(out_dims);
+        for (int r = 0; r < out_dims; ++r) {
+            for (int c = 0; c < in_dims; ++c)
+                mat[r][c] = static_cast<int64_t>(rng() % 5) - 2;
+            off[r] = static_cast<int64_t>(rng() % 7) - 3;
+        }
+        return AffineMap(mat, off);
+    };
+    const int n = 1 + static_cast<int>(rng() % 3);
+    const int k = 1 + static_cast<int>(rng() % 3);
+    const int m = 1 + static_cast<int>(rng() % 3);
+    const AffineMap inner = random_map(k, n);
+    const AffineMap outer = random_map(m, k);
+    const AffineMap composed = outer.compose(inner);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<int64_t> z(n);
+        for (int i = 0; i < n; ++i)
+            z[i] = static_cast<int64_t>(rng() % 9) - 4;
+        EXPECT_EQ(composed.apply(z), outer.apply(inner.apply(z)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineSweep,
+                         ::testing::Range<uint64_t>(100, 116));
+
+} // namespace
+} // namespace souffle

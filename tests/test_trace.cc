@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the chrome-trace exporter: structural JSON sanity,
+ * event counts, monotone timeline, and file output.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "gpu/trace.h"
+#include "models/zoo.h"
+
+namespace souffle {
+namespace {
+
+SimResult
+simulateTiny(CompilerId id)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    const Compiled compiled =
+        compileWith(id, graph, DeviceSpec::a100());
+    return simulate(compiled.module, DeviceSpec::a100());
+}
+
+TEST(Trace, ContainsOneEventPerKernelPlusLaunches)
+{
+    const SimResult result = simulateTiny(CompilerId::kAnsor);
+    const std::string json = toChromeTrace(result, "Ansor");
+
+    size_t events = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+        ++events;
+        pos += 1;
+    }
+    EXPECT_EQ(events, result.kernels.size() * 2); // launch + exec
+    EXPECT_NE(json.find("\"pid\":\"Ansor\""), std::string::npos);
+    EXPECT_NE(json.find("\"bound\":"), std::string::npos);
+}
+
+TEST(Trace, TimelineCoversTotal)
+{
+    const SimResult result = simulateTiny(CompilerId::kSouffle);
+    const std::string json = toChromeTrace(result, "Souffle");
+    // The last event must end at ~totalUs: find the final "ts": and
+    // "dur": values.
+    const size_t ts_pos = json.rfind("\"ts\":");
+    const size_t dur_pos = json.rfind("\"dur\":");
+    ASSERT_NE(ts_pos, std::string::npos);
+    ASSERT_NE(dur_pos, std::string::npos);
+    const double ts = std::stod(json.substr(ts_pos + 5));
+    const double dur = std::stod(json.substr(dur_pos + 6));
+    // The JSON stream prints with ~6 significant digits.
+    EXPECT_NEAR(ts + dur, result.totalUs,
+                result.totalUs * 1e-4 + 1e-3);
+}
+
+TEST(Trace, EscapesSpecialCharacters)
+{
+    SimResult result;
+    KernelTiming timing;
+    timing.name = "weird\"name\\with\nstuff";
+    timing.timeUs = 1.0;
+    timing.launchUs = 2.0;
+    result.kernels.push_back(timing);
+    result.totalUs = 3.0;
+    const std::string json = toChromeTrace(result, "p");
+    EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"),
+              std::string::npos);
+}
+
+TEST(Trace, WritesFile)
+{
+    const SimResult result = simulateTiny(CompilerId::kSouffle);
+    const std::string path = "/tmp/souffle_trace_test.json";
+    writeChromeTrace(result, "Souffle", path);
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good());
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, toChromeTrace(result, "Souffle"));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace souffle

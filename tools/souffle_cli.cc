@@ -1,0 +1,248 @@
+/**
+ * @file
+ * souffle_cli: command-line front end for the compiler.
+ *
+ *   souffle_cli compile <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli run     <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli inspect <model.sgraph | zoo:NAME>
+ *   souffle_cli list
+ *
+ * Options:
+ *   --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree
+ *   --level=0..4           Souffle ablation level (default 4)
+ *   --adaptive             enable adaptive fusion
+ *   --roller               use the Roller-style fast scheduler
+ *   --emit-cuda=FILE       write generated CUDA source
+ *   --trace=FILE           write a chrome://tracing timeline
+ *   --save=FILE            re-serialize the model text
+ *   --seed=N               input seed for `run` (default 42)
+ *
+ * `zoo:NAME` loads a paper model (BERT, ResNeXt, LSTM, EfficientNet,
+ * SwinTransformer, MMoE); `zoo-tiny:NAME` loads the test-sized
+ * variant.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/analysis.h"
+#include "codegen/cuda.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "compiler/souffle.h"
+#include "gpu/trace.h"
+#include "graph/serialize.h"
+#include "models/zoo.h"
+#include "runtime/executor.h"
+
+namespace souffle {
+namespace {
+
+struct CliOptions
+{
+    std::string command;
+    std::string model;
+    CompilerId compiler = CompilerId::kSouffle;
+    SouffleOptions souffle;
+    std::string emitCudaPath;
+    std::string tracePath;
+    std::string savePath;
+    uint64_t seed = 42;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: souffle_cli <compile|run|list> [model] [options]\n"
+        "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
+        "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
+        "  --level=0..4  --adaptive  --roller\n"
+        "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n");
+    return 2;
+}
+
+CompilerId
+compilerByName(const std::string &name)
+{
+    for (CompilerId id :
+         {CompilerId::kSouffle, CompilerId::kXla, CompilerId::kAnsor,
+          CompilerId::kTensorRT, CompilerId::kRammer,
+          CompilerId::kApollo, CompilerId::kIree}) {
+        std::string lower = compilerName(id);
+        for (char &ch : lower)
+            ch = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(ch)));
+        if (lower == name)
+            return id;
+    }
+    SOUFFLE_FATAL("unknown compiler '" << name << "'");
+}
+
+Graph
+loadModel(const std::string &spec)
+{
+    if (spec.rfind("zoo:", 0) == 0)
+        return buildPaperModel(spec.substr(4));
+    if (spec.rfind("zoo-tiny:", 0) == 0)
+        return buildTinyModel(spec.substr(9));
+    return loadGraph(spec);
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &options)
+{
+    if (argc < 2)
+        return false;
+    options.command = argv[1];
+    if (options.command == "list")
+        return true;
+    if (argc < 3)
+        return false;
+    options.model = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value_of = [&](const char *prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--compiler=", 0) == 0)
+            options.compiler = compilerByName(value_of("--compiler="));
+        else if (arg.rfind("--level=", 0) == 0)
+            options.souffle.level = static_cast<SouffleLevel>(
+                std::stoi(value_of("--level=")));
+        else if (arg == "--adaptive")
+            options.souffle.adaptiveFusion = true;
+        else if (arg == "--roller")
+            options.souffle.schedulerMode = SchedulerMode::kRoller;
+        else if (arg.rfind("--emit-cuda=", 0) == 0)
+            options.emitCudaPath = value_of("--emit-cuda=");
+        else if (arg.rfind("--trace=", 0) == 0)
+            options.tracePath = value_of("--trace=");
+        else if (arg.rfind("--save=", 0) == 0)
+            options.savePath = value_of("--save=");
+        else if (arg.rfind("--seed=", 0) == 0)
+            options.seed = std::stoull(value_of("--seed="));
+        else
+            return false;
+    }
+    return true;
+}
+
+int
+cliMain(int argc, char **argv)
+{
+    CliOptions options;
+    if (!parseArgs(argc, argv, options))
+        return usage();
+
+    if (options.command == "list") {
+        std::printf("zoo models (paper Table 2):\n");
+        for (const std::string &name : paperModelNames())
+            std::printf("  zoo:%s  (zoo-tiny:%s)\n", name.c_str(),
+                        name.c_str());
+        return 0;
+    }
+
+    const Graph graph = loadModel(options.model);
+
+    if (options.command == "inspect") {
+        // Show what the global analysis sees, before any transforms.
+        std::printf("%s", graph.toString().c_str());
+        const LoweredModel lowered = lowerToTe(graph);
+        const GlobalAnalysis analysis(lowered.program);
+        std::printf("\nLowered: %d TEs, %zu compute-intensive, %zu "
+                    "shared tensors\n",
+                    lowered.program.numTes(),
+                    analysis.computeIntensiveTes().size(),
+                    analysis.sharedTensors().size());
+        for (const SharedTensor &shared : analysis.sharedTensors()) {
+            std::printf("  %-9s reuse: '%s' x%zu consumers\n",
+                        shared.temporal
+                            ? (shared.spatial ? "both" : "temporal")
+                            : "spatial",
+                        lowered.program.tensor(shared.tensor)
+                            .name.c_str(),
+                        shared.consumers.size());
+        }
+        std::printf("\n%s", lowered.program.toString().c_str());
+        return 0;
+    }
+
+    if (!options.savePath.empty()) {
+        saveGraph(graph, options.savePath);
+        std::printf("saved model text to %s\n",
+                    options.savePath.c_str());
+    }
+
+    Compiled compiled;
+    if (options.compiler == CompilerId::kSouffle)
+        compiled = compileSouffle(graph, options.souffle);
+    else
+        compiled = compileWith(options.compiler, graph,
+                               options.souffle.device);
+
+    std::printf("%s: %d ops -> %d TEs -> %d kernel(s)  "
+                "(compile %.1f ms",
+                compiled.name.c_str(), graph.numOps(),
+                compiled.program.numTes(),
+                compiled.module.numKernels(), compiled.compileTimeMs);
+    if (compiled.horizontalGroups || compiled.verticalMerges) {
+        std::printf(", %d horizontal group(s), %d vertical merge(s)",
+                    compiled.horizontalGroups, compiled.verticalMerges);
+    }
+    std::printf(")\n");
+
+    const Executor executor(compiled, options.souffle.device);
+    std::printf("%s\n", executor.memoryPlan().toString().c_str());
+
+    SimResult timing;
+    if (options.command == "run") {
+        const ExecutionResult result =
+            executor.run(executor.randomInputs(options.seed));
+        timing = result.timing;
+        for (const auto &[name, buffer] : result.outputs) {
+            double checksum = 0.0;
+            for (double v : buffer)
+                checksum += v;
+            std::printf("output '%s': %zu elements, checksum %.6g\n",
+                        name.c_str(), buffer.size(), checksum);
+        }
+    } else if (options.command == "compile") {
+        timing = simulate(compiled.module, options.souffle.device);
+    } else {
+        return usage();
+    }
+    std::printf("%s", timing.toString().c_str());
+
+    if (!options.emitCudaPath.empty()) {
+        std::ofstream file(options.emitCudaPath);
+        SOUFFLE_REQUIRE(file.good(), "cannot open "
+                                         << options.emitCudaPath);
+        file << emitCudaModule(compiled);
+        std::printf("wrote CUDA source to %s\n",
+                    options.emitCudaPath.c_str());
+    }
+    if (!options.tracePath.empty()) {
+        writeChromeTrace(timing, compiled.name, options.tracePath);
+        std::printf("wrote chrome trace to %s\n",
+                    options.tracePath.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace souffle
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return souffle::cliMain(argc, argv);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
