@@ -5,9 +5,13 @@
  * interpreter, and read the simulated A100 performance report.
  *
  *   $ ./quickstart
+ *
+ * Pass --dump-pipeline to print the pass list each ablation level
+ * (V0..V4) expands to instead of compiling.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "compiler/souffle.h"
 #include "gpu/sim.h"
@@ -15,9 +19,35 @@
 
 using namespace souffle;
 
-int
-main()
+namespace {
+
+/** Print the pass pipeline every SouffleLevel expands to. */
+void
+dumpPipelines()
 {
+    for (int level = 0; level <= 4; ++level) {
+        SouffleOptions options;
+        options.level = static_cast<SouffleLevel>(level);
+        std::printf("%s\n", soufflePipeline(options).toString().c_str());
+    }
+    // The adaptive-fusion remedy is just one more pass at the tail.
+    SouffleOptions adaptive;
+    adaptive.adaptiveFusion = true;
+    std::printf("with adaptiveFusion, %s\n",
+                soufflePipeline(adaptive).toString().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dump-pipeline") == 0) {
+            dumpPipelines();
+            return 0;
+        }
+    }
     // 1. Describe the model: a 2-layer MLP with softmax head.
     Graph graph("mlp");
     const ValueId x = graph.input("x", {8, 64});
@@ -35,10 +65,12 @@ main()
     SouffleOptions options; // defaults: A100, level V4
     const Compiled compiled = compileSouffle(graph, options);
     std::printf("Compiled in %.2f ms: %d TEs -> %d kernel(s), "
-                "%d horizontal group(s), %d vertical merge(s)\n\n",
+                "%d horizontal group(s), %d vertical merge(s)\n",
                 compiled.compileTimeMs, compiled.program.numTes(),
                 compiled.module.numKernels(),
                 compiled.horizontalGroups, compiled.verticalMerges);
+    std::printf("Per-pass breakdown:\n%s\n",
+                compiled.passStats.toString().c_str());
 
     // 3. Verify semantics: the transformed TE program must compute
     //    exactly what the untransformed lowering computes.

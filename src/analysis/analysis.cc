@@ -1,6 +1,7 @@
 #include "analysis/analysis.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <sstream>
 #include <unordered_map>
@@ -80,12 +81,16 @@ GlobalAnalysis::GlobalAnalysis(const TeProgram &program,
                                double intensity_threshold)
     : prog(program), threshold(intensity_threshold)
 {
+    const auto start = std::chrono::steady_clock::now();
     infos.reserve(prog.numTes());
     for (const auto &te : prog.tes())
         analyzeTe(te);
     buildLiveRangesAndSharing();
     reachCache.resize(prog.numTes());
     reachCacheValid.assign(prog.numTes(), false);
+    const auto end = std::chrono::steady_clock::now();
+    buildMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
 }
 
 void

@@ -119,6 +119,10 @@ class GlobalAnalysis
     /** TE ids classified memory-intensive, in program order. */
     std::vector<int> memoryIntensiveTes() const;
 
+    /** Wall-clock cost of constructing this analysis (for the
+     *  pipeline's PassStatistics attribution). */
+    double constructionMs() const { return buildMs; }
+
     /** Summary for logs and tests. */
     std::string toString() const;
 
@@ -128,6 +132,7 @@ class GlobalAnalysis
 
     const TeProgram &prog;
     double threshold = kComputeIntensityThreshold;
+    double buildMs = 0.0;
     std::vector<TeInfo> infos;
     std::vector<LiveRange> liveRanges;
     std::vector<std::vector<int>> consumerLists;

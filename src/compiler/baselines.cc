@@ -32,8 +32,10 @@
 #include "compiler/cluster.h"
 #include "compiler/compiler.h"
 #include "compiler/souffle.h"
-#include "sched/schedule.h"
-#include "transform/horizontal.h"
+#include "graph/lowering_pass.h"
+#include "kernel/kernel_passes.h"
+#include "sched/schedule_pass.h"
+#include "transform/transform_passes.h"
 
 namespace souffle {
 
@@ -143,6 +145,78 @@ rulesFor(CompilerId id)
     return rules;
 }
 
+/**
+ * Structural support gate, run first so unsupported models reject
+ * before any compilation work (mirrors the paper's "Failed" cells).
+ */
+class SupportCheckPass : public Pass
+{
+  public:
+    explicit SupportCheckPass(CompilerId id) : id(id) {}
+
+    std::string name() const override { return "support-check"; }
+
+    void
+    run(CompileContext &ctx) override
+    {
+        checkSupport(id, ctx.graph);
+    }
+
+  private:
+    CompilerId id;
+};
+
+/**
+ * Rule-based kernel clustering: the baseline's documented fusion
+ * rules over the shared clusterer. Writes `ctx.plan`.
+ */
+class ClusterPlanPass : public Pass
+{
+  public:
+    explicit ClusterPlanPass(CompilerId id) : id(id) {}
+
+    std::string name() const override { return "cluster-kernels"; }
+
+    void
+    run(CompileContext &ctx) override
+    {
+        if (id == CompilerId::kRammer && ctx.graph.numOps() == 0) {
+            ctx.plan = ModulePlan::unfused(ctx.program());
+        } else {
+            ctx.plan = clusterKernels(ctx.graph, ctx.lowered,
+                                      ctx.analysis(), rulesFor(id));
+        }
+        ctx.result.subprograms =
+            static_cast<int>(ctx.plan.kernels.size());
+        ctx.counter("kernels", ctx.result.subprograms);
+    }
+
+  private:
+    CompilerId id;
+};
+
+/** Pipeline registration of one baseline compiler. */
+PassManager
+baselinePipeline(CompilerId id)
+{
+    PassManager pipeline("baseline-" + compilerName(id));
+    pipeline.add<SupportCheckPass>(id);
+    pipeline.add<LowerToTePass>();
+    if (id == CompilerId::kRammer) {
+        // Rammer's rTask co-scheduling merges independent sibling
+        // operators -- model it with the horizontal transformation.
+        // teToOp is stale after the rebuild; Rammer generates all its
+        // kernels itself (no library factors), so remap everything to
+        // a generated-kernel mapping by rebuilding the index as "not a
+        // conv" (factors are 1.0 anyway).
+        pipeline.add<HorizontalTransformPass>(/*remap_te_to_op=*/true);
+    }
+    pipeline.add<SchedulePass>();
+    pipeline.add<ClusterPlanPass>(id);
+    pipeline.add<BuildModulePass>();
+    return pipeline;
+}
+
 } // namespace
 
 Compiled
@@ -157,41 +231,14 @@ compileWith(CompilerId id, const Graph &graph, const DeviceSpec &device)
         return result;
     }
 
-    checkSupport(id, graph);
     const auto start = std::chrono::steady_clock::now();
 
-    Compiled result;
-    result.name = compilerName(id);
-
-    LoweredModel lowered = lowerToTe(graph);
-
-    if (id == CompilerId::kRammer) {
-        // Rammer's rTask co-scheduling merges independent sibling
-        // operators -- model it with the horizontal transformation.
-        const HorizontalStats h = horizontalTransform(lowered.program);
-        result.horizontalGroups = h.groups;
-        // teToOp is stale after the rebuild; Rammer generates all its
-        // kernels itself (no library factors), so remap everything to
-        // a generated-kernel mapping by rebuilding the index as "not a
-        // conv" (factors are 1.0 anyway).
-        lowered.teToOp.assign(lowered.program.numTes(), 0);
-    }
-
-    const GlobalAnalysis analysis(lowered.program);
-    AutoScheduler scheduler(lowered.program, analysis, device);
-    const std::vector<Schedule> schedules = scheduler.scheduleAll();
-
-    ModulePlan plan;
-    if (id == CompilerId::kRammer && graph.numOps() == 0) {
-        plan = ModulePlan::unfused(lowered.program);
-    } else {
-        plan = clusterKernels(graph, lowered, analysis, rulesFor(id));
-    }
-    result.subprograms = static_cast<int>(plan.kernels.size());
-
-    result.module = buildModule(lowered.program, analysis, schedules,
-                                plan, device, result.name);
-    result.program = std::move(lowered.program);
+    SouffleOptions options;
+    options.device = device;
+    CompileContext ctx(graph, options);
+    ctx.result.name = compilerName(id);
+    baselinePipeline(id).run(ctx);
+    Compiled result = ctx.take();
 
     const auto end = std::chrono::steady_clock::now();
     result.compileTimeMs =

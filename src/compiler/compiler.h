@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "compiler/pass_stats.h"
 #include "gpu/device.h"
 #include "graph/graph.h"
 #include "graph/lowering.h"
@@ -42,6 +43,9 @@ struct Compiled
 
     // Compile-time statistics.
     double compileTimeMs = 0.0;
+    /** Per-pass timing/counter breakdown of the pipeline that built
+     *  this result (execution order, verifier runs included). */
+    PassStatistics passStats;
     int subprograms = 0;
     int horizontalGroups = 0;
     int verticalMerges = 0;

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Compilation options shared by the pass library and the pipeline
+ * factories. Kept separate from `compiler/souffle.h` so that
+ * `compiler/pass.h` (which every pass adapter includes) does not pull
+ * in the driver-level pipeline factories.
+ */
+
+#include <cstdint>
+
+#include "analysis/analysis.h"
+#include "gpu/device.h"
+#include "sched/schedule.h"
+
+namespace souffle {
+
+/** Ablation levels of Table 4. */
+enum class SouffleLevel : uint8_t {
+    kV0 = 0,
+    kV1 = 1,
+    kV2 = 2,
+    kV3 = 3,
+    kV4 = 4,
+};
+
+/** Options for the Souffle driver. */
+struct SouffleOptions
+{
+    DeviceSpec device = DeviceSpec::a100();
+    SouffleLevel level = SouffleLevel::kV4;
+    /** Cap on horizontal merge group size. */
+    int horizontalCap = 64;
+    /**
+     * Cost-model-guided fusion profitability (the remedy the paper
+     * sketches in Sec. 9 "Slowdown"): after building each subprogram
+     * mega-kernel, compare its simulated time against launching one
+     * kernel per stage, and keep whichever is faster. Off by default
+     * to preserve the paper's V3/V4 semantics.
+     */
+    bool adaptiveFusion = false;
+    /** Compute/memory classification threshold (paper: 3). */
+    double intensityThreshold = kComputeIntensityThreshold;
+    /**
+     * Schedule-search strategy: kSearch (Ansor stand-in, default) or
+     * kRoller (Sec. 8.5's faster constructive optimizer).
+     */
+    SchedulerMode schedulerMode = SchedulerMode::kSearch;
+};
+
+} // namespace souffle

@@ -1,0 +1,98 @@
+#include "compiler/pass.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace souffle {
+
+CompileContext::CompileContext(const Graph &graph, SouffleOptions options)
+    : graph(graph), options(std::move(options))
+{
+}
+
+const GlobalAnalysis &
+CompileContext::analysis()
+{
+    if (!cachedAnalysis) {
+        cachedAnalysis = std::make_unique<GlobalAnalysis>(
+            lowered.program, options.intensityThreshold);
+        ++stats.analysisRuns;
+        if (currentTiming) {
+            counter("analysisUs",
+                    static_cast<int64_t>(
+                        cachedAnalysis->constructionMs() * 1000.0));
+        }
+    }
+    return *cachedAnalysis;
+}
+
+void
+CompileContext::counter(const std::string &name, int64_t value)
+{
+    if (!currentTiming)
+        return;
+    currentTiming->counters.push_back(PassCounter{name, value});
+}
+
+Compiled
+CompileContext::take()
+{
+    invalidateAnalysis();
+    result.program = std::move(lowered.program);
+    result.passStats = std::move(stats);
+    return std::move(result);
+}
+
+double
+PassStatistics::totalMs() const
+{
+    double total = 0.0;
+    for (const PassTiming &timing : passes)
+        total += timing.wallMs;
+    return total;
+}
+
+double
+PassStatistics::passMs(const std::string &pass) const
+{
+    double total = 0.0;
+    for (const PassTiming &timing : passes) {
+        if (timing.pass == pass)
+            total += timing.wallMs;
+    }
+    return total;
+}
+
+std::string
+PassStatistics::toString() const
+{
+    size_t width = 4;
+    for (const PassTiming &timing : passes)
+        width = std::max(width, timing.pass.size());
+
+    std::string out;
+    for (const PassTiming &timing : passes) {
+        char line[64];
+        std::snprintf(line, sizeof(line), "  %10.3f ms  ",
+                      timing.wallMs);
+        out += timing.pass;
+        out.append(width - timing.pass.size(), ' ');
+        out += line;
+        bool first = true;
+        for (const PassCounter &counter : timing.counters) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += counter.name + "=" + std::to_string(counter.value);
+        }
+        out += "\n";
+    }
+    char total[96];
+    std::snprintf(total, sizeof(total),
+                  "total %.3f ms over %zu pass runs, %d analysis run(s)\n",
+                  totalMs(), passes.size(), analysisRuns);
+    out += total;
+    return out;
+}
+
+} // namespace souffle

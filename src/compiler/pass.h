@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * The compiler pass interface and the shared compile context.
+ *
+ * A compilation is a sequence of passes over one `CompileContext`,
+ * which owns every evolving artifact: the source graph, the lowered
+ * TE program (mutated in place by the transformations), the per-TE
+ * schedules, the kernel plan, and the compiled module under
+ * construction. The global analysis is managed by the context and
+ * recomputed lazily: a pass that mutates the TE program declares
+ * `invalidatesAnalysis()` and the next consumer gets a fresh one.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "compiler/options.h"
+#include "graph/lowering.h"
+#include "kernel/build.h"
+#include "sched/schedule.h"
+
+namespace souffle {
+
+class PassManager;
+
+/**
+ * All state of one compilation. Owned artifacts are populated as the
+ * pipeline progresses:
+ *
+ *  - `lowered`   -- written by lowering; `lowered.program` is *the*
+ *                   working TE program every later pass reads/mutates
+ *                   (side tables go stale after the transformations);
+ *  - `schedules` -- written by the scheduling pass;
+ *  - `plan`      -- written by a planning pass (partition / stage /
+ *                   cluster);
+ *  - `result`    -- name and counters accumulate throughout; the
+ *                   module is written by the build pass; the program
+ *                   moves in at `take()`.
+ *
+ * The context is pinned in memory (non-copyable, non-movable) because
+ * the cached GlobalAnalysis holds references into `lowered.program`.
+ */
+struct CompileContext
+{
+    CompileContext(const Graph &graph, SouffleOptions options);
+
+    CompileContext(const CompileContext &) = delete;
+    CompileContext &operator=(const CompileContext &) = delete;
+
+    const Graph &graph;
+    SouffleOptions options;
+
+    /** Lowered model; `lowered.program` is the working program. */
+    LoweredModel lowered;
+    /** Per-TE schedules (parallel to program TE ids). */
+    std::vector<Schedule> schedules;
+    /** Kernel plan the module is built from. */
+    ModulePlan plan;
+    /** The result under construction. */
+    Compiled result;
+
+    /** Per-pass timings and counters, filled by the PassManager. */
+    PassStatistics stats;
+
+    TeProgram &program() { return lowered.program; }
+    const TeProgram &program() const { return lowered.program; }
+
+    /**
+     * The global analysis of the current program, computed on first
+     * use and after every invalidation (with
+     * `options.intensityThreshold`). The reference stays valid until
+     * the next `invalidateAnalysis()`.
+     */
+    const GlobalAnalysis &analysis();
+
+    /** True if a cached analysis for the current program exists. */
+    bool analysisValid() const { return cachedAnalysis != nullptr; }
+
+    /** Drop the cached analysis (the program changed underneath it). */
+    void invalidateAnalysis() { cachedAnalysis.reset(); }
+
+    /**
+     * Record a named counter on the currently-running pass's timing
+     * entry. No-op when called outside a PassManager run.
+     */
+    void counter(const std::string &name, int64_t value);
+
+    /**
+     * Finalize: move the working program and the statistics into the
+     * result and return it. The context must not be used afterwards.
+     */
+    Compiled take();
+
+  private:
+    friend class PassManager;
+    /** Timing entry of the pass currently running, if any. */
+    PassTiming *currentTiming = nullptr;
+    std::unique_ptr<GlobalAnalysis> cachedAnalysis;
+};
+
+/** One compiler pass: a named transformation of the context. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable kebab-case name shown in pipelines and statistics. */
+    virtual std::string name() const = 0;
+
+    /** Execute the pass. Throws on unrecoverable input errors. */
+    virtual void run(CompileContext &ctx) = 0;
+
+    /**
+     * True if the pass mutates the TE program, invalidating the
+     * context's cached GlobalAnalysis. The PassManager drops the
+     * cache after running such a pass, so analysis is recomputed only
+     * when actually stale.
+     */
+    virtual bool invalidatesAnalysis() const { return false; }
+};
+
+} // namespace souffle

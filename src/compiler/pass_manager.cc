@@ -1,0 +1,207 @@
+#include "compiler/pass_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "transform/partition.h"
+
+namespace souffle {
+
+void
+PassManager::runTimed(Pass &pass, CompileContext &ctx)
+{
+    ctx.stats.passes.push_back(PassTiming{pass.name(), 0.0, {}});
+    // The entry pointer stays valid until the next push_back, which
+    // only happens after this pass returns.
+    ctx.currentTiming = &ctx.stats.passes.back();
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        pass.run(ctx);
+    } catch (...) {
+        ctx.currentTiming = nullptr;
+        throw;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    ctx.stats.passes.back().wallMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    ctx.currentTiming = nullptr;
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    SOUFFLE_CHECK(pass != nullptr, "null pass registered");
+    passes.push_back(std::move(pass));
+    return *this;
+}
+
+void
+PassManager::run(CompileContext &ctx) const
+{
+    IrVerifier verifier;
+    for (const auto &pass : passes) {
+        runTimed(*pass, ctx);
+        if (pass->invalidatesAnalysis())
+            ctx.invalidateAnalysis();
+        if (verifyBetween)
+            runTimed(verifier, ctx);
+    }
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes.size());
+    for (const auto &pass : passes)
+        names.push_back(pass->name());
+    return names;
+}
+
+std::string
+PassManager::toString() const
+{
+    std::string out = pipelineName + ":\n";
+    int index = 1;
+    for (const auto &pass : passes) {
+        out += "  " + std::to_string(index++) + ". " + pass->name();
+        if (pass->invalidatesAnalysis())
+            out += "  [invalidates analysis]";
+        out += "\n";
+    }
+    if (verifyBetween)
+        out += "  (IrVerifier interleaved after every pass)\n";
+    return out;
+}
+
+void
+verifyTeProgram(const TeProgram &program)
+{
+    const int num_tes = program.numTes();
+    const int num_tensors = program.numTensors();
+    for (int i = 0; i < num_tes; ++i) {
+        const TensorExpr &te = program.te(i);
+        SOUFFLE_REQUIRE(te.id == i, "IR verifier: TE id " << te.id
+                                        << " at index " << i);
+        SOUFFLE_REQUIRE(te.output >= 0 && te.output < num_tensors,
+                        "IR verifier: TE '" << te.name
+                                            << "' output out of range");
+        SOUFFLE_REQUIRE(program.tensor(te.output).producer == i,
+                        "IR verifier: TE '"
+                            << te.name << "' producer link broken");
+        for (TensorId in : te.inputs) {
+            SOUFFLE_REQUIRE(in >= 0 && in < num_tensors,
+                            "IR verifier: TE '"
+                                << te.name << "' input out of range");
+            const int producer = program.tensor(in).producer;
+            SOUFFLE_REQUIRE(
+                producer < i,
+                "IR verifier: dependence cycle (TE '"
+                    << te.name << "' reads tensor '"
+                    << program.tensor(in).name << "' produced by TE "
+                    << producer
+                    << " at or after it; the TE dependence graph must "
+                       "be acyclic/topologically ordered)");
+        }
+        std::vector<ReadAccess> reads;
+        te.body->collectReads(reads);
+        for (const ReadAccess &access : reads) {
+            SOUFFLE_REQUIRE(
+                access.inputSlot >= 0
+                    && access.inputSlot
+                           < static_cast<int>(te.inputs.size()),
+                "IR verifier: TE '" << te.name
+                                    << "' reads undeclared slot "
+                                    << access.inputSlot);
+            SOUFFLE_REQUIRE(access.map->inDims() == te.iterRank(),
+                            "IR verifier: TE '"
+                                << te.name
+                                << "' read map in-rank mismatch");
+        }
+    }
+}
+
+void
+IrVerifier::run(CompileContext &ctx)
+{
+    const TeProgram &program = ctx.program();
+    verifyTeProgram(program);
+
+    if (!ctx.schedules.empty()) {
+        SOUFFLE_REQUIRE(static_cast<int>(ctx.schedules.size())
+                            == program.numTes(),
+                        "IR verifier: " << ctx.schedules.size()
+                                        << " schedules for "
+                                        << program.numTes() << " TEs");
+        for (int i = 0; i < program.numTes(); ++i) {
+            const Schedule &sched = ctx.schedules[i];
+            SOUFFLE_REQUIRE(sched.teId == i,
+                            "IR verifier: schedule " << i
+                                                     << " labels TE "
+                                                     << sched.teId);
+            SOUFFLE_REQUIRE(sched.threadsPerBlock > 0
+                                && sched.numBlocks > 0,
+                            "IR verifier: degenerate launch dims for "
+                            "TE "
+                                << i);
+        }
+    }
+
+    if (!ctx.plan.kernels.empty()) {
+        // Every TE must be scheduled before the merge phase plans
+        // kernels around the schedules' resource envelopes.
+        SOUFFLE_REQUIRE(static_cast<int>(ctx.schedules.size())
+                            == program.numTes(),
+                        "IR verifier: kernel plan exists but only "
+                            << ctx.schedules.size() << " of "
+                            << program.numTes()
+                            << " TEs are scheduled");
+        const std::string violation =
+            describePlanCoverageViolation(program, ctx.plan);
+        SOUFFLE_REQUIRE(violation.empty(),
+                        "IR verifier: " << violation);
+        for (const KernelPlan &kernel : ctx.plan.kernels) {
+            if (kernel.stages.size() < 2)
+                continue;
+            // Multi-stage kernels synchronize with grid.sync(), so
+            // the whole subprogram must fit one cooperative wave.
+            std::vector<int> tes;
+            for (const StagePlan &stage : kernel.stages)
+                tes.insert(tes.end(), stage.tes.begin(),
+                           stage.tes.end());
+            SOUFFLE_REQUIRE(
+                subprogramFitsDevice(tes, ctx.schedules,
+                                     ctx.options.device),
+                "IR verifier: grid-sync kernel '"
+                    << kernel.name
+                    << "' exceeds the cooperative-wave resource cap");
+        }
+    }
+
+    if (!ctx.result.module.kernels.empty()) {
+        std::vector<int> covered;
+        for (const Kernel &kernel : ctx.result.module.kernels) {
+            for (const KernelStage &stage : kernel.stages) {
+                SOUFFLE_REQUIRE(!stage.teIds.empty(),
+                                "IR verifier: empty stage in kernel '"
+                                    << kernel.name << "'");
+                covered.insert(covered.end(), stage.teIds.begin(),
+                               stage.teIds.end());
+            }
+        }
+        std::sort(covered.begin(), covered.end());
+        SOUFFLE_REQUIRE(static_cast<int>(covered.size())
+                            == program.numTes(),
+                        "IR verifier: module covers "
+                            << covered.size() << " TEs, program has "
+                            << program.numTes());
+        for (int i = 0; i < static_cast<int>(covered.size()); ++i) {
+            SOUFFLE_REQUIRE(covered[i] == i,
+                            "IR verifier: module TE coverage is not a "
+                            "bijection");
+        }
+    }
+}
+
+} // namespace souffle

@@ -1,0 +1,108 @@
+#pragma once
+
+/**
+ * @file
+ * The pass manager: executes a registered pass sequence over one
+ * CompileContext, times every pass into `PassStatistics`, drops the
+ * cached GlobalAnalysis after passes that declare it stale, and (by
+ * default) interleaves an `IrVerifier` run after every pass so a
+ * broken artifact is caught at the pass that broke it, not three
+ * stages later.
+ */
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/**
+ * Inter-pass IR verifier (itself a pass, so it can be registered or
+ * interleaved). Checks, for every artifact that exists so far:
+ *
+ *  - TE program: ids consistent, producer links intact, dependence
+ *    graph acyclic (inputs produced strictly earlier), read maps
+ *    slot- and rank-consistent;
+ *  - schedules: exactly one per TE with sane launch dimensions;
+ *  - kernel plan: schedules exist ("every TE scheduled before
+ *    merge"), every TE in exactly one stage of one kernel, and every
+ *    multi-stage (grid-sync) kernel within the cooperative-wave
+ *    resource cap of the device;
+ *  - compiled module: every TE covered exactly once, no empty stage.
+ *
+ * Violations throw FatalError (unlike TeProgram::validate, which
+ * aborts) so tests and tools can observe rejections.
+ */
+class IrVerifier : public Pass
+{
+  public:
+    std::string name() const override { return "verify"; }
+    void run(CompileContext &ctx) override;
+};
+
+/** Throwing structural check of a TE program (see IrVerifier). */
+void verifyTeProgram(const TeProgram &program);
+
+/** An ordered, named pass pipeline. */
+class PassManager
+{
+  public:
+    explicit PassManager(std::string name = "pipeline")
+        : pipelineName(std::move(name))
+    {
+    }
+
+    PassManager(PassManager &&) = default;
+    PassManager &operator=(PassManager &&) = default;
+
+    /** Append a pass; returns *this for chaining. */
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    /** Construct and append a pass of type @p P. */
+    template <typename P, typename... Args>
+    PassManager &
+    add(Args &&...args)
+    {
+        return add(std::make_unique<P>(std::forward<Args>(args)...));
+    }
+
+    /**
+     * Toggle the interleaved IrVerifier (on by default: the checks
+     * are linear in program size, negligible next to scheduling).
+     */
+    PassManager &
+    setVerifyBetweenPasses(bool on)
+    {
+        verifyBetween = on;
+        return *this;
+    }
+
+    bool verifyBetweenPasses() const { return verifyBetween; }
+
+    /**
+     * Run every registered pass in order on @p ctx, recording one
+     * PassTiming per pass run (verifier runs included) into
+     * `ctx.stats`. Exceptions from passes propagate unchanged.
+     */
+    void run(CompileContext &ctx) const;
+
+    const std::string &name() const { return pipelineName; }
+    size_t numPasses() const { return passes.size(); }
+    std::vector<std::string> passNames() const;
+
+    /** Human-readable numbered pass list (for --dump-pipeline). */
+    std::string toString() const;
+
+  private:
+    /** Run one pass with its own timing entry in ctx.stats. */
+    static void runTimed(Pass &pass, CompileContext &ctx);
+
+    std::string pipelineName;
+    std::vector<std::unique_ptr<Pass>> passes;
+    bool verifyBetween = true;
+};
+
+} // namespace souffle

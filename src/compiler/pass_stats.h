@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Per-pass compile-time statistics.
+ *
+ * The PassManager records one PassTiming entry, in execution order,
+ * for every pass it runs (including interleaved verifier runs).
+ * Passes attach named counters to their own entry through
+ * `CompileContext::counter`. The report is carried on `Compiled` so
+ * benches (`bench_compile_overhead`) and tools can break compilation
+ * time down by stage instead of reporting one end-to-end number.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace souffle {
+
+/** One named counter recorded by a pass (e.g. "groups", 7). */
+struct PassCounter
+{
+    std::string name;
+    int64_t value = 0;
+};
+
+/** Wall-clock time and counters of one executed pass. */
+struct PassTiming
+{
+    std::string pass;
+    double wallMs = 0.0;
+    std::vector<PassCounter> counters;
+};
+
+/** Whole-pipeline statistics, in execution order. */
+struct PassStatistics
+{
+    std::vector<PassTiming> passes;
+    /** Times GlobalAnalysis was (re)computed during the pipeline. */
+    int analysisRuns = 0;
+
+    /** Sum of all per-pass wall times. */
+    double totalMs() const;
+
+    /** Sum of wall times of entries named @p pass (0 if absent). */
+    double passMs(const std::string &pass) const;
+
+    /** Aligned per-pass table for logs and benches. */
+    std::string toString() const;
+};
+
+} // namespace souffle

@@ -3,14 +3,10 @@
 #include <chrono>
 #include <unordered_set>
 
-#include "common/logging.h"
-#include "gpu/sim.h"
-#include "kernel/pipeline_opt.h"
-#include "kernel/reuse_opt.h"
-#include "sched/schedule.h"
-#include "transform/horizontal.h"
-#include "transform/partition.h"
-#include "transform/vertical.h"
+#include "graph/lowering_pass.h"
+#include "kernel/kernel_passes.h"
+#include "sched/schedule_pass.h"
+#include "transform/transform_passes.h"
 
 namespace souffle {
 
@@ -66,52 +62,6 @@ epilogueFusionPlan(const TeProgram &program)
     return plan;
 }
 
-/**
- * Two-phase reduction handling (Sec. 6.3): inside a multi-stage
- * kernel, reductions whose consumers all live in the same kernel
- * reduce per-block and combine partial results with atomicAdd; only
- * the partial result touches global memory.
- */
-void
-applyTwoPhaseReduction(CompiledModule &module, const TeProgram &program,
-                       const GlobalAnalysis &analysis)
-{
-    for (auto &kernel : module.kernels) {
-        if (kernel.stages.size() < 2)
-            continue;
-        std::unordered_set<int> kernel_tes;
-        for (const auto &stage : kernel.stages)
-            kernel_tes.insert(stage.teIds.begin(), stage.teIds.end());
-        for (auto &stage : kernel.stages) {
-            for (auto &instr : stage.instrs) {
-                if (instr.kind != InstrKind::kStoreGlobal
-                    || instr.tensor < 0)
-                    continue;
-                const int producer =
-                    program.tensor(instr.tensor).producer;
-                if (producer < 0 || !program.te(producer).hasReduce())
-                    continue;
-                // Contractions reduce block-locally inside their own
-                // k-loop; only memory-intensive reductions (whose rows
-                // are shared across blocks under a propagated
-                // schedule) need the atomic combine.
-                if (analysis.teInfo(producer).computeIntensive)
-                    continue;
-                bool internal = program.tensor(instr.tensor).role
-                                != TensorRole::kOutput;
-                for (int consumer : analysis.consumers(instr.tensor)) {
-                    if (!kernel_tes.count(consumer)) {
-                        internal = false;
-                        break;
-                    }
-                }
-                if (internal)
-                    instr.kind = InstrKind::kAtomicAdd;
-            }
-        }
-    }
-}
-
 } // namespace
 
 ModulePlan
@@ -123,131 +73,62 @@ ansorStylePlan(const Graph &graph, const LoweredModel &lowered,
     return epilogueFusionPlan(lowered.program);
 }
 
-Compiled
-compileSouffle(const Graph &graph, const SouffleOptions &options)
+PassManager
+soufflePipeline(const SouffleOptions &options)
 {
-    const auto start = std::chrono::steady_clock::now();
-
-    Compiled result;
-    result.name = "Souffle(V"
-                  + std::to_string(static_cast<int>(options.level))
-                  + ")";
+    PassManager pipeline(
+        "souffle-v" + std::to_string(static_cast<int>(options.level)));
 
     // 1. TE lowering.
-    LoweredModel lowered = lowerToTe(graph);
-    result.program = std::move(lowered.program);
+    pipeline.add<LowerToTePass>();
 
     // 2-4. Global analysis feeds the semantic-preserving transforms.
-    if (options.level >= SouffleLevel::kV1) {
-        const HorizontalStats h =
-            horizontalTransform(result.program, options.horizontalCap);
-        result.horizontalGroups = h.groups;
-    }
-    if (options.level >= SouffleLevel::kV2) {
-        const VerticalStats v = verticalTransform(result.program);
-        result.verticalMerges = v.merged;
-    }
+    if (options.level >= SouffleLevel::kV1)
+        pipeline.add<HorizontalTransformPass>();
+    if (options.level >= SouffleLevel::kV2)
+        pipeline.add<VerticalTransformPass>();
 
-    // 5. Scheduling (Ansor stand-in) on the transformed program.
-    const GlobalAnalysis analysis(result.program,
-                                  options.intensityThreshold);
-    AutoScheduler scheduler(result.program, analysis, options.device,
-                            options.schedulerMode);
-    const std::vector<Schedule> schedules = scheduler.scheduleAll();
-
-    ModulePlan plan;
-    if (options.level >= SouffleLevel::kV3) {
-        // Resource-aware partitioning: one kernel per subprogram,
-        // grid-sync stages inside.
-        const PartitionResult partition = partitionProgram(
-            result.program, analysis, schedules, options.device);
-        result.subprograms =
-            static_cast<int>(partition.subprograms.size());
-        int index = 0;
-        for (const auto &subprogram : partition.subprograms) {
-            KernelPlan kernel;
-            kernel.name = "subprogram_" + std::to_string(index++);
-            kernel.stages =
-                groupStages(result.program, analysis, subprogram.tes);
-            plan.kernels.push_back(std::move(kernel));
-        }
-    } else {
-        // V0..V2: Souffle's code generation without global
-        // synchronization -- every register-level stage becomes its
-        // own kernel (launch-separated instead of grid.sync()ed).
-        std::vector<int> all_tes(result.program.numTes());
-        for (int i = 0; i < result.program.numTes(); ++i)
-            all_tes[i] = i;
-        const std::vector<StagePlan> stages =
-            groupStages(result.program, analysis, all_tes);
-        int index = 0;
-        for (const StagePlan &stage : stages) {
-            KernelPlan kernel;
-            kernel.name = "stage_" + std::to_string(index++);
-            kernel.stages.push_back(stage);
-            plan.kernels.push_back(std::move(kernel));
-        }
-        result.subprograms = static_cast<int>(plan.kernels.size());
-    }
+    // 5. Scheduling (Ansor stand-in) on the transformed program, then
+    //    either resource-aware partitioning (V3+: one kernel per
+    //    subprogram, grid-sync stages inside) or launch-separated
+    //    per-stage kernels (V0..V2).
+    pipeline.add<SchedulePass>();
+    if (options.level >= SouffleLevel::kV3)
+        pipeline.add<PartitionPass>();
+    else
+        pipeline.add<StageKernelsPass>();
 
     // 6. Merge schedules into kernels.
-    result.module = buildModule(result.program, analysis, schedules,
-                                plan, options.device, result.name);
+    pipeline.add<BuildModulePass>();
     if (options.level >= SouffleLevel::kV3)
-        applyTwoPhaseReduction(result.module, result.program, analysis);
+        pipeline.add<TwoPhaseReductionPass>();
 
     // 7. Subprogram-level optimizations.
     if (options.level >= SouffleLevel::kV4) {
-        const PipelineStats p =
-            pipelineOptimize(result.module, result.program);
-        result.loadsOverlapped = p.loadsOverlapped;
-        const ReuseStats r = reuseOptimize(result.module, result.program,
-                                           options.device);
-        result.loadsCached = r.loadsCached;
+        pipeline.add<PipelineOptimizePass>();
+        pipeline.add<ReuseOptimizePass>();
     }
 
     // 8. Optional adaptive fusion (the Sec. 9 "Slowdown" remedy):
     // keep a subprogram fused only when the cost model says the
     // grid-sync mega-kernel actually beats per-stage launches.
-    if (options.adaptiveFusion && options.level >= SouffleLevel::kV3) {
-        CompiledModule adapted;
-        adapted.compilerName = result.module.compilerName;
-        for (size_t k = 0; k < result.module.kernels.size(); ++k) {
-            Kernel &merged = result.module.kernels[k];
-            if (merged.stages.size() < 2) {
-                adapted.kernels.push_back(std::move(merged));
-                continue;
-            }
-            CompiledModule merged_only;
-            merged_only.kernels.push_back(merged);
-            const double merged_us =
-                simulate(merged_only, options.device).totalUs;
+    if (options.adaptiveFusion && options.level >= SouffleLevel::kV3)
+        pipeline.add<AdaptiveFusionPass>();
 
-            CompiledModule split;
-            for (size_t s = 0; s < plan.kernels[k].stages.size();
-                 ++s) {
-                KernelPlan stage_plan;
-                stage_plan.name = plan.kernels[k].name + "_s"
-                                  + std::to_string(s);
-                stage_plan.stages.push_back(
-                    plan.kernels[k].stages[s]);
-                split.kernels.push_back(
-                    buildKernel(result.program, analysis, schedules,
-                                stage_plan, options.device));
-            }
-            const double split_us =
-                simulate(split, options.device).totalUs;
+    return pipeline;
+}
 
-            if (split_us < merged_us) {
-                ++result.adaptiveSplits;
-                for (auto &kernel : split.kernels)
-                    adapted.kernels.push_back(std::move(kernel));
-            } else {
-                adapted.kernels.push_back(std::move(merged));
-            }
-        }
-        result.module = std::move(adapted);
-    }
+Compiled
+compileSouffle(const Graph &graph, const SouffleOptions &options)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    CompileContext ctx(graph, options);
+    ctx.result.name = "Souffle(V"
+                      + std::to_string(static_cast<int>(options.level))
+                      + ")";
+    soufflePipeline(options).run(ctx);
+    Compiled result = ctx.take();
 
     const auto end = std::chrono::steady_clock::now();
     result.compileTimeMs =

@@ -2,19 +2,23 @@
 
 /**
  * @file
- * The Souffle compiler driver: the paper's full pipeline.
+ * The Souffle compiler driver: the paper's full pipeline, expressed
+ * as a PassManager registration.
  *
- *  1. TE lowering (Sec. 4)                 -- graph/lowering
- *  2. Global analysis (Sec. 5)             -- analysis
- *  3. Horizontal transformation (Sec. 6.1) -- transform/horizontal
- *  4. Vertical transformation (Sec. 6.2)   -- transform/vertical
+ *  1. TE lowering (Sec. 4)                 -- graph/lowering_pass
+ *  2. Global analysis (Sec. 5)             -- recomputed lazily by the
+ *     CompileContext whenever a pass staled it
+ *  3. Horizontal transformation (Sec. 6.1) -- transform/transform_passes
+ *  4. Vertical transformation (Sec. 6.2)   -- transform/transform_passes
  *  5. Scheduling + resource-aware partitioning (Sec. 5.4/6.3)
+ *     -- sched/schedule_pass + transform/transform_passes
  *  6. Schedule merging into per-subprogram kernels with grid sync and
- *     two-phase (atomicAdd) reductions (Sec. 6.4)
+ *     two-phase (atomicAdd) reductions (Sec. 6.4) -- kernel/kernel_passes
  *  7. Subprogram-level optimization: cross-TE instruction pipelining
- *     and LRU tensor reuse (Sec. 6.5)
+ *     and LRU tensor reuse (Sec. 6.5)             -- kernel/kernel_passes
  *
- * The ablation levels match Table 4 of the paper:
+ * The ablation levels match Table 4 of the paper and are pure
+ * pipeline factories: a level is nothing but a pass list.
  *   V0 = TVM+Ansor-style per-op kernels (no Souffle optimizations)
  *   V1 = V0 + horizontal transformation
  *   V2 = V1 + vertical transformation
@@ -23,45 +27,22 @@
  */
 
 #include "compiler/compiler.h"
+#include "compiler/options.h"
+#include "compiler/pass_manager.h"
 #include "kernel/build.h"
 #include "sched/schedule.h"
 
 namespace souffle {
 
-/** Ablation levels of Table 4. */
-enum class SouffleLevel : uint8_t {
-    kV0 = 0,
-    kV1 = 1,
-    kV2 = 2,
-    kV3 = 3,
-    kV4 = 4,
-};
+/**
+ * Build the pass pipeline @p options expands to. The returned
+ * pipeline can be printed (`toString`) or run on a CompileContext
+ * whose options match.
+ */
+PassManager soufflePipeline(const SouffleOptions &options);
 
-/** Options for the Souffle driver. */
-struct SouffleOptions
-{
-    DeviceSpec device = DeviceSpec::a100();
-    SouffleLevel level = SouffleLevel::kV4;
-    /** Cap on horizontal merge group size. */
-    int horizontalCap = 64;
-    /**
-     * Cost-model-guided fusion profitability (the remedy the paper
-     * sketches in Sec. 9 "Slowdown"): after building each subprogram
-     * mega-kernel, compare its simulated time against launching one
-     * kernel per stage, and keep whichever is faster. Off by default
-     * to preserve the paper's V3/V4 semantics.
-     */
-    bool adaptiveFusion = false;
-    /** Compute/memory classification threshold (paper: 3). */
-    double intensityThreshold = kComputeIntensityThreshold;
-    /**
-     * Schedule-search strategy: kSearch (Ansor stand-in, default) or
-     * kRoller (Sec. 8.5's faster constructive optimizer).
-     */
-    SchedulerMode schedulerMode = SchedulerMode::kSearch;
-};
-
-/** Compile @p graph with Souffle at the requested ablation level. */
+/** Compile @p graph with Souffle at the requested ablation level
+ *  (thin wrapper: builds `soufflePipeline(options)` and runs it). */
 Compiled compileSouffle(const Graph &graph,
                         const SouffleOptions &options = {});
 

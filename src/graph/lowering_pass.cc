@@ -1,0 +1,14 @@
+#include "graph/lowering_pass.h"
+
+namespace souffle {
+
+void
+LowerToTePass::run(CompileContext &ctx)
+{
+    ctx.lowered = lowerToTe(ctx.graph);
+    ctx.counter("ops", ctx.graph.numOps());
+    ctx.counter("tes", ctx.program().numTes());
+    ctx.counter("tensors", ctx.program().numTensors());
+}
+
+} // namespace souffle

@@ -1,0 +1,21 @@
+#pragma once
+
+/**
+ * @file
+ * Pass adapter for TE lowering (pipeline stage 1, paper Sec. 4).
+ */
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/** Lowers `ctx.graph` into `ctx.lowered`. */
+class LowerToTePass : public Pass
+{
+  public:
+    std::string name() const override { return "lower-to-te"; }
+    bool invalidatesAnalysis() const override { return true; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

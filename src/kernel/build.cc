@@ -125,6 +125,34 @@ buildStage(const TeProgram &program, const GlobalAnalysis &analysis,
 
 } // namespace
 
+std::string
+describePlanCoverageViolation(const TeProgram &program,
+                              const ModulePlan &plan)
+{
+    std::vector<int> sorted;
+    for (const auto &kernel : plan.kernels) {
+        for (const auto &stage : kernel.stages) {
+            if (stage.tes.empty()) {
+                return "kernel plan '" + kernel.name
+                       + "' contains an empty stage";
+            }
+            sorted.insert(sorted.end(), stage.tes.begin(),
+                          stage.tes.end());
+        }
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (static_cast<int>(sorted.size()) != program.numTes()) {
+        return "plan covers " + std::to_string(sorted.size())
+               + " TEs, program has "
+               + std::to_string(program.numTes());
+    }
+    for (int i = 0; i < static_cast<int>(sorted.size()); ++i) {
+        if (sorted[i] != i)
+            return "plan TE coverage is not a bijection";
+    }
+    return "";
+}
+
 CompiledModule
 buildModule(const TeProgram &program, const GlobalAnalysis &analysis,
             const std::vector<Schedule> &schedules,
@@ -134,21 +162,9 @@ buildModule(const TeProgram &program, const GlobalAnalysis &analysis,
     SOUFFLE_CHECK(static_cast<int>(schedules.size()) == program.numTes(),
                   "schedules must cover the whole program");
 
-    // Coverage check: each TE exactly once, in topological order.
-    std::vector<int> seen_order;
-    for (const auto &kernel : plan.kernels) {
-        for (const auto &stage : kernel.stages) {
-            for (int te_id : stage.tes)
-                seen_order.push_back(te_id);
-        }
-    }
-    std::vector<int> sorted = seen_order;
-    std::sort(sorted.begin(), sorted.end());
-    SOUFFLE_CHECK(static_cast<int>(sorted.size()) == program.numTes(),
-                  "plan covers " << sorted.size() << " TEs, program has "
-                                 << program.numTes());
-    for (int i = 0; i < static_cast<int>(sorted.size()); ++i)
-        SOUFFLE_CHECK(sorted[i] == i, "plan TE coverage is not a bijection");
+    const std::string violation =
+        describePlanCoverageViolation(program, plan);
+    SOUFFLE_CHECK(violation.empty(), violation);
 
     CompiledModule module;
     module.compilerName = compiler_name;

@@ -47,6 +47,16 @@ struct ModulePlan
 };
 
 /**
+ * Check that @p plan covers every TE of @p program exactly once.
+ * Returns an empty string when the plan is well-formed, else a
+ * description of the violation. Shared by `buildModule` (which panics
+ * on it -- an internal bug) and the inter-pass `IrVerifier` (which
+ * throws, so tests can observe rejections).
+ */
+std::string describePlanCoverageViolation(const TeProgram &program,
+                                          const ModulePlan &plan);
+
+/**
  * Build the kernel IR for @p plan.
  *
  * Every TE of the program must appear in exactly one stage of exactly

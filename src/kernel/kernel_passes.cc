@@ -1,0 +1,128 @@
+#include "kernel/kernel_passes.h"
+
+#include <unordered_set>
+
+#include "gpu/sim.h"
+#include "kernel/pipeline_opt.h"
+#include "kernel/reuse_opt.h"
+
+namespace souffle {
+
+void
+BuildModulePass::run(CompileContext &ctx)
+{
+    ctx.result.module =
+        buildModule(ctx.program(), ctx.analysis(), ctx.schedules,
+                    ctx.plan, ctx.options.device, ctx.result.name);
+    ctx.counter("kernels", ctx.result.module.numKernels());
+}
+
+void
+TwoPhaseReductionPass::run(CompileContext &ctx)
+{
+    const TeProgram &program = ctx.program();
+    const GlobalAnalysis &analysis = ctx.analysis();
+    int64_t converted = 0;
+    for (auto &kernel : ctx.result.module.kernels) {
+        if (kernel.stages.size() < 2)
+            continue;
+        std::unordered_set<int> kernel_tes;
+        for (const auto &stage : kernel.stages)
+            kernel_tes.insert(stage.teIds.begin(), stage.teIds.end());
+        for (auto &stage : kernel.stages) {
+            for (auto &instr : stage.instrs) {
+                if (instr.kind != InstrKind::kStoreGlobal
+                    || instr.tensor < 0)
+                    continue;
+                const int producer =
+                    program.tensor(instr.tensor).producer;
+                if (producer < 0 || !program.te(producer).hasReduce())
+                    continue;
+                // Contractions reduce block-locally inside their own
+                // k-loop; only memory-intensive reductions (whose rows
+                // are shared across blocks under a propagated
+                // schedule) need the atomic combine.
+                if (analysis.teInfo(producer).computeIntensive)
+                    continue;
+                bool internal = program.tensor(instr.tensor).role
+                                != TensorRole::kOutput;
+                for (int consumer : analysis.consumers(instr.tensor)) {
+                    if (!kernel_tes.count(consumer)) {
+                        internal = false;
+                        break;
+                    }
+                }
+                if (internal) {
+                    instr.kind = InstrKind::kAtomicAdd;
+                    ++converted;
+                }
+            }
+        }
+    }
+    ctx.counter("atomicStores", converted);
+}
+
+void
+PipelineOptimizePass::run(CompileContext &ctx)
+{
+    const PipelineStats stats =
+        pipelineOptimize(ctx.result.module, ctx.program());
+    ctx.result.loadsOverlapped = stats.loadsOverlapped;
+    ctx.counter("loadsOverlapped", stats.loadsOverlapped);
+    ctx.counter("bytesOverlapped",
+                static_cast<int64_t>(stats.bytesOverlapped));
+}
+
+void
+ReuseOptimizePass::run(CompileContext &ctx)
+{
+    const ReuseStats stats = reuseOptimize(
+        ctx.result.module, ctx.program(), ctx.options.device);
+    ctx.result.loadsCached = stats.loadsCached;
+    ctx.counter("loadsCached", stats.loadsCached);
+    ctx.counter("evictions", stats.evictions);
+}
+
+void
+AdaptiveFusionPass::run(CompileContext &ctx)
+{
+    const GlobalAnalysis &analysis = ctx.analysis();
+    CompiledModule adapted;
+    adapted.compilerName = ctx.result.module.compilerName;
+    for (size_t k = 0; k < ctx.result.module.kernels.size(); ++k) {
+        Kernel &merged = ctx.result.module.kernels[k];
+        if (merged.stages.size() < 2) {
+            adapted.kernels.push_back(std::move(merged));
+            continue;
+        }
+        CompiledModule merged_only;
+        merged_only.kernels.push_back(merged);
+        const double merged_us =
+            simulate(merged_only, ctx.options.device).totalUs;
+
+        CompiledModule split;
+        for (size_t s = 0; s < ctx.plan.kernels[k].stages.size(); ++s) {
+            KernelPlan stage_plan;
+            stage_plan.name =
+                ctx.plan.kernels[k].name + "_s" + std::to_string(s);
+            stage_plan.stages.push_back(ctx.plan.kernels[k].stages[s]);
+            split.kernels.push_back(
+                buildKernel(ctx.program(), analysis, ctx.schedules,
+                            stage_plan, ctx.options.device));
+        }
+        const double split_us =
+            simulate(split, ctx.options.device).totalUs;
+
+        if (split_us < merged_us) {
+            ++ctx.result.adaptiveSplits;
+            for (auto &kernel : split.kernels)
+                adapted.kernels.push_back(std::move(kernel));
+        } else {
+            adapted.kernels.push_back(std::move(merged));
+        }
+    }
+    ctx.result.module = std::move(adapted);
+    ctx.counter("splits", ctx.result.adaptiveSplits);
+}
+
+} // namespace souffle

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Pass adapters for kernel-IR construction and the kernel-level
+ * optimizations: schedule merging into kernels (paper Sec. 6.4),
+ * two-phase atomicAdd reductions (Sec. 6.3), cross-TE instruction
+ * pipelining and LRU tensor reuse (Sec. 6.5), and the cost-model
+ * guided adaptive-fusion remedy (Sec. 9 "Slowdown").
+ */
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/**
+ * Materializes `ctx.plan` into `ctx.result.module` (named after
+ * `ctx.result.name`) via `buildModule`.
+ */
+class BuildModulePass : public Pass
+{
+  public:
+    std::string name() const override { return "build-module"; }
+    void run(CompileContext &ctx) override;
+};
+
+/**
+ * Two-phase reduction handling (Sec. 6.3): inside a multi-stage
+ * kernel, memory-intensive reductions whose consumers all live in the
+ * same kernel combine partial results with atomicAdd; only the
+ * partial result touches global memory.
+ */
+class TwoPhaseReductionPass : public Pass
+{
+  public:
+    std::string name() const override { return "two-phase-reduction"; }
+    void run(CompileContext &ctx) override;
+};
+
+/** Cross-TE async-load/compute overlap (Sec. 6.5). */
+class PipelineOptimizePass : public Pass
+{
+  public:
+    std::string name() const override { return "pipeline-loads"; }
+    void run(CompileContext &ctx) override;
+};
+
+/** LRU software-managed on-chip tensor reuse (Sec. 6.5). */
+class ReuseOptimizePass : public Pass
+{
+  public:
+    std::string name() const override { return "reuse-cache"; }
+    void run(CompileContext &ctx) override;
+};
+
+/**
+ * Adaptive fusion: per subprogram, keep the grid-sync mega-kernel
+ * only when the cost model says it beats per-stage launches; else
+ * split it back (requires `ctx.plan` from the partitioner). Sets
+ * `ctx.result.adaptiveSplits`.
+ */
+class AdaptiveFusionPass : public Pass
+{
+  public:
+    std::string name() const override { return "adaptive-fusion"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

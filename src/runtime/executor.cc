@@ -1,5 +1,7 @@
 #include "runtime/executor.h"
 
+#include <unordered_set>
+
 #include "common/logging.h"
 
 namespace souffle {
@@ -16,20 +18,52 @@ Executor::run(const NamedBuffers &inputs) const
 {
     const TeProgram &program = compiled.program;
     BufferMap bindings;
+    // Collect every binding problem before failing, so a caller with
+    // several missing or mis-sized buffers fixes them in one round
+    // trip instead of one FatalError at a time.
+    std::vector<std::string> problems;
+    std::unordered_set<std::string> consumed;
     for (const auto &decl : program.tensors()) {
         if (decl.role != TensorRole::kInput
             && decl.role != TensorRole::kParam)
             continue;
+        consumed.insert(decl.name);
         auto it = inputs.find(decl.name);
-        SOUFFLE_REQUIRE(it != inputs.end(),
-                        "missing input buffer '" << decl.name << "'");
-        SOUFFLE_REQUIRE(static_cast<int64_t>(it->second.size())
-                            == decl.numElements(),
-                        "buffer '" << decl.name << "' has "
-                                   << it->second.size()
-                                   << " elements, expected "
-                                   << decl.numElements());
+        if (it == inputs.end()) {
+            problems.push_back("missing input buffer '" + decl.name
+                               + "' (" + std::to_string(decl.numElements())
+                               + " elements)");
+            continue;
+        }
+        if (static_cast<int64_t>(it->second.size())
+            != decl.numElements()) {
+            problems.push_back(
+                "buffer '" + decl.name + "' has "
+                + std::to_string(it->second.size())
+                + " elements, expected "
+                + std::to_string(decl.numElements()));
+            continue;
+        }
         bindings[decl.id] = it->second;
+    }
+    if (!problems.empty()) {
+        std::string message = std::to_string(problems.size())
+                              + " input binding problem(s): ";
+        for (size_t i = 0; i < problems.size(); ++i) {
+            if (i > 0)
+                message += "; ";
+            message += problems[i];
+        }
+        SOUFFLE_FATAL(message);
+    }
+    for (const auto &[name, buffer] : inputs) {
+        (void)buffer;
+        if (!consumed.count(name)) {
+            SOUFFLE_WARN("bound buffer '"
+                         << name
+                         << "' is not consumed by any input or "
+                            "parameter tensor");
+        }
     }
 
     ExecutionResult result;

@@ -1,0 +1,19 @@
+#include "sched/schedule_pass.h"
+
+#include "sched/schedule.h"
+
+namespace souffle {
+
+void
+SchedulePass::run(CompileContext &ctx)
+{
+    AutoScheduler scheduler(ctx.program(), ctx.analysis(),
+                            ctx.options.device,
+                            ctx.options.schedulerMode);
+    ctx.schedules = scheduler.scheduleAll();
+    ctx.counter("scheduled", static_cast<int64_t>(ctx.schedules.size()));
+    ctx.counter("candidates", scheduler.candidatesEvaluated());
+    ctx.counter("memoHits", scheduler.memoHits());
+}
+
+} // namespace souffle

@@ -1,0 +1,23 @@
+#pragma once
+
+/**
+ * @file
+ * Pass adapter for the auto-scheduler (pipeline stage 5).
+ */
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/**
+ * Schedules every TE of the current program with the AutoScheduler
+ * (mode and device from `ctx.options`) into `ctx.schedules`.
+ */
+class SchedulePass : public Pass
+{
+  public:
+    std::string name() const override { return "schedule"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

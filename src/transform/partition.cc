@@ -43,6 +43,17 @@ struct Envelope
 
 } // namespace
 
+bool
+subprogramFitsDevice(const std::vector<int> &tes,
+                     const std::vector<Schedule> &schedules,
+                     const DeviceSpec &device)
+{
+    Envelope envelope;
+    for (int te_id : tes)
+        envelope.add(schedules.at(te_id));
+    return envelope.feasible(device);
+}
+
 PartitionResult
 partitionProgram(const TeProgram &program, const GlobalAnalysis &analysis,
                  const std::vector<Schedule> &schedules,

@@ -49,6 +49,17 @@ PartitionResult partitionProgram(const TeProgram &program,
                                  const DeviceSpec &device);
 
 /**
+ * True when the TEs of one subprogram fit a single cooperative wave
+ * of @p device (`max_grid * max_occ < C` over the schedules' resource
+ * envelope) -- the feasibility test the partitioner maintains
+ * incrementally, exposed so the inter-pass IrVerifier can re-check
+ * every grid-sync kernel it sees.
+ */
+bool subprogramFitsDevice(const std::vector<int> &tes,
+                          const std::vector<Schedule> &schedules,
+                          const DeviceSpec &device);
+
+/**
  * Group the TEs of one subprogram into kernel stages (grid-sync
  * boundaries), per the rules above.
  */

@@ -1,0 +1,74 @@
+#include "transform/transform_passes.h"
+
+#include <numeric>
+
+#include "transform/horizontal.h"
+#include "transform/partition.h"
+#include "transform/vertical.h"
+
+namespace souffle {
+
+void
+HorizontalTransformPass::run(CompileContext &ctx)
+{
+    const HorizontalStats stats =
+        horizontalTransform(ctx.program(), ctx.options.horizontalCap);
+    ctx.result.horizontalGroups = stats.groups;
+    if (remapTeToOp)
+        ctx.lowered.teToOp.assign(ctx.program().numTes(), 0);
+    ctx.counter("groups", stats.groups);
+    ctx.counter("tesMerged", stats.tesMerged);
+}
+
+void
+VerticalTransformPass::run(CompileContext &ctx)
+{
+    const VerticalStats stats = verticalTransform(ctx.program());
+    ctx.result.verticalMerges = stats.merged;
+    ctx.counter("merged", stats.merged);
+    ctx.counter("rounds", stats.rounds);
+}
+
+void
+PartitionPass::run(CompileContext &ctx)
+{
+    const PartitionResult partition =
+        partitionProgram(ctx.program(), ctx.analysis(), ctx.schedules,
+                         ctx.options.device);
+    ctx.plan = ModulePlan{};
+    int index = 0;
+    int64_t stages = 0;
+    for (const Subprogram &subprogram : partition.subprograms) {
+        KernelPlan kernel;
+        kernel.name = "subprogram_" + std::to_string(index++);
+        kernel.stages =
+            groupStages(ctx.program(), ctx.analysis(), subprogram.tes);
+        stages += static_cast<int64_t>(kernel.stages.size());
+        ctx.plan.kernels.push_back(std::move(kernel));
+    }
+    ctx.result.subprograms =
+        static_cast<int>(partition.subprograms.size());
+    ctx.counter("subprograms", ctx.result.subprograms);
+    ctx.counter("stages", stages);
+}
+
+void
+StageKernelsPass::run(CompileContext &ctx)
+{
+    std::vector<int> all_tes(ctx.program().numTes());
+    std::iota(all_tes.begin(), all_tes.end(), 0);
+    const std::vector<StagePlan> stages =
+        groupStages(ctx.program(), ctx.analysis(), all_tes);
+    ctx.plan = ModulePlan{};
+    int index = 0;
+    for (const StagePlan &stage : stages) {
+        KernelPlan kernel;
+        kernel.name = "stage_" + std::to_string(index++);
+        kernel.stages.push_back(stage);
+        ctx.plan.kernels.push_back(std::move(kernel));
+    }
+    ctx.result.subprograms = static_cast<int>(ctx.plan.kernels.size());
+    ctx.counter("kernels", ctx.result.subprograms);
+}
+
+} // namespace souffle

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Pass adapters for the TE-program transformations and planners:
+ * horizontal / vertical transformation (paper Sec. 6.1/6.2),
+ * resource-aware partitioning into grid-sync subprograms (Sec. 5.4 /
+ * 6.3), and the per-stage kernel planner used below V3.
+ */
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/**
+ * Horizontal transformation: merge independent compatible TEs
+ * (Sec. 6.1). Group size capped by `ctx.options.horizontalCap`.
+ * Sets `ctx.result.horizontalGroups`.
+ */
+class HorizontalTransformPass : public Pass
+{
+  public:
+    /**
+     * @p remap_te_to_op resets `ctx.lowered.teToOp` to a
+     * generated-kernel mapping after the rebuild (the Rammer baseline
+     * clusters by op kind afterwards; Souffle pipelines never read
+     * the stale table).
+     */
+    explicit HorizontalTransformPass(bool remap_te_to_op = false)
+        : remapTeToOp(remap_te_to_op)
+    {
+    }
+
+    std::string name() const override { return "horizontal-transform"; }
+    bool invalidatesAnalysis() const override { return true; }
+    void run(CompileContext &ctx) override;
+
+  private:
+    bool remapTeToOp;
+};
+
+/**
+ * Vertical transformation: collapse one-relies-on-one chains by
+ * affine-map composition (Sec. 6.2). Sets `ctx.result.verticalMerges`.
+ */
+class VerticalTransformPass : public Pass
+{
+  public:
+    std::string name() const override { return "vertical-transform"; }
+    bool invalidatesAnalysis() const override { return true; }
+    void run(CompileContext &ctx) override;
+};
+
+/**
+ * Resource-aware partitioning (V3+): one kernel plan per subprogram,
+ * grid-sync stages inside. Writes `ctx.plan` and
+ * `ctx.result.subprograms`.
+ */
+class PartitionPass : public Pass
+{
+  public:
+    std::string name() const override { return "partition"; }
+    void run(CompileContext &ctx) override;
+};
+
+/**
+ * Per-stage kernel planner (V0..V2): Souffle's code generation
+ * without global synchronization -- every register-level stage
+ * becomes its own launch-separated kernel. Writes `ctx.plan` and
+ * `ctx.result.subprograms`.
+ */
+class StageKernelsPass : public Pass
+{
+  public:
+    std::string name() const override { return "stage-kernels"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the PassManager pipeline refactor:
+ *
+ *  - every SouffleLevel pipeline, run explicitly through a
+ *    PassManager, produces the same program/module/counters as the
+ *    `compileSouffle` wrapper (the pre-refactor driver's contract);
+ *  - the IrVerifier rejects hand-built broken IR (a cyclic TE
+ *    dependence graph, an incomplete kernel plan, a grid-sync kernel
+ *    over the cooperative-wave resource cap);
+ *  - pass statistics are populated, ordered, and monotone.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "compiler/pass_manager.h"
+#include "compiler/souffle.h"
+#include "models/zoo.h"
+#include "te/program.h"
+
+namespace souffle {
+namespace {
+
+Compiled
+runPipelineExplicitly(const Graph &graph, const SouffleOptions &options)
+{
+    CompileContext ctx(graph, options);
+    // Same result name as the wrapper: the module dump embeds it.
+    ctx.result.name =
+        "Souffle(V" + std::to_string(static_cast<int>(options.level))
+        + ")";
+    soufflePipeline(options).run(ctx);
+    return ctx.take();
+}
+
+// ---------------------------------------------------------------------
+// (a) The pipelines reproduce the pre-refactor driver, level by level.
+// ---------------------------------------------------------------------
+
+class PipelineIdentity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PipelineIdentity, WrapperAndExplicitRunAgreeAtEveryLevel)
+{
+    const Graph graph = buildTinyModel(GetParam());
+    for (int level = 0; level <= 4; ++level) {
+        SouffleOptions options;
+        options.level = static_cast<SouffleLevel>(level);
+
+        const Compiled wrapped = compileSouffle(graph, options);
+        const Compiled direct = runPipelineExplicitly(graph, options);
+
+        EXPECT_EQ(wrapped.program.toString(), direct.program.toString())
+            << "level V" << level;
+        EXPECT_EQ(wrapped.module.toString(), direct.module.toString())
+            << "level V" << level;
+        EXPECT_EQ(wrapped.subprograms, direct.subprograms);
+        EXPECT_EQ(wrapped.horizontalGroups, direct.horizontalGroups);
+        EXPECT_EQ(wrapped.verticalMerges, direct.verticalMerges);
+        EXPECT_EQ(wrapped.loadsOverlapped, direct.loadsOverlapped);
+        EXPECT_EQ(wrapped.loadsCached, direct.loadsCached);
+    }
+}
+
+TEST_P(PipelineIdentity, LevelsKeepTheirDriverCharacteristics)
+{
+    const Graph graph = buildTinyModel(GetParam());
+
+    SouffleOptions v0;
+    v0.level = SouffleLevel::kV0;
+    const Compiled c0 = compileSouffle(graph, v0);
+    EXPECT_EQ(c0.horizontalGroups, 0);
+    EXPECT_EQ(c0.verticalMerges, 0);
+    // Without the partitioner every per-stage kernel is its own
+    // "subprogram" (the pre-refactor driver counted them the same).
+    EXPECT_EQ(c0.subprograms, c0.module.numKernels());
+    ASSERT_GT(c0.module.numKernels(), 0);
+    for (const Kernel &kernel : c0.module.kernels)
+        EXPECT_EQ(kernel.name.rfind("stage_", 0), 0u) << kernel.name;
+
+    SouffleOptions v3;
+    v3.level = SouffleLevel::kV3;
+    const Compiled c3 = compileSouffle(graph, v3);
+    EXPECT_GT(c3.subprograms, 0);
+    for (const Kernel &kernel : c3.module.kernels)
+        EXPECT_EQ(kernel.name.rfind("subprogram_", 0), 0u)
+            << kernel.name;
+    // The partitioner merges stages, never splits TEs, so V3 has at
+    // most as many kernels as the unfused-per-stage V0 module.
+    EXPECT_LE(c3.module.numKernels(), c0.module.numKernels());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PipelineIdentity,
+                         ::testing::Values("BERT", "LSTM"));
+
+TEST(SoufflePipeline, PassListsMatchTheAblationLevels)
+{
+    const auto names = [](SouffleLevel level) {
+        SouffleOptions options;
+        options.level = level;
+        return soufflePipeline(options).passNames();
+    };
+    EXPECT_EQ(names(SouffleLevel::kV0),
+              (std::vector<std::string>{"lower-to-te", "schedule",
+                                        "stage-kernels",
+                                        "build-module"}));
+    EXPECT_EQ(names(SouffleLevel::kV2),
+              (std::vector<std::string>{
+                  "lower-to-te", "horizontal-transform",
+                  "vertical-transform", "schedule", "stage-kernels",
+                  "build-module"}));
+    EXPECT_EQ(names(SouffleLevel::kV4),
+              (std::vector<std::string>{
+                  "lower-to-te", "horizontal-transform",
+                  "vertical-transform", "schedule", "partition",
+                  "build-module", "two-phase-reduction",
+                  "pipeline-loads", "reuse-cache"}));
+
+    SouffleOptions adaptive;
+    adaptive.adaptiveFusion = true;
+    const auto with_adaptive = soufflePipeline(adaptive).passNames();
+    EXPECT_EQ(with_adaptive.back(), "adaptive-fusion");
+}
+
+TEST(SoufflePipeline, ToStringListsEveryPass)
+{
+    SouffleOptions options;
+    const PassManager pipeline = soufflePipeline(options);
+    const std::string dump = pipeline.toString();
+    for (const std::string &pass : pipeline.passNames())
+        EXPECT_NE(dump.find(pass), std::string::npos) << pass;
+    EXPECT_NE(dump.find("IrVerifier"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// (b) The IrVerifier rejects broken IR with FatalError.
+// ---------------------------------------------------------------------
+
+/** A legal two-TE chain: b = sigmoid(a); c = sigmoid(b). */
+TeProgram
+buildChainProgram()
+{
+    TeProgram prog;
+    const TensorId a =
+        prog.addTensor("a", {4}, DType::kFP32, TensorRole::kInput);
+    const TensorId b = prog.addTensor("b", {4}, DType::kFP32);
+    const TensorId c =
+        prog.addTensor("c", {4}, DType::kFP32, TensorRole::kOutput);
+    prog.addTe("t0", {a}, b, {}, Combiner::kNone,
+               Expr::unary(UnaryOp::kSigmoid,
+                           Expr::read(0, AffineMap::identity(1))));
+    prog.addTe("t1", {b}, c, {}, Combiner::kNone,
+               Expr::unary(UnaryOp::kSigmoid,
+                           Expr::read(0, AffineMap::identity(1))));
+    return prog;
+}
+
+TEST(IrVerifier, AcceptsALegalProgram)
+{
+    const TeProgram prog = buildChainProgram();
+    EXPECT_NO_THROW(verifyTeProgram(prog));
+}
+
+TEST(IrVerifier, RejectsACyclicTeProgram)
+{
+    TeProgram prog = buildChainProgram();
+    // Introduce a dependence cycle: t0 now reads t1's output while t1
+    // still reads t0's.
+    prog.mutableTe(0).inputs[0] = prog.te(1).output;
+    EXPECT_THROW(verifyTeProgram(prog), FatalError);
+
+    // The same rejection surfaces through the pass interface.
+    Graph graph("cyclic");
+    CompileContext ctx(graph, SouffleOptions{});
+    ctx.lowered.program = std::move(prog);
+    IrVerifier verifier;
+    EXPECT_THROW(verifier.run(ctx), FatalError);
+}
+
+TEST(IrVerifier, RejectsABrokenProducerLink)
+{
+    TeProgram prog = buildChainProgram();
+    prog.mutableTensor(prog.te(0).output).producer = 1;
+    EXPECT_THROW(verifyTeProgram(prog), FatalError);
+}
+
+TEST(IrVerifier, RejectsAPlanThatDropsTes)
+{
+    const Graph graph = buildTinyModel("LSTM");
+    SouffleOptions options;
+    options.level = SouffleLevel::kV0;
+    CompileContext ctx(graph, options);
+    ctx.result.name = "tampered";
+    soufflePipeline(options).run(ctx);
+
+    IrVerifier verifier;
+    EXPECT_NO_THROW(verifier.run(ctx));
+
+    ASSERT_GT(ctx.plan.kernels.size(), 1u);
+    ctx.plan.kernels.pop_back();
+    EXPECT_THROW(verifier.run(ctx), FatalError);
+}
+
+TEST(IrVerifier, RejectsGridSyncKernelsOverTheResourceCap)
+{
+    const Graph graph = buildTinyModel("BERT");
+    SouffleOptions options;
+    options.level = SouffleLevel::kV3;
+    CompileContext ctx(graph, options);
+    ctx.result.name = "tampered";
+    soufflePipeline(options).run(ctx);
+
+    // Find a grid-sync (multi-stage) kernel and inflate one of its
+    // schedules into a rigid launch far beyond one cooperative wave.
+    int victim_te = -1;
+    for (const KernelPlan &kernel : ctx.plan.kernels) {
+        if (kernel.stages.size() >= 2) {
+            victim_te = kernel.stages[0].tes[0];
+            break;
+        }
+    }
+    ASSERT_GE(victim_te, 0)
+        << "tiny BERT at V3 should produce a multi-stage subprogram";
+    ctx.schedules[victim_te].gridStride = false;
+    ctx.schedules[victim_te].numBlocks = 1 << 30;
+
+    IrVerifier verifier;
+    EXPECT_THROW(verifier.run(ctx), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// (c) Pass statistics are populated and monotone.
+// ---------------------------------------------------------------------
+
+TEST(PassStatistics, PopulatedOrderedAndMonotone)
+{
+    const Graph graph = buildTinyModel("BERT");
+    const SouffleOptions options; // V4 defaults
+    const Compiled compiled = compileSouffle(graph, options);
+    const PassStatistics &stats = compiled.passStats;
+
+    const PassManager pipeline = soufflePipeline(options);
+    const std::vector<std::string> expected = pipeline.passNames();
+
+    // One verifier run is interleaved after every pass.
+    ASSERT_EQ(stats.passes.size(), expected.size() * 2);
+    for (size_t i = 0; i < stats.passes.size(); ++i) {
+        const std::string &name = stats.passes[i].pass;
+        if (i % 2 == 0)
+            EXPECT_EQ(name, expected[i / 2]);
+        else
+            EXPECT_EQ(name, "verify");
+    }
+
+    // Timings are non-negative and their prefix sums are monotone up
+    // to the reported total.
+    double cumulative = 0.0;
+    for (const PassTiming &timing : stats.passes) {
+        EXPECT_GE(timing.wallMs, 0.0);
+        const double next = cumulative + timing.wallMs;
+        EXPECT_GE(next, cumulative);
+        cumulative = next;
+    }
+    EXPECT_GT(stats.totalMs(), 0.0);
+    EXPECT_NEAR(stats.totalMs(), cumulative, 1e-9);
+    EXPECT_GE(stats.totalMs(), stats.passMs("schedule"));
+
+    // The analysis is built once and shared; invalidating passes only
+    // mark it stale, the next consumer recomputes lazily.
+    EXPECT_EQ(stats.analysisRuns, 1);
+
+    // Passes record named counters (the schedule pass counts TEs).
+    double scheduled = -1.0;
+    for (const PassTiming &timing : stats.passes) {
+        if (timing.pass != "schedule")
+            continue;
+        for (const PassCounter &counter : timing.counters)
+            if (counter.name == "scheduled")
+                scheduled = static_cast<double>(counter.value);
+    }
+    EXPECT_EQ(scheduled,
+              static_cast<double>(compiled.program.numTes()));
+
+    const std::string table = stats.toString();
+    for (const std::string &pass : expected)
+        EXPECT_NE(table.find(pass), std::string::npos) << pass;
+}
+
+TEST(PassStatistics, VerifierCanBeDisabled)
+{
+    const Graph graph = buildTinyModel("LSTM");
+    SouffleOptions options;
+    options.level = SouffleLevel::kV1;
+    CompileContext ctx(graph, options);
+    ctx.result.name = "noverify";
+    PassManager pipeline = soufflePipeline(options);
+    pipeline.setVerifyBetweenPasses(false);
+    pipeline.run(ctx);
+    const Compiled compiled = ctx.take();
+    EXPECT_EQ(compiled.passStats.passes.size(),
+              pipeline.numPasses());
+    for (const PassTiming &timing : compiled.passStats.passes)
+        EXPECT_NE(timing.pass, "verify");
+}
+
+} // namespace
+} // namespace souffle

@@ -140,6 +140,46 @@ TEST(Executor, RejectsMissingAndMisshapenInputs)
     EXPECT_THROW(executor.run(misshapen), FatalError);
 }
 
+TEST(Executor, ReportsEveryBindingProblemInOneError)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    const Compiled compiled = compileSouffle(graph, {});
+    const Executor executor(compiled);
+
+    NamedBuffers inputs = executor.randomInputs(3);
+    ASSERT_GE(inputs.size(), 2u);
+    auto it = inputs.begin();
+    const std::string dropped = it->first;
+    it = inputs.erase(it);
+    const std::string misshapen = it->first;
+    it->second.push_back(0.0);
+
+    try {
+        executor.run(inputs);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("2 input binding problem(s)"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(dropped), std::string::npos) << what;
+        EXPECT_NE(what.find(misshapen), std::string::npos) << what;
+    }
+}
+
+TEST(Executor, IgnoresButWarnsAboutUnconsumedBuffers)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    const Compiled compiled = compileSouffle(graph, {});
+    const Executor executor(compiled);
+
+    NamedBuffers inputs = executor.randomInputs(3);
+    inputs["not_a_tensor"] = {1.0, 2.0};
+    const ExecutionResult result = executor.run(inputs);
+    EXPECT_EQ(result.outputs.size(),
+              compiled.program.outputTensors().size());
+}
+
 TEST(Executor, SignaturesDescribeTheModel)
 {
     Graph g;
