@@ -86,8 +86,6 @@ GlobalAnalysis::GlobalAnalysis(const TeProgram &program,
     for (const auto &te : prog.tes())
         analyzeTe(te);
     buildLiveRangesAndSharing();
-    reachCache.resize(prog.numTes());
-    reachCacheValid.assign(prog.numTes(), false);
     const auto end = std::chrono::steady_clock::now();
     buildMs =
         std::chrono::duration<double, std::milli>(end - start).count();
@@ -167,10 +165,8 @@ GlobalAnalysis::buildLiveRangesAndSharing()
         shared.push_back(std::move(entry));
     }
 
-    // Resolve spatial/temporal flags now that consumer lists exist.
-    // reachable() needs reachCache sized; size it here temporarily.
-    reachCache.resize(prog.numTes());
-    reachCacheValid.assign(prog.numTes(), false);
+    // Resolve spatial/temporal flags now that consumer lists exist
+    // (the first reachable() call builds the closure bitsets).
     for (auto &entry : shared) {
         for (size_t i = 0; i + 1 < entry.consumers.size(); ++i) {
             const bool dep =
@@ -183,33 +179,48 @@ GlobalAnalysis::buildLiveRangesAndSharing()
     }
 }
 
+void
+GlobalAnalysis::buildReachClosure() const
+{
+    const auto start = std::chrono::steady_clock::now();
+    const int num_tes = prog.numTes();
+    reachWords = (num_tes + 63) / 64;
+    reachBits.assign(static_cast<size_t>(num_tes) * reachWords, 0);
+    // Reverse-topological sweep: the descendants of TE i are i itself
+    // plus the descendants of every direct consumer of its output.
+    // One pass suffices because edges only go forward in program
+    // order, so every consumer's row is final when i is visited.
+    for (int i = num_tes - 1; i >= 0; --i) {
+        uint64_t *row =
+            reachBits.data() + static_cast<size_t>(i) * reachWords;
+        row[i >> 6] |= uint64_t{1} << (i & 63);
+        for (int consumer : consumerLists[prog.te(i).output]) {
+            const uint64_t *crow =
+                reachBits.data()
+                + static_cast<size_t>(consumer) * reachWords;
+            for (int w = 0; w < reachWords; ++w)
+                row[w] |= crow[w];
+        }
+    }
+    reachClosureReady = true;
+    const auto end = std::chrono::steady_clock::now();
+    reachBuildMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+}
+
 bool
 GlobalAnalysis::reachable(int from, int to) const
 {
+    ++reachQueries;
     if (from == to)
         return true;
     if (from > to)
         return false; // topological order: edges only go forward
-    if (!reachCacheValid[from]) {
-        // Forward BFS over consumer edges from `from`.
-        std::vector<bool> visited(prog.numTes(), false);
-        std::deque<int> queue{from};
-        visited[from] = true;
-        while (!queue.empty()) {
-            const int current = queue.front();
-            queue.pop_front();
-            const TensorId out = prog.te(current).output;
-            for (int next : consumerLists[out]) {
-                if (!visited[next]) {
-                    visited[next] = true;
-                    queue.push_back(next);
-                }
-            }
-        }
-        reachCache[from] = std::move(visited);
-        reachCacheValid[from] = true;
-    }
-    return reachCache[from][to];
+    if (!reachClosureReady)
+        buildReachClosure();
+    const uint64_t *row =
+        reachBits.data() + static_cast<size_t>(from) * reachWords;
+    return (row[to >> 6] >> (to & 63)) & 1;
 }
 
 std::vector<int>

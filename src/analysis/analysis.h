@@ -109,9 +109,21 @@ class GlobalAnalysis
 
     /**
      * True if TE @p from (transitively) feeds TE @p to through tensor
-     * dependencies. Exact; memoized per source.
+     * dependencies. Exact. The first query builds the whole-program
+     * transitive closure as reverse-topological bitsets (64 TEs per
+     * word); every later query is O(1), which keeps the linter's many
+     * dependence probes cheap on ResNeXt-101-sized programs.
      */
     bool reachable(int from, int to) const;
+
+    /** reachable() queries served (micro-benchmark counter). */
+    int64_t reachableQueries() const { return reachQueries; }
+
+    /** True once the one-shot reachability closure exists. */
+    bool reachabilityClosureBuilt() const { return reachClosureReady; }
+
+    /** Wall-clock cost of building the closure (0 until built). */
+    double reachabilityClosureMs() const { return reachBuildMs; }
 
     /** TE ids classified compute-intensive, in program order. */
     std::vector<int> computeIntensiveTes() const;
@@ -129,6 +141,7 @@ class GlobalAnalysis
   private:
     void analyzeTe(const TensorExpr &te);
     void buildLiveRangesAndSharing();
+    void buildReachClosure() const;
 
     const TeProgram &prog;
     double threshold = kComputeIntensityThreshold;
@@ -137,9 +150,12 @@ class GlobalAnalysis
     std::vector<LiveRange> liveRanges;
     std::vector<std::vector<int>> consumerLists;
     std::vector<SharedTensor> shared;
-    /** reach cache: source TE id -> visited bitmap (lazy). */
-    mutable std::vector<std::vector<bool>> reachCache;
-    mutable std::vector<bool> reachCacheValid;
+    /** Transitive closure: row i = bitset of TEs that TE i feeds. */
+    mutable std::vector<uint64_t> reachBits;
+    mutable int reachWords = 0;
+    mutable bool reachClosureReady = false;
+    mutable int64_t reachQueries = 0;
+    mutable double reachBuildMs = 0.0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace souffle {
@@ -37,6 +38,41 @@ timeToString(double micros)
     else
         os << micros << " us";
     return os.str();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
 }
 
 } // namespace souffle

@@ -35,4 +35,7 @@ std::string bytesToString(double bytes);
 /** Render a time in microseconds with a sensible unit. */
 std::string timeToString(double micros);
 
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
 } // namespace souffle

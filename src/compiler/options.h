@@ -43,6 +43,13 @@ struct SouffleOptions
     /** Compute/memory classification threshold (paper: 3). */
     double intensityThreshold = kComputeIntensityThreshold;
     /**
+     * Strict mode: append a `LintPass` to the pipeline that runs the
+     * full souffle-lint rule catalogue over the final artifacts and
+     * fails the compile (FatalError) on any error-severity finding
+     * (races, out-of-bounds reads, resource-cap violations).
+     */
+    bool strictLint = false;
+    /**
      * Schedule-search strategy: kSearch (Ansor stand-in, default) or
      * kRoller (Sec. 8.5's faster constructive optimizer).
      */

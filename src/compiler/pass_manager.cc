@@ -75,133 +75,214 @@ PassManager::toString() const
     return out;
 }
 
+namespace {
+
+constexpr const char *kVerifyRule = "ir-verify";
+
+/** Append one error-severity "ir-verify" diagnostic. */
 void
-verifyTeProgram(const TeProgram &program)
+verifyError(LintReport &report, LintLocation location,
+            const std::string &message)
+{
+    report.add(kVerifyRule, Severity::kError, std::move(location),
+               message);
+}
+
+} // namespace
+
+void
+collectTeProgramDiagnostics(const TeProgram &program, LintReport &report)
 {
     const int num_tes = program.numTes();
     const int num_tensors = program.numTensors();
     for (int i = 0; i < num_tes; ++i) {
         const TensorExpr &te = program.te(i);
-        SOUFFLE_REQUIRE(te.id == i, "IR verifier: TE id " << te.id
-                                        << " at index " << i);
-        SOUFFLE_REQUIRE(te.output >= 0 && te.output < num_tensors,
-                        "IR verifier: TE '" << te.name
-                                            << "' output out of range");
-        SOUFFLE_REQUIRE(program.tensor(te.output).producer == i,
-                        "IR verifier: TE '"
-                            << te.name << "' producer link broken");
-        for (TensorId in : te.inputs) {
-            SOUFFLE_REQUIRE(in >= 0 && in < num_tensors,
-                            "IR verifier: TE '"
-                                << te.name << "' input out of range");
-            const int producer = program.tensor(in).producer;
-            SOUFFLE_REQUIRE(
-                producer < i,
-                "IR verifier: dependence cycle (TE '"
-                    << te.name << "' reads tensor '"
-                    << program.tensor(in).name << "' produced by TE "
-                    << producer
-                    << " at or after it; the TE dependence graph must "
-                       "be acyclic/topologically ordered)");
+        LintLocation loc;
+        loc.teId = i;
+        if (te.id != i) {
+            verifyError(report, loc,
+                        "TE id " + std::to_string(te.id)
+                            + " at index " + std::to_string(i));
         }
+        if (te.output < 0 || te.output >= num_tensors) {
+            verifyError(report, loc,
+                        "TE '" + te.name + "' output out of range");
+        } else if (program.tensor(te.output).producer != i) {
+            verifyError(report, loc,
+                        "TE '" + te.name + "' producer link broken");
+        }
+        bool inputs_in_range = true;
+        for (TensorId in : te.inputs) {
+            if (in < 0 || in >= num_tensors) {
+                verifyError(report, loc,
+                            "TE '" + te.name + "' input out of range");
+                inputs_in_range = false;
+                continue;
+            }
+            const int producer = program.tensor(in).producer;
+            if (producer >= i) {
+                verifyError(
+                    report, loc,
+                    "dependence cycle (TE '" + te.name
+                        + "' reads tensor '" + program.tensor(in).name
+                        + "' produced by TE "
+                        + std::to_string(producer)
+                        + " at or after it; the TE dependence graph "
+                          "must be acyclic/topologically ordered)");
+            }
+        }
+        if (!inputs_in_range)
+            continue;
         std::vector<ReadAccess> reads;
         te.body->collectReads(reads);
         for (const ReadAccess &access : reads) {
-            SOUFFLE_REQUIRE(
-                access.inputSlot >= 0
-                    && access.inputSlot
-                           < static_cast<int>(te.inputs.size()),
-                "IR verifier: TE '" << te.name
-                                    << "' reads undeclared slot "
-                                    << access.inputSlot);
-            SOUFFLE_REQUIRE(access.map->inDims() == te.iterRank(),
-                            "IR verifier: TE '"
-                                << te.name
-                                << "' read map in-rank mismatch");
+            if (access.inputSlot < 0
+                || access.inputSlot
+                       >= static_cast<int>(te.inputs.size())) {
+                verifyError(report, loc,
+                            "TE '" + te.name
+                                + "' reads undeclared slot "
+                                + std::to_string(access.inputSlot));
+                continue;
+            }
+            if (access.map->inDims() != te.iterRank()) {
+                verifyError(report, loc,
+                            "TE '" + te.name
+                                + "' read map in-rank mismatch");
+            }
         }
     }
 }
 
-void
-IrVerifier::run(CompileContext &ctx)
+LintReport
+IrVerifier::collect(CompileContext &ctx) const
 {
+    LintReport report;
     const TeProgram &program = ctx.program();
-    verifyTeProgram(program);
+    collectTeProgramDiagnostics(program, report);
 
     if (!ctx.schedules.empty()) {
-        SOUFFLE_REQUIRE(static_cast<int>(ctx.schedules.size())
-                            == program.numTes(),
-                        "IR verifier: " << ctx.schedules.size()
-                                        << " schedules for "
-                                        << program.numTes() << " TEs");
-        for (int i = 0; i < program.numTes(); ++i) {
-            const Schedule &sched = ctx.schedules[i];
-            SOUFFLE_REQUIRE(sched.teId == i,
-                            "IR verifier: schedule " << i
-                                                     << " labels TE "
-                                                     << sched.teId);
-            SOUFFLE_REQUIRE(sched.threadsPerBlock > 0
-                                && sched.numBlocks > 0,
-                            "IR verifier: degenerate launch dims for "
-                            "TE "
-                                << i);
+        if (static_cast<int>(ctx.schedules.size())
+            != program.numTes()) {
+            verifyError(report, LintLocation{},
+                        std::to_string(ctx.schedules.size())
+                            + " schedules for "
+                            + std::to_string(program.numTes())
+                            + " TEs");
+        } else {
+            for (int i = 0; i < program.numTes(); ++i) {
+                const Schedule &sched = ctx.schedules[i];
+                LintLocation loc;
+                loc.teId = i;
+                if (sched.teId != i) {
+                    verifyError(report, loc,
+                                "schedule " + std::to_string(i)
+                                    + " labels TE "
+                                    + std::to_string(sched.teId));
+                }
+                if (sched.threadsPerBlock <= 0 || sched.numBlocks <= 0) {
+                    verifyError(report, loc,
+                                "degenerate launch dims for TE "
+                                    + std::to_string(i));
+                }
+            }
         }
     }
 
     if (!ctx.plan.kernels.empty()) {
         // Every TE must be scheduled before the merge phase plans
         // kernels around the schedules' resource envelopes.
-        SOUFFLE_REQUIRE(static_cast<int>(ctx.schedules.size())
-                            == program.numTes(),
-                        "IR verifier: kernel plan exists but only "
-                            << ctx.schedules.size() << " of "
-                            << program.numTes()
-                            << " TEs are scheduled");
-        const std::string violation =
-            describePlanCoverageViolation(program, ctx.plan);
-        SOUFFLE_REQUIRE(violation.empty(),
-                        "IR verifier: " << violation);
-        for (const KernelPlan &kernel : ctx.plan.kernels) {
-            if (kernel.stages.size() < 2)
-                continue;
-            // Multi-stage kernels synchronize with grid.sync(), so
-            // the whole subprogram must fit one cooperative wave.
-            std::vector<int> tes;
-            for (const StagePlan &stage : kernel.stages)
-                tes.insert(tes.end(), stage.tes.begin(),
-                           stage.tes.end());
-            SOUFFLE_REQUIRE(
-                subprogramFitsDevice(tes, ctx.schedules,
-                                     ctx.options.device),
-                "IR verifier: grid-sync kernel '"
-                    << kernel.name
-                    << "' exceeds the cooperative-wave resource cap");
+        if (static_cast<int>(ctx.schedules.size())
+            != program.numTes()) {
+            verifyError(report, LintLocation{},
+                        "kernel plan exists but only "
+                            + std::to_string(ctx.schedules.size())
+                            + " of " + std::to_string(program.numTes())
+                            + " TEs are scheduled");
+        } else {
+            const std::string violation =
+                describePlanCoverageViolation(program, ctx.plan);
+            if (!violation.empty())
+                verifyError(report, LintLocation{}, violation);
+            for (const KernelPlan &kernel : ctx.plan.kernels) {
+                if (kernel.stages.size() < 2)
+                    continue;
+                // Multi-stage kernels synchronize with grid.sync(),
+                // so the whole subprogram must fit one cooperative
+                // wave.
+                std::vector<int> tes;
+                for (const StagePlan &stage : kernel.stages)
+                    tes.insert(tes.end(), stage.tes.begin(),
+                               stage.tes.end());
+                if (!subprogramFitsDevice(tes, ctx.schedules,
+                                          ctx.options.device)) {
+                    LintLocation loc;
+                    loc.kernel = kernel.name;
+                    verifyError(report, loc,
+                                "grid-sync kernel '" + kernel.name
+                                    + "' exceeds the cooperative-wave "
+                                      "resource cap");
+                }
+            }
         }
     }
 
     if (!ctx.result.module.kernels.empty()) {
         std::vector<int> covered;
         for (const Kernel &kernel : ctx.result.module.kernels) {
-            for (const KernelStage &stage : kernel.stages) {
-                SOUFFLE_REQUIRE(!stage.teIds.empty(),
-                                "IR verifier: empty stage in kernel '"
-                                    << kernel.name << "'");
+            for (size_t s = 0; s < kernel.stages.size(); ++s) {
+                const KernelStage &stage = kernel.stages[s];
+                if (stage.teIds.empty()) {
+                    LintLocation loc;
+                    loc.kernel = kernel.name;
+                    loc.stage = static_cast<int>(s);
+                    verifyError(report, loc,
+                                "empty stage in kernel '"
+                                    + kernel.name + "'");
+                }
                 covered.insert(covered.end(), stage.teIds.begin(),
                                stage.teIds.end());
             }
         }
         std::sort(covered.begin(), covered.end());
-        SOUFFLE_REQUIRE(static_cast<int>(covered.size())
-                            == program.numTes(),
-                        "IR verifier: module covers "
-                            << covered.size() << " TEs, program has "
-                            << program.numTes());
-        for (int i = 0; i < static_cast<int>(covered.size()); ++i) {
-            SOUFFLE_REQUIRE(covered[i] == i,
-                            "IR verifier: module TE coverage is not a "
-                            "bijection");
+        if (static_cast<int>(covered.size()) != program.numTes()) {
+            verifyError(report, LintLocation{},
+                        "module covers "
+                            + std::to_string(covered.size())
+                            + " TEs, program has "
+                            + std::to_string(program.numTes()));
+        } else {
+            for (int i = 0; i < static_cast<int>(covered.size());
+                 ++i) {
+                if (covered[i] != i) {
+                    verifyError(report, LintLocation{},
+                                "module TE coverage is not a "
+                                "bijection");
+                    break;
+                }
+            }
         }
     }
+    return report;
+}
+
+void
+verifyTeProgram(const TeProgram &program)
+{
+    LintReport report;
+    collectTeProgramDiagnostics(program, report);
+    SOUFFLE_REQUIRE(report.empty(),
+                    "IR verifier:\n" << report.renderText());
+}
+
+void
+IrVerifier::run(CompileContext &ctx)
+{
+    const LintReport report = collect(ctx);
+    // Every violation is reported in one exception so a broken
+    // pipeline surfaces all of its damage, not just the first hit.
+    SOUFFLE_REQUIRE(report.empty(),
+                    "IR verifier:\n" << report.renderText());
 }
 
 } // namespace souffle

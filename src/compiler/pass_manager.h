@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "compiler/pass.h"
+#include "lint/diagnostic.h"
 
 namespace souffle {
 
@@ -33,15 +34,28 @@ namespace souffle {
  *    resource cap of the device;
  *  - compiled module: every TE covered exactly once, no empty stage.
  *
- * Violations throw FatalError (unlike TeProgram::validate, which
- * aborts) so tests and tools can observe rejections.
+ * Violations are collected through the lint `Diagnostic` machinery
+ * (rule id "ir-verify", severity error) so *every* violation is
+ * reported in one shot, then a FatalError carrying the full rendered
+ * report is thrown (unlike TeProgram::validate, which aborts) so
+ * tests and tools can observe rejections.
  */
 class IrVerifier : public Pass
 {
   public:
     std::string name() const override { return "verify"; }
     void run(CompileContext &ctx) override;
+
+    /** Collect every violation without throwing. */
+    LintReport collect(CompileContext &ctx) const;
 };
+
+/**
+ * Structural check of a TE program. Appends one error-severity
+ * diagnostic (rule "ir-verify") per violation to @p report.
+ */
+void collectTeProgramDiagnostics(const TeProgram &program,
+                                 LintReport &report);
 
 /** Throwing structural check of a TE program (see IrVerifier). */
 void verifyTeProgram(const TeProgram &program);

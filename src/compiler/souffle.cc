@@ -5,6 +5,7 @@
 
 #include "graph/lowering_pass.h"
 #include "kernel/kernel_passes.h"
+#include "lint/lint.h"
 #include "sched/schedule_pass.h"
 #include "transform/transform_passes.h"
 
@@ -114,6 +115,11 @@ soufflePipeline(const SouffleOptions &options)
     // grid-sync mega-kernel actually beats per-stage launches.
     if (options.adaptiveFusion && options.level >= SouffleLevel::kV3)
         pipeline.add<AdaptiveFusionPass>();
+
+    // 9. Strict mode: the full souffle-lint catalogue over the final
+    // artifacts; error-severity findings fail the compile.
+    if (options.strictLint)
+        pipeline.add<LintPass>();
 
     return pipeline;
 }

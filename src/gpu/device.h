@@ -40,6 +40,8 @@ struct DeviceSpec
     int64_t sharedMemPerBlockLimit = 160 * 1024;
     int64_t regsPerSm = 65536;
     int maxThreadsPerSm = 2048;
+    /** CUDA hard cap on the launch-time block size. */
+    int maxThreadsPerBlock = 1024;
     int maxBlocksPerSm = 32;
 
     /** DRAM bandwidth in bytes per microsecond (1555 GB/s). */

@@ -89,16 +89,36 @@ buildStage(const TeProgram &program, const GlobalAnalysis &analysis,
         stage.instrs.push_back(instr);
     }
 
-    // Compute, one instruction per TE (program order).
+    // Compute, one instruction per TE (program order). A consumer
+    // fused behind a one-relies-on-many producer needs the block's
+    // partial reduction complete before it reads, so a __syncthreads()
+    // barrier separates it from the producer (paper Sec. 6.3; the
+    // grid-sync-race lint rule checks this invariant).
+    std::unordered_set<TensorId> pending_reduce_outputs;
     for (int te_id : plan.tes) {
         const TensorExpr &te = program.te(te_id);
         const TeInfo &info = analysis.teInfo(te_id);
+        bool needs_barrier = false;
+        for (TensorId in : te.inputs) {
+            if (pending_reduce_outputs.count(in)) {
+                needs_barrier = true;
+                break;
+            }
+        }
+        if (needs_barrier) {
+            Instr barrier;
+            barrier.kind = InstrKind::kBarrier;
+            stage.instrs.push_back(barrier);
+            pending_reduce_outputs.clear();
+        }
         Instr instr;
         instr.kind = InstrKind::kCompute;
         instr.pipe = pipeFor(te, info, schedules.at(te_id));
         instr.flops = static_cast<double>(info.flops);
         instr.tensor = te.output;
         stage.instrs.push_back(instr);
+        if (te.hasReduce())
+            pending_reduce_outputs.insert(te.output);
     }
 
     // Stores: outputs visible outside this stage.
@@ -201,23 +221,32 @@ buildKernel(const TeProgram &program, const GlobalAnalysis &analysis,
         }
         kernel.stages.push_back(std::move(stage));
     }
-    // Grid-stride stages shrink to the kernel's cooperative wave so a
-    // multi-stage kernel stays grid-sync feasible.
+    // Shrink stages to the kernel's cooperative wave so a multi-stage
+    // kernel stays grid-sync feasible. Only rigidly-tiled schedules pin
+    // a block count; grid-stride TEs fused into the same stage are
+    // correct at any count, so a stage can always come down to the max
+    // of its own rigid members (the resource-caps lint rule checks the
+    // resulting invariant).
     if (kernel.stages.size() > 1) {
+        auto rigid_in_stage = [&](const KernelStage &stage) {
+            int64_t rigid = 0;
+            for (int te_id : stage.teIds) {
+                const Schedule &sched = schedules.at(te_id);
+                if (!sched.gridStride)
+                    rigid = std::max(rigid, sched.numBlocks);
+            }
+            return rigid;
+        };
         int64_t rigid_blocks = 1;
-        for (const auto &stage : kernel.stages) {
-            if (!stage.flexibleBlocks)
-                rigid_blocks = std::max(rigid_blocks, stage.numBlocks);
-        }
+        for (const auto &stage : kernel.stages)
+            rigid_blocks = std::max(rigid_blocks, rigid_in_stage(stage));
         const int64_t wave = device.maxBlocksPerWave(
             kernel.sharedMemBytes(), kernel.regsPerBlock(),
             kernel.threadsPerBlock());
+        const int64_t cap = std::max(rigid_blocks, wave);
         for (auto &stage : kernel.stages) {
-            if (stage.flexibleBlocks) {
-                stage.numBlocks =
-                    std::min(stage.numBlocks,
-                             std::max(rigid_blocks, wave));
-            }
+            stage.numBlocks = std::max(rigid_in_stage(stage),
+                                       std::min(stage.numBlocks, cap));
         }
     }
     // Mark stages whose launch dims differ from the kernel's as

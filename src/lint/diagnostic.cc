@@ -1,0 +1,155 @@
+#include "lint/diagnostic.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace souffle {
+
+std::string
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::kNote:
+        return "note";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kError:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+LintLocation::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << " ";
+        first = false;
+    };
+    if (!kernel.empty()) {
+        sep();
+        os << "kernel '" << kernel << "'";
+    }
+    if (stage >= 0) {
+        sep();
+        os << "stage " << stage;
+    }
+    if (instr >= 0) {
+        sep();
+        os << "instr " << instr;
+    }
+    if (teId >= 0) {
+        sep();
+        os << "te " << teId;
+    }
+    return os.str();
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << rule << "]";
+    if (!location.empty())
+        os << " " << location.toString();
+    os << ": " << message;
+    if (!fixHint.empty())
+        os << "  (fix: " << fixHint << ")";
+    return os.str();
+}
+
+void
+LintReport::add(Diagnostic diagnostic)
+{
+    diags.push_back(std::move(diagnostic));
+}
+
+void
+LintReport::add(const std::string &rule, Severity severity,
+                LintLocation location, const std::string &message,
+                const std::string &fix_hint)
+{
+    Diagnostic diag;
+    diag.rule = rule;
+    diag.severity = severity;
+    diag.location = std::move(location);
+    diag.message = message;
+    diag.fixHint = fix_hint;
+    diags.push_back(std::move(diag));
+}
+
+int
+LintReport::count(Severity severity) const
+{
+    int n = 0;
+    for (const Diagnostic &diag : diags)
+        if (diag.severity == severity)
+            ++n;
+    return n;
+}
+
+bool
+LintReport::anyAtOrAbove(Severity threshold) const
+{
+    for (const Diagnostic &diag : diags) {
+        if (static_cast<int>(diag.severity)
+            >= static_cast<int>(threshold))
+            return true;
+    }
+    return false;
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+std::string
+LintReport::renderText() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &diag : diags)
+        os << diag.toString() << "\n";
+    os << errors() << " error(s), " << warnings() << " warning(s), "
+       << notes() << " note(s)\n";
+    return os.str();
+}
+
+std::string
+LintReport::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"diagnostics\": [";
+    for (size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &diag = diags[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"rule\": \"" << jsonEscape(diag.rule)
+           << "\", \"severity\": \""
+           << severityName(diag.severity) << "\"";
+        if (diag.location.teId >= 0)
+            os << ", \"te\": " << diag.location.teId;
+        if (!diag.location.kernel.empty())
+            os << ", \"kernel\": \""
+               << jsonEscape(diag.location.kernel) << "\"";
+        if (diag.location.stage >= 0)
+            os << ", \"stage\": " << diag.location.stage;
+        if (diag.location.instr >= 0)
+            os << ", \"instr\": " << diag.location.instr;
+        os << ", \"message\": \"" << jsonEscape(diag.message) << "\"";
+        if (!diag.fixHint.empty())
+            os << ", \"fix\": \"" << jsonEscape(diag.fixHint) << "\"";
+        os << "}";
+    }
+    os << (diags.empty() ? "]" : "\n  ]") << ",\n";
+    os << "  \"errors\": " << errors() << ",\n";
+    os << "  \"warnings\": " << warnings() << ",\n";
+    os << "  \"notes\": " << notes() << "\n}\n";
+    return os.str();
+}
+
+} // namespace souffle

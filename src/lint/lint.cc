@@ -1,0 +1,124 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+/** Defined in rules.cc; seeds the global registry. */
+void registerBuiltinLintRules(LintRuleRegistry &registry);
+
+LintRuleRegistry &
+LintRuleRegistry::global()
+{
+    static LintRuleRegistry *registry = [] {
+        auto *r = new LintRuleRegistry();
+        registerBuiltinLintRules(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+LintRuleRegistry::add(const std::string &id, Factory factory)
+{
+    SOUFFLE_CHECK(factory != nullptr, "null lint-rule factory");
+    for (auto &entry : factories) {
+        if (entry.first == id) {
+            entry.second = std::move(factory);
+            return;
+        }
+    }
+    factories.emplace_back(id, std::move(factory));
+}
+
+std::vector<std::string>
+LintRuleRegistry::ruleIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(factories.size());
+    for (const auto &entry : factories)
+        ids.push_back(entry.first);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::unique_ptr<LintRule>
+LintRuleRegistry::create(const std::string &id) const
+{
+    for (const auto &entry : factories) {
+        if (entry.first == id)
+            return entry.second();
+    }
+    SOUFFLE_FATAL("unknown lint rule '"
+                  << id << "' (known: "
+                  << [this] {
+                         std::string all;
+                         for (const std::string &known : ruleIds())
+                             all += (all.empty() ? "" : ", ") + known;
+                         return all;
+                     }()
+                  << ")");
+}
+
+std::vector<std::unique_ptr<LintRule>>
+LintRuleRegistry::createAll() const
+{
+    std::vector<std::unique_ptr<LintRule>> rules;
+    for (const std::string &id : ruleIds())
+        rules.push_back(create(id));
+    return rules;
+}
+
+std::vector<std::string>
+builtinLintRuleIds()
+{
+    return LintRuleRegistry::global().ruleIds();
+}
+
+Linter::Linter() : selected(LintRuleRegistry::global().createAll()) {}
+
+Linter::Linter(const std::vector<std::string> &rule_ids)
+{
+    for (const std::string &id : rule_ids)
+        selected.push_back(LintRuleRegistry::global().create(id));
+}
+
+LintReport
+Linter::run(const LintInput &input) const
+{
+    LintReport report;
+    for (const auto &rule : selected)
+        rule->run(input, report);
+    return report;
+}
+
+LintReport
+Linter::run(CompileContext &ctx) const
+{
+    LintInput input{ctx.program(), ctx.analysis(),
+                    ctx.options.device};
+    if (!ctx.schedules.empty())
+        input.schedules = &ctx.schedules;
+    if (!ctx.result.module.kernels.empty())
+        input.module = &ctx.result.module;
+    return run(input);
+}
+
+void
+LintPass::run(CompileContext &ctx)
+{
+    const Linter linter;
+    const LintReport report = linter.run(ctx);
+    ctx.counter("lint-errors", report.errors());
+    ctx.counter("lint-warnings", report.warnings());
+    ctx.counter("reach-queries", ctx.analysis().reachableQueries());
+    if (report.errors() > 0) {
+        SOUFFLE_FATAL("strict lint failed:\n" << report.renderText());
+    }
+    if (report.warnings() > 0)
+        SOUFFLE_WARN("lint:\n" << report.renderText());
+}
+
+} // namespace souffle

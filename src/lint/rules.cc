@@ -1,0 +1,710 @@
+/**
+ * @file
+ * The builtin lint-rule catalogue (see lint.h for the framework).
+ *
+ *   grid-sync-race  cross-stage RAW/WAR dependences inside a merged
+ *                   kernel must be separated by grid.sync(); a
+ *                   one-relies-on-many producer fused into its
+ *                   consumer's stage needs a block barrier (Sec. 6.3/6.4)
+ *   affine-bounds   every read map's interval over the iteration box
+ *                   stays inside the producing tensor's shape unless
+ *                   the read is masked by an affine predicate (Sec. 6.2)
+ *   resource-caps   stages fit the per-block device limits; grid-sync
+ *                   kernels fit one cooperative wave (Sec. 5.4)
+ *   dead-te         every TE (transitively) feeds a model output;
+ *                   inputs/params are consumed
+ *   instr-stream    instruction streams are self-consistent: no
+ *                   overlapped loads in a kernel's first stage or of
+ *                   in-kernel-produced tensors, no stores to tensors
+ *                   nothing consumes, no grid.sync() in library kernels
+ */
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "lint/lint.h"
+
+namespace souffle {
+namespace {
+
+// ---------------------------------------------------------------------
+// grid-sync-race
+// ---------------------------------------------------------------------
+
+class GridSyncRaceRule : public LintRule
+{
+  public:
+    std::string id() const override { return "grid-sync-race"; }
+
+    std::string
+    description() const override
+    {
+        return "cross-stage dependences in merged kernels are covered "
+               "by grid.sync(); fused one-relies-on-many producers by "
+               "a block barrier";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        if (input.module == nullptr)
+            return;
+        const TeProgram &program = input.program;
+        for (const Kernel &kernel : input.module->kernels) {
+            checkCrossStage(program, input.analysis, kernel, report);
+            for (size_t s = 0; s < kernel.stages.size(); ++s)
+                checkIntraStage(program, kernel,
+                                static_cast<int>(s), report);
+        }
+    }
+
+  private:
+    /** Index of the compute instruction producing @p tensor, or -1. */
+    static int
+    computeIndexOf(const KernelStage &stage, TensorId tensor)
+    {
+        for (size_t i = 0; i < stage.instrs.size(); ++i) {
+            const Instr &instr = stage.instrs[i];
+            if (instr.kind == InstrKind::kCompute
+                && instr.tensor == tensor)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    void
+    checkCrossStage(const TeProgram &program,
+                    const GlobalAnalysis &analysis, const Kernel &kernel,
+                    LintReport &report) const
+    {
+        if (kernel.stages.size() < 2 || kernel.numBlocks() <= 1)
+            return; // single block: block barriers suffice
+
+        // Stage index of every TE in this kernel.
+        std::unordered_map<int, int> stage_of;
+        for (size_t s = 0; s < kernel.stages.size(); ++s) {
+            for (int te_id : kernel.stages[s].teIds)
+                stage_of.emplace(te_id, static_cast<int>(s));
+        }
+        // hasSync[s]: stage s contains at least one grid.sync().
+        std::vector<bool> has_sync(kernel.stages.size(), false);
+        for (size_t s = 0; s < kernel.stages.size(); ++s) {
+            for (const Instr &instr : kernel.stages[s].instrs) {
+                if (instr.kind == InstrKind::kGridSync) {
+                    has_sync[s] = true;
+                    break;
+                }
+            }
+        }
+        auto synced_between = [&](int def_stage, int use_stage) {
+            for (int s = def_stage + 1; s <= use_stage; ++s)
+                if (has_sync[s])
+                    return true;
+            return false;
+        };
+
+        // RAW: a TE reading a tensor defined in an earlier stage, and
+        // WAR: a TE writing a tensor read by an earlier stage (cannot
+        // arise from the SSA builder, but hand-edited or future IR
+        // can), must be separated by a grid.sync().
+        for (size_t s = 0; s < kernel.stages.size(); ++s) {
+            for (int te_id : kernel.stages[s].teIds) {
+                const TensorExpr &te = program.te(te_id);
+                for (TensorId in : te.inputs) {
+                    const int producer = program.tensor(in).producer;
+                    auto it = producer >= 0 ? stage_of.find(producer)
+                                            : stage_of.end();
+                    if (it == stage_of.end()
+                        || it->second >= static_cast<int>(s))
+                        continue;
+                    // Dependence confirmed by the global analysis
+                    // (def-use edge implies reachability).
+                    if (!analysis.reachable(producer, te_id))
+                        continue;
+                    if (synced_between(it->second,
+                                       static_cast<int>(s)))
+                        continue;
+                    std::ostringstream msg;
+                    msg << "RAW race: TE " << te_id << " ('"
+                        << te.name << "') in stage " << s
+                        << " reads tensor '"
+                        << program.tensor(in).name
+                        << "' produced by TE " << producer
+                        << " in stage " << it->second
+                        << " with no grid.sync() between them and "
+                        << kernel.numBlocks() << " blocks in flight";
+                    LintLocation loc;
+                    loc.kernel = kernel.name;
+                    loc.stage = static_cast<int>(s);
+                    loc.teId = te_id;
+                    report.add(id(), Severity::kError, loc, msg.str(),
+                               "insert a kGridSync at the head of the "
+                               "consuming stage");
+                }
+                // WAR: this TE's output was read by an earlier stage.
+                for (size_t earlier = 0; earlier < s; ++earlier) {
+                    bool reads = false;
+                    for (int other : kernel.stages[earlier].teIds) {
+                        const TensorExpr &o = program.te(other);
+                        if (std::find(o.inputs.begin(),
+                                      o.inputs.end(), te.output)
+                            != o.inputs.end()) {
+                            reads = true;
+                            break;
+                        }
+                    }
+                    if (!reads
+                        || synced_between(static_cast<int>(earlier),
+                                          static_cast<int>(s)))
+                        continue;
+                    std::ostringstream msg;
+                    msg << "WAR race: TE " << te_id << " in stage "
+                        << s << " overwrites tensor '"
+                        << program.tensor(te.output).name
+                        << "' read by stage " << earlier
+                        << " with no grid.sync() between them";
+                    LintLocation loc;
+                    loc.kernel = kernel.name;
+                    loc.stage = static_cast<int>(s);
+                    loc.teId = te_id;
+                    report.add(id(), Severity::kError, loc, msg.str(),
+                               "insert a kGridSync at the head of the "
+                               "writing stage");
+                }
+            }
+        }
+    }
+
+    void
+    checkIntraStage(const TeProgram &program, const Kernel &kernel,
+                    int stage_index, LintReport &report) const
+    {
+        const KernelStage &stage = kernel.stages[stage_index];
+        std::unordered_set<int> in_stage(stage.teIds.begin(),
+                                         stage.teIds.end());
+        for (int te_id : stage.teIds) {
+            const TensorExpr &te = program.te(te_id);
+            for (TensorId in : te.inputs) {
+                const int producer = program.tensor(in).producer;
+                if (producer < 0 || !in_stage.count(producer)
+                    || !program.te(producer).hasReduce())
+                    continue;
+                const int def = computeIndexOf(stage, in);
+                const int use = computeIndexOf(stage, te.output);
+                if (def < 0 || use < 0)
+                    continue; // stream lacks the computes entirely;
+                              // the instr-stream rule owns that
+                bool barriered = false;
+                for (int i = def + 1; i < use; ++i) {
+                    if (stage.instrs[i].kind == InstrKind::kBarrier) {
+                        barriered = true;
+                        break;
+                    }
+                }
+                if (barriered)
+                    continue;
+                std::ostringstream msg;
+                msg << "one-relies-on-many producer TE " << producer
+                    << " ('" << program.te(producer).name
+                    << "') is fused into the same stage as consumer "
+                    << "TE " << te_id
+                    << " with no block barrier between their computes";
+                LintLocation loc;
+                loc.kernel = kernel.name;
+                loc.stage = stage_index;
+                loc.teId = te_id;
+                report.add(id(), Severity::kError, loc, msg.str(),
+                           "emit a kBarrier between the producer's "
+                           "reduction and the consumer's compute");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// affine-bounds
+// ---------------------------------------------------------------------
+
+class AffineBoundsRule : public LintRule
+{
+  public:
+    std::string id() const override { return "affine-bounds"; }
+
+    std::string
+    description() const override
+    {
+        return "read-map intervals over the iteration box stay inside "
+               "the producing tensor's shape unless predicate-masked";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        for (const TensorExpr &te : input.program.tes())
+            checkTe(input.program, te, report);
+    }
+
+  private:
+    /** True if any condition actually constrains the index vector. */
+    static bool
+    masksIndex(const Predicate &pred)
+    {
+        for (const AffineCond &cond : pred)
+            for (int64_t coef : cond.coefs)
+                if (coef != 0)
+                    return true;
+        return false;
+    }
+
+    void
+    checkTe(const TeProgram &program, const TensorExpr &te,
+            LintReport &report) const
+    {
+        const std::vector<int64_t> extents = te.iterExtents();
+        walk(program, te, te.body, extents, /*guarded=*/false, report);
+    }
+
+    void
+    walk(const TeProgram &program, const TensorExpr &te,
+         const ExprPtr &expr, const std::vector<int64_t> &extents,
+         bool guarded, LintReport &report) const
+    {
+        switch (expr->kind()) {
+          case ExprKind::kConst:
+            return;
+          case ExprKind::kRead:
+            checkRead(program, te, expr, extents, guarded, report);
+            return;
+          case ExprKind::kUnary:
+            walk(program, te, expr->lhs(), extents, guarded, report);
+            return;
+          case ExprKind::kBinary:
+            walk(program, te, expr->lhs(), extents, guarded, report);
+            walk(program, te, expr->rhs(), extents, guarded, report);
+            return;
+          case ExprKind::kSelect: {
+            // Both branches execute under a (possibly negated) index
+            // predicate: reads below are masked for the indices where
+            // the other branch is taken.
+            const bool masked =
+                guarded || masksIndex(expr->predicate());
+            walk(program, te, expr->lhs(), extents, masked, report);
+            walk(program, te, expr->rhs(), extents, masked, report);
+            return;
+          }
+        }
+    }
+
+    void
+    checkRead(const TeProgram &program, const TensorExpr &te,
+              const ExprPtr &read, const std::vector<int64_t> &extents,
+              bool guarded, LintReport &report) const
+    {
+        const AffineMap &map = read->readMap();
+        const int slot = read->readSlot();
+        if (slot < 0 || slot >= static_cast<int>(te.inputs.size()))
+            return; // undeclared slot: the IrVerifier owns that
+        const TensorDecl &decl = program.tensor(te.inputs[slot]);
+
+        auto emit = [&](int row, int64_t lo, int64_t hi,
+                        int64_t bound, const char *kind) {
+            std::ostringstream msg;
+            msg << kind << " read of tensor '" << decl.name
+                << "' row " << row << " spans [" << lo << ", " << hi
+                << "] over the iteration box, outside [0, " << bound
+                << ")";
+            if (guarded)
+                msg << " (masked by an affine predicate)";
+            LintLocation loc;
+            loc.teId = te.id;
+            report.add(id(),
+                       guarded ? Severity::kNote : Severity::kError,
+                       loc, msg.str(),
+                       guarded ? ""
+                               : "guard the read with a predicate or "
+                                 "fix the map's offset/coefficients");
+        };
+
+        if (read->isFlatRead()) {
+            const auto range = map.rowValueRange(0, extents);
+            const int64_t bound = decl.numElements();
+            if (range.min < 0 || range.max >= bound)
+                emit(0, range.min, range.max, bound, "flat");
+            return;
+        }
+        if (map.outDims() != decl.rank()) {
+            LintLocation loc;
+            loc.teId = te.id;
+            std::ostringstream msg;
+            msg << "read map of tensor '" << decl.name << "' yields "
+                << map.outDims() << " indices for a rank-"
+                << decl.rank() << " tensor";
+            report.add(id(), Severity::kError, loc, msg.str(),
+                       "make the read map's out-rank match the "
+                       "tensor rank");
+            return;
+        }
+        for (int row = 0; row < map.outDims(); ++row) {
+            const auto range = map.rowValueRange(row, extents);
+            const int64_t bound = decl.shape[row];
+            if (range.min < 0 || range.max >= bound)
+                emit(row, range.min, range.max, bound, "affine");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// resource-caps
+// ---------------------------------------------------------------------
+
+class ResourceCapsRule : public LintRule
+{
+  public:
+    std::string id() const override { return "resource-caps"; }
+
+    std::string
+    description() const override
+    {
+        return "stages fit per-block device limits; grid-sync kernels "
+               "fit one cooperative wave";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        if (input.module != nullptr) {
+            for (const Kernel &kernel : input.module->kernels)
+                checkKernel(kernel, input.device, report);
+        } else if (input.schedules != nullptr) {
+            for (const Schedule &sched : *input.schedules)
+                checkSchedule(sched, input.device, report);
+        }
+    }
+
+  private:
+    void
+    checkSchedule(const Schedule &sched, const DeviceSpec &device,
+                  LintReport &report) const
+    {
+        LintLocation loc;
+        loc.teId = sched.teId;
+        if (sched.sharedMemBytes > device.sharedMemPerBlockLimit) {
+            report.add(id(), Severity::kError, loc,
+                       "schedule requests "
+                           + bytesToString(static_cast<double>(
+                               sched.sharedMemBytes))
+                           + " shared memory, per-block limit is "
+                           + bytesToString(static_cast<double>(
+                               device.sharedMemPerBlockLimit)),
+                       "shrink the tile or spill to global memory");
+        }
+        if (sched.threadsPerBlock > device.maxThreadsPerBlock) {
+            report.add(id(), Severity::kError, loc,
+                       "schedule launches "
+                           + std::to_string(sched.threadsPerBlock)
+                           + " threads per block, device cap is "
+                           + std::to_string(device.maxThreadsPerBlock),
+                       "");
+        }
+        if (sched.regsPerBlock() > device.regsPerSm) {
+            report.add(id(), Severity::kError, loc,
+                       "schedule needs "
+                           + std::to_string(sched.regsPerBlock())
+                           + " registers per block, SM has "
+                           + std::to_string(device.regsPerSm),
+                       "");
+        }
+    }
+
+    void
+    checkKernel(const Kernel &kernel, const DeviceSpec &device,
+                LintReport &report) const
+    {
+        for (size_t s = 0; s < kernel.stages.size(); ++s) {
+            const KernelStage &stage = kernel.stages[s];
+            LintLocation loc;
+            loc.kernel = kernel.name;
+            loc.stage = static_cast<int>(s);
+            if (stage.sharedMemBytes > device.sharedMemPerBlockLimit) {
+                report.add(
+                    id(), Severity::kError, loc,
+                    "stage uses "
+                        + bytesToString(static_cast<double>(
+                            stage.sharedMemBytes))
+                        + " shared memory, per-block limit is "
+                        + bytesToString(static_cast<double>(
+                            device.sharedMemPerBlockLimit)),
+                    "re-tile the stage or split the fused TEs");
+            }
+            if (stage.threadsPerBlock > device.maxThreadsPerBlock) {
+                report.add(
+                    id(), Severity::kError, loc,
+                    "stage launches "
+                        + std::to_string(stage.threadsPerBlock)
+                        + " threads per block, device cap is "
+                        + std::to_string(device.maxThreadsPerBlock),
+                    "");
+            }
+            if (stage.regsPerBlock > device.regsPerSm) {
+                report.add(id(), Severity::kError, loc,
+                           "stage needs "
+                               + std::to_string(stage.regsPerBlock)
+                               + " registers per block, SM has "
+                               + std::to_string(device.regsPerSm),
+                           "");
+            }
+            if (device.blocksPerSm(stage.sharedMemBytes,
+                                   stage.regsPerBlock,
+                                   stage.threadsPerBlock)
+                == 0) {
+                report.add(id(), Severity::kError, loc,
+                           "stage resource usage leaves zero resident "
+                           "blocks per SM; the kernel cannot launch",
+                           "shrink shared memory, registers, or the "
+                           "block size");
+            }
+        }
+        // A multi-stage kernel synchronizes with grid.sync(), which
+        // requires every block resident in a single cooperative wave.
+        if (kernel.stages.size() >= 2 && kernel.gridSyncCount() > 0) {
+            const int64_t wave = device.maxBlocksPerWave(
+                kernel.sharedMemBytes(), kernel.regsPerBlock(),
+                kernel.threadsPerBlock());
+            if (kernel.numBlocks() > wave) {
+                LintLocation loc;
+                loc.kernel = kernel.name;
+                std::ostringstream msg;
+                msg << "grid-sync kernel launches "
+                    << kernel.numBlocks() << " blocks but only "
+                    << wave
+                    << " fit one cooperative wave; grid.sync() would "
+                       "deadlock";
+                report.add(id(), Severity::kError, loc, msg.str(),
+                           "split the subprogram or use grid-stride "
+                           "schedules");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// dead-te
+// ---------------------------------------------------------------------
+
+class DeadTeRule : public LintRule
+{
+  public:
+    std::string id() const override { return "dead-te"; }
+
+    std::string
+    description() const override
+    {
+        return "every TE transitively feeds a model output; every "
+               "input/param is consumed";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        const TeProgram &program = input.program;
+        const GlobalAnalysis &analysis = input.analysis;
+
+        // Backward liveness from the model outputs.
+        std::vector<bool> live(program.numTes(), false);
+        std::deque<int> queue;
+        for (TensorId out : program.outputTensors()) {
+            const int producer = program.tensor(out).producer;
+            if (producer >= 0 && !live[producer]) {
+                live[producer] = true;
+                queue.push_back(producer);
+            }
+        }
+        while (!queue.empty()) {
+            const int te_id = queue.front();
+            queue.pop_front();
+            for (TensorId in : program.te(te_id).inputs) {
+                const int producer = program.tensor(in).producer;
+                if (producer >= 0 && !live[producer]) {
+                    live[producer] = true;
+                    queue.push_back(producer);
+                }
+            }
+        }
+
+        for (const TensorExpr &te : program.tes()) {
+            if (live[te.id])
+                continue;
+            LintLocation loc;
+            loc.teId = te.id;
+            const bool unconsumed =
+                analysis.consumers(te.output).empty();
+            std::ostringstream msg;
+            msg << "TE '" << te.name << "' does not reach any model "
+                << "output (tensor '"
+                << program.tensor(te.output).name << "' is "
+                << (unconsumed ? "never consumed"
+                               : "consumed only by dead TEs")
+                << ")";
+            report.add(id(), Severity::kWarning, loc, msg.str(),
+                       "run TeProgram::removeDeadCode() before "
+                       "scheduling");
+        }
+
+        for (const TensorDecl &decl : program.tensors()) {
+            if (decl.role != TensorRole::kInput
+                && decl.role != TensorRole::kParam)
+                continue;
+            if (!analysis.consumers(decl.id).empty())
+                continue;
+            LintLocation loc;
+            report.add(id(), Severity::kNote, loc,
+                       std::string(decl.role == TensorRole::kInput
+                                       ? "input"
+                                       : "param")
+                           + " tensor '" + decl.name
+                           + "' is never consumed",
+                       "");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// instr-stream
+// ---------------------------------------------------------------------
+
+class InstrStreamRule : public LintRule
+{
+  public:
+    std::string id() const override { return "instr-stream"; }
+
+    std::string
+    description() const override
+    {
+        return "kernel instruction streams are self-consistent "
+               "(overlap, store, and library-kernel invariants)";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        if (input.module == nullptr)
+            return;
+        const TeProgram &program = input.program;
+        const GlobalAnalysis &analysis = input.analysis;
+        for (const Kernel &kernel : input.module->kernels) {
+            std::unordered_set<int> kernel_tes;
+            for (const KernelStage &stage : kernel.stages)
+                kernel_tes.insert(stage.teIds.begin(),
+                                  stage.teIds.end());
+            for (size_t s = 0; s < kernel.stages.size(); ++s) {
+                const KernelStage &stage = kernel.stages[s];
+                for (size_t i = 0; i < stage.instrs.size(); ++i) {
+                    checkInstr(program, analysis, kernel, kernel_tes,
+                               static_cast<int>(s),
+                               static_cast<int>(i), stage.instrs[i],
+                               report);
+                }
+            }
+        }
+    }
+
+  private:
+    void
+    checkInstr(const TeProgram &program, const GlobalAnalysis &analysis,
+               const Kernel &kernel,
+               const std::unordered_set<int> &kernel_tes, int stage,
+               int index, const Instr &instr, LintReport &report) const
+    {
+        LintLocation loc;
+        loc.kernel = kernel.name;
+        loc.stage = stage;
+        loc.instr = index;
+        switch (instr.kind) {
+          case InstrKind::kLoadGlobal: {
+            if (!instr.overlapped)
+                break;
+            if (stage == 0) {
+                report.add(id(), Severity::kError, loc,
+                           "overlapped load in the kernel's first "
+                           "stage has no previous stage to hide under",
+                           "clear Instr::overlapped");
+                break;
+            }
+            const int producer =
+                instr.tensor >= 0
+                    ? program.tensor(instr.tensor).producer
+                    : -1;
+            if (producer >= 0 && kernel_tes.count(producer)) {
+                std::ostringstream msg;
+                msg << "overlapped load of tensor '"
+                    << program.tensor(instr.tensor).name
+                    << "' prefetches across the in-kernel store of "
+                       "TE "
+                    << producer << " (RAW)";
+                report.add(id(), Severity::kError, loc, msg.str(),
+                           "do not prefetch tensors produced inside "
+                           "the kernel");
+            }
+            break;
+          }
+          case InstrKind::kStoreGlobal:
+          case InstrKind::kAtomicAdd: {
+            if (instr.tensor < 0)
+                break;
+            const TensorDecl &decl = program.tensor(instr.tensor);
+            if (decl.role == TensorRole::kOutput)
+                break;
+            if (analysis.consumers(instr.tensor).empty()) {
+                report.add(id(), Severity::kWarning, loc,
+                           "store to tensor '" + decl.name
+                               + "' which no TE or model output "
+                                 "consumes",
+                           "drop the store or mark the tensor as a "
+                           "model output");
+            }
+            break;
+          }
+          case InstrKind::kGridSync:
+            if (kernel.usesLibrary) {
+                report.add(id(), Severity::kError, loc,
+                           "closed-source library kernel contains a "
+                           "grid.sync(); libraries cannot join "
+                           "cooperative launches",
+                           "remove the sync or unfuse the library "
+                           "call");
+            }
+            break;
+          default:
+            break;
+        }
+    }
+};
+
+} // namespace
+
+void registerBuiltinLintRules(LintRuleRegistry &registry);
+
+void
+registerBuiltinLintRules(LintRuleRegistry &registry)
+{
+    registry.add("grid-sync-race", [] {
+        return std::make_unique<GridSyncRaceRule>();
+    });
+    registry.add("affine-bounds", [] {
+        return std::make_unique<AffineBoundsRule>();
+    });
+    registry.add("resource-caps", [] {
+        return std::make_unique<ResourceCapsRule>();
+    });
+    registry.add("dead-te",
+                 [] { return std::make_unique<DeadTeRule>(); });
+    registry.add("instr-stream", [] {
+        return std::make_unique<InstrStreamRule>();
+    });
+}
+
+} // namespace souffle

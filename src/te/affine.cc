@@ -158,6 +158,25 @@ AffineMap::rowRangeExtent(int row, std::span<const int64_t> extents) const
     return span + 1;
 }
 
+AffineMap::RowRange
+AffineMap::rowValueRange(int row, std::span<const int64_t> extents) const
+{
+    SOUFFLE_CHECK(static_cast<int>(extents.size()) == numInDims,
+                  "rowValueRange rank mismatch");
+    RowRange range{offsetVec[row], offsetVec[row]};
+    for (int c = 0; c < numInDims; ++c) {
+        const int64_t a = matrixRows[row][c];
+        if (a == 0 || extents[c] <= 0)
+            continue;
+        const int64_t reach = a * (extents[c] - 1);
+        if (reach >= 0)
+            range.max += reach;
+        else
+            range.min += reach;
+    }
+    return range;
+}
+
 bool
 AffineMap::operator==(const AffineMap &other) const
 {

@@ -88,6 +88,23 @@ class AffineMap
     int64_t rowRangeExtent(int row,
                            std::span<const int64_t> extents) const;
 
+    /** Inclusive [min, max] interval of an affine row's value. */
+    struct RowRange
+    {
+        int64_t min = 0;
+        int64_t max = 0;
+    };
+
+    /**
+     * Exact min/max of row @p row over the box domain [0, extents),
+     * offset included (interval arithmetic: negative coefficients
+     * reach their minimum at extents-1). This is the bound the
+     * affine-bounds lint rule compares against the producing tensor's
+     * shape. Empty dimensions (extent 0) yield the offset alone.
+     */
+    RowRange rowValueRange(int row,
+                           std::span<const int64_t> extents) const;
+
     /** Equality (exact coefficients and offsets). */
     bool operator==(const AffineMap &other) const;
 

@@ -109,6 +109,81 @@ TEST(AffineMap, RowRangeExtentComputesFootprint)
     EXPECT_EQ(strided.rowRangeExtent(0, extents), 7);
 }
 
+TEST(AffineMap, RowRangeExtentWithNegativeCoefficients)
+{
+    // y0 = -x0 over extents (4): values {-3..0}, 4 positions.
+    AffineMap neg({{-1}}, {0});
+    const std::vector<int64_t> extents{4};
+    EXPECT_EQ(neg.rowRangeExtent(0, extents), 4);
+
+    // y0 = x0 - x1 over extents (4, 3): values {-2..3}, 6 positions.
+    AffineMap mixed({{1, -1}}, {0});
+    EXPECT_EQ(mixed.rowRangeExtent(0, std::vector<int64_t>{4, 3}), 6);
+
+    // y0 = -2*x0 over extents (4): {-6, -4, -2, 0} span 7 candidate
+    // positions (same footprint as the positive stride).
+    AffineMap strided({{-2}}, {0});
+    EXPECT_EQ(strided.rowRangeExtent(0, extents), 7);
+}
+
+TEST(AffineMap, RowRangeExtentIsOffsetInvariant)
+{
+    // An offset shifts the interval without changing its size.
+    const std::vector<int64_t> extents{4, 3};
+    AffineMap base({{1, 1}}, {0});
+    AffineMap shifted({{1, 1}}, {100});
+    AffineMap negshift({{1, 1}}, {-100});
+    EXPECT_EQ(base.rowRangeExtent(0, extents), 6);
+    EXPECT_EQ(shifted.rowRangeExtent(0, extents), 6);
+    EXPECT_EQ(negshift.rowRangeExtent(0, extents), 6);
+}
+
+TEST(AffineMap, RowValueRangeIntervalArithmetic)
+{
+    const std::vector<int64_t> extents{4, 3};
+
+    // y0 = x0 + x1 + 2: [2, 2+3+2] = [2, 7].
+    AffineMap map({{1, 1}}, {2});
+    auto range = map.rowValueRange(0, extents);
+    EXPECT_EQ(range.min, 2);
+    EXPECT_EQ(range.max, 7);
+
+    // y0 = -x0 + 2*x1: negative coef reaches its min at extent-1.
+    AffineMap mixed({{-1, 2}}, {0});
+    range = mixed.rowValueRange(0, extents);
+    EXPECT_EQ(range.min, -3);
+    EXPECT_EQ(range.max, 4);
+
+    // Constant row: offset alone.
+    AffineMap constant({{0, 0}}, {-5});
+    range = constant.rowValueRange(0, extents);
+    EXPECT_EQ(range.min, -5);
+    EXPECT_EQ(range.max, -5);
+
+    // Empty iteration box (extent 0): offset alone, degenerate.
+    AffineMap empty({{7}}, {3});
+    range = empty.rowValueRange(0, std::vector<int64_t>{0});
+    EXPECT_EQ(range.min, 3);
+    EXPECT_EQ(range.max, 3);
+}
+
+TEST(AffineMap, RowValueRangeMatchesExhaustiveEnumeration)
+{
+    AffineMap map({{3, -2}}, {-1});
+    const std::vector<int64_t> extents{5, 4};
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (int64_t x0 = 0; x0 < extents[0]; ++x0) {
+        for (int64_t x1 = 0; x1 < extents[1]; ++x1) {
+            const auto y = map.apply(std::vector<int64_t>{x0, x1});
+            lo = std::min(lo, y[0]);
+            hi = std::max(hi, y[0]);
+        }
+    }
+    const auto range = map.rowValueRange(0, extents);
+    EXPECT_EQ(range.min, lo);
+    EXPECT_EQ(range.max, hi);
+}
+
 TEST(AffineCond, EvalComparisons)
 {
     AffineCond ge{{1, -1}, 0, CmpOp::kGE}; // x0 - x1 >= 0
@@ -151,6 +226,38 @@ TEST(AffineCond, SubstituteThroughOffsetMap)
     const AffineCond r2 = cond.substitute(sub_neg);
     EXPECT_TRUE(r2.eval(std::vector<int64_t>{15, 0}));
     EXPECT_FALSE(r2.eval(std::vector<int64_t>{16, 0}));
+}
+
+TEST(AffineCond, SubstituteThroughNonPermutationMaps)
+{
+    // Non-permutation substitutions (mixing coefficients, broadcast
+    // columns, offsets) must preserve the truth table for every
+    // comparison operator.
+    const std::vector<AffineMap> subs{
+        AffineMap({{2, -3}, {1, 1}}, {4, -2}), // full-rank mixing
+        AffineMap({{0, 0}, {5, 0}}, {1, 0}),   // rank-deficient
+        AffineMap({{1, 1}, {1, 1}}, {0, 7}),   // repeated rows
+    };
+    const std::vector<AffineCond> conds{
+        AffineCond{{1, -2}, 3, CmpOp::kGE},
+        AffineCond{{2, 1}, -5, CmpOp::kLT},
+        AffineCond{{1, 1}, -6, CmpOp::kEQ},
+    };
+    for (const AffineMap &sub : subs) {
+        for (const AffineCond &cond : conds) {
+            const AffineCond rewritten = cond.substitute(sub);
+            for (int64_t z0 = -2; z0 < 4; ++z0) {
+                for (int64_t z1 = -2; z1 < 4; ++z1) {
+                    const std::vector<int64_t> z{z0, z1};
+                    EXPECT_EQ(rewritten.eval(z),
+                              cond.eval(sub.apply(z)))
+                        << cond.toString() << " through "
+                        << sub.toString() << " at z = (" << z0 << ", "
+                        << z1 << ")";
+                }
+            }
+        }
+    }
 }
 
 TEST(Predicate, ConjunctionSemantics)

@@ -123,6 +123,86 @@ TEST(Analysis, ReachabilityIndependentBranches)
     EXPECT_TRUE(analysis.reachable(1, 2));
 }
 
+TEST(Analysis, ReachabilityClosureIsLazyAndCountsQueries)
+{
+    const LoweredModel lowered = fig2Program();
+    const GlobalAnalysis analysis(lowered.program);
+
+    // The shared-tensor classification in the constructor may already
+    // have issued queries; every reachable() call from here on bumps
+    // the counter by exactly one, closure hits and trivial answers
+    // alike.
+    const int64_t base = analysis.reachableQueries();
+
+    EXPECT_TRUE(analysis.reachable(0, 4));
+    EXPECT_TRUE(analysis.reachabilityClosureBuilt());
+    EXPECT_EQ(analysis.reachableQueries(), base + 1);
+
+    // Trivial queries (reflexive, backward) are answered without
+    // touching the bitsets but still counted.
+    EXPECT_TRUE(analysis.reachable(2, 2));
+    EXPECT_FALSE(analysis.reachable(4, 0));
+    EXPECT_EQ(analysis.reachableQueries(), base + 3);
+    EXPECT_GE(analysis.reachabilityClosureMs(), 0.0);
+}
+
+TEST(Analysis, ReachabilityClosureMatchesPerQueryBfs)
+{
+    // Cross-check the bitset closure against a per-query BFS over the
+    // def-use edges for every (from, to) pair of the Fig. 2 program.
+    const LoweredModel lowered = fig2Program();
+    const TeProgram &program = lowered.program;
+    const GlobalAnalysis analysis(program);
+
+    auto bfs = [&](int from, int to) {
+        std::vector<bool> seen(program.numTes(), false);
+        std::vector<int> queue{from};
+        seen[from] = true;
+        while (!queue.empty()) {
+            const int te_id = queue.back();
+            queue.pop_back();
+            if (te_id == to)
+                return true;
+            for (int consumer :
+                 analysis.consumers(program.te(te_id).output)) {
+                if (!seen[consumer]) {
+                    seen[consumer] = true;
+                    queue.push_back(consumer);
+                }
+            }
+        }
+        return false;
+    };
+
+    for (int from = 0; from < program.numTes(); ++from) {
+        for (int to = 0; to < program.numTes(); ++to) {
+            EXPECT_EQ(analysis.reachable(from, to), bfs(from, to))
+                << "from " << from << " to " << to;
+        }
+    }
+}
+
+TEST(Analysis, ReachabilityClosureHandlesWidePrograms)
+{
+    // More than 64 TEs forces the closure onto multiple uint64 words
+    // per row; a long unary chain reaches exactly its suffix.
+    Graph g;
+    ValueId v = g.input("x", {16});
+    constexpr int kChain = 70;
+    for (int i = 0; i < kChain; ++i)
+        v = g.sigmoid(v);
+    g.markOutput(v);
+
+    const LoweredModel lowered = lowerToTe(g);
+    ASSERT_GE(lowered.program.numTes(), kChain);
+    const GlobalAnalysis analysis(lowered.program);
+    const int last = lowered.program.numTes() - 1;
+    EXPECT_TRUE(analysis.reachable(0, last));
+    EXPECT_TRUE(analysis.reachable(last - 65, last));
+    EXPECT_FALSE(analysis.reachable(last, 0));
+    EXPECT_FALSE(analysis.reachable(1, 0));
+}
+
 TEST(Analysis, LiveRangesSpanDefToLastUse)
 {
     const LoweredModel lowered = fig2Program();

@@ -4,6 +4,7 @@
  *
  *   souffle_cli compile <model.sgraph | zoo:NAME> [options]
  *   souffle_cli run     <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli lint    <model.sgraph | zoo:NAME> [options]
  *   souffle_cli inspect <model.sgraph | zoo:NAME>
  *   souffle_cli list
  *
@@ -12,10 +13,16 @@
  *   --level=0..4           Souffle ablation level (default 4)
  *   --adaptive             enable adaptive fusion
  *   --roller               use the Roller-style fast scheduler
+ *   --strict               fail the compile on lint errors
  *   --emit-cuda=FILE       write generated CUDA source
  *   --trace=FILE           write a chrome://tracing timeline
  *   --save=FILE            re-serialize the model text
  *   --seed=N               input seed for `run` (default 42)
+ *
+ * `lint` options:
+ *   --format=text|json     report renderer (default text)
+ *   --fail-on=warning|error  exit nonzero at this severity (default error)
+ *   --rule=ID[,ID...]      run only the named rules
  *
  * `zoo:NAME` loads a paper model (BERT, ResNeXt, LSTM, EfficientNet,
  * SwinTransformer, MMoE); `zoo-tiny:NAME` loads the test-sized
@@ -34,6 +41,7 @@
 #include "compiler/souffle.h"
 #include "gpu/trace.h"
 #include "graph/serialize.h"
+#include "lint/lint.h"
 #include "models/zoo.h"
 #include "runtime/executor.h"
 
@@ -50,6 +58,12 @@ struct CliOptions
     std::string tracePath;
     std::string savePath;
     uint64_t seed = 42;
+    /** `lint` report format: text or json. */
+    std::string lintFormat = "text";
+    /** `lint` exit-nonzero threshold. */
+    Severity lintFailOn = Severity::kError;
+    /** `lint` rule filter (empty: every registered rule). */
+    std::vector<std::string> lintRules;
 };
 
 int
@@ -57,11 +71,14 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: souffle_cli <compile|run|list> [model] [options]\n"
+        "usage: souffle_cli <compile|run|lint|inspect|list> [model] "
+        "[options]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
-        "  --level=0..4  --adaptive  --roller\n"
-        "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n");
+        "  --level=0..4  --adaptive  --roller  --strict\n"
+        "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n"
+        "  lint: --format=text|json  --fail-on=warning|error  "
+        "--rule=ID[,ID...]\n");
     return 2;
 }
 
@@ -117,6 +134,39 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.souffle.adaptiveFusion = true;
         else if (arg == "--roller")
             options.souffle.schedulerMode = SchedulerMode::kRoller;
+        else if (arg == "--strict")
+            options.souffle.strictLint = true;
+        else if (arg.rfind("--format=", 0) == 0) {
+            options.lintFormat = value_of("--format=");
+            if (options.lintFormat != "text"
+                && options.lintFormat != "json")
+                return false;
+        } else if (arg.rfind("--fail-on=", 0) == 0) {
+            const std::string level = value_of("--fail-on=");
+            if (level == "warning")
+                options.lintFailOn = Severity::kWarning;
+            else if (level == "error")
+                options.lintFailOn = Severity::kError;
+            else
+                return false;
+        } else if (arg.rfind("--rule=", 0) == 0) {
+            std::string rules = value_of("--rule=");
+            size_t start = 0;
+            while (start <= rules.size()) {
+                const size_t comma = rules.find(',', start);
+                const std::string id =
+                    rules.substr(start, comma == std::string::npos
+                                            ? std::string::npos
+                                            : comma - start);
+                if (!id.empty())
+                    options.lintRules.push_back(id);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (options.lintRules.empty())
+                return false;
+        }
         else if (arg.rfind("--emit-cuda=", 0) == 0)
             options.emitCudaPath = value_of("--emit-cuda=");
         else if (arg.rfind("--trace=", 0) == 0)
@@ -169,6 +219,47 @@ cliMain(int argc, char **argv)
         }
         std::printf("\n%s", lowered.program.toString().c_str());
         return 0;
+    }
+
+    if (options.command == "lint") {
+        const Linter linter = options.lintRules.empty()
+                                  ? Linter()
+                                  : Linter(options.lintRules);
+        LintReport report;
+        if (options.compiler == CompilerId::kSouffle) {
+            // Lint the live CompileContext: program, analysis,
+            // schedules, and module all participate.
+            CompileContext ctx(graph, options.souffle);
+            ctx.result.name =
+                "Souffle(V"
+                + std::to_string(
+                    static_cast<int>(options.souffle.level))
+                + ")";
+            soufflePipeline(options.souffle).run(ctx);
+            report = linter.run(ctx);
+            if (options.lintFormat == "text") {
+                std::printf("lint: %s, %d TEs, %d kernel(s), %lld "
+                            "reachability queries\n",
+                            ctx.result.name.c_str(),
+                            ctx.program().numTes(),
+                            ctx.result.module.numKernels(),
+                            static_cast<long long>(
+                                ctx.analysis().reachableQueries()));
+            }
+        } else {
+            // Baselines surface only their program and module.
+            const Compiled compiled = compileWith(
+                options.compiler, graph, options.souffle.device);
+            const GlobalAnalysis analysis(compiled.program);
+            LintInput input{compiled.program, analysis,
+                            options.souffle.device};
+            input.module = &compiled.module;
+            report = linter.run(input);
+        }
+        std::printf("%s", options.lintFormat == "json"
+                              ? report.renderJson().c_str()
+                              : report.renderText().c_str());
+        return report.anyAtOrAbove(options.lintFailOn) ? 1 : 0;
     }
 
     if (!options.savePath.empty()) {
