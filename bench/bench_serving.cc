@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-throughput sweep over the batched multi-tenant simulator:
+ * arrival rate x SouffleLevel for BERT and EfficientNet, with and
+ * without dynamic batching. The claim under test is the shape, not
+ * the absolute numbers: batching wins at saturation (sublinear
+ * batched module time amortizes launches and weight traffic), and
+ * higher Souffle levels push the saturation point right.
+ *
+ * Pass --json to emit the sweep as a machine-readable document
+ * (shares the JsonWriter utility with the report renderers).
+ */
+
+#include <cstring>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "serve/server.h"
+
+namespace souffle::bench {
+namespace {
+
+const std::vector<std::string> kModels = {"BERT", "EfficientNet"};
+const std::vector<SouffleLevel> kLevels = {
+    SouffleLevel::kV0, SouffleLevel::kV2, SouffleLevel::kV4};
+const std::vector<double> kRatesRps = {500, 1000, 2000, 4000, 8000};
+
+serve::ServeConfig
+configFor(const std::string &model, SouffleLevel level, double rate,
+          bool batched)
+{
+    serve::ServeConfig config;
+    config.model = model;
+    config.compiler.level = level;
+    config.numStreams = 2;
+    config.batcher.buckets =
+        batched ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{1};
+    config.workload.arrivalRatePerSec = rate;
+    config.workload.durationUs = 200.0e3;
+    return config;
+}
+
+int
+benchMain(bool json)
+{
+    JsonWriter writer;
+    if (json)
+        writer.beginObject().newline().key("sweeps").beginArray();
+    else
+        printHeader("Serving throughput sweep (req/s) - higher is "
+                    "better");
+
+    for (const std::string &model : kModels) {
+        for (SouffleLevel level : kLevels) {
+            // One cache per (model, level): every rate in the sweep
+            // re-uses the same per-bucket compiles.
+            SouffleOptions options;
+            options.level = level;
+            serve::ModuleCache cache(/*tiny=*/false, options);
+
+            if (!json) {
+                std::printf("\n%s V%d  (%d-stream, buckets 1/2/4/8 "
+                            "vs batch=1)\n",
+                            model.c_str(), static_cast<int>(level),
+                            configFor(model, level, 0, true)
+                                .numStreams);
+                std::printf("  %10s %12s %12s %9s %10s %10s\n",
+                            "rate", "batched", "batch=1", "gain",
+                            "p95(ms)", "shed");
+            }
+            for (double rate : kRatesRps) {
+                const serve::ServingReport batched = serve::runServeSim(
+                    configFor(model, level, rate, true), cache);
+                const serve::ServingReport single = serve::runServeSim(
+                    configFor(model, level, rate, false), cache);
+                if (json) {
+                    writer.newline()
+                        .beginObject()
+                        .field("model", model)
+                        .field("level", static_cast<int>(level))
+                        .field("rate_rps", rate)
+                        .field("batched_rps",
+                               batched.throughputRps())
+                        .field("single_rps", single.throughputRps())
+                        .field("batched_p95_us", batched.p95Us())
+                        .field("single_p95_us", single.p95Us())
+                        .field("batched_shed", batched.shedCount)
+                        .field("single_shed", single.shedCount)
+                        .field("mean_batch", batched.meanBatchSize())
+                        .endObject();
+                    continue;
+                }
+                const double gain =
+                    single.throughputRps() > 0.0
+                        ? batched.throughputRps()
+                              / single.throughputRps()
+                        : 0.0;
+                std::printf("  %10.0f %12.1f %12.1f %8.2fx %10.2f "
+                            "%10d\n",
+                            rate, batched.throughputRps(),
+                            single.throughputRps(), gain,
+                            batched.p95Us() / 1000.0,
+                            batched.shedCount);
+            }
+            if (!json) {
+                std::printf("  cache: %d module(s) compiled in %.1f "
+                            "ms, %d hit(s)\n",
+                            cache.misses(), cache.compileMsTotal(),
+                            cache.hits());
+            }
+        }
+    }
+
+    if (json) {
+        writer.endArray().newline().endObject();
+        std::printf("%s\n", writer.str().c_str());
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace souffle::bench
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+    }
+    return souffle::bench::benchMain(json);
+}

@@ -1,0 +1,150 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace souffle {
+
+void
+JsonWriter::beginElement()
+{
+    if (afterKey) {
+        // The comma (if any) was emitted before the key.
+        afterKey = false;
+        return;
+    }
+    if (!counts.empty() && counts.back() > 0)
+        out += ',';
+    if (!counts.empty())
+        ++counts.back();
+    if (pendingNewline) {
+        pendingNewline = false;
+        out += '\n';
+        out.append(2 * counts.size(), ' ');
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beginElement();
+    out += '{';
+    counts.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    counts.pop_back();
+    if (pendingNewline) {
+        pendingNewline = false;
+        out += '\n';
+        out.append(2 * counts.size(), ' ');
+    }
+    out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beginElement();
+    out += '[';
+    counts.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    counts.pop_back();
+    if (pendingNewline) {
+        pendingNewline = false;
+        out += '\n';
+        out.append(2 * counts.size(), ' ');
+    }
+    out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    beginElement();
+    out += '"';
+    out += jsonEscape(name);
+    out += style == Style::kSpaced ? "\": " : "\":";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    beginElement();
+    out += '"';
+    out += jsonEscape(text);
+    out += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beginElement();
+    // JSON has no inf/nan literals; clamp to null.
+    if (!std::isfinite(number)) {
+        out += "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", number);
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t number)
+{
+    beginElement();
+    out += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(size_t number)
+{
+    return value(static_cast<int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beginElement();
+    out += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::newline()
+{
+    pendingNewline = true;
+    return *this;
+}
+
+} // namespace souffle

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal streaming JSON writer shared by every JSON-emitting
+ * component: the lint report renderer, the chrome-trace exporter, the
+ * serving-simulator metrics, and the benchmark binaries. Handles
+ * comma placement, string escaping (via `jsonEscape`) and non-finite
+ * double sanitization so callers never hand-assemble punctuation.
+ *
+ * Two layout styles are supported: `kSpaced` puts a space after each
+ * key (`"key": value`, the lint-report house style) and `kCompact`
+ * does not (`"key":value`, the chrome-trace style). Neither emits
+ * newlines; callers that want them insert `newline()` markers.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace souffle {
+
+/** Streaming JSON document builder. */
+class JsonWriter
+{
+  public:
+    enum class Style : uint8_t {
+        kSpaced,  ///< `"key": value`
+        kCompact, ///< `"key":value`
+    };
+
+    explicit JsonWriter(Style style = Style::kSpaced) : style(style) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a key inside an object; must be followed by a value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(int64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(size_t number);
+    JsonWriter &value(bool flag);
+
+    /** `key(name).value(v)` in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /**
+     * Cosmetic newline + indentation (two spaces per nesting level),
+     * emitted before the next element. No-op on document validity.
+     */
+    JsonWriter &newline();
+
+    /** The document so far. */
+    const std::string &str() const { return out; }
+
+  private:
+    /** Comma bookkeeping before an element begins. */
+    void beginElement();
+
+    Style style;
+    std::string out;
+    /** Elements emitted so far at each open nesting level. */
+    std::vector<int> counts;
+    bool afterKey = false;
+    bool pendingNewline = false;
+};
+
+} // namespace souffle

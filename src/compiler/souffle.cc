@@ -125,21 +125,32 @@ soufflePipeline(const SouffleOptions &options)
 }
 
 Compiled
-compileSouffle(const Graph &graph, const SouffleOptions &options)
+compileWithPipeline(const PassManager &pipeline, const Graph &graph,
+                    const SouffleOptions &options,
+                    const std::string &name)
 {
     const auto start = std::chrono::steady_clock::now();
 
     CompileContext ctx(graph, options);
-    ctx.result.name = "Souffle(V"
-                      + std::to_string(static_cast<int>(options.level))
-                      + ")";
-    soufflePipeline(options).run(ctx);
+    ctx.result.name =
+        name.empty()
+            ? "Souffle(V"
+                  + std::to_string(static_cast<int>(options.level))
+                  + ")"
+            : name;
+    pipeline.run(ctx);
     Compiled result = ctx.take();
 
     const auto end = std::chrono::steady_clock::now();
     result.compileTimeMs =
         std::chrono::duration<double, std::milli>(end - start).count();
     return result;
+}
+
+Compiled
+compileSouffle(const Graph &graph, const SouffleOptions &options)
+{
+    return compileWithPipeline(soufflePipeline(options), graph, options);
 }
 
 } // namespace souffle

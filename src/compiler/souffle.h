@@ -47,6 +47,19 @@ Compiled compileSouffle(const Graph &graph,
                         const SouffleOptions &options = {});
 
 /**
+ * Compile @p graph by running an already-built @p pipeline (which
+ * must match @p options). This is the reusable compile entry for
+ * callers that compile many graphs under one configuration — the
+ * serving simulator's batch-bucket module cache builds the pipeline
+ * once per SouffleLevel and runs it per (model, batch) bucket.
+ * @p name labels the result; empty derives "Souffle(Vn)".
+ */
+Compiled compileWithPipeline(const PassManager &pipeline,
+                             const Graph &graph,
+                             const SouffleOptions &options,
+                             const std::string &name = "");
+
+/**
  * The TVM+Ansor-style baseline plan: one kernel per anchor TE with
  * identity-aligned epilogue fusion. Exposed because it is both
  * Souffle's V0 and the Ansor baseline.

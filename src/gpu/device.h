@@ -68,6 +68,31 @@ struct DeviceSpec
     /** Block-level barrier cost. */
     double barrierUs = 0.05;
 
+    // ----- multi-stream serving hooks (src/serve) -----------------------
+    /**
+     * Host-side overhead per batch dispatched onto a CUDA stream
+     * (queue pop, argument marshalling, cudaLaunch of the first
+     * kernel is already charged by the simulator).
+     */
+    double streamDispatchUs = 3.0;
+    /**
+     * Fractional service-time penalty per *additional* concurrently
+     * busy stream. Concurrent streams contend for DRAM bandwidth and
+     * SM occupancy; a simple linear degradation keeps the model
+     * monotone (more concurrency never makes an individual batch
+     * faster) without modeling per-kernel interleaving.
+     */
+    double streamContentionPerStream = 0.15;
+
+    /** Service-time multiplier when @p busy_streams share the device. */
+    double
+    streamContentionFactor(int busy_streams) const
+    {
+        return 1.0
+               + streamContentionPerStream
+                     * std::max(0, busy_streams - 1);
+    }
+
     /** Blocks per SM given one block's resource usage. */
     int
     blocksPerSm(int64_t shared_mem_bytes, int64_t regs_per_block,

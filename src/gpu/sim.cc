@@ -72,6 +72,22 @@ chargeStage(const KernelStage &stage)
 
 } // namespace
 
+SimCounters &
+SimCounters::operator+=(const SimCounters &other)
+{
+    kernelLaunches += other.kernelLaunches;
+    gridSyncs += other.gridSyncs;
+    bytesLoaded += other.bytesLoaded;
+    bytesStored += other.bytesStored;
+    bytesAtomic += other.bytesAtomic;
+    bytesCached += other.bytesCached;
+    lsuBusyUs += other.lsuBusyUs;
+    tensorCoreBusyUs += other.tensorCoreBusyUs;
+    fmaBusyUs += other.fmaBusyUs;
+    aluBusyUs += other.aluBusyUs;
+    return *this;
+}
+
 SimResult
 simulate(const CompiledModule &module, const DeviceSpec &device)
 {
@@ -80,7 +96,8 @@ simulate(const CompiledModule &module, const DeviceSpec &device)
         KernelTiming timing;
         timing.name = kernel.name;
         timing.launchUs = device.kernelLaunchUs;
-        ++result.counters.kernelLaunches;
+        SimCounters kernel_counters;
+        kernel_counters.kernelLaunches = 1;
 
         // Wave quantization at the kernel granularity.
         const int64_t wave = device.maxBlocksPerWave(
@@ -175,27 +192,28 @@ simulate(const CompiledModule &module, const DeviceSpec &device)
             kernel_compute += stage_compute[i];
             kernel_mem += stage_mem[i];
 
-            result.counters.bytesLoaded +=
+            kernel_counters.bytesLoaded +=
                 charges[i].loadBytes + charges[i].overlappedBytes;
-            result.counters.bytesStored +=
+            kernel_counters.bytesStored +=
                 charges[i].storeBytes + charges[i].atomicBytes;
-            result.counters.bytesAtomic += charges[i].atomicBytes;
-            result.counters.bytesCached += charges[i].cachedBytes;
-            result.counters.gridSyncs += charges[i].gridSyncs;
+            kernel_counters.bytesAtomic += charges[i].atomicBytes;
+            kernel_counters.bytesCached += charges[i].cachedBytes;
+            kernel_counters.gridSyncs += charges[i].gridSyncs;
             timing.globalBytes += charges[i].loadBytes
                                   + charges[i].overlappedBytes
                                   + charges[i].storeBytes
                                   + 2.0 * charges[i].atomicBytes;
 
             const StageCharge &c = charges[i];
-            result.counters.tensorCoreBusyUs += device.computeTimeUs(
+            kernel_counters.tensorCoreBusyUs += device.computeTimeUs(
                 c.tcFlops, ComputePipe::kTensorCore);
-            result.counters.fmaBusyUs +=
+            kernel_counters.fmaBusyUs +=
                 device.computeTimeUs(c.fmaFlops, ComputePipe::kFma);
-            result.counters.aluBusyUs +=
+            kernel_counters.aluBusyUs +=
                 device.computeTimeUs(c.aluFlops, ComputePipe::kAlu);
-            result.counters.lsuBusyUs += stage_mem[i];
+            kernel_counters.lsuBusyUs += stage_mem[i];
         }
+        result.counters += kernel_counters;
 
         kernel_time *= wave_factor;
         if (kernel.usesLibrary)

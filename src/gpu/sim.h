@@ -46,6 +46,11 @@ struct SimCounters
     double aluBusyUs = 0.0;
 
     double totalGlobalBytes() const { return bytesLoaded + bytesStored; }
+
+    /** Field-wise accumulation: used by the simulator to fold one
+     *  kernel's counters into a run, and by the serving simulator to
+     *  aggregate counters across dispatched batches. */
+    SimCounters &operator+=(const SimCounters &other);
 };
 
 /** Per-kernel timing breakdown. */

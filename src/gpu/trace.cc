@@ -1,74 +1,44 @@
 #include "gpu/trace.h"
 
 #include <fstream>
-#include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace souffle {
 
-namespace {
-
-/** Minimal JSON string escaping. */
-std::string
-escape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char ch : text) {
-        switch (ch) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            out += ch;
-        }
-    }
-    return out;
-}
-
-} // namespace
-
 std::string
 toChromeTrace(const SimResult &result, const std::string &process_name)
 {
-    std::ostringstream os;
-    os << "{\"traceEvents\":[";
-    bool first = true;
+    JsonWriter json(JsonWriter::Style::kCompact);
+    json.beginObject().key("traceEvents").beginArray();
     auto emit = [&](const std::string &name, const char *tid,
-                    double start_us, double duration_us,
-                    const std::string &args) {
-        if (!first)
-            os << ",";
-        first = false;
-        os << "{\"name\":\"" << escape(name) << "\",\"ph\":\"X\","
-           << "\"pid\":\"" << escape(process_name) << "\","
-           << "\"tid\":\"" << tid << "\",\"ts\":" << start_us
-           << ",\"dur\":" << duration_us;
-        if (!args.empty())
-            os << ",\"args\":{" << args << "}";
-        os << "}";
+                    double start_us, double duration_us) -> JsonWriter & {
+        json.beginObject()
+            .field("name", name)
+            .field("ph", "X")
+            .field("pid", process_name)
+            .field("tid", tid)
+            .field("ts", start_us)
+            .field("dur", duration_us);
+        return json;
     };
 
     double clock = 0.0;
     for (const KernelTiming &kernel : result.kernels) {
-        emit("launch", "host", clock, kernel.launchUs, "");
+        emit("launch", "host", clock, kernel.launchUs).endObject();
         clock += kernel.launchUs;
-        std::ostringstream args;
-        args << "\"globalBytes\":" << kernel.globalBytes
-             << ",\"bound\":\""
-             << (kernel.computeBound ? "compute" : "memory") << "\"";
-        emit(kernel.name, "gpu", clock, kernel.timeUs, args.str());
+        emit(kernel.name, "gpu", clock, kernel.timeUs)
+            .key("args")
+            .beginObject()
+            .field("globalBytes", kernel.globalBytes)
+            .field("bound", kernel.computeBound ? "compute" : "memory")
+            .endObject()
+            .endObject();
         clock += kernel.timeUs;
     }
-    os << "],\"displayTimeUnit\":\"ms\"}";
-    return os.str();
+    json.endArray().field("displayTimeUnit", "ms").endObject();
+    return json.str();
 }
 
 void

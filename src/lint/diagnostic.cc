@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "common/string_util.h"
+#include "common/json.h"
 
 namespace souffle {
 
@@ -123,33 +123,38 @@ LintReport::renderText() const
 std::string
 LintReport::renderJson() const
 {
-    std::ostringstream os;
-    os << "{\n  \"diagnostics\": [";
-    for (size_t i = 0; i < diags.size(); ++i) {
-        const Diagnostic &diag = diags[i];
-        os << (i ? ",\n    " : "\n    ");
-        os << "{\"rule\": \"" << jsonEscape(diag.rule)
-           << "\", \"severity\": \""
-           << severityName(diag.severity) << "\"";
+    JsonWriter json;
+    json.beginObject().newline().key("diagnostics").beginArray();
+    for (const Diagnostic &diag : diags) {
+        json.newline()
+            .beginObject()
+            .field("rule", diag.rule)
+            .field("severity", severityName(diag.severity));
         if (diag.location.teId >= 0)
-            os << ", \"te\": " << diag.location.teId;
+            json.field("te", diag.location.teId);
         if (!diag.location.kernel.empty())
-            os << ", \"kernel\": \""
-               << jsonEscape(diag.location.kernel) << "\"";
+            json.field("kernel", diag.location.kernel);
         if (diag.location.stage >= 0)
-            os << ", \"stage\": " << diag.location.stage;
+            json.field("stage", diag.location.stage);
         if (diag.location.instr >= 0)
-            os << ", \"instr\": " << diag.location.instr;
-        os << ", \"message\": \"" << jsonEscape(diag.message) << "\"";
+            json.field("instr", diag.location.instr);
+        json.field("message", diag.message);
         if (!diag.fixHint.empty())
-            os << ", \"fix\": \"" << jsonEscape(diag.fixHint) << "\"";
-        os << "}";
+            json.field("fix", diag.fixHint);
+        json.endObject();
     }
-    os << (diags.empty() ? "]" : "\n  ]") << ",\n";
-    os << "  \"errors\": " << errors() << ",\n";
-    os << "  \"warnings\": " << warnings() << ",\n";
-    os << "  \"notes\": " << notes() << "\n}\n";
-    return os.str();
+    if (!diags.empty())
+        json.newline();
+    json.endArray()
+        .newline()
+        .field("errors", errors())
+        .newline()
+        .field("warnings", warnings())
+        .newline()
+        .field("notes", notes())
+        .newline()
+        .endObject();
+    return json.str() + "\n";
 }
 
 } // namespace souffle

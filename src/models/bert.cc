@@ -2,7 +2,10 @@
  * @file
  * BERT-base encoder builder (paper Table 2: base version, 12 layers,
  * as shipped with the TensorRT demo; batch 1, FP16 so GEMMs are
- * tensor-core eligible).
+ * tensor-core eligible). A batched variant (tokens of @p batch
+ * requests concatenated on the leading dimension, attention kept
+ * per-request via 4-D head tensors) feeds the serving simulator's
+ * batch buckets; batch == 1 produces exactly the paper graph.
  */
 
 #include <cmath>
@@ -15,10 +18,10 @@ namespace souffle {
 
 namespace {
 
-/** One transformer encoder layer on [seq, hidden] tokens. */
+/** One transformer encoder layer on [batch*seq, hidden] tokens. */
 ValueId
-bertLayer(Graph &g, ValueId x, int layer, int64_t seq, int64_t hidden,
-          int heads, DType dtype)
+bertLayer(Graph &g, ValueId x, int layer, int64_t batch, int64_t seq,
+          int64_t hidden, int heads, DType dtype)
 {
     const int64_t dh = hidden / heads;
     const std::string p = "l" + std::to_string(layer) + ".";
@@ -38,8 +41,15 @@ bertLayer(Graph &g, ValueId x, int layer, int64_t seq, int64_t hidden,
     const ValueId v = dense(x, hidden, hidden, "v");
 
     auto to_heads = [&](ValueId t) {
-        // [S, H] -> [S, heads, dh] -> [heads, S, dh]
-        return g.transpose(g.reshape(t, {seq, heads, dh}), {1, 0, 2});
+        if (batch == 1) {
+            // [S, H] -> [S, heads, dh] -> [heads, S, dh]
+            return g.transpose(g.reshape(t, {seq, heads, dh}),
+                               {1, 0, 2});
+        }
+        // [B*S, H] -> [B, S, heads, dh] -> [B, heads, S, dh]: keeps
+        // attention per-request (no cross-request token mixing).
+        return g.transpose(g.reshape(t, {batch, seq, heads, dh}),
+                           {0, 2, 1, 3});
     };
     const ValueId qh = to_heads(q);
     const ValueId kh = to_heads(k);
@@ -50,11 +60,14 @@ bertLayer(Graph &g, ValueId x, int layer, int64_t seq, int64_t hidden,
     const ValueId scores = g.softmax(
         g.scale(g.batchMatmul(qh, kh, /*trans_b=*/true),
                 1.0 / std::sqrt(static_cast<double>(dh))));
-    const ValueId ctx = g.batchMatmul(scores, vh); // [heads, S, dh]
+    const ValueId ctx = g.batchMatmul(scores, vh);
 
-    // Back to [S, H].
+    // Back to [B*S, H].
     const ValueId merged =
-        g.reshape(g.transpose(ctx, {1, 0, 2}), {seq, hidden});
+        batch == 1
+            ? g.reshape(g.transpose(ctx, {1, 0, 2}), {seq, hidden})
+            : g.reshape(g.transpose(ctx, {0, 2, 1, 3}),
+                        {batch * seq, hidden});
     const ValueId proj = dense(merged, hidden, hidden, "proj");
 
     const ValueId ln1_g = g.param(p + "ln1.g", {hidden}, dtype);
@@ -75,14 +88,16 @@ bertLayer(Graph &g, ValueId x, int layer, int64_t seq, int64_t hidden,
 } // namespace
 
 Graph
-buildBert(int layers, int64_t seq, int64_t hidden, int heads, DType dtype)
+buildBert(int layers, int64_t seq, int64_t hidden, int heads, DType dtype,
+          int64_t batch)
 {
     SOUFFLE_REQUIRE(hidden % heads == 0,
                     "hidden must be divisible by heads");
+    SOUFFLE_REQUIRE(batch >= 1, "batch must be >= 1");
     Graph g("BERT");
-    ValueId x = g.input("embeddings", {seq, hidden}, dtype);
+    ValueId x = g.input("embeddings", {batch * seq, hidden}, dtype);
     for (int layer = 0; layer < layers; ++layer)
-        x = bertLayer(g, x, layer, seq, hidden, heads, dtype);
+        x = bertLayer(g, x, layer, batch, seq, hidden, heads, dtype);
     g.markOutput(x);
     return g;
 }

@@ -71,12 +71,12 @@ struct EffNetBuilder
 } // namespace
 
 Graph
-buildEfficientNet(int64_t image)
+buildEfficientNet(int64_t image, int64_t batch)
 {
     Graph g("EfficientNet");
     EffNetBuilder b{g};
 
-    const ValueId x = g.input("image", {1, 3, image, image});
+    const ValueId x = g.input("image", {batch, 3, image, image});
     ValueId y = b.convBn(x, 3, 32, 3, 2, 1, 1, true);
 
     // B0 stage table: (expand, channels, repeats, stride, kernel).
@@ -104,7 +104,8 @@ buildEfficientNet(int64_t image)
 
     // Head.
     y = b.convBn(y, in_c, 1280, 1, 1, 0, 1, true);
-    const ValueId pooled = g.reshape(g.globalAvgPool(y), {1, 1280});
+    const ValueId pooled =
+        g.reshape(g.globalAvgPool(y), {batch, 1280});
     const ValueId fc_w = g.param("fc.w", {1280, 1000});
     const ValueId fc_b = g.param("fc.b", {1000});
     g.markOutput(g.add(g.matmul(pooled, fc_w), fc_b));

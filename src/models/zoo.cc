@@ -1,7 +1,8 @@
 /**
  * @file
  * Zoo registry: the paper configurations of Table 2 plus scaled-down
- * variants for interpreter-based testing.
+ * variants for interpreter-based testing, and the batched serving
+ * variants the serve-sim batch buckets compile.
  */
 
 #include "models/zoo.h"
@@ -10,6 +11,22 @@
 
 namespace souffle {
 
+namespace {
+
+void
+requireBatchable(const std::string &name, int batch)
+{
+    if (batch > 1 && !modelSupportsBatching(name)) {
+        throw UnsupportedError("model '" + name
+                               + "' has no batched builder variant "
+                                 "(batch "
+                               + std::to_string(batch) + " requested)");
+    }
+    SOUFFLE_REQUIRE(batch >= 1, "batch must be >= 1, got " << batch);
+}
+
+} // namespace
+
 std::vector<std::string>
 paperModelNames()
 {
@@ -17,17 +34,26 @@ paperModelNames()
             "EfficientNet", "SwinTransformer", "MMoE"};
 }
 
-Graph
-buildPaperModel(const std::string &name)
+bool
+modelSupportsBatching(const std::string &name)
 {
-    if (name == "BERT")
-        return buildBert();
+    return name == "BERT" || name == "EfficientNet";
+}
+
+Graph
+buildPaperModel(const std::string &name, int batch)
+{
+    requireBatchable(name, batch);
+    if (name == "BERT") {
+        return buildBert(/*layers=*/12, /*seq=*/384, /*hidden=*/768,
+                         /*heads=*/12, DType::kFP16, batch);
+    }
     if (name == "ResNeXt")
         return buildResNeXt();
     if (name == "LSTM")
         return buildLstm();
     if (name == "EfficientNet")
-        return buildEfficientNet();
+        return buildEfficientNet(/*image=*/224, batch);
     if (name == "SwinTransformer")
         return buildSwin();
     if (name == "MMoE")
@@ -36,11 +62,13 @@ buildPaperModel(const std::string &name)
 }
 
 Graph
-buildTinyModel(const std::string &name)
+buildTinyModel(const std::string &name, int batch)
 {
-    if (name == "BERT")
+    requireBatchable(name, batch);
+    if (name == "BERT") {
         return buildBert(/*layers=*/2, /*seq=*/8, /*hidden=*/16,
-                         /*heads=*/2);
+                         /*heads=*/2, DType::kFP16, batch);
+    }
     if (name == "ResNeXt") {
         return buildResNeXt(/*image=*/16, /*cardinality=*/4,
                             /*stage_blocks=*/{1, 1},
@@ -50,7 +78,7 @@ buildTinyModel(const std::string &name)
         return buildLstm(/*time_steps=*/3, /*cells=*/2, /*hidden=*/8,
                          /*input=*/8);
     if (name == "EfficientNet")
-        return buildEfficientNet(/*image=*/32);
+        return buildEfficientNet(/*image=*/32, batch);
     if (name == "SwinTransformer") {
         return buildSwin(/*image=*/16, /*embed=*/8, /*depths=*/{1, 1},
                          /*heads=*/{2, 2}, /*window=*/2);

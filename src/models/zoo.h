@@ -22,9 +22,12 @@
 
 namespace souffle {
 
-/** BERT-base encoder stack (no embedding lookup; input is embedded). */
+/** BERT-base encoder stack (no embedding lookup; input is embedded).
+ *  @p batch > 1 builds the serving variant: tokens of all requests
+ *  concatenated on the leading dim, attention per-request. */
 Graph buildBert(int layers = 12, int64_t seq = 384, int64_t hidden = 768,
-                int heads = 12, DType dtype = DType::kFP16);
+                int heads = 12, DType dtype = DType::kFP16,
+                int64_t batch = 1);
 
 /** ResNeXt-101 64x4d. @p image spatial size, @p cardinality groups. */
 Graph buildResNeXt(int64_t image = 224, int cardinality = 64,
@@ -35,8 +38,8 @@ Graph buildResNeXt(int64_t image = 224, int cardinality = 64,
 Graph buildLstm(int time_steps = 100, int cells = 10,
                 int64_t hidden = 256, int64_t input = 256);
 
-/** EfficientNet-B0. */
-Graph buildEfficientNet(int64_t image = 224);
+/** EfficientNet-B0. @p batch is the NCHW leading dimension. */
+Graph buildEfficientNet(int64_t image = 224, int64_t batch = 1);
 
 /** Swin-Transformer Base (W-MSA blocks; cyclic shift omitted). */
 Graph buildSwin(int64_t image = 224, int64_t embed = 128,
@@ -52,10 +55,19 @@ Graph buildMmoe(int64_t features = 499, int experts = 8,
 /** Names of the six paper workloads, in Table 3 order. */
 std::vector<std::string> paperModelNames();
 
-/** Full-size paper configuration by name (throws on unknown name). */
-Graph buildPaperModel(const std::string &name);
+/**
+ * Full-size paper configuration by name (throws FatalError on unknown
+ * name). @p batch > 1 builds the batched serving variant; models
+ * without a batched builder (see `modelSupportsBatching`) throw
+ * UnsupportedError for batch > 1.
+ */
+Graph buildPaperModel(const std::string &name, int batch = 1);
 
-/** Scaled-down configuration suitable for interpreter-based tests. */
-Graph buildTinyModel(const std::string &name);
+/** Scaled-down configuration suitable for interpreter-based tests.
+ *  Same batching contract as `buildPaperModel`. */
+Graph buildTinyModel(const std::string &name, int batch = 1);
+
+/** True if @p name has a batched (batch > 1) builder variant. */
+bool modelSupportsBatching(const std::string &name);
 
 } // namespace souffle

@@ -53,8 +53,18 @@ class Executor
      */
     ExecutionResult run(const NamedBuffers &inputs) const;
 
-    /** Deterministic random buffers for every input and parameter. */
-    NamedBuffers randomInputs(uint64_t seed) const;
+    /**
+     * Deterministic random buffers for every input and parameter.
+     * The same seed always produces the same buffers (the per-tensor
+     * stream is derived from the seed and the tensor name, never from
+     * wall-clock state), so serving replays and tests are
+     * reproducible end to end. The default matches the CLI's
+     * `--seed` default.
+     */
+    NamedBuffers randomInputs(uint64_t seed = kDefaultInputSeed) const;
+
+    /** Default seed for `randomInputs` (the CLI `--seed` default). */
+    static constexpr uint64_t kDefaultInputSeed = 42;
 
     /** Names and shapes of the required inputs/parameters. */
     std::vector<std::pair<std::string, std::vector<int64_t>>>

@@ -117,7 +117,18 @@ AutoScheduler::scheduleContraction(const TensorExpr &te,
             tm * tn / cand.threadsPerBlock + 32, 32, 255));
         const int64_t blocks_m = (m + tm - 1) / tm;
         const int64_t blocks_n = (n + tn - 1) / tn;
-        cand.numBlocks = blocks_m * blocks_n;
+        const int64_t tiles = blocks_m * blocks_n;
+        const int64_t wave = deviceSpec.maxBlocksPerWave(
+            cand.sharedMemBytes, cand.regsPerBlock(),
+            cand.threadsPerBlock);
+        if (wave == 0)
+            return cand; // block does not fit on an SM at all
+        // Persistent tiles: never launch more blocks than one
+        // cooperative wave — a resident block loops over several
+        // output tiles instead. Large contractions (batched serving
+        // graphs especially) thus stay grid-sync feasible and fusable
+        // rather than forcing a kernel split at every matmul.
+        cand.numBlocks = std::min(tiles, wave);
 
         // Tiled-contraction global traffic: each block tile streams
         // an M-tile and N-tile strip of the operands.
@@ -140,15 +151,9 @@ AutoScheduler::scheduleContraction(const TensorExpr &te,
             deviceSpec.computeTimeUs(static_cast<double>(info.flops),
                                      pipe)
                 * scale);
-        // Wave quantization: a partially-filled final wave still
-        // occupies the device for a full wave.
-        const int64_t wave = deviceSpec.maxBlocksPerWave(
-            cand.sharedMemBytes, cand.regsPerBlock(),
-            cand.threadsPerBlock);
-        if (wave == 0)
-            return cand; // block does not fit on an SM at all
-        const double waves =
-            static_cast<double>(cand.numBlocks) / wave;
+        // Wave quantization: a partially-filled final round of tiles
+        // still occupies the device for a full wave.
+        const double waves = static_cast<double>(tiles) / wave;
         if (waves > 1.0)
             time *= std::ceil(waves) / waves;
         cand.estGlobalBytes = traffic;

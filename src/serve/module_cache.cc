@@ -1,0 +1,36 @@
+#include "serve/module_cache.h"
+
+#include "models/zoo.h"
+
+namespace souffle::serve {
+
+ModuleCache::ModuleCache(bool tiny, SouffleOptions options)
+    : tiny(tiny), opts(std::move(options)),
+      pipeline(soufflePipeline(opts))
+{
+}
+
+const CachedModule &
+ModuleCache::get(const std::string &model, int batch)
+{
+    const auto key = std::make_pair(model, batch);
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        ++hitCount;
+        return it->second;
+    }
+    ++missCount;
+
+    const Graph graph = tiny ? buildTinyModel(model, batch)
+                             : buildPaperModel(model, batch);
+    CachedModule entry;
+    entry.compiled = compileWithPipeline(
+        pipeline, graph, opts,
+        model + "@b" + std::to_string(batch) + "(V"
+            + std::to_string(static_cast<int>(opts.level)) + ")");
+    entry.sim = simulate(entry.compiled.module, opts.device);
+    compileMs += entry.compiled.compileTimeMs;
+    return entries.emplace(key, std::move(entry)).first->second;
+}
+
+} // namespace souffle::serve

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Per-bucket compiled-module cache for the serving simulator.
+ *
+ * Serving dispatches batches in bucket sizes, and each (model, batch,
+ * SouffleLevel) triple needs its own compiled module: Souffle's
+ * transformations are shape-specialized, so a batch-8 BERT is a
+ * different program than a batch-1 BERT. The cache compiles through
+ * the existing PassManager pipeline — built once per level and reused
+ * across buckets (`compileWithPipeline`) — on first use, and pairs
+ * every module with its device-model SimResult so the event loop
+ * charges a dispatched batch by table lookup instead of re-simulating
+ * per dispatch.
+ */
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "compiler/souffle.h"
+#include "gpu/sim.h"
+
+namespace souffle::serve {
+
+/** Compile + simulate results for one (model, batch, level) bucket. */
+struct CachedModule
+{
+    Compiled compiled;
+    /** Device-model timing of one dispatch of this bucket, simulated
+     *  once at fill time (cheap per-dispatch re-use). */
+    SimResult sim;
+};
+
+/** Lazy compile cache keyed by (model, batch, SouffleLevel). */
+class ModuleCache
+{
+  public:
+    /**
+     * @p tiny selects the test-sized zoo variants. @p options fixes
+     * the level/device every cached compile uses; the pipeline is
+     * built once here.
+     */
+    ModuleCache(bool tiny, SouffleOptions options);
+
+    /**
+     * The compiled module + timing for @p batch copies of @p model,
+     * compiling on first use. Throws UnsupportedError for batch > 1
+     * on models without a batched builder.
+     */
+    const CachedModule &get(const std::string &model, int batch);
+
+    int hits() const { return hitCount; }
+    int misses() const { return missCount; }
+    /** Total wall-clock compile time spent filling the cache (ms). */
+    double compileMsTotal() const { return compileMs; }
+    int size() const { return static_cast<int>(entries.size()); }
+
+    const SouffleOptions &options() const { return opts; }
+
+  private:
+    bool tiny;
+    SouffleOptions opts;
+    PassManager pipeline;
+    /** (model, batch) -> entry; the level is fixed per cache. */
+    std::map<std::pair<std::string, int>, CachedModule> entries;
+    int hitCount = 0;
+    int missCount = 0;
+    double compileMs = 0.0;
+};
+
+} // namespace souffle::serve

@@ -1,0 +1,141 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace souffle::serve {
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+ServingReport
+runServeSim(const ServeConfig &config, ModuleCache &cache)
+{
+    SOUFFLE_REQUIRE(config.numStreams >= 1,
+                    "serving needs >= 1 stream, got "
+                        << config.numStreams);
+    SOUFFLE_REQUIRE(
+        cache.options().level == config.compiler.level,
+        "module cache level does not match the serve config");
+
+    const std::vector<Request> requests =
+        generateWorkload(config.workload);
+    DynamicBatcher batcher(config.batcher);
+    const DeviceSpec &device = config.compiler.device;
+
+    ServingReport report;
+    report.model = config.model;
+    report.level = static_cast<int>(config.compiler.level);
+    report.arrivalRatePerSec =
+        config.workload.traceArrivalsUs.empty()
+            ? config.workload.arrivalRatePerSec
+            : 0.0;
+    report.durationUs = config.workload.durationUs;
+    report.numStreams = config.numStreams;
+    report.buckets = batcher.config().buckets;
+    report.maxQueueDelayUs = batcher.config().maxQueueDelayUs;
+    report.maxQueueDepth = batcher.config().maxQueueDepth;
+    const int cache_hits0 = cache.hits();
+    const int cache_misses0 = cache.misses();
+    const double compile_ms0 = cache.compileMsTotal();
+
+    // One execution lane per stream: the time it frees up.
+    std::vector<double> free_at(config.numStreams, 0.0);
+    auto free_stream = [&](double t) {
+        for (size_t i = 0; i < free_at.size(); ++i)
+            if (free_at[i] <= t)
+                return static_cast<int>(i);
+        return -1;
+    };
+    auto busy_streams = [&](double t) {
+        int busy = 0;
+        for (double d : free_at)
+            if (d > t)
+                ++busy;
+        return busy;
+    };
+
+    size_t next = 0; // next undelivered arrival
+    double now = 0.0;
+    while (true) {
+        // 1. Admit every arrival due by now (shedding at the bound).
+        while (next < requests.size()
+               && requests[next].arrivalUs <= now) {
+            batcher.enqueue(requests[next], now);
+            ++next;
+        }
+
+        // 2. Dispatch ready batches onto free streams. Later batches
+        //    admitted at the same instant see more busy neighbours
+        //    and absorb a higher contention factor.
+        while (true) {
+            const int stream = free_stream(now);
+            if (stream < 0)
+                break;
+            const bool drain = next >= requests.size();
+            const int batch_size = batcher.readyBatch(now, drain);
+            if (batch_size == 0)
+                break;
+            const std::vector<Request> batch =
+                batcher.pop(batch_size);
+            const CachedModule &mod =
+                cache.get(config.model, batch_size);
+            const int busy = busy_streams(now) + 1;
+            const double service_us =
+                mod.sim.totalUs * device.streamContentionFactor(busy)
+                + device.streamDispatchUs;
+            const double done = now + service_us;
+            free_at[stream] = done;
+            for (const Request &request : batch)
+                report.recordLatency(done - request.arrivalUs);
+            report.recordBatch(batch_size, service_us,
+                               mod.sim.counters);
+        }
+        report.sampleQueueDepth(now, batcher.depth());
+
+        // 3. Advance to the next event strictly after `now`: an
+        //    arrival, a stream completion, or a forced-flush
+        //    deadline (only when still in the future — an overdue
+        //    deadline with every stream busy waits for a stream).
+        double next_time = kNever;
+        if (next < requests.size())
+            next_time =
+                std::min(next_time, requests[next].arrivalUs);
+        for (double d : free_at)
+            if (d > now)
+                next_time = std::min(next_time, d);
+        const double deadline = batcher.nextDeadlineUs();
+        if (deadline > now)
+            next_time = std::min(next_time, deadline);
+        if (next_time == kNever)
+            break; // drained: no arrivals, empty queue
+        now = std::max(now, next_time);
+    }
+
+    double makespan = config.workload.traceArrivalsUs.empty()
+                          ? config.workload.durationUs
+                          : 0.0;
+    makespan = std::max(makespan, now);
+    for (double d : free_at)
+        makespan = std::max(makespan, d);
+    report.makespanUs = makespan;
+    report.shedCount = batcher.shedCount();
+    report.cacheHits = cache.hits() - cache_hits0;
+    report.cacheMisses = cache.misses() - cache_misses0;
+    report.compileMsTotal = cache.compileMsTotal() - compile_ms0;
+    return report;
+}
+
+ServingReport
+runServeSim(const ServeConfig &config)
+{
+    ModuleCache cache(config.tiny, config.compiler);
+    return runServeSim(config, cache);
+}
+
+} // namespace souffle::serve

@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * The serving simulator: a discrete-event loop that admits batched
+ * requests onto N simulated CUDA streams over the analytic A100
+ * device model.
+ *
+ * Event model (three event sources, always advancing simulated time):
+ *
+ *  1. request arrival — enqueue into the DynamicBatcher (or shed when
+ *     the queue is at its admission bound);
+ *  2. batch deadline — the oldest queued request has waited
+ *     `maxQueueDelayUs`, forcing a partial batch out (only actionable
+ *     while a stream is free);
+ *  3. stream completion — a busy stream frees and can pick up the
+ *     next batch.
+ *
+ * A dispatched batch is charged its bucket module's one-time
+ * `SimResult::totalUs` (from the ModuleCache), scaled by the device's
+ * stream-contention factor for the number of concurrently busy
+ * streams, plus the per-dispatch host overhead `streamDispatchUs`.
+ * The simulator does NOT charge: host pre/post-processing, PCIe
+ * transfer, or compile time (compiles are reported separately — a
+ * production server warms the cache before taking traffic).
+ */
+
+#include <string>
+
+#include "compiler/options.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/module_cache.h"
+#include "serve/workload.h"
+
+namespace souffle::serve {
+
+/** Full configuration of one serving simulation. */
+struct ServeConfig
+{
+    /** Zoo model name (must have batched variants for buckets > 1). */
+    std::string model = "BERT";
+    /** Use the test-sized zoo variant. */
+    bool tiny = false;
+    /** Compiler level + device model shared by every bucket compile. */
+    SouffleOptions compiler;
+    /** Number of concurrent CUDA streams (execution lanes). */
+    int numStreams = 2;
+    BatcherConfig batcher;
+    WorkloadSpec workload;
+};
+
+/**
+ * Run the simulation end to end with a fresh ModuleCache.
+ * Deterministic: same config -> identical report.
+ */
+ServingReport runServeSim(const ServeConfig &config);
+
+/**
+ * Run against a caller-owned @p cache (whose options must match
+ * `config.compiler`) so arrival-rate sweeps re-use bucket compiles.
+ */
+ServingReport runServeSim(const ServeConfig &config, ModuleCache &cache);
+
+} // namespace souffle::serve

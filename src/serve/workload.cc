@@ -1,0 +1,75 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace souffle::serve {
+
+namespace {
+
+/** splitmix64: well-mixed 64-bit stream from a counter. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in (0, 1]; never 0 so log() is safe. */
+double
+uniform01(uint64_t seed, uint64_t index)
+{
+    const uint64_t bits = mix64(seed ^ mix64(index)) >> 11;
+    return (static_cast<double>(bits) + 1.0) / 9007199254740993.0;
+}
+
+} // namespace
+
+std::vector<Request>
+generateWorkload(const WorkloadSpec &spec)
+{
+    std::vector<Request> requests;
+
+    if (!spec.traceArrivalsUs.empty()) {
+        requests.reserve(spec.traceArrivalsUs.size());
+        for (double at : spec.traceArrivalsUs) {
+            SOUFFLE_REQUIRE(at >= 0.0,
+                            "trace arrival must be >= 0, got " << at);
+            requests.push_back(
+                Request{static_cast<int>(requests.size()), at});
+        }
+        std::sort(requests.begin(), requests.end(),
+                  [](const Request &a, const Request &b) {
+                      return a.arrivalUs < b.arrivalUs;
+                  });
+        for (size_t i = 0; i < requests.size(); ++i)
+            requests[i].id = static_cast<int>(i);
+        return requests;
+    }
+
+    SOUFFLE_REQUIRE(spec.arrivalRatePerSec > 0.0,
+                    "arrival rate must be positive, got "
+                        << spec.arrivalRatePerSec);
+    SOUFFLE_REQUIRE(spec.durationUs > 0.0,
+                    "workload duration must be positive, got "
+                        << spec.durationUs);
+
+    // Poisson process: exponential inter-arrivals by inverse
+    // transform, one uniform draw per request.
+    const double mean_gap_us = 1.0e6 / spec.arrivalRatePerSec;
+    double clock = 0.0;
+    for (uint64_t i = 0;; ++i) {
+        clock += -mean_gap_us * std::log(uniform01(spec.seed, i));
+        if (clock > spec.durationUs)
+            break;
+        requests.push_back(
+            Request{static_cast<int>(requests.size()), clock});
+    }
+    return requests;
+}
+
+} // namespace souffle::serve

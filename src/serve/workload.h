@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Workload generation for the serving simulator.
+ *
+ * A workload is a deterministic sequence of request arrival times in
+ * simulated microseconds. Two sources: a seeded Poisson process (the
+ * standard open-loop serving assumption: exponential inter-arrival
+ * times at a configured rate) or an explicit arrival-time trace
+ * (replay of a recorded request log). No wall-clock time enters the
+ * simulation anywhere — the same spec always produces the same
+ * workload, on any platform, because the exponential samples are
+ * drawn by inverse transform from a raw xorshift-mixed counter rather
+ * than through implementation-defined `<random>` distributions.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace souffle::serve {
+
+/** One inference request in the simulated timeline. */
+struct Request
+{
+    /** Dense id in arrival order (also the replay order). */
+    int id = 0;
+    /** Arrival time in simulated microseconds. */
+    double arrivalUs = 0.0;
+};
+
+/** Source description for one request stream. */
+struct WorkloadSpec
+{
+    /** Poisson arrival rate (requests per second). */
+    double arrivalRatePerSec = 1000.0;
+    /** Generation horizon in simulated microseconds. */
+    double durationUs = 100.0e3;
+    /** PRNG seed; same seed -> identical arrivals. */
+    uint64_t seed = 42;
+    /**
+     * Trace-driven mode: when non-empty these arrival times (us,
+     * ascending) are replayed verbatim and the Poisson fields are
+     * ignored.
+     */
+    std::vector<double> traceArrivalsUs;
+};
+
+/** Materialize the arrival sequence for @p spec (sorted by time). */
+std::vector<Request> generateWorkload(const WorkloadSpec &spec);
+
+} // namespace souffle::serve

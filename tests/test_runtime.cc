@@ -87,6 +87,57 @@ TEST(MemoryPlan, EmptyForSingleOpModel)
     EXPECT_TRUE(plan.assignments.empty());
 }
 
+TEST(MemoryPlan, SingleTeProgramNeedsNoWorkspace)
+{
+    // A single-TE program produces only the model output, which is
+    // externally allocated: nothing to plan, and the reuse factor
+    // degrades gracefully to 1 instead of dividing by zero.
+    Graph g;
+    const ValueId x = g.input("x", {16, 16});
+    const ValueId w = g.param("w", {16, 16});
+    g.markOutput(g.matmul(x, w));
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    const MemoryPlan plan = planMemory(lowered.program, analysis);
+    EXPECT_EQ(plan.workspaceBytes, 0);
+    EXPECT_EQ(plan.totalIntermediateBytes, 0);
+    EXPECT_TRUE(plan.assignments.empty());
+    EXPECT_DOUBLE_EQ(plan.reuseFactor(), 1.0);
+}
+
+TEST(MemoryPlan, ZeroLengthLiveRangeIsPlannedAndReclaimed)
+{
+    // A dead TE (output never consumed, not a model output) has a
+    // zero-length live range: defined at step d, last used never.
+    // The planner must clamp the range to [d, d] and release the
+    // buffer immediately so later tensors reuse its space.
+    Graph g;
+    const ValueId x = g.input("x", {64, 64});
+    (void)g.relu(x); // dead: same size as the live chain's buffers
+    ValueId y = g.sigmoid(x);
+    for (int i = 0; i < 4; ++i)
+        y = g.relu(g.sigmoid(y));
+    g.markOutput(y);
+    const LoweredModel lowered = lowerToTe(g);
+    const GlobalAnalysis analysis(lowered.program);
+    const MemoryPlan plan = planMemory(lowered.program, analysis);
+
+    bool found_zero_length = false;
+    for (const BufferAssignment &assignment : plan.assignments) {
+        EXPECT_LE(assignment.liveFrom, assignment.liveTo);
+        if (assignment.liveFrom == assignment.liveTo)
+            found_zero_length = true;
+    }
+    EXPECT_TRUE(found_zero_length)
+        << "the dead TE's output should appear with a zero-length "
+           "live range";
+    // The dead buffer dies instantly, so the peak stays at the live
+    // chain's two-buffer working set (+ the dead buffer itself at
+    // its definition step).
+    EXPECT_LE(plan.workspaceBytes, 3 * 64 * 64 * 4 + 512);
+    EXPECT_GT(plan.reuseFactor(), 1.0);
+}
+
 TEST(MemoryPlan, ToStringSummarizes)
 {
     const Graph graph = buildTinyModel("MMoE");
@@ -194,6 +245,20 @@ TEST(Executor, SignaturesDescribeTheModel)
     const auto outputs = executor.outputSignature();
     ASSERT_EQ(outputs.size(), 1u);
     EXPECT_EQ(outputs[0].second, (std::vector<int64_t>{4, 2}));
+}
+
+TEST(Executor, RandomInputsSeededAndDefaulted)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    const Compiled compiled = compileSouffle(graph, {});
+    const Executor executor(compiled);
+
+    // The default argument is the documented fixed seed.
+    EXPECT_EQ(executor.randomInputs(),
+              executor.randomInputs(Executor::kDefaultInputSeed));
+    // Same seed -> identical buffers; different seed -> different.
+    EXPECT_EQ(executor.randomInputs(7), executor.randomInputs(7));
+    EXPECT_NE(executor.randomInputs(7), executor.randomInputs(8));
 }
 
 TEST(Executor, MemoryPlanExposed)

@@ -2,10 +2,11 @@
  * @file
  * souffle_cli: command-line front end for the compiler.
  *
- *   souffle_cli compile <model.sgraph | zoo:NAME> [options]
- *   souffle_cli run     <model.sgraph | zoo:NAME> [options]
- *   souffle_cli lint    <model.sgraph | zoo:NAME> [options]
- *   souffle_cli inspect <model.sgraph | zoo:NAME>
+ *   souffle_cli compile   <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli run       <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli lint      <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli serve-sim <zoo:NAME | zoo-tiny:NAME> [options]
+ *   souffle_cli inspect   <model.sgraph | zoo:NAME>
  *   souffle_cli list
  *
  * Options:
@@ -23,6 +24,17 @@
  *   --format=text|json     report renderer (default text)
  *   --fail-on=warning|error  exit nonzero at this severity (default error)
  *   --rule=ID[,ID...]      run only the named rules
+ *
+ * `serve-sim` options (zoo models only — batching rebuilds the graph
+ * per bucket, which a serialized .sgraph cannot do):
+ *   --rate=N               Poisson arrival rate in req/s (default 2000)
+ *   --duration-ms=N        simulated workload horizon (default 100)
+ *   --streams=N            concurrent execution streams (default 2)
+ *   --buckets=1,2,4,8      allowed batch sizes
+ *   --max-delay-us=N       forced-flush bound on queueing delay
+ *   --max-queue=N          admission bound (arrivals shed above it)
+ *   --format=text|json     report renderer (default text)
+ *   --seed=N               workload seed (default 42)
  *
  * `zoo:NAME` loads a paper model (BERT, ResNeXt, LSTM, EfficientNet,
  * SwinTransformer, MMoE); `zoo-tiny:NAME` loads the test-sized
@@ -44,6 +56,7 @@
 #include "lint/lint.h"
 #include "models/zoo.h"
 #include "runtime/executor.h"
+#include "serve/server.h"
 
 namespace souffle {
 namespace {
@@ -64,6 +77,10 @@ struct CliOptions
     Severity lintFailOn = Severity::kError;
     /** `lint` rule filter (empty: every registered rule). */
     std::vector<std::string> lintRules;
+    /** `serve-sim` knobs (workload, streams, batching). */
+    serve::ServeConfig serve;
+    /** Batched zoo variant for compile/run/lint/inspect. */
+    int batch = 1;
 };
 
 int
@@ -71,14 +88,18 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: souffle_cli <compile|run|lint|inspect|list> [model] "
-        "[options]\n"
+        "usage: souffle_cli <compile|run|lint|serve-sim|inspect|list> "
+        "[model] [options]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
         "  --level=0..4  --adaptive  --roller  --strict\n"
         "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n"
         "  lint: --format=text|json  --fail-on=warning|error  "
-        "--rule=ID[,ID...]\n");
+        "--rule=ID[,ID...]\n"
+        "  serve-sim (zoo models only): --rate=REQ_PER_S  "
+        "--duration-ms=N  --streams=N\n"
+        "    --buckets=1,2,4,8  --max-delay-us=N  --max-queue=N  "
+        "--format=text|json  --seed=N\n");
     return 2;
 }
 
@@ -100,12 +121,14 @@ compilerByName(const std::string &name)
 }
 
 Graph
-loadModel(const std::string &spec)
+loadModel(const std::string &spec, int batch)
 {
     if (spec.rfind("zoo:", 0) == 0)
-        return buildPaperModel(spec.substr(4));
+        return buildPaperModel(spec.substr(4), batch);
     if (spec.rfind("zoo-tiny:", 0) == 0)
-        return buildTinyModel(spec.substr(9));
+        return buildTinyModel(spec.substr(9), batch);
+    SOUFFLE_REQUIRE(batch == 1, "--batch needs a zoo model, got '"
+                                    << spec << "'");
     return loadGraph(spec);
 }
 
@@ -167,6 +190,42 @@ parseArgs(int argc, char **argv, CliOptions &options)
             if (options.lintRules.empty())
                 return false;
         }
+        else if (arg.rfind("--batch=", 0) == 0)
+            options.batch = std::stoi(value_of("--batch="));
+        else if (arg.rfind("--rate=", 0) == 0)
+            options.serve.workload.arrivalRatePerSec =
+                std::stod(value_of("--rate="));
+        else if (arg.rfind("--duration-ms=", 0) == 0)
+            options.serve.workload.durationUs =
+                std::stod(value_of("--duration-ms=")) * 1000.0;
+        else if (arg.rfind("--streams=", 0) == 0)
+            options.serve.numStreams =
+                std::stoi(value_of("--streams="));
+        else if (arg.rfind("--buckets=", 0) == 0) {
+            options.serve.batcher.buckets.clear();
+            std::string buckets = value_of("--buckets=");
+            size_t start = 0;
+            while (start <= buckets.size()) {
+                const size_t comma = buckets.find(',', start);
+                const std::string item =
+                    buckets.substr(start, comma == std::string::npos
+                                              ? std::string::npos
+                                              : comma - start);
+                if (!item.empty())
+                    options.serve.batcher.buckets.push_back(
+                        std::stoi(item));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (options.serve.batcher.buckets.empty())
+                return false;
+        } else if (arg.rfind("--max-delay-us=", 0) == 0)
+            options.serve.batcher.maxQueueDelayUs =
+                std::stod(value_of("--max-delay-us="));
+        else if (arg.rfind("--max-queue=", 0) == 0)
+            options.serve.batcher.maxQueueDepth =
+                std::stoi(value_of("--max-queue="));
         else if (arg.rfind("--emit-cuda=", 0) == 0)
             options.emitCudaPath = value_of("--emit-cuda=");
         else if (arg.rfind("--trace=", 0) == 0)
@@ -196,7 +255,32 @@ cliMain(int argc, char **argv)
         return 0;
     }
 
-    const Graph graph = loadModel(options.model);
+    if (options.command == "serve-sim") {
+        // Serving rebuilds the model per batch bucket, so it needs a
+        // zoo builder, not a serialized graph.
+        if (options.model.rfind("zoo:", 0) == 0) {
+            options.serve.model = options.model.substr(4);
+            options.serve.tiny = false;
+        } else if (options.model.rfind("zoo-tiny:", 0) == 0) {
+            options.serve.model = options.model.substr(9);
+            options.serve.tiny = true;
+        } else {
+            std::fprintf(stderr, "serve-sim needs zoo:NAME or "
+                                 "zoo-tiny:NAME, got '%s'\n",
+                         options.model.c_str());
+            return usage();
+        }
+        options.serve.compiler = options.souffle;
+        options.serve.workload.seed = options.seed;
+        const serve::ServingReport report =
+            serve::runServeSim(options.serve);
+        std::printf("%s", options.lintFormat == "json"
+                              ? report.renderJson().c_str()
+                              : report.renderText().c_str());
+        return 0;
+    }
+
+    const Graph graph = loadModel(options.model, options.batch);
 
     if (options.command == "inspect") {
         // Show what the global analysis sees, before any transforms.
