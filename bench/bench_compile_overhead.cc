@@ -15,13 +15,23 @@
  * `pass:<name>` counters in ms on every benchmark row, and as a full
  * per-pass table for one compile of each model after the run) instead
  * of a single end-to-end time.
+ *
+ * A second mode, `--json [--tiny]`, bypasses google-benchmark and
+ * measures the content-addressed schedule cache instead: every zoo
+ * model is compiled twice at V4 against one fresh ArtifactCache (cold,
+ * then warm) and a JSON report of compile times, tile-search
+ * evaluation counts and cache hits is printed. CI consumes this to
+ * track the warm/cold evaluation ratio.
  */
 
+#include <cstring>
 #include <map>
 #include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "common/artifact_cache.h"
+#include "common/json.h"
 #include "compiler/compiler.h"
 #include "compiler/souffle.h"
 #include "models/zoo.h"
@@ -130,6 +140,55 @@ registerAll()
     }
 }
 
+/**
+ * --json mode: cold-vs-warm compile of every zoo model at V4 against
+ * a fresh schedule cache per model. Prints one JSON document.
+ */
+int
+runColdWarmJson(bool tiny)
+{
+    JsonWriter json;
+    json.beginObject()
+        .newline()
+        .field("mode", "cold-vs-warm")
+        .newline()
+        .field("tiny", tiny)
+        .newline()
+        .key("models")
+        .beginArray();
+    for (const std::string &model : paperModelNames()) {
+        const Graph graph =
+            tiny ? buildTinyModel(model) : buildPaperModel(model);
+        SouffleOptions options;
+        options.artifactCache = std::make_shared<ArtifactCache>();
+        const Compiled cold = compileSouffle(graph, options);
+        const Compiled warm = compileSouffle(graph, options);
+        const int64_t cold_evals =
+            cold.passStats.counterTotal("candidates");
+        const int64_t warm_evals =
+            warm.passStats.counterTotal("candidates");
+        json.newline()
+            .beginObject()
+            .field("model", model)
+            .field("cold_ms", cold.compileTimeMs)
+            .field("warm_ms", warm.compileTimeMs)
+            .field("cold_evals", cold_evals)
+            .field("warm_evals", warm_evals)
+            .field("warm_schedule_hits",
+                   warm.passStats.counterTotal("scheduleCacheHits"))
+            // warm_evals == 0 (every TE cached) would divide by zero;
+            // report cold_evals as the "at least" ratio instead.
+            .field("eval_ratio",
+                   warm_evals > 0 ? static_cast<double>(cold_evals)
+                                        / static_cast<double>(warm_evals)
+                                  : static_cast<double>(cold_evals))
+            .endObject();
+    }
+    json.newline().endArray().newline().endObject();
+    std::printf("%s\n", json.str().c_str());
+    return 0;
+}
+
 /** One compile per model, per-pass table (where the 63 s would go). */
 void
 printPassBreakdown()
@@ -152,6 +211,17 @@ printPassBreakdown()
 int
 main(int argc, char **argv)
 {
+    bool json_mode = false;
+    bool tiny = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_mode = true;
+        else if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+    }
+    if (json_mode)
+        return souffle::runColdWarmJson(tiny);
+
     souffle::registerAll();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,180 @@
+#include "common/artifact_cache.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace souffle {
+
+std::string
+ArtifactKey::toString() const
+{
+    std::string result = kind;
+    result += '/';
+    result += content.toHex();
+    result += '/';
+    result += device.toHex();
+    result += '/';
+    result += salt;
+    return result;
+}
+
+ArtifactCache::ArtifactCache(int64_t memory_capacity_bytes)
+    : capacity(memory_capacity_bytes)
+{
+    SOUFFLE_REQUIRE(capacity >= 0,
+                    "artifact cache capacity must be non-negative, got "
+                        << capacity);
+}
+
+void
+ArtifactCache::setDiskDir(const std::string &dir)
+{
+    diskRoot = dir;
+    if (diskRoot.empty())
+        return;
+    // mkdir -p for a single level; nested parents must already exist
+    // (callers pass flat cache dirs). EEXIST is the common warm case.
+    if (::mkdir(diskRoot.c_str(), 0755) != 0 && errno != EEXIST) {
+        SOUFFLE_WARN("cannot create cache dir '"
+                     << diskRoot << "'; disk layer disabled");
+        diskRoot.clear();
+    }
+}
+
+std::string
+ArtifactCache::diskPathFor(const ArtifactKey &key) const
+{
+    // File name = fingerprint of the full key string, so arbitrary
+    // kind/salt strings never need filesystem escaping.
+    FingerprintHasher hasher;
+    hasher.absorb(key.toString());
+    return diskRoot + "/" + hasher.finish().toHex() + ".json";
+}
+
+std::optional<std::string>
+ArtifactCache::get(const ArtifactKey &key)
+{
+    std::string index_key = key.toString();
+    auto found = index.find(index_key);
+    if (found != index.end()) {
+        // Refresh recency: splice the node to the MRU end.
+        lru.splice(lru.begin(), lru, found->second);
+        ++counters.hits;
+        return found->second->payload;
+    }
+    if (!diskRoot.empty()) {
+        std::optional<std::string> payload = loadFromDisk(key);
+        if (payload) {
+            ++counters.hits;
+            ++counters.diskHits;
+            insertMemory(index_key, *payload);
+            return payload;
+        }
+    }
+    ++counters.misses;
+    return std::nullopt;
+}
+
+void
+ArtifactCache::put(const ArtifactKey &key, const std::string &payload)
+{
+    ++counters.inserts;
+    insertMemory(key.toString(), payload);
+    if (!diskRoot.empty())
+        storeToDisk(key, payload);
+}
+
+void
+ArtifactCache::insertMemory(const std::string &index_key,
+                            const std::string &payload)
+{
+    auto found = index.find(index_key);
+    if (found != index.end()) {
+        counters.bytesInMemory -=
+            static_cast<int64_t>(found->second->payload.size());
+        lru.erase(found->second);
+        index.erase(found);
+    }
+    int64_t bytes = static_cast<int64_t>(payload.size());
+    if (bytes > capacity)
+        return; // Oversized for the memory layer; disk still has it.
+    while (counters.bytesInMemory + bytes > capacity && !lru.empty()) {
+        counters.bytesInMemory -=
+            static_cast<int64_t>(lru.back().payload.size());
+        index.erase(lru.back().indexKey);
+        lru.pop_back();
+        ++counters.evictions;
+    }
+    lru.push_front(Entry{index_key, payload});
+    index.emplace(index_key, lru.begin());
+    counters.bytesInMemory += bytes;
+}
+
+std::optional<std::string>
+ArtifactCache::loadFromDisk(const ArtifactKey &key)
+{
+    std::string path = diskPathFor(key);
+    std::ifstream file(path);
+    if (!file)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    try {
+        JsonValue doc = parseJson(buffer.str());
+        // Verify the full key, not just the hashed file name: a hash
+        // collision or a foreign file must read as a miss, never as a
+        // wrong artifact.
+        if (doc.at("kind").asString() != key.kind
+            || doc.at("content").asString() != key.content.toHex()
+            || doc.at("device").asString() != key.device.toHex()
+            || doc.at("salt").asString() != key.salt) {
+            SOUFFLE_WARN("cache file '" << path
+                                        << "' holds a different key; "
+                                           "treating as a miss");
+            return std::nullopt;
+        }
+        return doc.at("payload").asString();
+    } catch (const FatalError &err) {
+        SOUFFLE_WARN("corrupt cache file '" << path << "' ("
+                                            << err.what()
+                                            << "); treating as a miss");
+        return std::nullopt;
+    }
+}
+
+void
+ArtifactCache::storeToDisk(const ArtifactKey &key,
+                           const std::string &payload)
+{
+    std::string path = diskPathFor(key);
+    JsonWriter writer;
+    writer.beginObject()
+        .newline()
+        .field("kind", key.kind)
+        .newline()
+        .field("content", key.content.toHex())
+        .newline()
+        .field("device", key.device.toHex())
+        .newline()
+        .field("salt", key.salt)
+        .newline()
+        .field("payload", payload)
+        .newline()
+        .endObject();
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+        SOUFFLE_WARN("cannot write cache file '" << path << "'");
+        return;
+    }
+    file << writer.str() << '\n';
+    ++counters.diskWrites;
+}
+
+} // namespace souffle

@@ -1,0 +1,140 @@
+#pragma once
+
+/**
+ * @file
+ * Layered content-addressed artifact cache.
+ *
+ * Compilation artifacts (auto-schedules today; any serializable
+ * by-product tomorrow) are keyed by what *produced* them rather than
+ * where they came from:
+ *
+ *   (artifact kind, content fingerprint, device fingerprint, salt)
+ *
+ * - `kind` names the artifact family ("schedule", "module", ...) so
+ *   different payload formats never alias.
+ * - `content` is the structural fingerprint of the IR the artifact was
+ *   derived from (see te/fingerprint.h) — rename-invariant, so the
+ *   same GEMM cached for one model hits for every other model that
+ *   contains it.
+ * - `device` is the behavioral device-spec fingerprint (gpu/device.h);
+ *   retuning for a different device never reuses stale artifacts.
+ * - `salt` carries the producing pass's options that affect the
+ *   artifact (e.g. scheduler mode) as an explicit string, so adding an
+ *   option to a producer is a one-line invalidation.
+ *
+ * Two layers: a byte-capacity in-memory LRU (always on) and an
+ * optional on-disk directory of one JSON file per artifact (survives
+ * process restarts; hits are promoted into memory). Payloads are
+ * opaque strings — producers serialize/deserialize their own artifact
+ * format, typically as JSON via JsonWriter/parseJson with
+ * `setDoublePrecision(17)` so doubles round-trip exactly.
+ *
+ * Single-threaded by design, matching the rest of the compiler; the
+ * serving simulator shares one instance across its module cache from
+ * one event loop.
+ */
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace souffle {
+
+/** Full content address of one cached artifact. */
+struct ArtifactKey
+{
+    /** Artifact family, e.g. "schedule". */
+    std::string kind;
+    /** Structural fingerprint of the producing IR. */
+    Fingerprint content;
+    /** Behavioral device fingerprint. */
+    Fingerprint device;
+    /** Producer options that affect the artifact. */
+    std::string salt;
+
+    /** Canonical string form, used as the index key and in logs. */
+    std::string toString() const;
+
+    bool
+    operator==(const ArtifactKey &other) const
+    {
+        return kind == other.kind && content == other.content
+               && device == other.device && salt == other.salt;
+    }
+};
+
+/** Monotonic counters; see ArtifactCache::stats(). */
+struct ArtifactCacheStats
+{
+    /** get() served from the in-memory layer. */
+    int64_t hits = 0;
+    /** get() found in neither layer. */
+    int64_t misses = 0;
+    /** get() served from disk (also counted in hits). */
+    int64_t diskHits = 0;
+    int64_t inserts = 0;
+    /** Entries dropped to respect the memory byte capacity. */
+    int64_t evictions = 0;
+    int64_t diskWrites = 0;
+    /** Payload bytes currently held in memory. */
+    int64_t bytesInMemory = 0;
+};
+
+/**
+ * The cache. get()/put() never throw on I/O problems: an unreadable
+ * or corrupt disk entry is treated as a miss (with a warning), an
+ * unwritable directory degrades to memory-only. Artifacts larger than
+ * the memory capacity are still persisted to disk when enabled.
+ */
+class ArtifactCache
+{
+  public:
+    /** @p memory_capacity_bytes bounds the in-memory payload bytes. */
+    explicit ArtifactCache(int64_t memory_capacity_bytes = 64 << 20);
+
+    /**
+     * Attach an on-disk layer rooted at @p dir (created if absent).
+     * Pass an empty string to detach.
+     */
+    void setDiskDir(const std::string &dir);
+    const std::string &diskDir() const { return diskRoot; }
+
+    /** Look up @p key in memory, then (if attached) on disk. */
+    std::optional<std::string> get(const ArtifactKey &key);
+
+    /** Insert/overwrite @p key; persists to disk when attached. */
+    void put(const ArtifactKey &key, const std::string &payload);
+
+    const ArtifactCacheStats &stats() const { return counters; }
+
+    int64_t size() const { return static_cast<int64_t>(index.size()); }
+    int64_t capacityBytes() const { return capacity; }
+
+  private:
+    struct Entry
+    {
+        std::string indexKey;
+        std::string payload;
+    };
+
+    /** Path of @p key's artifact file under the disk root. */
+    std::string diskPathFor(const ArtifactKey &key) const;
+    /** Insert into the LRU, evicting from the cold end as needed. */
+    void insertMemory(const std::string &index_key,
+                      const std::string &payload);
+    std::optional<std::string> loadFromDisk(const ArtifactKey &key);
+    void storeToDisk(const ArtifactKey &key, const std::string &payload);
+
+    int64_t capacity;
+    std::string diskRoot;
+    /** MRU-first entry list; `index` maps key string → list node. */
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    ArtifactCacheStats counters;
+};
+
+} // namespace souffle

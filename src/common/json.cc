@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace souffle {
@@ -107,7 +110,7 @@ JsonWriter::value(double number)
         return *this;
     }
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.10g", number);
+    std::snprintf(buf, sizeof(buf), "%.*g", doubleDigits, number);
     out += buf;
     return *this;
 }
@@ -145,6 +148,394 @@ JsonWriter::newline()
 {
     pendingNewline = true;
     return *this;
+}
+
+JsonWriter &
+JsonWriter::setDoublePrecision(int digits)
+{
+    SOUFFLE_REQUIRE(digits >= 1 && digits <= 17,
+                    "JSON double precision must be in [1, 17], got "
+                        << digits);
+    doubleDigits = digits;
+    return *this;
+}
+
+// --------------------------------------------------------------------
+// Reader.
+
+bool
+JsonValue::asBool() const
+{
+    SOUFFLE_REQUIRE(isBool(), "JSON value is not a bool");
+    return boolValue;
+}
+
+double
+JsonValue::asNumber() const
+{
+    SOUFFLE_REQUIRE(isNumber(), "JSON value is not a number");
+    return numberValue;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    double number = asNumber();
+    SOUFFLE_REQUIRE(std::nearbyint(number) == number
+                        && number >= -9.007199254740992e15
+                        && number <= 9.007199254740992e15,
+                    "JSON number " << number
+                                   << " is not an exact int64");
+    return static_cast<int64_t>(number);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    SOUFFLE_REQUIRE(isString(), "JSON value is not a string");
+    return stringValue;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    SOUFFLE_REQUIRE(isArray(), "JSON value is not an array");
+    return arrayItems;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    SOUFFLE_REQUIRE(isObject(), "JSON value is not an object");
+    return objectMembers;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[name, member] : objectMembers)
+        if (name == key)
+            return &member;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *member = find(key);
+    SOUFFLE_REQUIRE(member != nullptr,
+                    "JSON object has no member '" << key << "'");
+    return *member;
+}
+
+namespace detail {
+
+/** Recursive-descent parser over the full JSON grammar. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        if (pos != text.size())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        SOUFFLE_FATAL("JSON parse error at offset " << pos << ": "
+                                                    << what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char wanted)
+    {
+        if (peek() != wanted)
+            fail(std::string("expected '") + wanted + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        size_t len = std::strlen(literal);
+        if (text.compare(pos, len, literal) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue value;
+            value.valueKind = JsonValue::Kind::kString;
+            value.stringValue = parseString();
+            return value;
+          }
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("invalid literal");
+            {
+                JsonValue value;
+                value.valueKind = JsonValue::Kind::kBool;
+                value.boolValue = true;
+                return value;
+            }
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("invalid literal");
+            {
+                JsonValue value;
+                value.valueKind = JsonValue::Kind::kBool;
+                return value;
+            }
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue value;
+        value.valueKind = JsonValue::Kind::kObject;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos;
+            return value;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string name = parseString();
+            skipWhitespace();
+            expect(':');
+            value.objectMembers.emplace_back(std::move(name),
+                                             parseValue());
+            skipWhitespace();
+            char next = peek();
+            ++pos;
+            if (next == '}')
+                return value;
+            if (next != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue value;
+        value.valueKind = JsonValue::Kind::kArray;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos;
+            return value;
+        }
+        while (true) {
+            value.arrayItems.push_back(parseValue());
+            skipWhitespace();
+            char next = peek();
+            ++pos;
+            if (next == ']')
+                return value;
+            if (next != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string result;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char ch = text[pos++];
+            if (ch == '"')
+                return result;
+            if (static_cast<unsigned char>(ch) < 0x20)
+                fail("unescaped control character in string");
+            if (ch != '\\') {
+                result += ch;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape sequence");
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': result += '"'; break;
+              case '\\': result += '\\'; break;
+              case '/': result += '/'; break;
+              case 'b': result += '\b'; break;
+              case 'f': result += '\f'; break;
+              case 'n': result += '\n'; break;
+              case 'r': result += '\r'; break;
+              case 't': result += '\t'; break;
+              case 'u': result += parseUnicodeEscape(); break;
+              default: fail("invalid escape sequence");
+            }
+        }
+    }
+
+    /**
+     * \uXXXX escape, encoded back to UTF-8. Surrogate pairs are
+     * accepted; lone surrogates become U+FFFD, matching the common
+     * lenient-decoder behavior (the writer never emits them).
+     */
+    std::string
+    parseUnicodeEscape()
+    {
+        uint32_t code = parseHex4();
+        if (code >= 0xd800 && code <= 0xdbff) {
+            if (pos + 1 < text.size() && text[pos] == '\\'
+                && text[pos + 1] == 'u') {
+                pos += 2;
+                uint32_t low = parseHex4();
+                if (low >= 0xdc00 && low <= 0xdfff)
+                    code = 0x10000 + ((code - 0xd800) << 10)
+                           + (low - 0xdc00);
+                else
+                    code = 0xfffd;
+            } else {
+                code = 0xfffd;
+            }
+        } else if (code >= 0xdc00 && code <= 0xdfff) {
+            code = 0xfffd;
+        }
+        std::string utf8;
+        if (code < 0x80) {
+            utf8 += static_cast<char>(code);
+        } else if (code < 0x800) {
+            utf8 += static_cast<char>(0xc0 | (code >> 6));
+            utf8 += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            utf8 += static_cast<char>(0xe0 | (code >> 12));
+            utf8 += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            utf8 += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            utf8 += static_cast<char>(0xf0 | (code >> 18));
+            utf8 += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            utf8 += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            utf8 += static_cast<char>(0x80 | (code & 0x3f));
+        }
+        return utf8;
+    }
+
+    uint32_t
+    parseHex4()
+    {
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char ch = peek();
+            ++pos;
+            code <<= 4;
+            if (ch >= '0' && ch <= '9')
+                code |= static_cast<uint32_t>(ch - '0');
+            else if (ch >= 'a' && ch <= 'f')
+                code |= static_cast<uint32_t>(ch - 'a' + 10);
+            else if (ch >= 'A' && ch <= 'F')
+                code |= static_cast<uint32_t>(ch - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return code;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (pos >= text.size()
+            || !(text[pos] >= '0' && text[pos] <= '9'))
+            fail("invalid number");
+        if (text[pos] == '0')
+            ++pos;
+        else
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9')
+                ++pos;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size()
+                || !(text[pos] >= '0' && text[pos] <= '9'))
+                fail("digit required after decimal point");
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size()
+                && (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size()
+                || !(text[pos] >= '0' && text[pos] <= '9'))
+                fail("digit required in exponent");
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9')
+                ++pos;
+        }
+        JsonValue value;
+        value.valueKind = JsonValue::Kind::kNumber;
+        value.numberValue =
+            std::strtod(text.substr(start, pos - start).c_str(),
+                        nullptr);
+        return value;
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace detail
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return detail::JsonParser(text).parseDocument();
 }
 
 } // namespace souffle

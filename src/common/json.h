@@ -2,20 +2,29 @@
 
 /**
  * @file
- * Minimal streaming JSON writer shared by every JSON-emitting
- * component: the lint report renderer, the chrome-trace exporter, the
- * serving-simulator metrics, and the benchmark binaries. Handles
- * comma placement, string escaping (via `jsonEscape`) and non-finite
- * double sanitization so callers never hand-assemble punctuation.
+ * Minimal JSON support shared by every JSON-speaking component.
+ *
+ * `JsonWriter` is a streaming writer used by the lint report
+ * renderer, the chrome-trace exporter, the serving-simulator metrics,
+ * the artifact cache and the benchmark binaries. It handles comma
+ * placement, string escaping (via `jsonEscape`) and non-finite double
+ * sanitization so callers never hand-assemble punctuation.
  *
  * Two layout styles are supported: `kSpaced` puts a space after each
  * key (`"key": value`, the lint-report house style) and `kCompact`
  * does not (`"key":value`, the chrome-trace style). Neither emits
  * newlines; callers that want them insert `newline()` markers.
+ *
+ * `JsonValue`/`parseJson` is the matching reader, added for the
+ * on-disk artifact cache (which must read back what it wrote). It is
+ * a plain recursive-descent parser over the full JSON grammar;
+ * objects preserve member order.
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace souffle {
@@ -62,6 +71,14 @@ class JsonWriter
      */
     JsonWriter &newline();
 
+    /**
+     * Significant digits used for double values (default 10, enough
+     * for reports). Pass 17 for exact IEEE-754 round-trips — the
+     * artifact cache uses this so a schedule read back from disk is
+     * bit-identical to the one written.
+     */
+    JsonWriter &setDoublePrecision(int digits);
+
     /** The document so far. */
     const std::string &str() const { return out; }
 
@@ -73,8 +90,68 @@ class JsonWriter
     std::string out;
     /** Elements emitted so far at each open nesting level. */
     std::vector<int> counts;
+    int doubleDigits = 10;
     bool afterKey = false;
     bool pendingNewline = false;
 };
+
+namespace detail {
+class JsonParser;
+} // namespace detail
+
+/** One parsed JSON value (see `parseJson`). */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return valueKind; }
+    bool isNull() const { return valueKind == Kind::kNull; }
+    bool isBool() const { return valueKind == Kind::kBool; }
+    bool isNumber() const { return valueKind == Kind::kNumber; }
+    bool isString() const { return valueKind == Kind::kString; }
+    bool isArray() const { return valueKind == Kind::kArray; }
+    bool isObject() const { return valueKind == Kind::kObject; }
+
+    /** Typed accessors; throw FatalError on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber, checked to be integral and in int64 range. */
+    int64_t asInt() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+    /** Object member lookup; throws FatalError when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    friend class detail::JsonParser;
+
+    Kind valueKind = Kind::kNull;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<JsonValue> arrayItems;
+    std::vector<std::pair<std::string, JsonValue>> objectMembers;
+};
+
+/**
+ * Parse one JSON document (with arbitrary surrounding whitespace).
+ * Throws FatalError with an offset-carrying message on malformed
+ * input, including trailing garbage after the document.
+ */
+JsonValue parseJson(const std::string &text);
 
 } // namespace souffle

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/hash.h"
 #include "compiler/pass_stats.h"
 #include "gpu/device.h"
 #include "graph/graph.h"
@@ -40,6 +41,13 @@ struct Compiled
     TeProgram program;
     /** The kernels handed to the simulator. */
     CompiledModule module;
+    /**
+     * Content address of the final (transformed) TE program — see
+     * te/fingerprint.h. Filled by the Souffle pipeline driver; two
+     * compiles with the same hash + device + options produced
+     * interchangeable modules.
+     */
+    Fingerprint programHash;
 
     // Compile-time statistics.
     double compileTimeMs = 0.0;

@@ -9,12 +9,17 @@
  */
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
 
 #include "analysis/analysis.h"
 #include "gpu/device.h"
 #include "sched/schedule.h"
 
 namespace souffle {
+
+class ArtifactCache;
 
 /** Ablation levels of Table 4. */
 enum class SouffleLevel : uint8_t {
@@ -54,6 +59,30 @@ struct SouffleOptions
      * kRoller (Sec. 8.5's faster constructive optimizer).
      */
     SchedulerMode schedulerMode = SchedulerMode::kSearch;
+    /**
+     * Content-addressed artifact cache consulted by the scheduling
+     * pass (null = caching off). Shared so independent compilations —
+     * different models, batch sizes, or ablation levels — reuse each
+     * other's schedules; the serving module cache hands one instance
+     * to every entry it compiles.
+     */
+    std::shared_ptr<ArtifactCache> artifactCache;
+
+    /**
+     * Salt for schedule-cache keys: exactly the options that steer
+     * the schedule search. Deliberately excludes `level` and `device`
+     * (the device is keyed separately by fingerprint) so schedules
+     * transfer across ablation levels and models.
+     */
+    std::string
+    scheduleCacheSalt() const
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "mode=%d;intensity=%.17g",
+                      static_cast<int>(schedulerMode),
+                      intensityThreshold);
+        return buf;
+    }
 };
 
 } // namespace souffle

@@ -63,6 +63,19 @@ PassStatistics::passMs(const std::string &pass) const
     return total;
 }
 
+int64_t
+PassStatistics::counterTotal(const std::string &name) const
+{
+    int64_t total = 0;
+    for (const PassTiming &timing : passes) {
+        for (const PassCounter &counter : timing.counters) {
+            if (counter.name == name)
+                total += counter.value;
+        }
+    }
+    return total;
+}
+
 std::string
 PassStatistics::toString() const
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/artifact_cache.h"
 #include "common/logging.h"
 #include "transform/partition.h"
 
@@ -15,6 +16,11 @@ PassManager::runTimed(Pass &pass, CompileContext &ctx)
     // The entry pointer stays valid until the next push_back, which
     // only happens after this pass returns.
     ctx.currentTiming = &ctx.stats.passes.back();
+    // Snapshot artifact-cache counters so each pass's timing entry can
+    // carry its own hit/miss/byte deltas without the pass cooperating.
+    const ArtifactCache *cache = ctx.options.artifactCache.get();
+    const ArtifactCacheStats before =
+        cache ? cache->stats() : ArtifactCacheStats{};
     const auto start = std::chrono::steady_clock::now();
     try {
         pass.run(ctx);
@@ -23,6 +29,16 @@ PassManager::runTimed(Pass &pass, CompileContext &ctx)
         throw;
     }
     const auto end = std::chrono::steady_clock::now();
+    if (cache) {
+        const ArtifactCacheStats &after = cache->stats();
+        if (after.hits != before.hits)
+            ctx.counter("cacheHits", after.hits - before.hits);
+        if (after.misses != before.misses)
+            ctx.counter("cacheMisses", after.misses - before.misses);
+        if (after.bytesInMemory != before.bytesInMemory)
+            ctx.counter("cacheBytes",
+                        after.bytesInMemory - before.bytesInMemory);
+    }
     ctx.stats.passes.back().wallMs =
         std::chrono::duration<double, std::milli>(end - start).count();
     ctx.currentTiming = nullptr;

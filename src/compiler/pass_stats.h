@@ -46,6 +46,9 @@ struct PassStatistics
     /** Sum of wall times of entries named @p pass (0 if absent). */
     double passMs(const std::string &pass) const;
 
+    /** Sum of counter @p name across all passes (0 if absent). */
+    int64_t counterTotal(const std::string &name) const;
+
     /** Aligned per-pass table for logs and benches. */
     std::string toString() const;
 };

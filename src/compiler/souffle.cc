@@ -7,6 +7,7 @@
 #include "kernel/kernel_passes.h"
 #include "lint/lint.h"
 #include "sched/schedule_pass.h"
+#include "te/fingerprint.h"
 #include "transform/transform_passes.h"
 
 namespace souffle {
@@ -140,6 +141,7 @@ compileWithPipeline(const PassManager &pipeline, const Graph &graph,
             : name;
     pipeline.run(ctx);
     Compiled result = ctx.take();
+    result.programHash = programFingerprint(result.program);
 
     const auto end = std::chrono::steady_clock::now();
     result.compileTimeMs =

@@ -1,0 +1,109 @@
+#include "gpu/device.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+
+DeviceSpec
+DeviceSpec::v100()
+{
+    // Volta V100-SXM2-16GB: 80 SMs, 96 KB unified shared memory per
+    // SM (opt-in per-block maximum 96 KB), HBM2 at 900 GB/s, first-
+    // generation tensor cores at 125 TFLOP/s fp16 and 15.7 TFLOP/s
+    // fp32 FMA. Launch and DRAM latency are slightly higher than the
+    // A100's.
+    DeviceSpec spec;
+    spec.name = "V100-SXM2-16GB (simulated)";
+    spec.numSms = 80;
+    spec.sharedMemPerSmBytes = 96 * 1024;
+    spec.sharedMemPerBlockLimit = 96 * 1024;
+    spec.globalBytesPerUs = 900.0e3;
+    spec.memLatencyUs = 1.1;
+    spec.tensorCoreFlopsPerUs = 125.0e6;
+    spec.fmaFlopsPerUs = 15.7e6;
+    spec.aluFlopsPerUs = 15.7e6;
+    spec.kernelLaunchUs = 2.5;
+    spec.gridSyncUs = 0.45;
+    return spec;
+}
+
+DeviceSpec
+DeviceSpec::h100()
+{
+    // Hopper H100-SXM5-80GB: 132 SMs, 228 KB shared memory per SM
+    // (227 KB per-block dynamic maximum), HBM3 at ~3.35 TB/s, fourth-
+    // generation tensor cores at 989 TFLOP/s dense fp16 and
+    // 66.9 TFLOP/s fp32.
+    DeviceSpec spec;
+    spec.name = "H100-SXM5-80GB (simulated)";
+    spec.numSms = 132;
+    spec.sharedMemPerSmBytes = 228 * 1024;
+    spec.sharedMemPerBlockLimit = 227 * 1024;
+    spec.globalBytesPerUs = 3352.0e3;
+    spec.memLatencyUs = 0.8;
+    spec.tensorCoreFlopsPerUs = 989.0e6;
+    spec.fmaFlopsPerUs = 66.9e6;
+    spec.aluFlopsPerUs = 66.9e6;
+    spec.gridSyncUs = 0.30;
+    return spec;
+}
+
+std::vector<std::string>
+deviceSpecNames()
+{
+    return {"a100", "h100", "v100"};
+}
+
+DeviceSpec
+DeviceSpec::byName(const std::string &name)
+{
+    std::string lower = name;
+    for (char &ch : lower)
+        ch = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch)));
+    if (lower == "a100")
+        return a100();
+    if (lower == "v100")
+        return v100();
+    if (lower == "h100")
+        return h100();
+    SOUFFLE_FATAL("unknown device '"
+                  << name << "' (expected one of: "
+                  << joinToString(deviceSpecNames(), ", ") << ")");
+}
+
+Fingerprint
+deviceFingerprint(const DeviceSpec &spec)
+{
+    // Every field the cost models read participates; the display name
+    // does not. The field order is frozen — append new fields at the
+    // end so existing on-disk cache keys stay decodable (a reorder
+    // silently invalidates every cache, which is safe but wasteful).
+    FingerprintHasher hasher;
+    hasher.absorb(spec.numSms);
+    hasher.absorb(spec.sharedMemPerSmBytes);
+    hasher.absorb(spec.sharedMemPerBlockLimit);
+    hasher.absorb(spec.regsPerSm);
+    hasher.absorb(spec.maxThreadsPerSm);
+    hasher.absorb(spec.maxThreadsPerBlock);
+    hasher.absorb(spec.maxBlocksPerSm);
+    hasher.absorb(spec.globalBytesPerUs);
+    hasher.absorb(spec.memLatencyUs);
+    hasher.absorb(spec.tensorCoreFlopsPerUs);
+    hasher.absorb(spec.fmaFlopsPerUs);
+    hasher.absorb(spec.aluFlopsPerUs);
+    hasher.absorb(spec.tensorCoreEfficiency);
+    hasher.absorb(spec.fmaEfficiency);
+    hasher.absorb(spec.aluEfficiency);
+    hasher.absorb(spec.kernelLaunchUs);
+    hasher.absorb(spec.gridSyncUs);
+    hasher.absorb(spec.barrierUs);
+    hasher.absorb(spec.streamDispatchUs);
+    hasher.absorb(spec.streamContentionPerStream);
+    return hasher.finish();
+}
+
+} // namespace souffle

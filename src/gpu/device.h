@@ -18,7 +18,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/hash.h"
 #include "te/dtype.h"
 
 namespace souffle {
@@ -154,6 +156,31 @@ struct DeviceSpec
 
     /** The standard paper configuration. */
     static DeviceSpec a100() { return DeviceSpec{}; }
+
+    /** Volta V100-SXM2-16GB: the previous-generation datacenter part. */
+    static DeviceSpec v100();
+
+    /** Hopper H100-SXM5-80GB: the next-generation datacenter part. */
+    static DeviceSpec h100();
+
+    /**
+     * Preset lookup by short name ("a100", "v100", "h100",
+     * case-insensitive). Throws FatalError on unknown names, listing
+     * the valid ones.
+     */
+    static DeviceSpec byName(const std::string &name);
 };
+
+/** Short preset names accepted by `DeviceSpec::byName`, sorted. */
+std::vector<std::string> deviceSpecNames();
+
+/**
+ * Stable content fingerprint of a device spec: every *behavioral*
+ * field (SM counts, limits, bandwidths, throughputs, overheads)
+ * participates; the display name does not, so a renamed-but-identical
+ * spec addresses the same cached artifacts while any limit or
+ * throughput change invalidates them.
+ */
+Fingerprint deviceFingerprint(const DeviceSpec &spec);
 
 } // namespace souffle

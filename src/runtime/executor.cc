@@ -1,5 +1,6 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -56,14 +57,20 @@ Executor::run(const NamedBuffers &inputs) const
         }
         SOUFFLE_FATAL(message);
     }
+    // Warn in sorted order — `inputs` is an unordered_map and warning
+    // order must not vary run to run.
+    std::vector<std::string> unconsumed;
     for (const auto &[name, buffer] : inputs) {
         (void)buffer;
-        if (!consumed.count(name)) {
-            SOUFFLE_WARN("bound buffer '"
-                         << name
-                         << "' is not consumed by any input or "
-                            "parameter tensor");
-        }
+        if (!consumed.count(name))
+            unconsumed.push_back(name);
+    }
+    std::sort(unconsumed.begin(), unconsumed.end());
+    for (const std::string &name : unconsumed) {
+        SOUFFLE_WARN("bound buffer '"
+                     << name
+                     << "' is not consumed by any input or "
+                        "parameter tensor");
     }
 
     ExecutionResult result;

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/artifact_cache.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "te/fingerprint.h"
 
 namespace souffle {
 
@@ -23,12 +26,58 @@ Schedule::toString() const
     return os.str();
 }
 
+std::string
+serializeSchedule(const Schedule &sched)
+{
+    JsonWriter writer(JsonWriter::Style::kCompact);
+    writer.setDoublePrecision(17);
+    writer.beginObject()
+        .field("tileM", sched.tileM)
+        .field("tileN", sched.tileN)
+        .field("tileK", sched.tileK)
+        .field("threadsPerBlock", sched.threadsPerBlock)
+        .field("numBlocks", sched.numBlocks)
+        .field("sharedMemBytes", sched.sharedMemBytes)
+        .field("regsPerThread", sched.regsPerThread)
+        .field("useTensorCore", sched.useTensorCore)
+        .field("gridStride", sched.gridStride)
+        .field("estTimeUs", sched.estTimeUs)
+        .field("estGlobalBytes", sched.estGlobalBytes)
+        .endObject();
+    return writer.str();
+}
+
+Schedule
+deserializeSchedule(const std::string &payload)
+{
+    JsonValue doc = parseJson(payload);
+    Schedule sched;
+    sched.tileM = doc.at("tileM").asInt();
+    sched.tileN = doc.at("tileN").asInt();
+    sched.tileK = doc.at("tileK").asInt();
+    sched.threadsPerBlock =
+        static_cast<int>(doc.at("threadsPerBlock").asInt());
+    sched.numBlocks = doc.at("numBlocks").asInt();
+    sched.sharedMemBytes = doc.at("sharedMemBytes").asInt();
+    sched.regsPerThread = doc.at("regsPerThread").asInt();
+    sched.useTensorCore = doc.at("useTensorCore").asBool();
+    sched.gridStride = doc.at("gridStride").asBool();
+    sched.estTimeUs = doc.at("estTimeUs").asNumber();
+    sched.estGlobalBytes = doc.at("estGlobalBytes").asNumber();
+    return sched;
+}
+
 AutoScheduler::AutoScheduler(const TeProgram &program,
                              const GlobalAnalysis &analysis,
-                             DeviceSpec device, SchedulerMode mode)
+                             DeviceSpec device, SchedulerMode mode,
+                             ArtifactCache *cache,
+                             std::string options_salt)
     : prog(program), analysis(analysis), deviceSpec(std::move(device)),
-      mode(mode)
-{}
+      mode(mode), cache(cache), salt(std::move(options_salt))
+{
+    if (cache != nullptr)
+        deviceFp = deviceFingerprint(deviceSpec);
+}
 
 std::string
 AutoScheduler::signatureOf(const TensorExpr &te) const
@@ -57,6 +106,26 @@ AutoScheduler::schedule(int te_id)
         return sched;
     }
 
+    // Artifact cache, consulted only on intra-program memo misses.
+    // The key covers every input of the search below — the TE's
+    // structure, the device, and the mode/options salt — so a hit can
+    // skip the search without changing its outcome.
+    ArtifactKey key;
+    if (cache != nullptr) {
+        key.kind = "schedule";
+        key.content = teFingerprint(prog, te_id);
+        key.device = deviceFp;
+        key.salt = salt;
+        if (std::optional<std::string> payload = cache->get(key)) {
+            ++artifactHits;
+            Schedule sched = deserializeSchedule(*payload);
+            sched.teId = te_id;
+            memo.emplace(sig, sched);
+            return sched;
+        }
+        ++artifactMisses;
+    }
+
     const TeInfo &info = analysis.teInfo(te_id);
     Schedule sched;
     if (info.computeIntensive && te.hasReduce())
@@ -67,6 +136,8 @@ AutoScheduler::schedule(int te_id)
         sched = scheduleElementwise(te, info);
     sched.teId = te_id;
     memo.emplace(sig, sched);
+    if (cache != nullptr)
+        cache->put(key, serializeSchedule(sched));
     return sched;
 }
 

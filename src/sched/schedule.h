@@ -21,6 +21,8 @@
 
 namespace souffle {
 
+class ArtifactCache;
+
 /** A scheduled TE: tiling decisions plus resource/launch info. */
 struct Schedule
 {
@@ -52,6 +54,19 @@ struct Schedule
     std::string toString() const;
 };
 
+/**
+ * Artifact-cache payload format for a Schedule: a JSON object holding
+ * every field except `teId` (schedules are content-addressed by TE
+ * structure, so the binding to a concrete TE id happens at lookup).
+ * Doubles are written with 17 significant digits so a deserialized
+ * schedule is bit-identical to the one serialized — the invariant the
+ * cached-vs-uncached byte-identity guarantee rests on.
+ */
+std::string serializeSchedule(const Schedule &sched);
+
+/** Inverse of `serializeSchedule`; throws FatalError on bad input. */
+Schedule deserializeSchedule(const std::string &payload);
+
 /** Schedule-search strategy. */
 enum class SchedulerMode : uint8_t
 {
@@ -71,13 +86,23 @@ enum class SchedulerMode : uint8_t
  * (drop-in for Ansor from the paper's perspective). Results are
  * memoized by TE shape signature, which keeps scheduling of
  * fully-unrolled models (e.g. the 10x100-cell LSTM) fast.
+ *
+ * When handed an ArtifactCache the scheduler additionally consults it
+ * on every intra-program memo miss, keyed by the TE's structural
+ * fingerprint + the device fingerprint + @p options_salt. Because the
+ * search is deterministic and the fingerprint covers every search
+ * input, a cache hit returns exactly the schedule the search would
+ * have produced — compilation results are byte-identical with or
+ * without the cache, only `candidatesEvaluated()` changes.
  */
 class AutoScheduler
 {
   public:
     AutoScheduler(const TeProgram &program, const GlobalAnalysis &analysis,
                   DeviceSpec device,
-                  SchedulerMode mode = SchedulerMode::kSearch);
+                  SchedulerMode mode = SchedulerMode::kSearch,
+                  ArtifactCache *cache = nullptr,
+                  std::string options_salt = "");
 
     /** Schedule one TE. */
     Schedule schedule(int te_id);
@@ -91,6 +116,9 @@ class AutoScheduler
     int64_t candidatesEvaluated() const { return evaluated; }
     /** Number of memoization hits (for stats/tests). */
     int64_t memoHits() const { return hits; }
+    /** Artifact-cache hits/misses (0 when no cache is attached). */
+    int64_t cacheHits() const { return artifactHits; }
+    int64_t cacheMisses() const { return artifactMisses; }
 
   private:
     Schedule scheduleContraction(const TensorExpr &te, const TeInfo &info);
@@ -102,9 +130,14 @@ class AutoScheduler
     const GlobalAnalysis &analysis;
     DeviceSpec deviceSpec;
     SchedulerMode mode;
+    ArtifactCache *cache;
+    std::string salt;
+    Fingerprint deviceFp;
     std::unordered_map<std::string, Schedule> memo;
     int64_t evaluated = 0;
     int64_t hits = 0;
+    int64_t artifactHits = 0;
+    int64_t artifactMisses = 0;
 };
 
 } // namespace souffle

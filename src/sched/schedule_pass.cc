@@ -1,5 +1,6 @@
 #include "sched/schedule_pass.h"
 
+#include "common/artifact_cache.h"
 #include "sched/schedule.h"
 
 namespace souffle {
@@ -9,11 +10,17 @@ SchedulePass::run(CompileContext &ctx)
 {
     AutoScheduler scheduler(ctx.program(), ctx.analysis(),
                             ctx.options.device,
-                            ctx.options.schedulerMode);
+                            ctx.options.schedulerMode,
+                            ctx.options.artifactCache.get(),
+                            ctx.options.scheduleCacheSalt());
     ctx.schedules = scheduler.scheduleAll();
     ctx.counter("scheduled", static_cast<int64_t>(ctx.schedules.size()));
     ctx.counter("candidates", scheduler.candidatesEvaluated());
     ctx.counter("memoHits", scheduler.memoHits());
+    if (ctx.options.artifactCache) {
+        ctx.counter("scheduleCacheHits", scheduler.cacheHits());
+        ctx.counter("scheduleCacheMisses", scheduler.cacheMisses());
+    }
 }
 
 } // namespace souffle

@@ -127,6 +127,8 @@ ServingReport::renderText() const
     os << "  compile cache: " << cacheHits << " hit(s), "
        << cacheMisses << " miss(es), "
        << compileMsTotal << " ms compiling\n";
+    os << "  schedule cache: " << scheduleCacheHits << " hit(s), "
+       << scheduleCacheMisses << " miss(es)\n";
     return os.str();
 }
 
@@ -210,6 +212,8 @@ ServingReport::renderJson() const
         .field("hits", cacheHits)
         .field("misses", cacheMisses)
         .field("compile_ms", compileMsTotal)
+        .field("schedule_hits", scheduleCacheHits)
+        .field("schedule_misses", scheduleCacheMisses)
         .endObject()
         .newline()
         .endObject();

@@ -58,6 +58,10 @@ class ServingReport
     int cacheHits = 0;
     int cacheMisses = 0;
     double compileMsTotal = 0.0;
+    /** Schedule-level artifact-cache traffic across bucket compiles
+     *  (the content-addressed layer under the module cache). */
+    int64_t scheduleCacheHits = 0;
+    int64_t scheduleCacheMisses = 0;
 
     // ----- recording (event-loop interface) ------------------------------
     void recordLatency(double latency_us);

@@ -8,6 +8,23 @@ ModuleCache::ModuleCache(bool tiny, SouffleOptions options)
     : tiny(tiny), opts(std::move(options)),
       pipeline(soufflePipeline(opts))
 {
+    // Every bucket compile must share one schedule cache; create a
+    // private in-memory instance unless the caller seeded one (e.g. a
+    // disk-backed cache shared across serving processes).
+    if (!opts.artifactCache)
+        opts.artifactCache = std::make_shared<ArtifactCache>();
+}
+
+int64_t
+ModuleCache::scheduleCacheHits() const
+{
+    return opts.artifactCache->stats().hits;
+}
+
+int64_t
+ModuleCache::scheduleCacheMisses() const
+{
+    return opts.artifactCache->stats().misses;
 }
 
 const CachedModule &

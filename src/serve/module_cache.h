@@ -13,12 +13,21 @@
  * every module with its device-model SimResult so the event loop
  * charges a dispatched batch by table lookup instead of re-simulating
  * per dispatch.
+ *
+ * Module-level lookups layer on the content-addressed ArtifactCache
+ * (common/artifact_cache.h): the cache ensures every bucket compile
+ * shares one schedule cache, so a batch-8 compile reuses the
+ * batch-independent schedules a batch-1 compile already searched for.
+ * Callers can pre-seed `options.artifactCache` (e.g. with a disk-
+ * backed instance) to share across processes; otherwise the
+ * constructor creates a private in-memory one.
  */
 
 #include <map>
 #include <string>
 #include <tuple>
 
+#include "common/artifact_cache.h"
 #include "compiler/souffle.h"
 #include "gpu/sim.h"
 
@@ -56,6 +65,13 @@ class ModuleCache
     /** Total wall-clock compile time spent filling the cache (ms). */
     double compileMsTotal() const { return compileMs; }
     int size() const { return static_cast<int>(entries.size()); }
+
+    /** Schedule-level artifact-cache hits/misses across all compiles. */
+    int64_t scheduleCacheHits() const;
+    int64_t scheduleCacheMisses() const;
+
+    /** The shared artifact cache every bucket compile consults. */
+    ArtifactCache &artifactCache() { return *opts.artifactCache; }
 
     const SouffleOptions &options() const { return opts; }
 

@@ -43,6 +43,8 @@ runServeSim(const ServeConfig &config, ModuleCache &cache)
     const int cache_hits0 = cache.hits();
     const int cache_misses0 = cache.misses();
     const double compile_ms0 = cache.compileMsTotal();
+    const int64_t sched_hits0 = cache.scheduleCacheHits();
+    const int64_t sched_misses0 = cache.scheduleCacheMisses();
 
     // One execution lane per stream: the time it frees up.
     std::vector<double> free_at(config.numStreams, 0.0);
@@ -128,6 +130,9 @@ runServeSim(const ServeConfig &config, ModuleCache &cache)
     report.cacheHits = cache.hits() - cache_hits0;
     report.cacheMisses = cache.misses() - cache_misses0;
     report.compileMsTotal = cache.compileMsTotal() - compile_ms0;
+    report.scheduleCacheHits = cache.scheduleCacheHits() - sched_hits0;
+    report.scheduleCacheMisses =
+        cache.scheduleCacheMisses() - sched_misses0;
     return report;
 }
 

@@ -1,0 +1,173 @@
+#include "te/fingerprint.h"
+
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+// Field tags keep adjacent variable-length fields from aliasing each
+// other in the hash stream. Values are arbitrary but frozen: changing
+// them invalidates every on-disk cache entry.
+enum : uint64_t {
+    kTagConst = 0x01,
+    kTagRead = 0x02,
+    kTagUnary = 0x03,
+    kTagBinary = 0x04,
+    kTagSelect = 0x05,
+    kTagMap = 0x06,
+    kTagCond = 0x07,
+    kTagTe = 0x08,
+    kTagInput = 0x09,
+    kTagProgram = 0x0a,
+    kTagTensor = 0x0b,
+    kTagWiring = 0x0c,
+};
+
+void
+absorbMap(FingerprintHasher &hasher, const AffineMap &map)
+{
+    hasher.absorb(kTagMap);
+    hasher.absorb(map.outDims());
+    hasher.absorb(map.inDims());
+    for (int row = 0; row < map.outDims(); ++row) {
+        for (int col = 0; col < map.inDims(); ++col)
+            hasher.absorb(map.coef(row, col));
+        hasher.absorb(map.offsetAt(row));
+    }
+}
+
+void
+absorbPredicate(FingerprintHasher &hasher, const Predicate &pred)
+{
+    hasher.absorb(static_cast<uint64_t>(pred.size()));
+    for (const AffineCond &cond : pred) {
+        hasher.absorb(kTagCond);
+        hasher.absorb(static_cast<uint64_t>(cond.op));
+        hasher.absorb(cond.offset);
+        hasher.absorb(cond.coefs);
+    }
+}
+
+void
+absorbExpr(FingerprintHasher &hasher, const ExprPtr &expr)
+{
+    SOUFFLE_CHECK(expr != nullptr, "fingerprint of null expression");
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        hasher.absorb(kTagConst);
+        hasher.absorb(expr->constValue());
+        return;
+      case ExprKind::kRead:
+        hasher.absorb(kTagRead);
+        hasher.absorb(expr->readSlot());
+        hasher.absorb(expr->isFlatRead());
+        absorbMap(hasher, expr->readMap());
+        return;
+      case ExprKind::kUnary:
+        hasher.absorb(kTagUnary);
+        hasher.absorb(static_cast<uint64_t>(expr->unaryOp()));
+        absorbExpr(hasher, expr->lhs());
+        return;
+      case ExprKind::kBinary:
+        hasher.absorb(kTagBinary);
+        hasher.absorb(static_cast<uint64_t>(expr->binaryOp()));
+        absorbExpr(hasher, expr->lhs());
+        absorbExpr(hasher, expr->rhs());
+        return;
+      case ExprKind::kSelect:
+        hasher.absorb(kTagSelect);
+        absorbPredicate(hasher, expr->predicate());
+        absorbExpr(hasher, expr->lhs());
+        absorbExpr(hasher, expr->rhs());
+        return;
+    }
+    SOUFFLE_PANIC("unhandled expression kind");
+}
+
+void
+absorbTe(FingerprintHasher &hasher, const TeProgram &program,
+         const TensorExpr &te)
+{
+    hasher.absorb(kTagTe);
+    hasher.absorb(te.outShape);
+    hasher.absorb(te.reduceExtents);
+    hasher.absorb(static_cast<uint64_t>(te.combiner));
+    const TensorDecl &out = program.tensor(te.output);
+    hasher.absorb(static_cast<uint64_t>(out.dtype));
+    hasher.absorb(static_cast<uint64_t>(te.inputs.size()));
+    for (TensorId in : te.inputs) {
+        const TensorDecl &decl = program.tensor(in);
+        hasher.absorb(kTagInput);
+        hasher.absorb(static_cast<uint64_t>(decl.dtype));
+        hasher.absorb(decl.shape);
+    }
+    absorbExpr(hasher, te.body);
+}
+
+} // namespace
+
+Fingerprint
+exprFingerprint(const ExprPtr &expr)
+{
+    FingerprintHasher hasher;
+    absorbExpr(hasher, expr);
+    return hasher.finish();
+}
+
+Fingerprint
+teFingerprint(const TeProgram &program, int te_id)
+{
+    FingerprintHasher hasher;
+    absorbTe(hasher, program, program.te(te_id));
+    return hasher.finish();
+}
+
+Fingerprint
+programFingerprint(const TeProgram &program)
+{
+    // Canonical tensor numbering: order of first appearance walking
+    // the TEs in program order (inputs before output), then any
+    // never-referenced tensors in declaration order. Two programs
+    // that differ only in tensor-id numbering or names collide.
+    std::vector<int> canonical(
+        static_cast<size_t>(program.numTensors()), -1);
+    int next = 0;
+    auto number = [&](TensorId id) {
+        if (canonical[static_cast<size_t>(id)] < 0)
+            canonical[static_cast<size_t>(id)] = next++;
+    };
+    for (const TensorExpr &te : program.tes()) {
+        for (TensorId in : te.inputs)
+            number(in);
+        number(te.output);
+    }
+    for (TensorId id = 0; id < program.numTensors(); ++id)
+        number(id);
+
+    FingerprintHasher hasher;
+    hasher.absorb(kTagProgram);
+    hasher.absorb(program.numTes());
+    hasher.absorb(program.numTensors());
+    for (TensorId id = 0; id < program.numTensors(); ++id) {
+        const TensorDecl &decl = program.tensor(id);
+        hasher.absorb(kTagTensor);
+        hasher.absorb(canonical[static_cast<size_t>(id)]);
+        hasher.absorb(static_cast<uint64_t>(decl.role));
+        hasher.absorb(static_cast<uint64_t>(decl.dtype));
+        hasher.absorb(decl.shape);
+    }
+    for (const TensorExpr &te : program.tes()) {
+        // Structural content (rename-invariant) plus the wiring in
+        // canonical numbers, so reconnecting identical TEs to
+        // different producers changes the program hash.
+        absorbTe(hasher, program, te);
+        hasher.absorb(kTagWiring);
+        for (TensorId in : te.inputs)
+            hasher.absorb(canonical[static_cast<size_t>(in)]);
+        hasher.absorb(canonical[static_cast<size_t>(te.output)]);
+    }
+    return hasher.finish();
+}
+
+} // namespace souffle

@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Canonical structural fingerprints for tensor expressions and TE
+ * programs — the content-address layer of the compilation cache.
+ *
+ * Two TEs get the same fingerprint iff they are structurally
+ * identical *modulo renaming*: tensor/TE names and tensor ids do not
+ * participate, only shapes, dtypes, combiners, reduce extents, and
+ * the body expression tree (ops, constants, read slots, exact affine
+ * maps and predicates). A TE's fingerprint therefore captures every
+ * input of the auto-scheduler's search for that TE except the device
+ * and the option salt, which are keyed separately — so a schedule
+ * cached for one model's GEMM is valid for the byte-identical GEMM of
+ * another model, another batch size, or another ablation level.
+ *
+ * The whole-program fingerprint additionally captures the dataflow
+ * wiring (which TE reads which producer) and tensor roles, under a
+ * canonical first-use tensor numbering, so programs that differ only
+ * by tensor-id numbering or names still collide while any semantic
+ * difference separates them.
+ */
+
+#include "common/hash.h"
+#include "te/program.h"
+
+namespace souffle {
+
+/**
+ * Fingerprint of the body expression tree alone (kind, ops, constant
+ * bits, read slots, flat flags, affine maps, predicates).
+ */
+Fingerprint exprFingerprint(const ExprPtr &expr);
+
+/**
+ * Structural fingerprint of TE @p te_id of @p program, modulo
+ * tensor-id renaming. Covers: output shape + dtype, reduce extents,
+ * combiner, per-slot input dtype + shape, and the body tree.
+ */
+Fingerprint teFingerprint(const TeProgram &program, int te_id);
+
+/**
+ * Whole-program fingerprint: every TE's structural fingerprint in
+ * program order, plus roles/shapes/dtypes of all tensors and the
+ * producer/consumer wiring under canonical first-use numbering.
+ */
+Fingerprint programFingerprint(const TeProgram &program);
+
+} // namespace souffle

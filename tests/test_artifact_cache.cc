@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the layered artifact cache: key semantics, in-memory LRU
+ * behavior under a byte capacity, the on-disk JSON layer (round-trip,
+ * promotion, corrupt-file and wrong-key tolerance), and statistics.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/artifact_cache.h"
+#include "common/hash.h"
+
+namespace souffle {
+namespace {
+
+Fingerprint
+fp(const std::string &seed)
+{
+    FingerprintHasher hasher;
+    hasher.absorb(seed);
+    return hasher.finish();
+}
+
+ArtifactKey
+key(const std::string &content, const std::string &salt = "s")
+{
+    return ArtifactKey{"schedule", fp(content), fp("device"), salt};
+}
+
+/** RAII temp dir under /tmp, removed with its contents at scope end. */
+struct TempDir
+{
+    TempDir()
+    {
+        char buf[] = "/tmp/souffle_cache_test_XXXXXX";
+        const char *made = ::mkdtemp(buf);
+        EXPECT_NE(made, nullptr);
+        path = made ? made : "";
+    }
+    ~TempDir()
+    {
+        if (!path.empty())
+            std::system(("rm -rf " + path).c_str());
+    }
+    std::string path;
+};
+
+TEST(ArtifactKey, ToStringCoversEveryField)
+{
+    const ArtifactKey a = key("a", "s1");
+    EXPECT_NE(a.toString(), key("b", "s1").toString());
+    EXPECT_NE(a.toString(), key("a", "s2").toString());
+    ArtifactKey other_kind = a;
+    other_kind.kind = "module";
+    EXPECT_NE(a.toString(), other_kind.toString());
+    ArtifactKey other_device = a;
+    other_device.device = fp("other-device");
+    EXPECT_NE(a.toString(), other_device.toString());
+}
+
+TEST(ArtifactCache, MemoryHitAndMiss)
+{
+    ArtifactCache cache;
+    EXPECT_FALSE(cache.get(key("a")).has_value());
+    cache.put(key("a"), "payload-a");
+    const auto hit = cache.get(key("a"));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "payload-a");
+    EXPECT_FALSE(cache.get(key("b")).has_value());
+
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.stats().misses, 2);
+    EXPECT_EQ(cache.stats().inserts, 1);
+    EXPECT_EQ(cache.stats().diskHits, 0);
+    EXPECT_EQ(cache.stats().bytesInMemory,
+              static_cast<int64_t>(std::string("payload-a").size()));
+}
+
+TEST(ArtifactCache, OverwriteReplacesPayload)
+{
+    ArtifactCache cache;
+    cache.put(key("a"), "old");
+    cache.put(key("a"), "new-payload");
+    EXPECT_EQ(*cache.get(key("a")), "new-payload");
+    EXPECT_EQ(cache.size(), 1);
+    EXPECT_EQ(cache.stats().bytesInMemory,
+              static_cast<int64_t>(std::string("new-payload").size()));
+}
+
+TEST(ArtifactCache, LruEvictsColdestUnderByteCapacity)
+{
+    ArtifactCache cache(/*memory_capacity_bytes=*/10);
+    cache.put(key("a"), "aaaa"); // 4 bytes
+    cache.put(key("b"), "bbbb"); // 8 bytes total
+    EXPECT_TRUE(cache.get(key("a")).has_value()); // refresh a's recency
+    cache.put(key("c"), "cccc"); // 12 > 10: evict coldest = b
+    EXPECT_TRUE(cache.get(key("a")).has_value());
+    EXPECT_FALSE(cache.get(key("b")).has_value());
+    EXPECT_TRUE(cache.get(key("c")).has_value());
+    EXPECT_EQ(cache.stats().evictions, 1);
+    EXPECT_LE(cache.stats().bytesInMemory, 10);
+}
+
+TEST(ArtifactCache, OversizedPayloadSkipsMemory)
+{
+    ArtifactCache cache(/*memory_capacity_bytes=*/4);
+    cache.put(key("big"), "way-too-large-for-memory");
+    EXPECT_EQ(cache.size(), 0);
+    EXPECT_EQ(cache.stats().bytesInMemory, 0);
+    EXPECT_FALSE(cache.get(key("big")).has_value());
+}
+
+TEST(ArtifactCache, DiskRoundTripAcrossInstances)
+{
+    TempDir dir;
+    {
+        ArtifactCache writer;
+        writer.setDiskDir(dir.path);
+        writer.put(key("a"), "persisted \"payload\" with\nnewline");
+        EXPECT_EQ(writer.stats().diskWrites, 1);
+    }
+    ArtifactCache reader;
+    reader.setDiskDir(dir.path);
+    const auto hit = reader.get(key("a"));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "persisted \"payload\" with\nnewline");
+    EXPECT_EQ(reader.stats().diskHits, 1);
+    // A disk hit is promoted: the second get is served from memory.
+    EXPECT_TRUE(reader.get(key("a")).has_value());
+    EXPECT_EQ(reader.stats().diskHits, 1);
+    EXPECT_EQ(reader.stats().hits, 2);
+    // Different salt misses even with the file present.
+    EXPECT_FALSE(reader.get(key("a", "other-salt")).has_value());
+}
+
+TEST(ArtifactCache, CorruptDiskFileReadsAsMiss)
+{
+    TempDir dir;
+    ArtifactCache writer;
+    writer.setDiskDir(dir.path);
+    writer.put(key("a"), "payload");
+
+    // Truncate/corrupt every file in the dir.
+    std::string file;
+    {
+        std::string cmd = "ls " + dir.path;
+        FILE *pipe = ::popen(cmd.c_str(), "r");
+        ASSERT_NE(pipe, nullptr);
+        char name[256];
+        if (std::fscanf(pipe, "%255s", name) == 1)
+            file = dir.path + "/" + name;
+        ::pclose(pipe);
+    }
+    ASSERT_FALSE(file.empty());
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << "{ definitely not valid json";
+    }
+
+    ArtifactCache reader;
+    reader.setDiskDir(dir.path);
+    EXPECT_FALSE(reader.get(key("a")).has_value());
+    EXPECT_EQ(reader.stats().misses, 1);
+}
+
+TEST(ArtifactCache, WrongKeyInFileReadsAsMiss)
+{
+    TempDir dir;
+    ArtifactCache writer;
+    writer.setDiskDir(dir.path);
+    writer.put(key("a", "salt-one"), "payload");
+
+    // Rewrite the stored salt so the file's embedded key no longer
+    // matches the key its file name was derived from.
+    std::string file;
+    {
+        std::string cmd = "ls " + dir.path;
+        FILE *pipe = ::popen(cmd.c_str(), "r");
+        ASSERT_NE(pipe, nullptr);
+        char name[256];
+        if (std::fscanf(pipe, "%255s", name) == 1)
+            file = dir.path + "/" + name;
+        ::pclose(pipe);
+    }
+    ASSERT_FALSE(file.empty());
+    std::string text;
+    {
+        std::ifstream in(file);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+    const size_t at = text.find("salt-one");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 8, "salt-two");
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << text;
+    }
+
+    ArtifactCache reader;
+    reader.setDiskDir(dir.path);
+    EXPECT_FALSE(reader.get(key("a", "salt-one")).has_value());
+}
+
+TEST(ArtifactCache, UnwritableDirDegradesToMemoryOnly)
+{
+    ArtifactCache cache;
+    cache.setDiskDir("/proc/definitely/not/writable");
+    EXPECT_TRUE(cache.diskDir().empty());
+    cache.put(key("a"), "payload");
+    EXPECT_TRUE(cache.get(key("a")).has_value());
+    EXPECT_EQ(cache.stats().diskWrites, 0);
+}
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the content-address layer: FingerprintHasher stability,
+ * TE/program structural fingerprints (rename invariance, semantic
+ * sensitivity), device-spec fingerprints, and the Schedule
+ * serialization format used as the cache payload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "graph/lowering.h"
+#include "models/zoo.h"
+#include "sched/schedule.h"
+#include "te/fingerprint.h"
+
+namespace souffle {
+namespace {
+
+// ----- Fingerprint / FingerprintHasher ------------------------------------
+
+TEST(Fingerprint, HasherIsDeterministic)
+{
+    FingerprintHasher a, b;
+    a.absorb(int64_t{42});
+    a.absorb(std::string("hello"));
+    a.absorb(3.25);
+    b.absorb(int64_t{42});
+    b.absorb(std::string("hello"));
+    b.absorb(3.25);
+    EXPECT_EQ(a.finish(), b.finish());
+    EXPECT_TRUE(a.finish().valid());
+}
+
+TEST(Fingerprint, HasherIsOrderSensitive)
+{
+    FingerprintHasher a, b;
+    a.absorb(int64_t{1});
+    a.absorb(int64_t{2});
+    b.absorb(int64_t{2});
+    b.absorb(int64_t{1});
+    EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(Fingerprint, StringsAreLengthPrefixed)
+{
+    // "ab" + "c" must not alias "a" + "bc".
+    FingerprintHasher a, b;
+    a.absorb(std::string("ab"));
+    a.absorb(std::string("c"));
+    b.absorb(std::string("a"));
+    b.absorb(std::string("bc"));
+    EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(Fingerprint, NegativeZeroCanonicalized)
+{
+    FingerprintHasher a, b;
+    a.absorb(0.0);
+    b.absorb(-0.0);
+    EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(Fingerprint, HexRoundTrip)
+{
+    FingerprintHasher hasher;
+    hasher.absorb(std::string("round-trip"));
+    const Fingerprint fp = hasher.finish();
+    const std::string hex = fp.toHex();
+    EXPECT_EQ(hex.size(), 32u);
+    EXPECT_EQ(Fingerprint::fromHex(hex), fp);
+}
+
+TEST(Fingerprint, FromHexRejectsMalformed)
+{
+    EXPECT_THROW(Fingerprint::fromHex("xyz"), FatalError);
+    EXPECT_THROW(Fingerprint::fromHex(std::string(31, 'a')), FatalError);
+    EXPECT_THROW(Fingerprint::fromHex(std::string(31, 'a') + "g"),
+                 FatalError);
+}
+
+// ----- TE / program fingerprints -------------------------------------------
+
+Graph
+mlp(const std::string &prefix, int64_t hidden)
+{
+    Graph graph(prefix);
+    const ValueId x = graph.input(prefix + "_x", {8, 64});
+    const ValueId w1 = graph.param(prefix + "_w1", {64, hidden});
+    const ValueId w2 = graph.param(prefix + "_w2", {hidden, 10});
+    graph.markOutput(
+        graph.matmul(graph.relu(graph.matmul(x, w1)), w2));
+    return graph;
+}
+
+TEST(ProgramFingerprint, DeterministicAcrossLowerings)
+{
+    const TeProgram a = lowerToTe(mlp("m", 128)).program;
+    const TeProgram b = lowerToTe(mlp("m", 128)).program;
+    EXPECT_TRUE(programFingerprint(a).valid());
+    EXPECT_EQ(programFingerprint(a), programFingerprint(b));
+}
+
+TEST(ProgramFingerprint, InvariantUnderTensorRenaming)
+{
+    // Same structure, different value/tensor names everywhere.
+    const TeProgram a = lowerToTe(mlp("alpha", 128)).program;
+    const TeProgram b = lowerToTe(mlp("omega", 128)).program;
+    EXPECT_EQ(programFingerprint(a), programFingerprint(b));
+}
+
+TEST(ProgramFingerprint, SensitiveToShapes)
+{
+    const TeProgram a = lowerToTe(mlp("m", 128)).program;
+    const TeProgram b = lowerToTe(mlp("m", 256)).program;
+    EXPECT_NE(programFingerprint(a), programFingerprint(b));
+}
+
+TEST(ProgramFingerprint, SensitiveToOps)
+{
+    Graph relu_graph("g");
+    {
+        const ValueId x = relu_graph.input("x", {4, 4});
+        relu_graph.markOutput(relu_graph.relu(x));
+    }
+    Graph sigmoid_graph("g");
+    {
+        const ValueId x = sigmoid_graph.input("x", {4, 4});
+        sigmoid_graph.markOutput(sigmoid_graph.sigmoid(x));
+    }
+    EXPECT_NE(
+        programFingerprint(lowerToTe(relu_graph).program),
+        programFingerprint(lowerToTe(sigmoid_graph).program));
+}
+
+TEST(TeFingerprint, IdenticalTesCollideAcrossModels)
+{
+    // The same-shape matmul inside two different models must share a
+    // TE fingerprint — the property cross-model caching rests on.
+    Graph a("a");
+    {
+        const ValueId x = a.input("x", {8, 64});
+        const ValueId w = a.param("w", {64, 32});
+        a.markOutput(a.relu(a.matmul(x, w)));
+    }
+    Graph b("b");
+    {
+        const ValueId x = b.input("inp", {8, 64});
+        const ValueId w = b.param("weight", {64, 32});
+        b.markOutput(b.sigmoid(b.matmul(x, w)));
+    }
+    const TeProgram pa = lowerToTe(a).program;
+    const TeProgram pb = lowerToTe(b).program;
+    // Find the contraction TE on each side.
+    auto matmul_fp = [](const TeProgram &p) {
+        for (int i = 0; i < p.numTes(); ++i)
+            if (p.te(i).hasReduce())
+                return teFingerprint(p, i);
+        ADD_FAILURE() << "no contraction TE";
+        return Fingerprint{};
+    };
+    EXPECT_EQ(matmul_fp(pa), matmul_fp(pb));
+    // ...while the whole programs differ.
+    EXPECT_NE(programFingerprint(pa), programFingerprint(pb));
+}
+
+TEST(ProgramFingerprint, ZooModelsAreDistinct)
+{
+    std::vector<Fingerprint> seen;
+    for (const std::string &name : paperModelNames()) {
+        const Fingerprint fp =
+            programFingerprint(lowerToTe(buildTinyModel(name)).program);
+        for (const Fingerprint &prior : seen)
+            EXPECT_NE(fp, prior) << name;
+        seen.push_back(fp);
+    }
+}
+
+// ----- Device fingerprints --------------------------------------------------
+
+TEST(DeviceFingerprint, PresetsAreDistinct)
+{
+    const Fingerprint a100 = deviceFingerprint(DeviceSpec::a100());
+    const Fingerprint v100 = deviceFingerprint(DeviceSpec::v100());
+    const Fingerprint h100 = deviceFingerprint(DeviceSpec::h100());
+    EXPECT_NE(a100, v100);
+    EXPECT_NE(a100, h100);
+    EXPECT_NE(v100, h100);
+}
+
+TEST(DeviceFingerprint, NameDoesNotParticipate)
+{
+    DeviceSpec renamed = DeviceSpec::a100();
+    renamed.name = "same-device-different-label";
+    EXPECT_EQ(deviceFingerprint(renamed),
+              deviceFingerprint(DeviceSpec::a100()));
+}
+
+TEST(DeviceFingerprint, BehavioralFieldsParticipate)
+{
+    DeviceSpec tweaked = DeviceSpec::a100();
+    tweaked.numSms += 1;
+    EXPECT_NE(deviceFingerprint(tweaked),
+              deviceFingerprint(DeviceSpec::a100()));
+    DeviceSpec slower = DeviceSpec::a100();
+    slower.globalBytesPerUs *= 0.5;
+    EXPECT_NE(deviceFingerprint(slower),
+              deviceFingerprint(DeviceSpec::a100()));
+}
+
+TEST(DeviceSpec, ByNameLookup)
+{
+    EXPECT_EQ(DeviceSpec::byName("v100").numSms, 80);
+    EXPECT_EQ(DeviceSpec::byName("H100").numSms, 132);
+    EXPECT_EQ(DeviceSpec::byName("A100").numSms, 108);
+    EXPECT_THROW(DeviceSpec::byName("tpu"), FatalError);
+    EXPECT_EQ(deviceSpecNames().size(), 3u);
+}
+
+// ----- Schedule payload format ---------------------------------------------
+
+TEST(ScheduleSerialization, ExactRoundTrip)
+{
+    Schedule sched;
+    sched.teId = 7; // deliberately NOT serialized
+    sched.tileM = 64;
+    sched.tileN = 128;
+    sched.tileK = 16;
+    sched.threadsPerBlock = 256;
+    sched.numBlocks = 432;
+    sched.sharedMemBytes = 49152;
+    sched.regsPerThread = 96;
+    sched.useTensorCore = true;
+    sched.gridStride = false;
+    // Doubles chosen to not have short decimal representations.
+    sched.estTimeUs = 1.0 / 3.0;
+    sched.estGlobalBytes = 1234567.89012345;
+
+    const Schedule back = deserializeSchedule(serializeSchedule(sched));
+    EXPECT_EQ(back.teId, -1);
+    EXPECT_EQ(back.tileM, sched.tileM);
+    EXPECT_EQ(back.tileN, sched.tileN);
+    EXPECT_EQ(back.tileK, sched.tileK);
+    EXPECT_EQ(back.threadsPerBlock, sched.threadsPerBlock);
+    EXPECT_EQ(back.numBlocks, sched.numBlocks);
+    EXPECT_EQ(back.sharedMemBytes, sched.sharedMemBytes);
+    EXPECT_EQ(back.regsPerThread, sched.regsPerThread);
+    EXPECT_EQ(back.useTensorCore, sched.useTensorCore);
+    EXPECT_EQ(back.gridStride, sched.gridStride);
+    // Bit-exact, not approximately equal: the byte-identity guarantee
+    // of cached compiles depends on it.
+    EXPECT_EQ(back.estTimeUs, sched.estTimeUs);
+    EXPECT_EQ(back.estGlobalBytes, sched.estGlobalBytes);
+}
+
+TEST(ScheduleSerialization, RejectsMalformed)
+{
+    EXPECT_THROW(deserializeSchedule("not json"), FatalError);
+    EXPECT_THROW(deserializeSchedule("{}"), FatalError);
+}
+
+} // namespace
+} // namespace souffle

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Edge-case tests for the shared JSON module: writer escaping
+ * (control characters, quotes, backslashes), non-finite double
+ * sanitization, empty containers, nesting, precision control, and the
+ * parser (round-trips, unicode escapes, malformed-input rejection).
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+namespace {
+
+// ----- writer ---------------------------------------------------------------
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("k\"ey", "a\\b\"c\nd\te\rf")
+        .field("ctl", std::string("\x01\x1f"))
+        .endObject();
+    EXPECT_EQ(json.str(),
+              "{\"k\\\"ey\": \"a\\\\b\\\"c\\nd\\te\\rf\","
+              "\"ctl\": \"\\u0001\\u001f\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .value(-std::numeric_limits<double>::infinity())
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(1.5)
+        .endArray();
+    EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    JsonWriter json;
+    json.beginObject()
+        .key("arr")
+        .beginArray()
+        .endArray()
+        .key("obj")
+        .beginObject()
+        .endObject()
+        .endObject();
+    EXPECT_EQ(json.str(), "{\"arr\": [],\"obj\": {}}");
+}
+
+TEST(JsonWriter, DeepNestingAndCompactStyle)
+{
+    JsonWriter json(JsonWriter::Style::kCompact);
+    json.beginObject()
+        .key("a")
+        .beginArray()
+        .beginObject()
+        .field("b", 1)
+        .endObject()
+        .beginArray()
+        .value(true)
+        .value(false)
+        .endArray()
+        .endArray()
+        .endObject();
+    EXPECT_EQ(json.str(), "{\"a\":[{\"b\":1},[true,false]]}");
+}
+
+TEST(JsonWriter, DoublePrecisionControl)
+{
+    JsonWriter coarse;
+    coarse.beginArray().value(1.0 / 3.0).endArray();
+    EXPECT_EQ(coarse.str(), "[0.3333333333]");
+
+    JsonWriter exact;
+    exact.setDoublePrecision(17);
+    exact.beginArray().value(1.0 / 3.0).endArray();
+    EXPECT_EQ(exact.str(), "[0.33333333333333331]");
+
+    JsonWriter bad;
+    EXPECT_THROW(bad.setDoublePrecision(0), FatalError);
+    EXPECT_THROW(bad.setDoublePrecision(18), FatalError);
+}
+
+// ----- parser ---------------------------------------------------------------
+
+TEST(JsonParse, Document)
+{
+    const JsonValue doc = parseJson(
+        "  {\"a\": [1, -2.5, 1e3], \"b\": {\"c\": null}, "
+        "\"t\": true, \"f\": false, \"s\": \"x\"}  ");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.members().size(), 5u);
+    const JsonValue &arr = doc.at("a");
+    ASSERT_TRUE(arr.isArray());
+    ASSERT_EQ(arr.items().size(), 3u);
+    EXPECT_EQ(arr.items()[0].asInt(), 1);
+    EXPECT_EQ(arr.items()[1].asNumber(), -2.5);
+    EXPECT_EQ(arr.items()[2].asNumber(), 1000.0);
+    EXPECT_TRUE(doc.at("b").at("c").isNull());
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_FALSE(doc.at("f").asBool());
+    EXPECT_EQ(doc.at("s").asString(), "x");
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_THROW(doc.at("missing"), FatalError);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const JsonValue doc =
+        parseJson("\"a\\\"b\\\\c\\/d\\n\\t\\r\\b\\f\\u0041\"");
+    EXPECT_EQ(doc.asString(), "a\"b\\c/d\n\t\r\b\fA");
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    // BMP char (é = U+00E9), 3-byte char (U+20AC €), and a surrogate
+    // pair (U+1D11E musical G clef).
+    EXPECT_EQ(parseJson("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u20ac\"").asString(), "\xe2\x82\xac");
+    EXPECT_EQ(parseJson("\"\\ud834\\udd1e\"").asString(),
+              "\xf0\x9d\x84\x9e");
+    // Lone surrogate decodes to U+FFFD, not an exception.
+    EXPECT_EQ(parseJson("\"\\ud834\"").asString(), "\xef\xbf\xbd");
+}
+
+TEST(JsonParse, RejectsMalformed)
+{
+    EXPECT_THROW(parseJson(""), FatalError);
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("[1,]"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\": 1} trailing"), FatalError);
+    EXPECT_THROW(parseJson("\"unterminated"), FatalError);
+    EXPECT_THROW(parseJson("\"bad\\escape\""), FatalError);
+    EXPECT_THROW(parseJson("\"ctl \x01\""), FatalError);
+    EXPECT_THROW(parseJson("01"), FatalError);
+    EXPECT_THROW(parseJson("1."), FatalError);
+    EXPECT_THROW(parseJson("1e"), FatalError);
+    EXPECT_THROW(parseJson("truthy"), FatalError);
+    EXPECT_THROW(parseJson("\"bad\\uZZZZ\""), FatalError);
+}
+
+TEST(JsonParse, AccessorKindChecks)
+{
+    const JsonValue doc = parseJson("{\"n\": 1.5}");
+    EXPECT_THROW(doc.at("n").asString(), FatalError);
+    EXPECT_THROW(doc.at("n").asBool(), FatalError);
+    EXPECT_THROW(doc.at("n").items(), FatalError);
+    EXPECT_THROW(doc.at("n").members(), FatalError);
+    // 1.5 is not an exact integer.
+    EXPECT_THROW(doc.at("n").asInt(), FatalError);
+}
+
+TEST(JsonParse, WriterRoundTripWithExactDoubles)
+{
+    // Write with 17-digit precision, parse back, compare bit-exact —
+    // the invariant the on-disk schedule cache depends on.
+    const double values[] = {1.0 / 3.0, 0.1, 1234567.89012345,
+                             6.62607015e-34, -2.718281828459045,
+                             9.007199254740991e15};
+    JsonWriter json;
+    json.setDoublePrecision(17);
+    json.beginArray();
+    for (double v : values)
+        json.value(v);
+    json.endArray();
+
+    const JsonValue doc = parseJson(json.str());
+    ASSERT_EQ(doc.items().size(), std::size(values));
+    for (size_t i = 0; i < std::size(values); ++i)
+        EXPECT_EQ(doc.items()[i].asNumber(), values[i]) << i;
+}
+
+TEST(JsonParse, ObjectPreservesMemberOrder)
+{
+    const JsonValue doc = parseJson("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_EQ(doc.members().size(), 3u);
+    EXPECT_EQ(doc.members()[0].first, "z");
+    EXPECT_EQ(doc.members()[1].first, "a");
+    EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+} // namespace
+} // namespace souffle

@@ -56,9 +56,10 @@ TEST(Workload, ArrivalsAreSortedDenseAndInHorizon)
         EXPECT_EQ(requests[i].id, static_cast<int>(i));
         EXPECT_GT(requests[i].arrivalUs, 0.0);
         EXPECT_LE(requests[i].arrivalUs, 50e3);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(requests[i].arrivalUs,
                       requests[i - 1].arrivalUs);
+        }
     }
 }
 

@@ -12,6 +12,8 @@
  * Options:
  *   --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree
  *   --level=0..4           Souffle ablation level (default 4)
+ *   --device=a100|v100|h100  device-model preset (default a100)
+ *   --cache-dir=DIR        on-disk schedule cache shared across runs
  *   --adaptive             enable adaptive fusion
  *   --roller               use the Roller-style fast scheduler
  *   --strict               fail the compile on lint errors
@@ -44,10 +46,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 
 #include "analysis/analysis.h"
 #include "codegen/cuda.h"
+#include "common/artifact_cache.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "compiler/souffle.h"
@@ -92,7 +97,8 @@ usage()
         "[model] [options]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
-        "  --level=0..4  --adaptive  --roller  --strict\n"
+        "  --level=0..4  --device=a100|v100|h100  --cache-dir=DIR\n"
+        "  --adaptive  --roller  --strict\n"
         "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n"
         "  lint: --format=text|json  --fail-on=warning|error  "
         "--rule=ID[,ID...]\n"
@@ -153,6 +159,14 @@ parseArgs(int argc, char **argv, CliOptions &options)
         else if (arg.rfind("--level=", 0) == 0)
             options.souffle.level = static_cast<SouffleLevel>(
                 std::stoi(value_of("--level=")));
+        else if (arg.rfind("--device=", 0) == 0)
+            options.souffle.device =
+                DeviceSpec::byName(value_of("--device="));
+        else if (arg.rfind("--cache-dir=", 0) == 0) {
+            auto cache = std::make_shared<ArtifactCache>();
+            cache->setDiskDir(value_of("--cache-dir="));
+            options.souffle.artifactCache = std::move(cache);
+        }
         else if (arg == "--adaptive")
             options.souffle.adaptiveFusion = true;
         else if (arg == "--roller")
@@ -369,6 +383,20 @@ cliMain(int argc, char **argv)
                     compiled.horizontalGroups, compiled.verticalMerges);
     }
     std::printf(")\n");
+    if (compiled.programHash.valid())
+        std::printf("program hash: %s\n",
+                    compiled.programHash.toHex().c_str());
+    if (options.souffle.artifactCache) {
+        const ArtifactCacheStats &stats =
+            options.souffle.artifactCache->stats();
+        std::printf("schedule cache: %lld hit(s) (%lld from disk), "
+                    "%lld miss(es), %lld candidate evaluation(s)\n",
+                    static_cast<long long>(stats.hits),
+                    static_cast<long long>(stats.diskHits),
+                    static_cast<long long>(stats.misses),
+                    static_cast<long long>(
+                        compiled.passStats.counterTotal("candidates")));
+    }
 
     const Executor executor(compiled, options.souffle.device);
     std::printf("%s\n", executor.memoryPlan().toString().c_str());
@@ -378,12 +406,17 @@ cliMain(int argc, char **argv)
         const ExecutionResult result =
             executor.run(executor.randomInputs(options.seed));
         timing = result.timing;
-        for (const auto &[name, buffer] : result.outputs) {
+        // Sort by name: result.outputs is an unordered_map, and this
+        // print must be byte-stable run to run.
+        std::map<std::string, const std::vector<double> *> outputs;
+        for (const auto &[name, buffer] : result.outputs)
+            outputs.emplace(name, &buffer);
+        for (const auto &[name, buffer] : outputs) {
             double checksum = 0.0;
-            for (double v : buffer)
+            for (double v : *buffer)
                 checksum += v;
             std::printf("output '%s': %zu elements, checksum %.6g\n",
-                        name.c_str(), buffer.size(), checksum);
+                        name.c_str(), buffer->size(), checksum);
         }
     } else if (options.command == "compile") {
         timing = simulate(compiled.module, options.souffle.device);
