@@ -16,14 +16,20 @@
  * per-pass table for one compile of each model after the run) instead
  * of a single end-to-end time.
  *
- * A second mode, `--json [--tiny]`, bypasses google-benchmark and
- * measures the content-addressed schedule cache instead: every zoo
- * model is compiled twice at V4 against one fresh ArtifactCache (cold,
- * then warm) and a JSON report of compile times, tile-search
- * evaluation counts and cache hits is printed. CI consumes this to
- * track the warm/cold evaluation ratio.
+ * A second mode, `--json [--tiny] [--jobs=N]`, bypasses
+ * google-benchmark and measures the content-addressed schedule cache
+ * plus compile parallelism instead: every zoo model is compiled twice
+ * at V4 against one fresh ArtifactCache (cold, then warm) and a JSON
+ * report of compile times, tile-search evaluation counts and cache
+ * hits is printed; a `jobs_sweep` section then cold-compiles the
+ * whole zoo serially (jobs=1) and on N thread-pool lanes and reports
+ * the wall-clock speedup. CI consumes this to track the warm/cold
+ * evaluation ratio and to gate the parallel-compile speedup.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -32,6 +38,7 @@
 
 #include "common/artifact_cache.h"
 #include "common/json.h"
+#include "common/thread_pool.h"
 #include "compiler/compiler.h"
 #include "compiler/souffle.h"
 #include "models/zoo.h"
@@ -141,11 +148,36 @@ registerAll()
 }
 
 /**
+ * Cold-compile the whole zoo at V4 (no schedule cache, so every model
+ * runs its full tile search) on @p jobs thread-pool lanes, models
+ * fanned out across the pool on top of each compile's internal
+ * per-TE parallelism. Returns the sweep's wall-clock ms.
+ */
+double
+coldCompileSweepMs(bool tiny, int jobs)
+{
+    ThreadPool::setGlobalJobs(jobs);
+    const std::vector<std::string> models = paperModelNames();
+    const auto start = std::chrono::steady_clock::now();
+    parallelFor(static_cast<int64_t>(models.size()), [&](int64_t i) {
+        const std::string &model = models[static_cast<size_t>(i)];
+        const Graph graph =
+            tiny ? buildTinyModel(model) : buildPaperModel(model);
+        const Compiled compiled = compileSouffle(graph, {});
+        benchmark::DoNotOptimize(compiled.module.numKernels());
+    });
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+/**
  * --json mode: cold-vs-warm compile of every zoo model at V4 against
- * a fresh schedule cache per model. Prints one JSON document.
+ * a fresh schedule cache per model, then the jobs=1 vs jobs=N cold
+ * sweep. Prints one JSON document.
  */
 int
-runColdWarmJson(bool tiny)
+runColdWarmJson(bool tiny, int sweep_jobs)
 {
     JsonWriter json;
     json.beginObject()
@@ -184,7 +216,25 @@ runColdWarmJson(bool tiny)
                                   : static_cast<double>(cold_evals))
             .endObject();
     }
-    json.newline().endArray().newline().endObject();
+    json.newline().endArray().newline();
+
+    // Parallel-compile sweep: the same workload serially and on
+    // sweep_jobs lanes. Warm the code paths once first so one-time
+    // initialization does not land in either measurement.
+    const int restore_jobs = ThreadPool::globalJobs();
+    coldCompileSweepMs(tiny, 1);
+    const double jobs1_ms = coldCompileSweepMs(tiny, 1);
+    const double jobsN_ms = coldCompileSweepMs(tiny, sweep_jobs);
+    ThreadPool::setGlobalJobs(restore_jobs);
+    json.key("jobs_sweep")
+        .beginObject()
+        .field("jobs", sweep_jobs)
+        .field("jobs1_ms", jobs1_ms)
+        .field("jobsN_ms", jobsN_ms)
+        .field("speedup", jobsN_ms > 0.0 ? jobs1_ms / jobsN_ms : 0.0)
+        .endObject()
+        .newline()
+        .endObject();
     std::printf("%s\n", json.str().c_str());
     return 0;
 }
@@ -213,14 +263,17 @@ main(int argc, char **argv)
 {
     bool json_mode = false;
     bool tiny = false;
+    int jobs = souffle::ThreadPool::defaultJobs();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0)
             json_mode = true;
         else if (std::strcmp(argv[i], "--tiny") == 0)
             tiny = true;
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = std::max(1, std::atoi(argv[i] + 7));
     }
     if (json_mode)
-        return souffle::runColdWarmJson(tiny);
+        return souffle::runColdWarmJson(tiny, jobs);
 
     souffle::registerAll();
     benchmark::Initialize(&argc, argv);

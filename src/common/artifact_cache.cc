@@ -2,9 +2,12 @@
 
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "common/json.h"
@@ -25,12 +28,31 @@ ArtifactKey::toString() const
     return result;
 }
 
-ArtifactCache::ArtifactCache(int64_t memory_capacity_bytes)
+ArtifactCache::ArtifactCache(int64_t memory_capacity_bytes, int num_shards)
     : capacity(memory_capacity_bytes)
 {
     SOUFFLE_REQUIRE(capacity >= 0,
                     "artifact cache capacity must be non-negative, got "
                         << capacity);
+    SOUFFLE_REQUIRE(num_shards >= 1,
+                    "artifact cache needs >= 1 shard, got "
+                        << num_shards);
+    shards.reserve(static_cast<size_t>(num_shards));
+    for (int i = 0; i < num_shards; ++i)
+        shards.push_back(std::make_unique<Shard>());
+    shardCapacity = capacity / num_shards;
+}
+
+ArtifactCache::Shard &
+ArtifactCache::shardFor(const std::string &index_key)
+{
+    if (shards.size() == 1)
+        return *shards[0];
+    // std::hash is fine here: the shard choice affects only lock
+    // contention and eviction locality, never lookup results.
+    const size_t slot =
+        std::hash<std::string>{}(index_key) % shards.size();
+    return *shards[slot];
 }
 
 void
@@ -61,60 +83,105 @@ ArtifactCache::diskPathFor(const ArtifactKey &key) const
 std::optional<std::string>
 ArtifactCache::get(const ArtifactKey &key)
 {
-    std::string index_key = key.toString();
-    auto found = index.find(index_key);
-    if (found != index.end()) {
-        // Refresh recency: splice the node to the MRU end.
-        lru.splice(lru.begin(), lru, found->second);
-        ++counters.hits;
-        return found->second->payload;
+    const std::string index_key = key.toString();
+    Shard &shard = shardFor(index_key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto found = shard.index.find(index_key);
+        if (found != shard.index.end()) {
+            // Refresh recency: splice the node to the MRU end.
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             found->second);
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+            return found->second->payload;
+        }
     }
     if (!diskRoot.empty()) {
+        // Disk I/O runs outside the shard lock; two threads missing
+        // the same key may both read the file and both promote it —
+        // benign, the payloads are identical by construction.
         std::optional<std::string> payload = loadFromDisk(key);
         if (payload) {
-            ++counters.hits;
-            ++counters.diskHits;
-            insertMemory(index_key, *payload);
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+            diskHitCount.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            insertMemoryLocked(shard, index_key, *payload);
             return payload;
         }
     }
-    ++counters.misses;
+    missCount.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
 }
 
 void
 ArtifactCache::put(const ArtifactKey &key, const std::string &payload)
 {
-    ++counters.inserts;
-    insertMemory(key.toString(), payload);
+    const std::string index_key = key.toString();
+    insertCount.fetch_add(1, std::memory_order_relaxed);
+    {
+        Shard &shard = shardFor(index_key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        insertMemoryLocked(shard, index_key, payload);
+    }
     if (!diskRoot.empty())
         storeToDisk(key, payload);
 }
 
 void
-ArtifactCache::insertMemory(const std::string &index_key,
-                            const std::string &payload)
+ArtifactCache::insertMemoryLocked(Shard &shard,
+                                  const std::string &index_key,
+                                  const std::string &payload)
 {
-    auto found = index.find(index_key);
-    if (found != index.end()) {
-        counters.bytesInMemory -=
+    auto found = shard.index.find(index_key);
+    if (found != shard.index.end()) {
+        const int64_t old =
             static_cast<int64_t>(found->second->payload.size());
-        lru.erase(found->second);
-        index.erase(found);
+        shard.bytes -= old;
+        bytesInMemory.fetch_sub(old, std::memory_order_relaxed);
+        shard.lru.erase(found->second);
+        shard.index.erase(found);
     }
-    int64_t bytes = static_cast<int64_t>(payload.size());
-    if (bytes > capacity)
+    const int64_t bytes = static_cast<int64_t>(payload.size());
+    if (bytes > shardCapacity)
         return; // Oversized for the memory layer; disk still has it.
-    while (counters.bytesInMemory + bytes > capacity && !lru.empty()) {
-        counters.bytesInMemory -=
-            static_cast<int64_t>(lru.back().payload.size());
-        index.erase(lru.back().indexKey);
-        lru.pop_back();
-        ++counters.evictions;
+    while (shard.bytes + bytes > shardCapacity && !shard.lru.empty()) {
+        const int64_t victim =
+            static_cast<int64_t>(shard.lru.back().payload.size());
+        shard.bytes -= victim;
+        bytesInMemory.fetch_sub(victim, std::memory_order_relaxed);
+        shard.index.erase(shard.lru.back().indexKey);
+        shard.lru.pop_back();
+        evictionCount.fetch_add(1, std::memory_order_relaxed);
     }
-    lru.push_front(Entry{index_key, payload});
-    index.emplace(index_key, lru.begin());
-    counters.bytesInMemory += bytes;
+    shard.lru.push_front(Entry{index_key, payload});
+    shard.index.emplace(index_key, shard.lru.begin());
+    shard.bytes += bytes;
+    bytesInMemory.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+ArtifactCacheStats
+ArtifactCache::stats() const
+{
+    ArtifactCacheStats out;
+    out.hits = hitCount.load(std::memory_order_relaxed);
+    out.misses = missCount.load(std::memory_order_relaxed);
+    out.diskHits = diskHitCount.load(std::memory_order_relaxed);
+    out.inserts = insertCount.load(std::memory_order_relaxed);
+    out.evictions = evictionCount.load(std::memory_order_relaxed);
+    out.diskWrites = diskWriteCount.load(std::memory_order_relaxed);
+    out.bytesInMemory = bytesInMemory.load(std::memory_order_relaxed);
+    return out;
+}
+
+int64_t
+ArtifactCache::size() const
+{
+    int64_t total = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += static_cast<int64_t>(shard->index.size());
+    }
+    return total;
 }
 
 std::optional<std::string>
@@ -153,7 +220,7 @@ void
 ArtifactCache::storeToDisk(const ArtifactKey &key,
                            const std::string &payload)
 {
-    std::string path = diskPathFor(key);
+    const std::string path = diskPathFor(key);
     JsonWriter writer;
     writer.beginObject()
         .newline()
@@ -168,13 +235,35 @@ ArtifactCache::storeToDisk(const ArtifactKey &key,
         .field("payload", payload)
         .newline()
         .endObject();
-    std::ofstream file(path, std::ios::trunc);
-    if (!file) {
-        SOUFFLE_WARN("cannot write cache file '" << path << "'");
+    // Temp-file + rename: the final name only ever points at a fully
+    // written artifact, so concurrent readers (and readers after a
+    // crash) never see a partial file. The temp name is unique per
+    // (process, write), so concurrent writers of one key each write
+    // their own temp file; the last rename wins with identical bytes.
+    const uint64_t serial =
+        tempSerial.fetch_add(1, std::memory_order_relaxed);
+    const std::string temp = path + ".tmp." + std::to_string(::getpid())
+                             + "." + std::to_string(serial);
+    {
+        std::ofstream file(temp, std::ios::trunc);
+        if (!file) {
+            SOUFFLE_WARN("cannot write cache file '" << temp << "'");
+            return;
+        }
+        file << writer.str() << '\n';
+        if (!file.good()) {
+            SOUFFLE_WARN("short write to cache file '" << temp << "'");
+            file.close();
+            std::remove(temp.c_str());
+            return;
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        SOUFFLE_WARN("cannot publish cache file '" << path << "'");
+        std::remove(temp.c_str());
         return;
     }
-    file << writer.str() << '\n';
-    ++counters.diskWrites;
+    diskWriteCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace souffle

@@ -29,16 +29,44 @@
  * format, typically as JSON via JsonWriter/parseJson with
  * `setDoublePrecision(17)` so doubles round-trip exactly.
  *
- * Single-threaded by design, matching the rest of the compiler; the
- * serving simulator shares one instance across its module cache from
- * one event loop.
+ * ## Thread safety
+ *
+ * `get`/`put`/`stats` are safe to call concurrently: the memory layer
+ * is sharded — each key hashes to one of `shards` independent LRU
+ * sub-caches with its own mutex and `capacity / shards` byte budget —
+ * so parallel schedule searches contend only when they touch the same
+ * shard. Counters are atomics. With more than one shard the byte
+ * bound and LRU order therefore hold *per shard* (the global bound
+ * still holds exactly; eviction picks the coldest entry of the
+ * inserting shard, not of the whole cache). Tests that pin exact
+ * global LRU order construct the cache with `shards = 1`.
+ * `setDiskDir` is setup-time configuration and must not race with
+ * get/put.
+ *
+ * ## Crash safety & concurrent writers (disk layer)
+ *
+ * Disk writes go through a temp file in the cache directory followed
+ * by an atomic `rename(2)` onto the final name. A reader therefore
+ * never observes a partially-written artifact (a crash mid-write
+ * leaves only a stale `*.tmp.*` file, never a corrupt entry), and any
+ * number of processes or threads may write the same key concurrently:
+ * each writes its own temp file and the last rename wins. Because keys
+ * are content addresses, concurrent writers of one key carry identical
+ * payloads, so "last writer wins" is indistinguishable from "first
+ * writer wins" — and `loadFromDisk` verifies the full embedded key on
+ * every read regardless, so even a hash-colliding foreign file reads
+ * as a miss, never as a wrong artifact.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/hash.h"
 
@@ -88,17 +116,25 @@ struct ArtifactCacheStats
  * The cache. get()/put() never throw on I/O problems: an unreadable
  * or corrupt disk entry is treated as a miss (with a warning), an
  * unwritable directory degrades to memory-only. Artifacts larger than
- * the memory capacity are still persisted to disk when enabled.
+ * a shard's capacity are still persisted to disk when enabled.
  */
 class ArtifactCache
 {
   public:
-    /** @p memory_capacity_bytes bounds the in-memory payload bytes. */
-    explicit ArtifactCache(int64_t memory_capacity_bytes = 64 << 20);
+    /** Memory-shard count balancing lock contention vs LRU quality. */
+    static constexpr int kDefaultShards = 8;
+
+    /**
+     * @p memory_capacity_bytes bounds the in-memory payload bytes
+     * (split evenly across @p shards independent LRU sub-caches).
+     */
+    explicit ArtifactCache(int64_t memory_capacity_bytes = 64 << 20,
+                           int shards = kDefaultShards);
 
     /**
      * Attach an on-disk layer rooted at @p dir (created if absent).
-     * Pass an empty string to detach.
+     * Pass an empty string to detach. Setup-time only: must not race
+     * with concurrent get/put.
      */
     void setDiskDir(const std::string &dir);
     const std::string &diskDir() const { return diskRoot; }
@@ -109,10 +145,12 @@ class ArtifactCache
     /** Insert/overwrite @p key; persists to disk when attached. */
     void put(const ArtifactKey &key, const std::string &payload);
 
-    const ArtifactCacheStats &stats() const { return counters; }
+    /** Consistent snapshot of the monotonic counters. */
+    ArtifactCacheStats stats() const;
 
-    int64_t size() const { return static_cast<int64_t>(index.size()); }
+    int64_t size() const;
     int64_t capacityBytes() const { return capacity; }
+    int numShards() const { return static_cast<int>(shards.size()); }
 
   private:
     struct Entry
@@ -121,20 +159,42 @@ class ArtifactCache
         std::string payload;
     };
 
+    /** One independent LRU sub-cache under its own lock. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** MRU-first entry list; `index` maps key string → node. */
+        std::list<Entry> lru;
+        std::unordered_map<std::string, std::list<Entry>::iterator>
+            index;
+        int64_t bytes = 0;
+    };
+
+    Shard &shardFor(const std::string &index_key);
+
     /** Path of @p key's artifact file under the disk root. */
     std::string diskPathFor(const ArtifactKey &key) const;
-    /** Insert into the LRU, evicting from the cold end as needed. */
-    void insertMemory(const std::string &index_key,
-                      const std::string &payload);
+    /** Insert into a shard's LRU, evicting from its cold end as
+     *  needed. Caller must hold the shard's mutex. */
+    void insertMemoryLocked(Shard &shard, const std::string &index_key,
+                            const std::string &payload);
     std::optional<std::string> loadFromDisk(const ArtifactKey &key);
     void storeToDisk(const ArtifactKey &key, const std::string &payload);
 
     int64_t capacity;
+    int64_t shardCapacity;
     std::string diskRoot;
-    /** MRU-first entry list; `index` maps key string → list node. */
-    std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    ArtifactCacheStats counters;
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    std::atomic<int64_t> hitCount{0};
+    std::atomic<int64_t> missCount{0};
+    std::atomic<int64_t> diskHitCount{0};
+    std::atomic<int64_t> insertCount{0};
+    std::atomic<int64_t> evictionCount{0};
+    std::atomic<int64_t> diskWriteCount{0};
+    std::atomic<int64_t> bytesInMemory{0};
+    /** Uniquifier for concurrent temp files from one process. */
+    std::atomic<uint64_t> tempSerial{0};
 };
 
 } // namespace souffle

@@ -1,0 +1,271 @@
+#include "common/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+/** Thread-local index of the worker this thread runs as (-1 for
+ *  threads outside any pool). Indexes the owning pool's queues; valid
+ *  only while `tlsPool` matches the pool being asked. */
+thread_local ThreadPool *tlsPool = nullptr;
+thread_local int tlsWorker = -1;
+
+} // namespace
+
+ThreadPool::ThreadPool(int jobs)
+{
+    const int lanes = std::max(1, jobs);
+    queues.reserve(static_cast<size_t>(lanes) - 1);
+    for (int i = 0; i < lanes - 1; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(queues.size());
+    for (int i = 0; i < static_cast<int>(queues.size()); ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex);
+        stopping = true;
+    }
+    sleepCv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+    // Drain semantics: workers only exit once every deque is empty,
+    // so any task submitted before destruction has run by now.
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    SOUFFLE_CHECK(!queues.empty(),
+                  "submit() on a single-lane pool (jobs=1); run the "
+                  "task inline instead");
+    int target;
+    if (tlsPool == this && tlsWorker >= 0) {
+        target = tlsWorker;
+    } else {
+        target = static_cast<int>(
+            nextQueue.fetch_add(1, std::memory_order_relaxed)
+            % queues.size());
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues[target]->mutex);
+        queues[target]->tasks.push_back(std::move(task));
+    }
+    queued.fetch_add(1, std::memory_order_release);
+    sleepCv.notify_one();
+}
+
+bool
+ThreadPool::popFrom(int queue_index, bool steal, Task &out)
+{
+    WorkerQueue &queue = *queues[queue_index];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty())
+        return false;
+    if (steal) {
+        out = std::move(queue.tasks.front());
+        queue.tasks.pop_front();
+    } else {
+        out = std::move(queue.tasks.back());
+        queue.tasks.pop_back();
+    }
+    queued.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ThreadPool::findTask(int self, Task &out)
+{
+    // Own deque first (LIFO: the task pushed last is the hottest),
+    // then sweep the siblings in ring order stealing FIFO (the task
+    // its owner would run last).
+    if (self >= 0 && popFrom(self, /*steal=*/false, out))
+        return true;
+    const int n = static_cast<int>(queues.size());
+    const int start = self >= 0 ? self + 1 : 0;
+    for (int step = 0; step < n; ++step) {
+        const int victim = (start + step) % n;
+        if (victim == self)
+            continue;
+        if (popFrom(victim, /*steal=*/true, out))
+            return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::tryRunOneTask()
+{
+    if (queues.empty())
+        return false;
+    Task task;
+    const int self = tlsPool == this ? tlsWorker : -1;
+    if (!findTask(self, task))
+        return false;
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(int self)
+{
+    tlsPool = this;
+    tlsWorker = self;
+    for (;;) {
+        Task task;
+        if (findTask(self, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex);
+        if (stopping && queued.load(std::memory_order_acquire) == 0)
+            return;
+        // The timeout bounds the window of a lost wakeup (a submit
+        // that lands between the failed findTask and this wait).
+        sleepCv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+}
+
+namespace detail {
+
+void
+ParallelJob::runClaims()
+{
+    for (;;) {
+        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total)
+            return;
+        try {
+            (*body)(i);
+        } catch (...) {
+            // Record the lowest-index exception — the one a serial
+            // loop would have surfaced. No cancellation: which indices
+            // ran must never depend on timing.
+            std::lock_guard<std::mutex> lock(mutex);
+            if (errorIndex < 0 || i < errorIndex) {
+                errorIndex = i;
+                error = std::current_exception();
+            }
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+            std::lock_guard<std::mutex> lock(mutex);
+            cv.notify_all();
+        }
+    }
+}
+
+} // namespace detail
+
+void
+parallelFor(int64_t n, const std::function<void(int64_t)> &body,
+            ThreadPool *pool)
+{
+    if (n <= 0)
+        return;
+    if (pool == nullptr)
+        pool = &ThreadPool::global();
+    if (n == 1 || pool->jobs() <= 1) {
+        // Serial reference path: the parallel path must be
+        // byte-identical to this loop, including the exception
+        // semantics — every index runs (no cancellation), and the
+        // lowest-index exception is the one rethrown.
+        std::exception_ptr error;
+        for (int64_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    auto job = std::make_shared<detail::ParallelJob>();
+    job->body = &body;
+    job->total = n;
+    // One helper per worker lane (capped by the item count): each
+    // helper claims indices until the range is dry, so idle lanes
+    // cost one no-op task at most.
+    const int64_t helpers =
+        std::min<int64_t>(pool->jobs() - 1, n - 1);
+    for (int64_t h = 0; h < helpers; ++h)
+        pool->submit([job] { job->runClaims(); });
+
+    // The calling lane participates...
+    job->runClaims();
+    // ...then helps with *other* pending work (e.g. sibling loops of
+    // a nested parallelFor) while stragglers finish, so a lane is
+    // never parked while the pool has runnable tasks.
+    while (job->done.load(std::memory_order_acquire) < n) {
+        if (pool->tryRunOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(job->mutex);
+        job->cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+            return job->done.load(std::memory_order_acquire) >= n;
+        });
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_poolMutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool &
+globalPoolLocked(int jobs_if_absent)
+{
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(jobs_if_absent);
+    return *g_pool;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    return globalPoolLocked(defaultJobs());
+}
+
+void
+ThreadPool::setGlobalJobs(int jobs)
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    g_pool.reset(); // drains the old pool first
+    g_pool = std::make_unique<ThreadPool>(std::max(1, jobs));
+}
+
+int
+ThreadPool::globalJobs()
+{
+    return global().jobs();
+}
+
+int
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("SOUFFLE_JOBS")) {
+        const int jobs = std::atoi(env);
+        if (jobs >= 1)
+            return std::min(jobs, 256);
+        SOUFFLE_WARN("ignoring invalid SOUFFLE_JOBS='" << env << "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace souffle

@@ -1,0 +1,186 @@
+#pragma once
+
+/**
+ * @file
+ * Work-stealing thread pool + deterministic parallel loops.
+ *
+ * The compile pipeline is embarrassingly parallel across independent
+ * items (TEs inside `AutoScheduler::scheduleAll`, batch buckets inside
+ * the serving module cache, models inside the bench sweeps). This
+ * module provides the one pool those layers share, under a hard
+ * determinism contract:
+ *
+ *   **Output is byte-identical at every thread count.** `parallelFor`
+ *   assigns work by index, not by completion order: item i always
+ *   computes the same value into the same slot, results are joined in
+ *   index order, and nothing in a parallelized path may read the
+ *   clock, iteration order of shared containers, or any other
+ *   scheduling-dependent state. Only *counters* (memo hits, candidate
+ *   evaluations) may vary across thread counts, because two workers
+ *   can race to compute the same memoized value — both compute the
+ *   identical result, so artifacts are unaffected.
+ *
+ * Pool structure: one deque per worker. A task submitted from a worker
+ * thread goes to that worker's own deque (LIFO pop keeps nested loops
+ * cache-hot); external submissions are distributed round-robin. An
+ * idle worker steals from the front of a sibling's deque. `jobs` counts
+ * execution lanes *including the caller*: a pool with jobs=1 spawns no
+ * threads and `parallelFor` degenerates to a plain serial loop.
+ *
+ * Nesting: `parallelFor` from inside a worker task is fine — the
+ * calling lane claims indices itself and, while waiting for stragglers,
+ * executes other pending pool tasks instead of blocking, so nested
+ * loops cannot deadlock the pool.
+ *
+ * Exceptions: every index still runs (no cancellation — which indices
+ * executed must not depend on timing), every thrown exception is
+ * recorded, and the one with the **lowest index** is rethrown in the
+ * caller — the same exception a serial loop would have surfaced.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace souffle {
+
+/** The pool. Construction spawns the workers; destruction drains every
+ *  already-submitted task, then joins. Not copyable/movable. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @p jobs execution lanes including the caller (min 1), so the
+     *  pool spawns `jobs - 1` worker threads. */
+    explicit ThreadPool(int jobs);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains: every submitted task runs before the workers join. */
+    ~ThreadPool();
+
+    /** Execution lanes (worker threads + the calling lane). */
+    int jobs() const { return static_cast<int>(workers.size()) + 1; }
+
+    /**
+     * Enqueue @p task. From a worker thread it lands on that worker's
+     * own deque; otherwise it is distributed round-robin. Must not be
+     * called while the pool is being destroyed.
+     */
+    void submit(Task task);
+
+    /**
+     * Pop-and-run one pending task if any exists (own deque first,
+     * then steal). Used by lanes that are waiting on a parallel loop
+     * so they help instead of blocking. Returns false when every deque
+     * is empty.
+     */
+    bool tryRunOneTask();
+
+    /**
+     * The process-wide pool, created on first use with
+     * `defaultJobs()` lanes. All compile-layer parallelism
+     * (`parallelFor` with a null pool) goes through this instance.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of @p jobs lanes (clamped to
+     * >= 1). Drains the old pool first. Call from the top of main()
+     * (e.g. `--jobs=N`), never while parallel work is in flight.
+     */
+    static void setGlobalJobs(int jobs);
+
+    /** Lane count of the global pool (without forcing its creation
+     *  beyond what `global()` would do). */
+    static int globalJobs();
+
+    /**
+     * Default lane count: `SOUFFLE_JOBS` from the environment when set
+     * (clamped to [1, 256]), else `std::thread::hardware_concurrency`.
+     */
+    static int defaultJobs();
+
+  private:
+    /** One worker's state: its deque under its own mutex. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(int self);
+    bool popFrom(int queue_index, bool steal, Task &out);
+    /** Find + pop one task for lane @p self (own LIFO, then steal). */
+    bool findTask(int self, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+    /** Tasks submitted but not yet popped (all deques combined). */
+    std::atomic<int64_t> queued{0};
+    /** Round-robin cursor for external submissions. */
+    std::atomic<uint64_t> nextQueue{0};
+    std::mutex sleepMutex;
+    std::condition_variable sleepCv;
+    bool stopping = false;
+};
+
+namespace detail {
+
+/** Shared state of one parallelFor: an index claim counter, a done
+ *  counter, and the lowest-index exception. */
+struct ParallelJob
+{
+    const std::function<void(int64_t)> *body = nullptr;
+    int64_t total = 0;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+    int64_t errorIndex = -1;
+
+    /** Claim-and-run indices until the range is exhausted. */
+    void runClaims();
+};
+
+} // namespace detail
+
+/**
+ * Run `body(i)` for every i in [0, n), distributing indices over
+ * @p pool (the global pool when null). Blocks until every index
+ * completed; rethrows the lowest-index exception if any body threw.
+ * Deterministic: the value computed for each index is independent of
+ * the thread count, and with jobs=1 this is exactly a serial loop.
+ */
+void parallelFor(int64_t n, const std::function<void(int64_t)> &body,
+                 ThreadPool *pool = nullptr);
+
+/**
+ * Index-ordered parallel map: `out[i] = fn(i)` for i in [0, n), with
+ * the same determinism contract as `parallelFor`. The result type must
+ * be default-constructible and move-assignable.
+ */
+template <typename Fn>
+auto
+parallelMap(int64_t n, Fn &&fn, ThreadPool *pool = nullptr)
+    -> std::vector<std::invoke_result_t<Fn &, int64_t>>
+{
+    using Result = std::invoke_result_t<Fn &, int64_t>;
+    std::vector<Result> out(static_cast<size_t>(n));
+    parallelFor(
+        n, [&](int64_t i) { out[static_cast<size_t>(i)] = fn(i); },
+        pool);
+    return out;
+}
+
+} // namespace souffle

@@ -53,6 +53,15 @@ PassStatistics::totalMs() const
 }
 
 double
+PassStatistics::totalCpuMs() const
+{
+    double total = 0.0;
+    for (const PassTiming &timing : passes)
+        total += timing.cpuMs;
+    return total;
+}
+
+double
 PassStatistics::passMs(const std::string &pass) const
 {
     double total = 0.0;
@@ -85,9 +94,10 @@ PassStatistics::toString() const
 
     std::string out;
     for (const PassTiming &timing : passes) {
-        char line[64];
-        std::snprintf(line, sizeof(line), "  %10.3f ms  ",
-                      timing.wallMs);
+        char line[96];
+        std::snprintf(line, sizeof(line),
+                      "  %10.3f ms wall  %10.3f ms cpu  ",
+                      timing.wallMs, timing.cpuMs);
         out += timing.pass;
         out.append(width - timing.pass.size(), ' ');
         out += line;
@@ -100,10 +110,12 @@ PassStatistics::toString() const
         }
         out += "\n";
     }
-    char total[96];
+    char total[128];
     std::snprintf(total, sizeof(total),
-                  "total %.3f ms over %zu pass runs, %d analysis run(s)\n",
-                  totalMs(), passes.size(), analysisRuns);
+                  "total %.3f ms wall (%.3f ms cpu) over %zu pass "
+                  "runs, %d analysis run(s), jobs=%d\n",
+                  totalMs(), totalCpuMs(), passes.size(), analysisRuns,
+                  jobs);
     out += total;
     return out;
 }

@@ -2,17 +2,34 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 
 #include "common/artifact_cache.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "transform/partition.h"
 
 namespace souffle {
 
+namespace {
+
+/** Process CPU time in milliseconds (all threads of the process). */
+double
+processCpuMs()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) * 1e3
+           + static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+} // namespace
+
 void
 PassManager::runTimed(Pass &pass, CompileContext &ctx)
 {
-    ctx.stats.passes.push_back(PassTiming{pass.name(), 0.0, {}});
+    ctx.stats.passes.push_back(PassTiming{pass.name(), 0.0, 0.0, {}});
     // The entry pointer stays valid until the next push_back, which
     // only happens after this pass returns.
     ctx.currentTiming = &ctx.stats.passes.back();
@@ -21,6 +38,7 @@ PassManager::runTimed(Pass &pass, CompileContext &ctx)
     const ArtifactCache *cache = ctx.options.artifactCache.get();
     const ArtifactCacheStats before =
         cache ? cache->stats() : ArtifactCacheStats{};
+    const double cpu_start = processCpuMs();
     const auto start = std::chrono::steady_clock::now();
     try {
         pass.run(ctx);
@@ -29,6 +47,7 @@ PassManager::runTimed(Pass &pass, CompileContext &ctx)
         throw;
     }
     const auto end = std::chrono::steady_clock::now();
+    const double cpu_end = processCpuMs();
     if (cache) {
         const ArtifactCacheStats &after = cache->stats();
         if (after.hits != before.hits)
@@ -41,6 +60,7 @@ PassManager::runTimed(Pass &pass, CompileContext &ctx)
     }
     ctx.stats.passes.back().wallMs =
         std::chrono::duration<double, std::milli>(end - start).count();
+    ctx.stats.passes.back().cpuMs = cpu_end - cpu_start;
     ctx.currentTiming = nullptr;
 }
 
@@ -55,6 +75,7 @@ PassManager::add(std::unique_ptr<Pass> pass)
 void
 PassManager::run(CompileContext &ctx) const
 {
+    ctx.stats.jobs = ThreadPool::global().jobs();
     IrVerifier verifier;
     for (const auto &pass : passes) {
         runTimed(*pass, ctx);

@@ -30,6 +30,15 @@ struct PassTiming
 {
     std::string pass;
     double wallMs = 0.0;
+    /**
+     * Process CPU time consumed while the pass ran (all threads).
+     * `cpuMs / wallMs` approximates the parallel speedup a pass
+     * achieved on the thread pool; for a serial pass the two are
+     * equal. Caveat: the counter is process-wide, so concurrent
+     * compilations (e.g. parallel serving-bucket compiles) attribute
+     * each other's CPU to whichever pass was on the clock.
+     */
+    double cpuMs = 0.0;
     std::vector<PassCounter> counters;
 };
 
@@ -39,9 +48,15 @@ struct PassStatistics
     std::vector<PassTiming> passes;
     /** Times GlobalAnalysis was (re)computed during the pipeline. */
     int analysisRuns = 0;
+    /** Thread-pool lanes available while the pipeline ran (the
+     *  global `--jobs` setting), so per-pass speedup is observable. */
+    int jobs = 1;
 
     /** Sum of all per-pass wall times. */
     double totalMs() const;
+
+    /** Sum of all per-pass CPU times. */
+    double totalCpuMs() const;
 
     /** Sum of wall times of entries named @p pass (0 if absent). */
     double passMs(const std::string &pass) const;

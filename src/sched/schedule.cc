@@ -4,10 +4,13 @@
 #include <cmath>
 #include <sstream>
 
+#include <functional>
+
 #include "common/artifact_cache.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "te/fingerprint.h"
 
 namespace souffle {
@@ -71,26 +74,76 @@ AutoScheduler::AutoScheduler(const TeProgram &program,
                              const GlobalAnalysis &analysis,
                              DeviceSpec device, SchedulerMode mode,
                              ArtifactCache *cache,
-                             std::string options_salt)
+                             std::string options_salt,
+                             Fingerprint device_fp)
     : prog(program), analysis(analysis), deviceSpec(std::move(device)),
-      mode(mode), cache(cache), salt(std::move(options_salt))
+      mode(mode), cache(cache), salt(std::move(options_salt)),
+      deviceFp(device_fp)
 {
-    if (cache != nullptr)
+    // Hoisted: hashed once per scheduler (i.e. once per program),
+    // never on the per-TE path — unless the caller already computed
+    // it (the SchedulePass does, so repeated bucket compiles in one
+    // pipeline reuse a single hash).
+    if (cache != nullptr && !deviceFp.valid())
         deviceFp = deviceFingerprint(deviceSpec);
+}
+
+AutoScheduler::MemoShard &
+AutoScheduler::shardFor(const std::string &signature)
+{
+    // std::hash is fine here: the shard choice affects only lock
+    // contention, never which schedule a signature maps to.
+    return memo[std::hash<std::string>{}(signature) % kMemoShards];
 }
 
 std::string
 AutoScheduler::signatureOf(const TensorExpr &te) const
 {
+    // Built with plain appends (no ostringstream): this runs once per
+    // TE per compile, which on fully-unrolled models is thousands of
+    // times per scheduleAll.
     const TeInfo &info = analysis.teInfo(te.id);
-    std::ostringstream os;
-    os << (info.computeIntensive ? "C" : "M")
-       << (te.hasReduce() ? "R" : "E") << "|"
-       << joinToString(te.outShape, "x") << "|r"
-       << joinToString(te.reduceExtents, "x") << "|"
-       << dtypeName(prog.tensor(te.output).dtype) << "|o"
-       << countUnitOps(te.body) << "|n" << te.body->numReads();
-    return os.str();
+    std::string sig;
+    sig.reserve(64);
+    sig += info.computeIntensive ? 'C' : 'M';
+    sig += te.hasReduce() ? 'R' : 'E';
+    sig += '|';
+    for (size_t i = 0; i < te.outShape.size(); ++i) {
+        if (i != 0)
+            sig += 'x';
+        sig += std::to_string(te.outShape[i]);
+    }
+    sig += "|r";
+    for (size_t i = 0; i < te.reduceExtents.size(); ++i) {
+        if (i != 0)
+            sig += 'x';
+        sig += std::to_string(te.reduceExtents[i]);
+    }
+    sig += '|';
+    sig += dtypeName(prog.tensor(te.output).dtype);
+    sig += "|o";
+    sig += std::to_string(countUnitOps(te.body));
+    sig += "|n";
+    sig += std::to_string(te.body->numReads());
+    return sig;
+}
+
+Fingerprint
+AutoScheduler::fingerprintFor(int te_id, const std::string &signature)
+{
+    MemoShard &shard = shardFor(signature);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.fingerprints.find(signature);
+        if (it != shard.fingerprints.end())
+            return it->second;
+    }
+    // Hash outside the lock; a racing duplicate computes the same
+    // fingerprint, so emplace keeps whichever landed first.
+    const Fingerprint fp = teFingerprint(prog, te_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.fingerprints.emplace(signature, fp);
+    return fp;
 }
 
 Schedule
@@ -98,12 +151,16 @@ AutoScheduler::schedule(int te_id)
 {
     const TensorExpr &te = prog.te(te_id);
     const std::string sig = signatureOf(te);
-    auto it = memo.find(sig);
-    if (it != memo.end()) {
-        ++hits;
-        Schedule sched = it->second;
-        sched.teId = te_id;
-        return sched;
+    MemoShard &shard = shardFor(sig);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.schedules.find(sig);
+        if (it != shard.schedules.end()) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            Schedule sched = it->second;
+            sched.teId = te_id;
+            return sched;
+        }
     }
 
     // Artifact cache, consulted only on intra-program memo misses.
@@ -113,19 +170,24 @@ AutoScheduler::schedule(int te_id)
     ArtifactKey key;
     if (cache != nullptr) {
         key.kind = "schedule";
-        key.content = teFingerprint(prog, te_id);
+        key.content = fingerprintFor(te_id, sig);
         key.device = deviceFp;
         key.salt = salt;
         if (std::optional<std::string> payload = cache->get(key)) {
-            ++artifactHits;
+            artifactHits.fetch_add(1, std::memory_order_relaxed);
             Schedule sched = deserializeSchedule(*payload);
             sched.teId = te_id;
-            memo.emplace(sig, sched);
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.schedules.emplace(sig, sched);
             return sched;
         }
-        ++artifactMisses;
+        artifactMisses.fetch_add(1, std::memory_order_relaxed);
     }
 
+    // The search runs outside the memo lock: two workers racing on
+    // one signature both search and compute the identical schedule
+    // (the search is deterministic), so the only observable effect of
+    // the race is a higher candidatesEvaluated count.
     const TeInfo &info = analysis.teInfo(te_id);
     Schedule sched;
     if (info.computeIntensive && te.hasReduce())
@@ -135,7 +197,10 @@ AutoScheduler::schedule(int te_id)
     else
         sched = scheduleElementwise(te, info);
     sched.teId = te_id;
-    memo.emplace(sig, sched);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.schedules.emplace(sig, sched);
+    }
     if (cache != nullptr)
         cache->put(key, serializeSchedule(sched));
     return sched;
@@ -144,10 +209,15 @@ AutoScheduler::schedule(int te_id)
 std::vector<Schedule>
 AutoScheduler::scheduleAll()
 {
-    std::vector<Schedule> result;
-    result.reserve(prog.numTes());
-    for (int i = 0; i < prog.numTes(); ++i)
-        result.push_back(schedule(i));
+    // Index-ordered fan-out: slot i always holds TE i's schedule, so
+    // the result is byte-identical to the serial loop at any thread
+    // count (see common/thread_pool.h for the determinism contract).
+    std::vector<Schedule> result(
+        static_cast<size_t>(prog.numTes()));
+    parallelFor(prog.numTes(), [&](int64_t i) {
+        result[static_cast<size_t>(i)] =
+            schedule(static_cast<int>(i));
+    });
     return result;
 }
 

@@ -11,7 +11,10 @@
  * candidates ranked by an analytic cost model on the device spec.
  */
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -94,6 +97,22 @@ enum class SchedulerMode : uint8_t
  * input, a cache hit returns exactly the schedule the search would
  * have produced — compilation results are byte-identical with or
  * without the cache, only `candidatesEvaluated()` changes.
+ *
+ * Thread safety: `schedule` may be called concurrently —
+ * `scheduleAll` fans the per-TE searches out over the global
+ * ThreadPool. The memo (and the per-signature fingerprint cache) is
+ * sharded by signature hash under one mutex per shard. Two workers
+ * racing on the same signature may both run the search; both compute
+ * the identical schedule (the search is a pure function of the TE,
+ * device, and mode), so artifacts are byte-identical at every thread
+ * count while `candidatesEvaluated`/`memoHits` may differ by such
+ * races — the one documented determinism exemption.
+ *
+ * Hashing is hoisted off the hot path: the device fingerprint is
+ * computed once per scheduler (or taken precomputed from the caller),
+ * and each distinct TE structure is fingerprinted at most once per
+ * scheduler via the per-signature fingerprint cache, so a warm
+ * `scheduleAll` does no redundant hashing.
  */
 class AutoScheduler
 {
@@ -102,17 +121,21 @@ class AutoScheduler
                   DeviceSpec device,
                   SchedulerMode mode = SchedulerMode::kSearch,
                   ArtifactCache *cache = nullptr,
-                  std::string options_salt = "");
+                  std::string options_salt = "",
+                  Fingerprint device_fp = {});
 
-    /** Schedule one TE. */
+    /** Schedule one TE (thread-safe). */
     Schedule schedule(int te_id);
 
-    /** Schedule every TE in the program. */
+    /** Schedule every TE in the program, fanning the tile searches
+     *  out across the global ThreadPool. Results are index-ordered:
+     *  byte-identical to the serial loop at every thread count. */
     std::vector<Schedule> scheduleAll();
 
     const DeviceSpec &device() const { return deviceSpec; }
 
-    /** Number of cost-model evaluations performed (for stats/tests). */
+    /** Number of cost-model evaluations performed (for stats/tests).
+     *  May vary across thread counts by benign memo races. */
     int64_t candidatesEvaluated() const { return evaluated; }
     /** Number of memoization hits (for stats/tests). */
     int64_t memoHits() const { return hits; }
@@ -121,10 +144,27 @@ class AutoScheduler
     int64_t cacheMisses() const { return artifactMisses; }
 
   private:
+    /** Memo shard count (fixed; shard choice never affects results). */
+    static constexpr size_t kMemoShards = 16;
+
+    struct MemoShard
+    {
+        std::mutex mutex;
+        std::unordered_map<std::string, Schedule> schedules;
+        /** Structural fingerprint per signature, computed at most
+         *  once per scheduler (hashing hoist for warm compiles). */
+        std::unordered_map<std::string, Fingerprint> fingerprints;
+    };
+
+    MemoShard &shardFor(const std::string &signature);
+
     Schedule scheduleContraction(const TensorExpr &te, const TeInfo &info);
     Schedule scheduleElementwise(const TensorExpr &te, const TeInfo &info);
     Schedule scheduleReduction(const TensorExpr &te, const TeInfo &info);
     std::string signatureOf(const TensorExpr &te) const;
+    /** Fingerprint of @p te_id, served from the signature-keyed cache
+     *  when this structure was hashed before. */
+    Fingerprint fingerprintFor(int te_id, const std::string &signature);
 
     const TeProgram &prog;
     const GlobalAnalysis &analysis;
@@ -133,11 +173,11 @@ class AutoScheduler
     ArtifactCache *cache;
     std::string salt;
     Fingerprint deviceFp;
-    std::unordered_map<std::string, Schedule> memo;
-    int64_t evaluated = 0;
-    int64_t hits = 0;
-    int64_t artifactHits = 0;
-    int64_t artifactMisses = 0;
+    std::array<MemoShard, kMemoShards> memo;
+    std::atomic<int64_t> evaluated{0};
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> artifactHits{0};
+    std::atomic<int64_t> artifactMisses{0};
 };
 
 } // namespace souffle

@@ -8,11 +8,16 @@ namespace souffle {
 void
 SchedulePass::run(CompileContext &ctx)
 {
+    // Device fingerprint hoisted out of the scheduler: hashed once
+    // per pass run, reused for every per-TE cache key.
+    const Fingerprint device_fp =
+        ctx.options.artifactCache ? deviceFingerprint(ctx.options.device)
+                                  : Fingerprint{};
     AutoScheduler scheduler(ctx.program(), ctx.analysis(),
                             ctx.options.device,
                             ctx.options.schedulerMode,
                             ctx.options.artifactCache.get(),
-                            ctx.options.scheduleCacheSalt());
+                            ctx.options.scheduleCacheSalt(), device_fp);
     ctx.schedules = scheduler.scheduleAll();
     ctx.counter("scheduled", static_cast<int64_t>(ctx.schedules.size()));
     ctx.counter("candidates", scheduler.candidatesEvaluated());

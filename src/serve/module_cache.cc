@@ -1,5 +1,6 @@
 #include "serve/module_cache.h"
 
+#include "common/thread_pool.h"
 #include "models/zoo.h"
 
 namespace souffle::serve {
@@ -27,27 +28,119 @@ ModuleCache::scheduleCacheMisses() const
     return opts.artifactCache->stats().misses;
 }
 
-const CachedModule &
-ModuleCache::get(const std::string &model, int batch)
+int
+ModuleCache::hits() const
 {
-    const auto key = std::make_pair(model, batch);
-    auto it = entries.find(key);
-    if (it != entries.end()) {
-        ++hitCount;
-        return it->second;
-    }
-    ++missCount;
+    std::lock_guard<std::mutex> lock(mutex);
+    return hitCount;
+}
 
+int
+ModuleCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return missCount;
+}
+
+double
+ModuleCache::compileMsTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return compileMs;
+}
+
+int
+ModuleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return static_cast<int>(entries.size());
+}
+
+int
+ModuleCache::compileCount(const std::string &model, int batch) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = compileStarts.find(std::make_pair(model, batch));
+    return it == compileStarts.end() ? 0 : it->second;
+}
+
+std::unique_ptr<CachedModule>
+ModuleCache::build(const std::string &model, int batch)
+{
     const Graph graph = tiny ? buildTinyModel(model, batch)
                              : buildPaperModel(model, batch);
-    CachedModule entry;
-    entry.compiled = compileWithPipeline(
+    auto entry = std::make_unique<CachedModule>();
+    entry->compiled = compileWithPipeline(
         pipeline, graph, opts,
         model + "@b" + std::to_string(batch) + "(V"
             + std::to_string(static_cast<int>(opts.level)) + ")");
-    entry.sim = simulate(entry.compiled.module, opts.device);
-    compileMs += entry.compiled.compileTimeMs;
-    return entries.emplace(key, std::move(entry)).first->second;
+    entry->sim = simulate(entry->compiled.module, opts.device);
+    return entry;
+}
+
+const CachedModule &
+ModuleCache::get(const std::string &model, int batch)
+{
+    const Key key = std::make_pair(model, batch);
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        auto it = entries.find(key);
+        if (it == entries.end())
+            break; // no slot: this caller owns the compile
+        if (it->second.module) {
+            ++hitCount;
+            return *it->second.module;
+        }
+        // Another caller is compiling this bucket; wait for the slot
+        // to turn ready (hit) or be erased (failed compile — retry by
+        // re-running the loop, which makes this caller the owner).
+        cv.wait(lock);
+    }
+
+    // Single-flight owner: publish the in-flight slot, then compile
+    // with the lock dropped so distinct buckets overlap.
+    entries[key];
+    ++missCount;
+    ++compileStarts[key];
+    lock.unlock();
+
+    std::unique_ptr<CachedModule> built;
+    std::exception_ptr error;
+    try {
+        built = build(model, batch);
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    lock.lock();
+    if (error) {
+        entries.erase(key);
+        cv.notify_all();
+        std::rethrow_exception(error);
+    }
+    compileMs += built->compiled.compileTimeMs;
+    Slot &slot = entries[key];
+    slot.module = std::move(built);
+    cv.notify_all();
+    return *slot.module;
+}
+
+void
+ModuleCache::warmup(const std::vector<std::string> &models,
+                    const std::vector<int> &batches)
+{
+    std::vector<Key> buckets;
+    for (const std::string &model : models) {
+        for (int batch : batches) {
+            if (batch > 1 && !modelSupportsBatching(model))
+                continue;
+            buckets.emplace_back(model, batch);
+        }
+    }
+    parallelFor(static_cast<int64_t>(buckets.size()), [&](int64_t i) {
+        const Key &bucket = buckets[static_cast<size_t>(i)];
+        get(bucket.first, bucket.second);
+    });
 }
 
 } // namespace souffle::serve

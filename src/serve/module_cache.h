@@ -21,11 +21,26 @@
  * Callers can pre-seed `options.artifactCache` (e.g. with a disk-
  * backed instance) to share across processes; otherwise the
  * constructor creates a private in-memory one.
+ *
+ * Thread safety: `get` may be called concurrently and deduplicates
+ * compiles per bucket (single-flight): the first caller of a missing
+ * bucket compiles it while later callers of the same bucket block on
+ * the result instead of compiling again, so each bucket is compiled
+ * exactly once no matter how many threads race on it (observable via
+ * `compileCount`). Distinct buckets compile concurrently — the mutex
+ * covers only map/counter bookkeeping, never a compile. A failed
+ * compile propagates its exception to the owner and every waiter and
+ * erases the slot, so a later `get` retries (same behavior as the
+ * serial cache, which never cached failures).
  */
 
+#include <condition_variable>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/artifact_cache.h"
 #include "compiler/souffle.h"
@@ -55,16 +70,32 @@ class ModuleCache
 
     /**
      * The compiled module + timing for @p batch copies of @p model,
-     * compiling on first use. Throws UnsupportedError for batch > 1
-     * on models without a batched builder.
+     * compiling on first use (single-flight under concurrency).
+     * Throws UnsupportedError for batch > 1 on models without a
+     * batched builder. The returned reference stays valid for the
+     * cache's lifetime.
      */
     const CachedModule &get(const std::string &model, int batch);
 
-    int hits() const { return hitCount; }
-    int misses() const { return missCount; }
+    /**
+     * Compile the cross product of @p models x @p batches up front,
+     * fanning the bucket compiles out across the global ThreadPool.
+     * Buckets a model does not support (batch > 1 without a batched
+     * builder) are skipped, matching what a serving run could ever
+     * request. Counts as misses, like lazy fills.
+     */
+    void warmup(const std::vector<std::string> &models,
+                const std::vector<int> &batches);
+
+    int hits() const;
+    int misses() const;
     /** Total wall-clock compile time spent filling the cache (ms). */
-    double compileMsTotal() const { return compileMs; }
-    int size() const { return static_cast<int>(entries.size()); }
+    double compileMsTotal() const;
+    int size() const;
+    /** Times a compile was started for this bucket (single-flight
+     *  keeps this at 1 under any concurrent burst; a failed compile
+     *  plus retry shows up as 2). */
+    int compileCount(const std::string &model, int batch) const;
 
     /** Schedule-level artifact-cache hits/misses across all compiles. */
     int64_t scheduleCacheHits() const;
@@ -76,11 +107,31 @@ class ModuleCache
     const SouffleOptions &options() const { return opts; }
 
   private:
+    using Key = std::pair<std::string, int>;
+
+    /** One bucket: `module == nullptr` means a compile is in flight. */
+    struct Slot
+    {
+        std::unique_ptr<CachedModule> module;
+    };
+
+    /** Compile + simulate one bucket (no locks held). */
+    std::unique_ptr<CachedModule> build(const std::string &model,
+                                        int batch);
+
     bool tiny;
     SouffleOptions opts;
     PassManager pipeline;
-    /** (model, batch) -> entry; the level is fixed per cache. */
-    std::map<std::pair<std::string, int>, CachedModule> entries;
+
+    mutable std::mutex mutex;
+    /** Signalled whenever a slot becomes ready or is erased. */
+    std::condition_variable cv;
+    /** (model, batch) -> slot; the level is fixed per cache. Node
+     *  addresses are stable, so ready modules can be handed out by
+     *  reference while other buckets insert. */
+    std::map<Key, Slot> entries;
+    /** Compile starts per bucket; survives failed-compile erases. */
+    std::map<Key, int> compileStarts;
     int hitCount = 0;
     int missCount = 0;
     double compileMs = 0.0;

@@ -28,6 +28,9 @@ runServeSim(const ServeConfig &config, ModuleCache &cache)
     DynamicBatcher batcher(config.batcher);
     const DeviceSpec &device = config.compiler.device;
 
+    if (config.prewarm)
+        cache.warmup({config.model}, batcher.config().buckets);
+
     ServingReport report;
     report.model = config.model;
     report.level = static_cast<int>(config.compiler.level);

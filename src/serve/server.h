@@ -48,6 +48,16 @@ struct ServeConfig
     int numStreams = 2;
     BatcherConfig batcher;
     WorkloadSpec workload;
+    /**
+     * Compile every configured bucket up front — in parallel across
+     * the global ThreadPool — before the event loop starts, like a
+     * production server warming its cache before taking traffic. The
+     * report's cacheMisses/compileMsTotal then cover only event-loop
+     * compiles (partial flush sizes outside the bucket list may still
+     * fill lazily). Off by default so cold-start behavior stays
+     * observable.
+     */
+    bool prewarm = false;
 };
 
 /**

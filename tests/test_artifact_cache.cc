@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -96,7 +98,10 @@ TEST(ArtifactCache, OverwriteReplacesPayload)
 
 TEST(ArtifactCache, LruEvictsColdestUnderByteCapacity)
 {
-    ArtifactCache cache(/*memory_capacity_bytes=*/10);
+    // shards=1 pins one global LRU order; the sharded default splits
+    // the byte budget across shards, so cross-key eviction order is
+    // only defined within a shard.
+    ArtifactCache cache(/*memory_capacity_bytes=*/10, /*shards=*/1);
     cache.put(key("a"), "aaaa"); // 4 bytes
     cache.put(key("b"), "bbbb"); // 8 bytes total
     EXPECT_TRUE(cache.get(key("a")).has_value()); // refresh a's recency
@@ -110,7 +115,7 @@ TEST(ArtifactCache, LruEvictsColdestUnderByteCapacity)
 
 TEST(ArtifactCache, OversizedPayloadSkipsMemory)
 {
-    ArtifactCache cache(/*memory_capacity_bytes=*/4);
+    ArtifactCache cache(/*memory_capacity_bytes=*/4, /*shards=*/1);
     cache.put(key("big"), "way-too-large-for-memory");
     EXPECT_EQ(cache.size(), 0);
     EXPECT_EQ(cache.stats().bytesInMemory, 0);
@@ -208,6 +213,100 @@ TEST(ArtifactCache, WrongKeyInFileReadsAsMiss)
     ArtifactCache reader;
     reader.setDiskDir(dir.path);
     EXPECT_FALSE(reader.get(key("a", "salt-one")).has_value());
+}
+
+TEST(ArtifactCache, DiskWritesLeaveNoTempFiles)
+{
+    TempDir dir;
+    ArtifactCache cache;
+    cache.setDiskDir(dir.path);
+    for (int i = 0; i < 8; ++i)
+        cache.put(key("k" + std::to_string(i)), "payload");
+    EXPECT_EQ(cache.stats().diskWrites, 8);
+    // Writes go through temp-file + rename; after put returns only
+    // the final files may exist.
+    std::string listing;
+    {
+        FILE *pipe = ::popen(("ls -a " + dir.path).c_str(), "r");
+        ASSERT_NE(pipe, nullptr);
+        char name[256];
+        int files = 0;
+        while (std::fscanf(pipe, "%255s", name) == 1) {
+            listing += name;
+            listing += "\n";
+            if (name[0] != '.')
+                ++files;
+        }
+        ::pclose(pipe);
+        EXPECT_EQ(files, 8) << listing;
+    }
+    EXPECT_EQ(listing.find(".tmp."), std::string::npos) << listing;
+}
+
+TEST(ArtifactCache, ConcurrentPutGetIsConsistent)
+{
+    TempDir dir;
+    ArtifactCache cache(/*memory_capacity_bytes=*/1 << 20);
+    cache.setDiskDir(dir.path);
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 32;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (int i = 0; i < kKeys; ++i) {
+                const std::string content = "k" + std::to_string(i);
+                // Concurrent same-key writers store identical
+                // content-addressed payloads (the real workload).
+                cache.put(key(content), "payload-" + content);
+                const auto hit = cache.get(key(content));
+                ASSERT_TRUE(hit.has_value()) << "thread " << t;
+                EXPECT_EQ(*hit, "payload-" + content);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int i = 0; i < kKeys; ++i) {
+        const std::string content = "k" + std::to_string(i);
+        const auto hit = cache.get(key(content));
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, "payload-" + content);
+    }
+    const ArtifactCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.inserts, kThreads * kKeys);
+    EXPECT_EQ(stats.diskWrites, kThreads * kKeys);
+}
+
+TEST(ArtifactCache, ConcurrentReadersShareOneDiskPromotion)
+{
+    TempDir dir;
+    {
+        ArtifactCache writer;
+        writer.setDiskDir(dir.path);
+        writer.put(key("a"), "payload-a");
+    }
+    ArtifactCache reader;
+    reader.setDiskDir(dir.path);
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reader] {
+            for (int i = 0; i < 16; ++i) {
+                const auto hit = reader.get(key("a"));
+                ASSERT_TRUE(hit.has_value());
+                EXPECT_EQ(*hit, "payload-a");
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(reader.stats().hits, kThreads * 16);
+    // Every racer that missed memory promoted the same payload;
+    // whatever the interleaving, the entry is stored exactly once.
+    EXPECT_EQ(reader.size(), 1);
+    EXPECT_GE(reader.stats().diskHits, 1);
 }
 
 TEST(ArtifactCache, UnwritableDirDegradesToMemoryOnly)

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The parallel-compilation determinism contract, pinned end to end:
+ * compiling with any `--jobs` count must produce byte-identical
+ * artifacts — programHash, TE program text, kernel IR text, and
+ * generated CUDA — to the serial compile, for every zoo model at
+ * every ablation level, with and without the artifact cache.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda.h"
+#include "common/artifact_cache.h"
+#include "common/thread_pool.h"
+#include "compiler/souffle.h"
+#include "models/zoo.h"
+
+namespace souffle {
+namespace {
+
+/** Restores the global pool's lane count at scope end. */
+struct GlobalJobsGuard
+{
+    int saved = ThreadPool::globalJobs();
+    ~GlobalJobsGuard() { ThreadPool::setGlobalJobs(saved); }
+};
+
+/** The byte-exact artifact surface of one compile. */
+struct ArtifactText
+{
+    std::string hash;
+    std::string program;
+    std::string module;
+    std::string cuda;
+
+    bool operator==(const ArtifactText &) const = default;
+};
+
+ArtifactText
+artifactsOf(const Compiled &compiled)
+{
+    return ArtifactText{compiled.programHash.toHex(),
+                        compiled.program.toString(),
+                        compiled.module.toString(),
+                        emitCudaModule(compiled)};
+}
+
+TEST(ParallelCompile, ZooArtifactsByteIdenticalAcrossThreadCounts)
+{
+    GlobalJobsGuard guard;
+    for (const std::string &model : paperModelNames()) {
+        const Graph graph = buildTinyModel(model);
+        for (int level = 0; level <= 4; ++level) {
+            SouffleOptions options;
+            options.level = static_cast<SouffleLevel>(level);
+
+            ThreadPool::setGlobalJobs(1);
+            const ArtifactText reference =
+                artifactsOf(compileSouffle(graph, options));
+
+            for (int jobs : {2, 8}) {
+                ThreadPool::setGlobalJobs(jobs);
+                const ArtifactText parallel =
+                    artifactsOf(compileSouffle(graph, options));
+                EXPECT_EQ(parallel.hash, reference.hash)
+                    << model << " V" << level << " jobs=" << jobs;
+                EXPECT_EQ(parallel.program, reference.program)
+                    << model << " V" << level << " jobs=" << jobs;
+                EXPECT_EQ(parallel.module, reference.module)
+                    << model << " V" << level << " jobs=" << jobs;
+                EXPECT_EQ(parallel.cuda, reference.cuda)
+                    << model << " V" << level << " jobs=" << jobs;
+            }
+        }
+    }
+}
+
+TEST(ParallelCompile, CachedCompilesStayByteIdenticalUnderParallelism)
+{
+    // Cache + parallelism together: racing workers may both search a
+    // signature, but cold and warm artifacts must match serial ones.
+    GlobalJobsGuard guard;
+    for (const std::string &model : paperModelNames()) {
+        const Graph graph = buildTinyModel(model);
+        SouffleOptions serial_opts; // V4
+        serial_opts.artifactCache = std::make_shared<ArtifactCache>();
+        ThreadPool::setGlobalJobs(1);
+        const ArtifactText reference =
+            artifactsOf(compileSouffle(graph, serial_opts));
+
+        SouffleOptions parallel_opts;
+        parallel_opts.artifactCache = std::make_shared<ArtifactCache>();
+        ThreadPool::setGlobalJobs(8);
+        const ArtifactText cold =
+            artifactsOf(compileSouffle(graph, parallel_opts));
+        const ArtifactText warm =
+            artifactsOf(compileSouffle(graph, parallel_opts));
+        EXPECT_EQ(cold, reference) << model;
+        EXPECT_EQ(warm, reference) << model;
+    }
+}
+
+TEST(ParallelCompile, PassStatsRecordJobs)
+{
+    GlobalJobsGuard guard;
+    const Graph graph = buildTinyModel("MMoE");
+    ThreadPool::setGlobalJobs(3);
+    const Compiled compiled = compileSouffle(graph, {});
+    EXPECT_EQ(compiled.passStats.jobs, 3);
+    // The per-pass report carries wall and CPU time plus the knob.
+    const std::string report = compiled.passStats.toString();
+    EXPECT_NE(report.find("ms cpu"), std::string::npos);
+    EXPECT_NE(report.find("jobs=3"), std::string::npos);
+}
+
+} // namespace
+} // namespace souffle

@@ -8,6 +8,9 @@
  * subsystem exists.
  */
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
@@ -191,6 +194,51 @@ TEST(ModuleCache, RejectsBatchingUnsupportedModels)
     EXPECT_THROW(cache.get("LSTM", 2), UnsupportedError);
     EXPECT_TRUE(modelSupportsBatching("BERT"));
     EXPECT_FALSE(modelSupportsBatching("LSTM"));
+    // The failed bucket is not cached: a retry compiles (and throws)
+    // again, and compile counts make the attempts observable.
+    EXPECT_THROW(cache.get("LSTM", 2), UnsupportedError);
+    EXPECT_EQ(cache.compileCount("LSTM", 2), 2);
+    EXPECT_EQ(cache.compileCount("LSTM", 1), 1);
+}
+
+TEST(ModuleCache, ConcurrentGetsSingleFlightPerBucket)
+{
+    // A burst of threads racing on the same cold bucket must compile
+    // it exactly once; the other threads block on the in-flight slot
+    // and then share the module.
+    ModuleCache cache(/*tiny=*/true, SouffleOptions{});
+    constexpr int kThreads = 8;
+    std::vector<const CachedModule *> seen(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back(
+            [&cache, &seen, t] { seen[t] = &cache.get("BERT", 4); });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(cache.compileCount("BERT", 4), 1);
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), kThreads - 1);
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t], seen[0]) << "thread " << t;
+}
+
+TEST(ModuleCache, WarmupFillsSupportedBucketsInParallel)
+{
+    ModuleCache cache(/*tiny=*/true, SouffleOptions{});
+    cache.warmup({"BERT", "LSTM"}, {1, 4});
+    // LSTM has no batched builder, so its batch-4 bucket is skipped
+    // rather than compiled-and-thrown.
+    EXPECT_EQ(cache.size(), 3);
+    EXPECT_EQ(cache.compileCount("BERT", 1), 1);
+    EXPECT_EQ(cache.compileCount("BERT", 4), 1);
+    EXPECT_EQ(cache.compileCount("LSTM", 1), 1);
+    EXPECT_EQ(cache.compileCount("LSTM", 4), 0);
+    // Warm buckets are pure hits afterwards.
+    const int misses = cache.misses();
+    cache.get("BERT", 4);
+    EXPECT_EQ(cache.misses(), misses);
 }
 
 ServeConfig
@@ -202,6 +250,24 @@ tinyBertConfig(double rate_rps)
     config.numStreams = 2;
     config.workload = poisson(rate_rps, 50e3);
     return config;
+}
+
+TEST(ServeSim, PrewarmMovesCompilesOutOfTheServingWindow)
+{
+    ServeConfig cold = tinyBertConfig(8000);
+    const ServingReport cold_report = runServeSim(cold);
+    EXPECT_GT(cold_report.cacheMisses, 0);
+
+    ServeConfig warm = cold;
+    warm.prewarm = true;
+    const ServingReport warm_report = runServeSim(warm);
+    // Every dispatchable size is a bucket, and prewarm compiled all
+    // of them before the snapshot: the serving window is compile-free
+    // but the simulated timeline is unchanged.
+    EXPECT_EQ(warm_report.cacheMisses, 0);
+    EXPECT_EQ(warm_report.compileMsTotal, 0.0);
+    EXPECT_EQ(warm_report.completed, cold_report.completed);
+    EXPECT_DOUBLE_EQ(warm_report.makespanUs, cold_report.makespanUs);
 }
 
 TEST(ServeSim, DeterministicEndToEnd)

@@ -13,6 +13,10 @@
  *   --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree
  *   --level=0..4           Souffle ablation level (default 4)
  *   --device=a100|v100|h100  device-model preset (default a100)
+ *   --jobs=N               compile-parallelism lanes (default: the
+ *                          SOUFFLE_JOBS env var, else hardware
+ *                          concurrency; output is byte-identical at
+ *                          any value)
  *   --cache-dir=DIR        on-disk schedule cache shared across runs
  *   --adaptive             enable adaptive fusion
  *   --roller               use the Roller-style fast scheduler
@@ -55,6 +59,7 @@
 #include "common/artifact_cache.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "compiler/souffle.h"
 #include "gpu/trace.h"
 #include "graph/serialize.h"
@@ -86,6 +91,9 @@ struct CliOptions
     serve::ServeConfig serve;
     /** Batched zoo variant for compile/run/lint/inspect. */
     int batch = 1;
+    /** Compile-parallelism lanes; 0 keeps the pool default
+     *  (SOUFFLE_JOBS env, else hardware concurrency). */
+    int jobs = 0;
 };
 
 int
@@ -98,7 +106,9 @@ usage()
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
         "  --level=0..4  --device=a100|v100|h100  --cache-dir=DIR\n"
-        "  --adaptive  --roller  --strict\n"
+        "  --jobs=N (compile-parallelism lanes; default SOUFFLE_JOBS "
+        "or hardware concurrency)\n"
+        "  --adaptive  --roller  --strict  --batch=N\n"
         "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n"
         "  lint: --format=text|json  --fail-on=warning|error  "
         "--rule=ID[,ID...]\n"
@@ -206,6 +216,11 @@ parseArgs(int argc, char **argv, CliOptions &options)
         }
         else if (arg.rfind("--batch=", 0) == 0)
             options.batch = std::stoi(value_of("--batch="));
+        else if (arg.rfind("--jobs=", 0) == 0) {
+            options.jobs = std::stoi(value_of("--jobs="));
+            if (options.jobs < 1)
+                return false;
+        }
         else if (arg.rfind("--rate=", 0) == 0)
             options.serve.workload.arrivalRatePerSec =
                 std::stod(value_of("--rate="));
@@ -261,6 +276,11 @@ cliMain(int argc, char **argv)
     if (!parseArgs(argc, argv, options))
         return usage();
 
+    // Apply the parallelism knob before any compile work; output is
+    // byte-identical at every value (see common/thread_pool.h).
+    if (options.jobs > 0)
+        ThreadPool::setGlobalJobs(options.jobs);
+
     if (options.command == "list") {
         std::printf("zoo models (paper Table 2):\n");
         for (const std::string &name : paperModelNames())
@@ -286,6 +306,10 @@ cliMain(int argc, char **argv)
         }
         options.serve.compiler = options.souffle;
         options.serve.workload.seed = options.seed;
+        if (options.lintFormat != "json")
+            std::printf("serve-sim: model %s, jobs %d\n",
+                        options.serve.model.c_str(),
+                        ThreadPool::globalJobs());
         const serve::ServingReport report =
             serve::runServeSim(options.serve);
         std::printf("%s", options.lintFormat == "json"
@@ -336,6 +360,8 @@ cliMain(int argc, char **argv)
             soufflePipeline(options.souffle).run(ctx);
             report = linter.run(ctx);
             if (options.lintFormat == "text") {
+                std::printf("lint: jobs %d\n",
+                            ThreadPool::globalJobs());
                 std::printf("lint: %s, %d TEs, %d kernel(s), %lld "
                             "reachability queries\n",
                             ctx.result.name.c_str(),
@@ -374,10 +400,11 @@ cliMain(int argc, char **argv)
                                options.souffle.device);
 
     std::printf("%s: %d ops -> %d TEs -> %d kernel(s)  "
-                "(compile %.1f ms",
+                "(compile %.1f ms, jobs %d",
                 compiled.name.c_str(), graph.numOps(),
                 compiled.program.numTes(),
-                compiled.module.numKernels(), compiled.compileTimeMs);
+                compiled.module.numKernels(), compiled.compileTimeMs,
+                ThreadPool::globalJobs());
     if (compiled.horizontalGroups || compiled.verticalMerges) {
         std::printf(", %d horizontal group(s), %d vertical merge(s)",
                     compiled.horizontalGroups, compiled.verticalMerges);
