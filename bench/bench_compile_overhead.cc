@@ -44,6 +44,11 @@
 #include "models/zoo.h"
 
 namespace souffle {
+
+/** Codegen backend every benchmarked compile targets (--backend=).
+ *  Namespace-scope (not anonymous) so main() below can set it. */
+static std::string g_backend = "cuda";
+
 namespace {
 
 /** Export per-pass mean wall time as pass:<name> counters (ms). */
@@ -69,6 +74,7 @@ BM_CompileSouffle(benchmark::State &state, const std::string &model,
     SouffleOptions options;
     options.level = level;
     options.schedulerMode = mode;
+    options.backend = g_backend;
     std::map<std::string, double> pass_ms;
     int64_t compiles = 0;
     for (auto _ : state) {
@@ -163,7 +169,9 @@ coldCompileSweepMs(bool tiny, int jobs)
         const std::string &model = models[static_cast<size_t>(i)];
         const Graph graph =
             tiny ? buildTinyModel(model) : buildPaperModel(model);
-        const Compiled compiled = compileSouffle(graph, {});
+        SouffleOptions options;
+        options.backend = g_backend;
+        const Compiled compiled = compileSouffle(graph, options);
         benchmark::DoNotOptimize(compiled.module.numKernels());
     });
     const auto end = std::chrono::steady_clock::now();
@@ -192,6 +200,7 @@ runColdWarmJson(bool tiny, int sweep_jobs)
         const Graph graph =
             tiny ? buildTinyModel(model) : buildPaperModel(model);
         SouffleOptions options;
+        options.backend = g_backend;
         options.artifactCache = std::make_shared<ArtifactCache>();
         const Compiled cold = compileSouffle(graph, options);
         const Compiled warm = compileSouffle(graph, options);
@@ -249,6 +258,7 @@ printPassBreakdown()
          {"BERT", "EfficientNet", "MMoE", "SwinTransformer"}) {
         const Graph graph = buildPaperModel(model);
         SouffleOptions options;
+        options.backend = g_backend;
         const Compiled compiled = compileSouffle(graph, options);
         std::printf("\n%s:\n%s", model.c_str(),
                     compiled.passStats.toString().c_str());
@@ -271,6 +281,8 @@ main(int argc, char **argv)
             tiny = true;
         else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
             jobs = std::max(1, std::atoi(argv[i] + 7));
+        else if (std::strncmp(argv[i], "--backend=", 10) == 0)
+            souffle::g_backend = argv[i] + 10;
     }
     if (json_mode)
         return souffle::runColdWarmJson(tiny, jobs);

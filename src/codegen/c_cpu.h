@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * C/CPU source emission from the kernel IR: the executable backend.
+ *
+ * Emits one portable C11 translation unit per compiled module. The
+ * mapping from the GPU-shaped kernel IR is:
+ *
+ *  - each kernel becomes one static C function over the tensors its
+ *    instructions touch (same parameter discipline as the CUDA
+ *    emitter, `restrict`-qualified pointers);
+ *  - grid-sync kernels become sequential stage loops -- stages
+ *    already execute in dependence order, so the grid barrier is a
+ *    no-op on a CPU that runs them one after another;
+ *  - grid-stride element loops become plain element loops, OpenMP-
+ *    parallel over the flattened output domain when it is large
+ *    enough to amortize the fork (the pragma is inert without
+ *    -fopenmp, so emitted text is toolchain-independent);
+ *  - launch-geometry predication (`if (blockIdx.x < N)`) vanishes:
+ *    each TE loop covers exactly its own output domain;
+ *  - the two-phase-reduction atomicAdd degenerates to a plain store:
+ *    every output element is computed exactly once, with its full
+ *    reduction nest, by the sequential loop;
+ *  - every tensor is stored as `double` regardless of declared dtype
+ *    (see cTypeName in codegen/common.h) and all math runs through
+ *    the libm double entry points, so native numerics match the
+ *    double-precision interpreter instead of drifting through fp16
+ *    rounding or deep float chains.
+ *
+ * The module exports one entry point,
+ *
+ *    void souffle_module_main(double *const *tensors);
+ *
+ * where `tensors[id]` is the buffer of tensor `id` of the compiled
+ * program -- inputs/params/outputs externally allocated, intermediates
+ * placed in one workspace by the MemoryPlan (see
+ * runtime/native_exec.h, which compiles, loads and runs the emitted
+ * unit). Reach this backend generically as CodeGenBackendRegistry
+ * entry "c".
+ */
+
+#include <string>
+
+#include "compiler/compiler.h"
+
+namespace souffle {
+
+/** Emit a whole .c translation unit for @p compiled. */
+std::string emitCModule(const Compiled &compiled);
+
+/** Emit one kernel as a static C function. */
+std::string emitCKernel(const TeProgram &program, const Kernel &kernel);
+
+/** Exported entry-point symbol of emitted C modules. */
+inline constexpr const char *kNativeModuleEntrySymbol =
+    "souffle_module_main";
+
+} // namespace souffle

@@ -1,0 +1,51 @@
+#include "codegen/codegen_pass.h"
+
+#include "codegen/backend.h"
+#include "common/artifact_cache.h"
+#include "te/fingerprint.h"
+
+namespace souffle {
+
+void
+CodegenPass::run(CompileContext &ctx)
+{
+    const CodeGenBackend &backend =
+        CodeGenBackendRegistry::global().get(ctx.options.backend);
+    ctx.result.backendName = backend.name();
+
+    ArtifactCache *cache = ctx.options.artifactCache.get();
+    ArtifactKey key;
+    if (cache != nullptr) {
+        key = ArtifactKey{
+            kModuleSourceArtifactKind,
+            programFingerprint(ctx.program()),
+            deviceFingerprint(ctx.options.device),
+            ctx.options.codegenCacheSalt(backend.fingerprint()),
+        };
+        if (auto cached = cache->get(key)) {
+            ctx.result.generatedSource = std::move(*cached);
+            ctx.counter("moduleCacheHits", 1);
+            ctx.counter("module-bytes",
+                        static_cast<int64_t>(
+                            ctx.result.generatedSource.size()));
+            return;
+        }
+        ctx.counter("moduleCacheMisses", 1);
+    }
+
+    // Emit against the result under construction: the module is
+    // final by now, and `ctx.program()` is the working program that
+    // `take()` will move into the result.
+    Compiled view;
+    view.name = ctx.result.name;
+    view.program = ctx.program();
+    view.module = ctx.result.module;
+    ctx.result.generatedSource = backend.emitModule(view);
+    ctx.counter("module-bytes",
+                static_cast<int64_t>(ctx.result.generatedSource.size()));
+
+    if (cache != nullptr)
+        cache->put(key, ctx.result.generatedSource);
+}
+
+} // namespace souffle

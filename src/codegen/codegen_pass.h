@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * The code-generation pass: the point where the pipeline commits to a
+ * backend.
+ *
+ * Resolves `SouffleOptions::backend` against the
+ * CodeGenBackendRegistry, emits the module source for the compiled
+ * kernels, and records both the text and the backend name on the
+ * `Compiled` result. When an ArtifactCache is attached, emitted
+ * modules are cached under kind "module-src" keyed by
+ * (program fingerprint, device fingerprint,
+ * `SouffleOptions::codegenCacheSalt(backend fingerprint)`) — the
+ * backend fingerprint joins the salt, so CUDA and C artifacts for the
+ * same program hash coexist instead of clobbering each other.
+ */
+
+#include <string>
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/** Artifact-cache kind of emitted module sources. */
+inline constexpr const char *kModuleSourceArtifactKind = "module-src";
+
+/**
+ * Emit the final module source with the backend selected in
+ * `ctx.options.backend`. Fails the compile (FatalError) on an unknown
+ * backend name. Counters: "module-bytes", and with a cache attached
+ * "moduleCacheHits"/"moduleCacheMisses".
+ */
+class CodegenPass : public Pass
+{
+  public:
+    std::string name() const override { return "codegen"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

@@ -1,0 +1,362 @@
+#include "codegen/common.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+
+namespace {
+
+/** Wrap a load according to the tensor's element type and dialect. */
+std::string
+loadOf(const TeProgram &program, TensorId tensor,
+       const std::string &index, CodegenDialect dialect)
+{
+    const TensorDecl &decl = program.tensor(tensor);
+    const std::string access =
+        "t" + std::to_string(tensor) + "[" + index + "]";
+    if (dialect == CodegenDialect::kCuda && decl.dtype == DType::kFP16)
+        return "__half2float(" + access + ")";
+    return access;
+}
+
+std::string
+unaryCall(UnaryOp op, const std::string &x, CodegenDialect dialect)
+{
+    // CUDA uses the float intrinsics; the C dialect computes in
+    // double end-to-end (see cTypeName below), so the libm double
+    // functions keep native results aligned with the double-precision
+    // interpreter instead of drifting through deep float chains.
+    const bool f = dialect == CodegenDialect::kCuda;
+    switch (op) {
+      case UnaryOp::kNeg:
+        return "(-" + x + ")";
+      case UnaryOp::kExp:
+        return (f ? "expf(" : "exp(") + x + ")";
+      case UnaryOp::kLog:
+        return (f ? "logf(" : "log(") + x + ")";
+      case UnaryOp::kSqrt:
+        return (f ? "sqrtf(" : "sqrt(") + x + ")";
+      case UnaryOp::kRsqrt:
+        // rsqrtf is a CUDA intrinsic with no C11 counterpart.
+        return f ? "rsqrtf(" + x + ")" : "(1.0 / sqrt(" + x + "))";
+      case UnaryOp::kSigmoid:
+        return f ? "(1.0f / (1.0f + expf(-(" + x + "))))"
+                 : "(1.0 / (1.0 + exp(-(" + x + "))))";
+      case UnaryOp::kTanh:
+        return (f ? "tanhf(" : "tanh(") + x + ")";
+      case UnaryOp::kRelu:
+        return (f ? "fmaxf(" : "fmax(") + x + (f ? ", 0.0f)" : ", 0.0)");
+      case UnaryOp::kErf:
+        return (f ? "erff(" : "erf(") + x + ")";
+      case UnaryOp::kAbs:
+        return (f ? "fabsf(" : "fabs(") + x + ")";
+      case UnaryOp::kRecip:
+        return (f ? "(1.0f / (" : "(1.0 / (") + x + "))";
+    }
+    return x;
+}
+
+std::string
+binaryCall(BinaryOp op, const std::string &a, const std::string &b,
+           CodegenDialect dialect)
+{
+    const bool f = dialect == CodegenDialect::kCuda;
+    switch (op) {
+      case BinaryOp::kAdd:
+        return "(" + a + " + " + b + ")";
+      case BinaryOp::kSub:
+        return "(" + a + " - " + b + ")";
+      case BinaryOp::kMul:
+        return "(" + a + " * " + b + ")";
+      case BinaryOp::kDiv:
+        return "(" + a + " / " + b + ")";
+      case BinaryOp::kMax:
+        return (f ? "fmaxf(" : "fmax(") + a + ", " + b + ")";
+      case BinaryOp::kMin:
+        return (f ? "fminf(" : "fmin(") + a + ", " + b + ")";
+      case BinaryOp::kPow:
+        return (f ? "powf(" : "pow(") + a + ", " + b + ")";
+    }
+    return a;
+}
+
+std::string
+condString(const AffineCond &cond)
+{
+    std::ostringstream os;
+    bool first = true;
+    os << "(";
+    for (size_t c = 0; c < cond.coefs.size(); ++c) {
+        if (cond.coefs[c] == 0)
+            continue;
+        if (!first)
+            os << " + ";
+        if (cond.coefs[c] == 1)
+            os << "d" << c;
+        else
+            os << cond.coefs[c] << "*d" << c;
+        first = false;
+    }
+    if (cond.offset != 0 || first) {
+        if (!first)
+            os << " + ";
+        os << cond.offset;
+    }
+    switch (cond.op) {
+      case CmpOp::kGE:
+        os << " >= 0";
+        break;
+      case CmpOp::kLT:
+        os << " < 0";
+        break;
+      case CmpOp::kEQ:
+        os << " == 0";
+        break;
+    }
+    os << ")";
+    return os.str();
+}
+
+/** Emit the store of @p value into the TE's output at flat @p index. */
+std::string
+storeOf(const TeProgram &program, const TensorExpr &te,
+        const std::string &index, const std::string &value, bool atomic,
+        CodegenDialect dialect)
+{
+    const TensorDecl &out = program.tensor(te.output);
+    const std::string target =
+        "t" + std::to_string(te.output) + "[" + index + "]";
+    if (dialect == CodegenDialect::kCuda) {
+        if (atomic) {
+            // Two-phase reduction: per-block partial combined globally.
+            if (out.dtype == DType::kFP16)
+                return "atomicAdd(&" + target + ", __float2half("
+                       + value + "));";
+            return "atomicAdd(&" + target + ", " + value + ");";
+        }
+        if (out.dtype == DType::kFP16)
+            return target + " = __float2half(" + value + ");";
+    }
+    return target + " = " + value + ";";
+}
+
+} // namespace
+
+std::string
+cTypeName(DType dtype, CodegenDialect dialect)
+{
+    if (dialect == CodegenDialect::kCuda)
+        return dtype == DType::kFP16 ? "__half" : "float";
+    // The C dialect stores every tensor as double: CPU caches absorb
+    // the 2x footprint of these reproduction-scale models, and double
+    // storage makes native arithmetic identical to the
+    // double-precision interpreter — deep float chains (EfficientNet's
+    // ~125 chained TEs) otherwise accumulate rounding past the 1e-4
+    // differential bound.
+    (void)dtype;
+    return "double";
+}
+
+std::string
+emitFloatLiteral(double value, CodegenDialect dialect)
+{
+    if (value == -std::numeric_limits<double>::infinity())
+        return dialect == CodegenDialect::kCuda ? "-CUDART_INF_F"
+                                                : "(-INFINITY)";
+    if (value == std::numeric_limits<double>::infinity())
+        return dialect == CodegenDialect::kCuda ? "CUDART_INF_F"
+                                                : "INFINITY";
+    std::ostringstream os;
+    // 17 significant digits round-trip a double exactly, so the C
+    // dialect's constants match the interpreter's bit-for-bit. CUDA
+    // keeps the historical 9-digit float literals.
+    os.precision(dialect == CodegenDialect::kCuda ? 9 : 17);
+    os << value;
+    std::string text = os.str();
+    if (text.find('.') == std::string::npos
+        && text.find('e') == std::string::npos)
+        text += ".0";
+    return dialect == CodegenDialect::kCuda ? text + "f" : text;
+}
+
+std::string
+emitAffineRow(const AffineMap &map, int row)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (int c = 0; c < map.inDims(); ++c) {
+        const int64_t a = map.coef(row, c);
+        if (a == 0)
+            continue;
+        if (!first)
+            os << " + ";
+        if (a == 1)
+            os << "d" << c;
+        else
+            os << a << "*d" << c;
+        first = false;
+    }
+    if (map.offsetAt(row) != 0 || first) {
+        if (!first)
+            os << " + ";
+        os << map.offsetAt(row);
+    }
+    return os.str();
+}
+
+std::string
+emitFlattenedOffset(const AffineMap &map,
+                    const std::vector<int64_t> &shape)
+{
+    const auto strides = rowMajorStrides(shape);
+    std::ostringstream os;
+    bool first = true;
+    for (int row = 0; row < map.outDims(); ++row) {
+        if (!first)
+            os << " + ";
+        if (strides[row] == 1)
+            os << "(" << emitAffineRow(map, row) << ")";
+        else
+            os << "(" << emitAffineRow(map, row) << ")*" << strides[row];
+        first = false;
+    }
+    if (first)
+        os << "0";
+    return os.str();
+}
+
+std::string
+emitPredicate(const Predicate &pred)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        if (i)
+            os << " && ";
+        os << condString(pred[i]);
+    }
+    return os.str();
+}
+
+std::string
+emitScalarExpr(const ExprPtr &expr, const TeProgram &program,
+               const TensorExpr &te, CodegenDialect dialect)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        return emitFloatLiteral(expr->constValue(), dialect);
+      case ExprKind::kRead: {
+        const TensorId tensor = te.inputs[expr->readSlot()];
+        if (expr->isFlatRead())
+            return loadOf(program, tensor,
+                          emitAffineRow(expr->readMap(), 0), dialect);
+        return loadOf(program, tensor,
+                      emitFlattenedOffset(expr->readMap(),
+                                          program.tensor(tensor).shape),
+                      dialect);
+      }
+      case ExprKind::kUnary:
+        return unaryCall(expr->unaryOp(),
+                         emitScalarExpr(expr->lhs(), program, te,
+                                        dialect),
+                         dialect);
+      case ExprKind::kBinary:
+        return binaryCall(
+            expr->binaryOp(),
+            emitScalarExpr(expr->lhs(), program, te, dialect),
+            emitScalarExpr(expr->rhs(), program, te, dialect),
+            dialect);
+      case ExprKind::kSelect:
+        return "(" + emitPredicate(expr->predicate()) + " ? "
+               + emitScalarExpr(expr->lhs(), program, te, dialect)
+               + " : "
+               + emitScalarExpr(expr->rhs(), program, te, dialect)
+               + ")";
+    }
+    SOUFFLE_PANIC("unreachable expression kind");
+}
+
+std::string
+teBannerComment(const TeProgram &program, const TensorExpr &te)
+{
+    std::ostringstream os;
+    os << "// TE " << te.name << ": "
+       << program.tensor(te.output).name << shapeToString(te.outShape);
+    if (te.hasReduce())
+        os << " = " << combinerName(te.combiner) << " over "
+           << shapeToString(te.reduceExtents);
+    return os.str();
+}
+
+void
+emitTeElementBody(std::ostringstream &os, const TeProgram &program,
+                  const TensorExpr &te, CodegenDialect dialect,
+                  const std::string &indent, bool atomic)
+{
+    const int out_rank = te.outRank();
+
+    // Delinearize i into d0..d{out_rank-1}.
+    os << indent << "long rem = i;\n";
+    for (int d = out_rank - 1; d >= 0; --d) {
+        if (d == 0) {
+            os << indent << "const long d0 = rem;\n";
+        } else {
+            os << indent << "const long d" << d << " = rem % "
+               << te.outShape[d] << "; rem /= " << te.outShape[d]
+               << ";\n";
+        }
+    }
+
+    if (!te.hasReduce()) {
+        os << indent
+           << storeOf(program, te, "i",
+                      emitScalarExpr(te.body, program, te, dialect),
+                      false, dialect)
+           << "\n";
+        return;
+    }
+
+    // The C dialect is double end-to-end (storage, accumulation, libm
+    // calls), so native reductions match the double-precision
+    // interpreter exactly. CUDA keeps the float accumulator of the
+    // historical emitter.
+    const bool wide_acc = dialect == CodegenDialect::kC;
+    os << indent << (wide_acc ? "double" : "float") << " acc = "
+       << emitFloatLiteral(combinerInit(te.combiner), dialect) << ";\n";
+    // Reduction loop nest over d{out_rank}..d{iter_rank-1}.
+    std::string loop_indent = indent;
+    for (int r = 0; r < te.reduceRank(); ++r) {
+        const int var = out_rank + r;
+        os << loop_indent << "for (long d" << var << " = 0; d" << var
+           << " < " << te.reduceExtents[r] << "; ++d" << var << ") {\n";
+        loop_indent += "    ";
+    }
+    const std::string value =
+        emitScalarExpr(te.body, program, te, dialect);
+    switch (te.combiner) {
+      case Combiner::kSum:
+        os << loop_indent << "acc += " << value << ";\n";
+        break;
+      case Combiner::kMax:
+        os << loop_indent << "acc = " << (wide_acc ? "fmax" : "fmaxf")
+           << "(acc, " << value << ");\n";
+        break;
+      case Combiner::kMin:
+        os << loop_indent << "acc = " << (wide_acc ? "fmin" : "fminf")
+           << "(acc, " << value << ");\n";
+        break;
+      case Combiner::kNone:
+        break;
+    }
+    for (int r = te.reduceRank() - 1; r >= 0; --r) {
+        loop_indent.resize(loop_indent.size() - 4);
+        os << loop_indent << "}\n";
+    }
+    os << indent << storeOf(program, te, "i", "acc", atomic, dialect)
+       << "\n";
+}
+
+} // namespace souffle

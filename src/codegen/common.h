@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Backend-neutral pieces of code generation.
+ *
+ * Every textual backend (CUDA today, C/CPU, and whatever comes next)
+ * compiles the same kernel IR and the same TE bodies; what differs is
+ * a thin dialect layer: how fp16 loads/stores are wrapped, how
+ * infinities are spelled, and which element type a tensor declaration
+ * maps to. This header holds everything below that layer --
+ * scalar-expression emission, affine-index arithmetic, predicate
+ * rendering, and the per-element loop body (delinearization +
+ * compute + reduction loop nest) shared by both backends' TE loops.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "te/program.h"
+
+namespace souffle {
+
+/**
+ * The textual dialect a shared helper emits for. Dialects only differ
+ * where the languages force them to (fp16 intrinsics, infinity
+ * spellings, atomics); everything else is common C.
+ */
+enum class CodegenDialect : uint8_t {
+    kCuda, ///< CUDA C++ device code (__half, CUDART_INF_F, atomicAdd)
+    kC,    ///< portable C11 host code (all-double storage, INFINITY)
+};
+
+/**
+ * Element type of @p dtype in the emitted source. The C dialect
+ * widens every type to `double`: the native harness exists to check
+ * numerics against the double-precision interpreter, so fp16 storage
+ * (which would round to ~1e-3 relative error) is deliberately not
+ * modeled on the CPU, and float storage accumulates past 1e-4 over
+ * the deepest models.
+ */
+std::string cTypeName(DType dtype, CodegenDialect dialect);
+
+/** Render a floating constant as a literal of the dialect. */
+std::string emitFloatLiteral(double value, CodegenDialect dialect);
+
+/** Render one affine row as index arithmetic over d0..d{n-1}. */
+std::string emitAffineRow(const AffineMap &map, int row);
+
+/** Flattened row-major offset string for a multi-dim read map. */
+std::string emitFlattenedOffset(const AffineMap &map,
+                                const std::vector<int64_t> &shape);
+
+/** Render a predicate as a parenthesized && chain over d0..d{n-1}. */
+std::string emitPredicate(const Predicate &pred);
+
+/**
+ * Compile a TE body to a scalar expression over index variables
+ * d0..d{rank-1} reading `tK` pointers, in the given dialect.
+ */
+std::string emitScalarExpr(const ExprPtr &expr, const TeProgram &program,
+                           const TensorExpr &te, CodegenDialect dialect);
+
+/**
+ * Emit the body of one TE's element loop: the banner comment is the
+ * caller's job; this writes the delinearization of flat index `i`
+ * into d0..d{out_rank-1}, then either the direct store (elementwise
+ * TE) or the reduction loop nest with the accumulator and final
+ * store. @p atomic selects the two-phase-reduction store in the CUDA
+ * dialect; the C dialect always stores directly (each output element
+ * is computed exactly once by its sequential loop, so the cross-block
+ * atomic combine degenerates to a plain assignment).
+ */
+void emitTeElementBody(std::ostringstream &os, const TeProgram &program,
+                       const TensorExpr &te, CodegenDialect dialect,
+                       const std::string &indent, bool atomic);
+
+/** The per-TE banner comment both backends print above the loop. */
+std::string teBannerComment(const TeProgram &program,
+                            const TensorExpr &te);
+
+} // namespace souffle

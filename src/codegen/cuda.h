@@ -18,11 +18,17 @@
  *
  * There is no GPU in this environment, so the emitted source is a
  * reviewable artifact (and a test surface), not a compilation target;
- * numerical semantics are validated by the TE interpreter instead.
+ * numerical semantics are validated by the TE interpreter and, since
+ * the multi-backend refactor, by the executable C/CPU backend
+ * (codegen/c_cpu.h + runtime/native_exec.h). The scalar/loop emission
+ * shared with other backends lives in codegen/common.h; this file
+ * keeps only the CUDA-specific module/kernel structure. Reach this
+ * backend generically as CodeGenBackendRegistry entry "cuda".
  */
 
 #include <string>
 
+#include "codegen/common.h"
 #include "compiler/compiler.h"
 
 namespace souffle {
@@ -37,9 +43,18 @@ std::string emitCudaKernel(const TeProgram &program,
 /**
  * Compile a TE body to a C scalar expression over index variables
  * d0..d{rank-1} reading `inK` pointers. Exposed for tests.
+ *
+ * @deprecated The emission is backend-neutral and moved to
+ * codegen/common.h; this shim pins the historical CUDA-dialect
+ * behavior. Call `emitScalarExpr(expr, program, te, dialect)` instead.
  */
-std::string emitScalarExpr(const ExprPtr &expr,
-                           const TeProgram &program,
-                           const TensorExpr &te);
+[[deprecated("use emitScalarExpr(expr, program, te, CodegenDialect) "
+             "from codegen/common.h")]]
+inline std::string
+emitScalarExpr(const ExprPtr &expr, const TeProgram &program,
+               const TensorExpr &te)
+{
+    return emitScalarExpr(expr, program, te, CodegenDialect::kCuda);
+}
 
 } // namespace souffle

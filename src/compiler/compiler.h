@@ -48,6 +48,14 @@ struct Compiled
      * interchangeable modules.
      */
     Fingerprint programHash;
+    /**
+     * Codegen backend that produced `generatedSource` (a
+     * CodeGenBackendRegistry name), and the emitted module text.
+     * Filled by the codegen pass; empty for baseline strategies and
+     * pipelines that stop before code generation.
+     */
+    std::string backendName;
+    std::string generatedSource;
 
     // Compile-time statistics.
     double compileTimeMs = 0.0;

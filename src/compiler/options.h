@@ -14,6 +14,7 @@
 #include <string>
 
 #include "analysis/analysis.h"
+#include "common/hash.h"
 #include "gpu/device.h"
 #include "sched/schedule.h"
 
@@ -60,6 +61,14 @@ struct SouffleOptions
      */
     SchedulerMode schedulerMode = SchedulerMode::kSearch;
     /**
+     * Code-generation backend, a CodeGenBackendRegistry name
+     * ("cuda" = reviewable CUDA source, the historical default;
+     * "c" = executable portable C11, runnable through
+     * runtime/native_exec.h). Resolved by the codegen pass; an
+     * unknown name fails the compile.
+     */
+    std::string backend = "cuda";
+    /**
      * Content-addressed artifact cache consulted by the scheduling
      * pass (null = caching off). Shared so independent compilations —
      * different models, batch sizes, or ablation levels — reuse each
@@ -82,6 +91,25 @@ struct SouffleOptions
                       static_cast<int>(schedulerMode),
                       intensityThreshold);
         return buf;
+    }
+
+    /**
+     * Salt for module-source cache keys ("module-src" artifacts).
+     * Unlike schedules, emitted module text depends on every option
+     * that shapes the final kernel structure, so this extends
+     * `scheduleCacheSalt()` with the ablation level and adaptive
+     * fusion (V3 and V4 share a program hash but differ in module
+     * text), plus the backend's behavioral fingerprint so artifacts
+     * from different backends coexist under the same program hash.
+     */
+    std::string
+    codegenCacheSalt(const Fingerprint &backend_fp) const
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ";level=%d;adaptive=%d;be=",
+                      static_cast<int>(level),
+                      adaptiveFusion ? 1 : 0);
+        return scheduleCacheSalt() + buf + backend_fp.toHex();
     }
 };
 

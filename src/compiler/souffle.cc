@@ -3,6 +3,7 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "codegen/codegen_pass.h"
 #include "graph/lowering_pass.h"
 #include "kernel/kernel_passes.h"
 #include "lint/lint.h"
@@ -117,7 +118,11 @@ soufflePipeline(const SouffleOptions &options)
     if (options.adaptiveFusion && options.level >= SouffleLevel::kV3)
         pipeline.add<AdaptiveFusionPass>();
 
-    // 9. Strict mode: the full souffle-lint catalogue over the final
+    // 9. Code generation: emit module source with the selected
+    // backend (options.backend; CodeGenBackendRegistry name).
+    pipeline.add<CodegenPass>();
+
+    // 10. Strict mode: the full souffle-lint catalogue over the final
     // artifacts; error-severity findings fail the compile.
     if (options.strictLint)
         pipeline.add<LintPass>();

@@ -99,6 +99,7 @@ Linter::run(CompileContext &ctx) const
 {
     LintInput input{ctx.program(), ctx.analysis(),
                     ctx.options.device};
+    input.backend = ctx.options.backend;
     if (!ctx.schedules.empty())
         input.schedules = &ctx.schedules;
     if (!ctx.result.module.kernels.empty())

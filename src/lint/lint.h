@@ -43,6 +43,13 @@ struct LintInput
     const std::vector<Schedule> *schedules = nullptr;
     /** Compiled module, or nullptr before kernel construction. */
     const CompiledModule *module = nullptr;
+    /**
+     * Codegen backend of the compile under inspection (a
+     * CodeGenBackendRegistry name). GPU-only rules (grid-sync-race,
+     * resource-caps) auto-skip with a note-level diagnostic when the
+     * backend does not target a GPU.
+     */
+    std::string backend = "cuda";
 };
 
 /** One lint rule: a named semantic analysis. */

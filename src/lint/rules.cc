@@ -25,11 +25,35 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "codegen/backend.h"
 #include "common/string_util.h"
 #include "lint/lint.h"
 
 namespace souffle {
 namespace {
+
+/**
+ * GPU-only rules prove launch-grid properties (barrier coverage,
+ * occupancy caps) that have no counterpart when the backend lowers
+ * stages to sequential CPU loops. When the compile targets such a
+ * backend, record a note so the skip is visible in the report and
+ * return true.
+ */
+bool
+skipForNonGpuBackend(const LintInput &input, const std::string &rule_id,
+                     LintReport &report)
+{
+    const CodeGenBackend *backend =
+        CodeGenBackendRegistry::global().find(input.backend);
+    if (backend == nullptr || backend->targetsGpu())
+        return false;
+    report.add(rule_id, Severity::kNote, LintLocation{},
+               "rule is GPU-only; skipped for backend '"
+                   + backend->name()
+                   + "' (stages execute sequentially on the host)",
+               "");
+    return true;
+}
 
 // ---------------------------------------------------------------------
 // grid-sync-race
@@ -52,6 +76,8 @@ class GridSyncRaceRule : public LintRule
     run(const LintInput &input, LintReport &report) const override
     {
         if (input.module == nullptr)
+            return;
+        if (skipForNonGpuBackend(input, id(), report))
             return;
         const TeProgram &program = input.program;
         for (const Kernel &kernel : input.module->kernels) {
@@ -376,6 +402,8 @@ class ResourceCapsRule : public LintRule
     void
     run(const LintInput &input, LintReport &report) const override
     {
+        if (skipForNonGpuBackend(input, id(), report))
+            return;
         if (input.module != nullptr) {
             for (const Kernel &kernel : input.module->kernels)
                 checkKernel(kernel, input.device, report);

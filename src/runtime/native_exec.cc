@@ -1,0 +1,269 @@
+#include "runtime/native_exec.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "codegen/c_cpu.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+std::string
+hostCompiler()
+{
+    const char *cc = std::getenv("CC");
+    return (cc != nullptr && *cc != '\0') ? cc : "cc";
+}
+
+std::string
+defaultWorkDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string root = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+    if (!root.empty() && root.back() == '/')
+        root.pop_back();
+    return root + "/souffle-native";
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+        SOUFFLE_FATAL("cannot create native build dir '" << dir << "'");
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream file(path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+}
+
+/**
+ * Atomic write: temp file + rename, same discipline as the
+ * ArtifactCache disk layer, so concurrent builders never expose a
+ * half-written file under the final name.
+ */
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string temp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream file(temp, std::ios::trunc);
+        file << content;
+        if (!file.good())
+            SOUFFLE_FATAL("cannot write '" << temp << "'");
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        SOUFFLE_FATAL("cannot rename '" << temp << "' to '" << path
+                                        << "'");
+    }
+}
+
+/**
+ * Probe once per process whether the host toolchain accepts
+ * `-fopenmp` for building shared objects (clang without libomp does
+ * not). Emitted pragmas are inert without it, so failure just means a
+ * sequential module.
+ */
+bool
+openMpSupported(const std::string &cc, const std::string &dir)
+{
+    static const bool supported = [&] {
+        const std::string stem =
+            dir + "/omp-probe." + std::to_string(::getpid());
+        writeFileAtomic(stem + ".c",
+                        "int probe(int n){int s=0;\n"
+                        "#pragma omp parallel for\n"
+                        "for(int i=0;i<n;++i)s+=i;return s;}\n");
+        const std::string cmd = cc + " -fopenmp -O0 -fPIC -shared -x c '"
+                                + stem + ".c' -o '" + stem
+                                + ".so' >/dev/null 2>&1";
+        const int status = std::system(cmd.c_str());
+        std::remove((stem + ".c").c_str());
+        std::remove((stem + ".so").c_str());
+        return status == 0;
+    }();
+    return supported;
+}
+
+} // namespace
+
+NativeModule::NativeModule(const std::string &c_source,
+                           const NativeBuildOptions &options)
+{
+    const std::string dir =
+        options.workDir.empty() ? defaultWorkDir() : options.workDir;
+    ensureDir(dir);
+
+    FingerprintHasher hasher;
+    hasher.absorb(std::string("native-module"));
+    hasher.absorb(c_source);
+    const std::string stem = dir + "/mod-" + hasher.finish().toHex();
+    soPath = stem + ".so";
+
+    if (options.keepSource) {
+        srcPath = stem + ".c";
+        writeFileAtomic(srcPath, c_source);
+    }
+
+    if (::access(soPath.c_str(), F_OK) == 0) {
+        // Content-addressed name: an existing object was built from
+        // byte-identical source, so the compile can be skipped.
+        reused = true;
+    } else {
+        const std::string src =
+            options.keepSource ? srcPath
+                               : stem + ".build." + std::to_string(::getpid())
+                                     + ".c";
+        if (!options.keepSource)
+            writeFileAtomic(src, c_source);
+        const std::string temp_so =
+            soPath + ".tmp." + std::to_string(::getpid());
+        const std::string log =
+            stem + ".log." + std::to_string(::getpid());
+        const std::string cc = hostCompiler();
+        std::string cmd = cc + " -O2 -fPIC -shared";
+        if (options.enableOpenMp && openMpSupported(cc, dir))
+            cmd += " -fopenmp";
+        cmd += " -x c '" + src + "' -o '" + temp_so + "' -lm 2> '" + log
+               + "'";
+        const int status = std::system(cmd.c_str());
+        if (!options.keepSource)
+            std::remove(src.c_str());
+        if (status != 0) {
+            const std::string diag = readWholeFile(log);
+            std::remove(log.c_str());
+            std::remove(temp_so.c_str());
+            SOUFFLE_FATAL("host C compile failed (status "
+                          << status << "): " << cmd << "\n"
+                          << diag);
+        }
+        std::remove(log.c_str());
+        if (std::rename(temp_so.c_str(), soPath.c_str()) != 0) {
+            std::remove(temp_so.c_str());
+            SOUFFLE_FATAL("cannot rename '" << temp_so << "' to '"
+                                            << soPath << "'");
+        }
+    }
+
+    handle = ::dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr)
+        SOUFFLE_FATAL("dlopen('" << soPath
+                                 << "') failed: " << ::dlerror());
+    void *symbol = ::dlsym(handle, kNativeModuleEntrySymbol);
+    if (symbol == nullptr) {
+        const std::string why = ::dlerror();
+        ::dlclose(handle);
+        handle = nullptr;
+        SOUFFLE_FATAL("module '" << soPath << "' lacks entry symbol "
+                                 << kNativeModuleEntrySymbol << ": "
+                                 << why);
+    }
+    entryFn = reinterpret_cast<EntryFn>(symbol);
+}
+
+NativeModule::~NativeModule()
+{
+    if (handle != nullptr)
+        ::dlclose(handle);
+}
+
+NativeExecutor::NativeExecutor(const Compiled &compiled,
+                               const NativeBuildOptions &options)
+    : compiled(compiled)
+{
+    // Re-plan offsets on an all-fp32 copy so fp16 byte sizes never
+    // under-allocate; run() scales the 4-byte offsets uniformly into
+    // element slots of the double workspace.
+    widened = compiled.program;
+    for (TensorDecl &decl : widened.mutableTensors())
+        decl.dtype = DType::kFP32;
+    const GlobalAnalysis analysis(widened);
+    plan = planMemory(widened, analysis);
+
+    const std::string source =
+        (compiled.backendName == "c" && !compiled.generatedSource.empty())
+            ? compiled.generatedSource
+            : emitCModule(compiled);
+    native = std::make_unique<NativeModule>(source, options);
+}
+
+NamedBuffers
+NativeExecutor::run(const NamedBuffers &inputs) const
+{
+    const TeProgram &program = compiled.program;
+
+    std::unordered_map<TensorId, int64_t> planned;
+    for (const BufferAssignment &assignment : plan.assignments)
+        planned[assignment.tensor] = assignment.offset;
+
+    // One double workspace for planned intermediates, one owned
+    // buffer for everything else (externals and any unplanned
+    // stragglers). The plan's byte offsets were computed over 4-byte
+    // elements; dividing by 4 turns them into element indices, which
+    // stay disjoint when each slot widens to a double.
+    std::vector<double> workspace(
+        static_cast<size_t>(plan.workspaceBytes / sizeof(float)) + 1,
+        0.0);
+    std::vector<std::vector<double>> owned;
+    std::vector<double *> tensors(program.numTensors(), nullptr);
+    for (const TensorDecl &decl : program.tensors()) {
+        auto it = planned.find(decl.id);
+        if (it != planned.end()) {
+            tensors[decl.id] =
+                workspace.data() + it->second / sizeof(float);
+        } else {
+            owned.emplace_back(
+                static_cast<size_t>(decl.numElements()), 0.0);
+            tensors[decl.id] = owned.back().data();
+        }
+    }
+
+    // Bind inputs/params by name; the native ABI is double, same as
+    // the interpreter's buffers, so binding is a straight copy.
+    for (const TensorDecl &decl : program.tensors()) {
+        if (decl.role != TensorRole::kInput
+            && decl.role != TensorRole::kParam)
+            continue;
+        auto it = inputs.find(decl.name);
+        SOUFFLE_CHECK(it != inputs.end(),
+                      "missing input buffer '" << decl.name << "'");
+        SOUFFLE_CHECK(static_cast<int64_t>(it->second.size())
+                          == decl.numElements(),
+                      "buffer '" << decl.name << "' has "
+                                 << it->second.size()
+                                 << " elements, expected "
+                                 << decl.numElements());
+        std::copy(it->second.begin(), it->second.end(),
+                  tensors[decl.id]);
+    }
+
+    native->run(tensors.data());
+
+    NamedBuffers outputs;
+    for (TensorId id : program.outputTensors()) {
+        const TensorDecl &decl = program.tensor(id);
+        const double *src = tensors[id];
+        outputs[decl.name] =
+            Buffer(src, src + decl.numElements());
+    }
+    return outputs;
+}
+
+} // namespace souffle

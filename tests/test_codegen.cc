@@ -1,15 +1,20 @@
 /**
  * @file
- * Tests for the CUDA source emitter: structural validity (balanced
- * braces, one __global__ per kernel), faithful translation of scalar
- * expressions and affine index maps, grid.sync placement, stage
- * predication, atomics for two-phase reductions, and fp16 conversion
- * wrappers.
+ * Tests for the code generators: structural validity of the CUDA
+ * emitter (balanced braces, one __global__ per kernel), faithful
+ * translation of scalar expressions and affine index maps, grid.sync
+ * placement, stage predication, atomics for two-phase reductions,
+ * fp16 conversion wrappers — plus the backend registry, the C/CPU
+ * emitter's structure, and the codegen pass's population of
+ * `Compiled::generatedSource`.
  */
 
 #include <gtest/gtest.h>
 
+#include "codegen/backend.h"
+#include "codegen/c_cpu.h"
 #include "codegen/cuda.h"
+#include "common/logging.h"
 #include "compiler/souffle.h"
 #include "graph/lowering.h"
 #include "models/zoo.h"
@@ -64,7 +69,7 @@ TEST(Codegen, ElementwiseExpressionTranslated)
     const LoweredModel lowered = lowerToTe(g);
     const std::string code = emitScalarExpr(
         lowered.program.te(0).body, lowered.program,
-        lowered.program.te(0));
+        lowered.program.te(0), CodegenDialect::kCuda);
     EXPECT_NE(code.find("erff("), std::string::npos);
     EXPECT_NE(code.find("t0["), std::string::npos);
 }
@@ -78,7 +83,7 @@ TEST(Codegen, AffineIndexArithmetic)
     const LoweredModel lowered = lowerToTe(g);
     const std::string code = emitScalarExpr(
         lowered.program.te(0).body, lowered.program,
-        lowered.program.te(0));
+        lowered.program.te(0), CodegenDialect::kCuda);
     EXPECT_EQ(code, "t0[(d1)*8 + (d0)]");
 }
 
@@ -90,7 +95,7 @@ TEST(Codegen, FlatReadUsesLinearOffset)
     const LoweredModel lowered = lowerToTe(g);
     const std::string code = emitScalarExpr(
         lowered.program.te(0).body, lowered.program,
-        lowered.program.te(0));
+        lowered.program.te(0), CodegenDialect::kCuda);
     EXPECT_EQ(code, "t0[4*d0 + d1]");
 }
 
@@ -175,6 +180,154 @@ TEST(Codegen, ModuleHeaderListsCounts)
     EXPECT_NE(cu.find("#include <cooperative_groups.h>"),
               std::string::npos);
     EXPECT_NE(cu.find("kernel(s)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Backend registry + the C/CPU emitter.
+// ---------------------------------------------------------------------
+
+TEST(BackendRegistry, BuiltinsRegisteredWithDistinctFingerprints)
+{
+    const auto &registry = CodeGenBackendRegistry::global();
+    EXPECT_EQ(registry.names(),
+              (std::vector<std::string>{"c", "cuda"}));
+
+    const CodeGenBackend &cuda = registry.get("cuda");
+    const CodeGenBackend &c = registry.get("c");
+    EXPECT_TRUE(cuda.targetsGpu());
+    EXPECT_FALSE(cuda.executable());
+    EXPECT_FALSE(c.targetsGpu());
+    EXPECT_TRUE(c.executable());
+    EXPECT_EQ(cuda.sourceExtension(), "cu");
+    EXPECT_EQ(c.sourceExtension(), "c");
+    EXPECT_TRUE(cuda.fingerprint().valid());
+    EXPECT_TRUE(c.fingerprint().valid());
+    EXPECT_NE(cuda.fingerprint(), c.fingerprint());
+}
+
+TEST(BackendRegistry, UnknownNameFindsNullAndGetThrows)
+{
+    const auto &registry = CodeGenBackendRegistry::global();
+    EXPECT_EQ(registry.find("ptx"), nullptr);
+    EXPECT_THROW(registry.get("ptx"), FatalError);
+}
+
+TEST(BackendRegistry, EmitModuleDispatchesPerBackend)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    const Compiled compiled = compileSouffle(graph, {});
+    const auto &registry = CodeGenBackendRegistry::global();
+    EXPECT_EQ(registry.get("cuda").emitModule(compiled),
+              emitCudaModule(compiled));
+    EXPECT_EQ(registry.get("c").emitModule(compiled),
+              emitCModule(compiled));
+}
+
+TEST(CCodegen, BalancedBracesNoGpuConstructsAndEntryPoint)
+{
+    for (const std::string model : {"MMoE", "BERT", "LSTM"}) {
+        const Graph graph = buildTinyModel(model);
+        const Compiled compiled = compileSouffle(graph, {});
+        const std::string c = emitCModule(compiled);
+        EXPECT_EQ(count(c, "{"), count(c, "}")) << model;
+        EXPECT_EQ(c.find("__global__"), std::string::npos) << model;
+        // The statement is gone; a comment still explains the no-op.
+        EXPECT_EQ(c.find("grid.sync();"), std::string::npos) << model;
+        EXPECT_EQ(c.find("atomicAdd"), std::string::npos) << model;
+        EXPECT_EQ(c.find("blockIdx"), std::string::npos) << model;
+        EXPECT_NE(c.find("void\nsouffle_module_main(double *const "
+                         "*tensors)"),
+                  std::string::npos)
+            << model;
+        // One static function per kernel, each invoked by the entry.
+        EXPECT_EQ(count(c, "static void"),
+                  compiled.module.numKernels())
+            << model;
+    }
+}
+
+TEST(CCodegen, GridSyncStagesBecomeSequentialLoops)
+{
+    Graph g;
+    const ValueId a = g.input("a", {64, 64});
+    const ValueId w1 = g.param("w1", {64, 64});
+    const ValueId w2 = g.param("w2", {64, 64});
+    g.markOutput(g.matmul(g.matmul(a, w1), w2));
+    const Compiled compiled = compileSouffle(g, {});
+    ASSERT_EQ(compiled.module.numKernels(), 1);
+    ASSERT_GE(compiled.module.kernels[0].stages.size(), 2u);
+    const std::string c = emitCModule(compiled);
+    EXPECT_NE(c.find("grid.sync() barrier: no-op"),
+              std::string::npos);
+    EXPECT_GE(count(c, "for (long i = 0; i < "), 2);
+}
+
+TEST(CCodegen, Fp16TensorsWidenToDouble)
+{
+    Graph g;
+    const ValueId x = g.input("x", {8, 8}, DType::kFP16);
+    const ValueId w = g.param("w", {8, 8}, DType::kFP16);
+    g.markOutput(g.matmul(x, w));
+    const Compiled compiled = compileSouffle(g, {});
+    const std::string c = emitCModule(compiled);
+    EXPECT_EQ(c.find("__half"), std::string::npos);
+    EXPECT_NE(c.find("const double *restrict t"), std::string::npos);
+}
+
+TEST(CCodegen, LargeLoopsCarryOpenMpPragma)
+{
+    Graph g;
+    const ValueId x = g.input("x", {256, 256});
+    g.markOutput(g.relu(x)); // 65536 elements >= the 4096 threshold
+    const Compiled compiled = compileSouffle(g, {});
+    const std::string c = emitCModule(compiled);
+    EXPECT_NE(c.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(CCodegen, DialectSplitsRsqrt)
+{
+    // layerNorm lowers its variance normalization through kRsqrt: the
+    // CUDA dialect has the rsqrtf intrinsic, C11 does not.
+    Graph g;
+    const ValueId x = g.input("x", {4, 16});
+    const ValueId gamma = g.param("gamma", {16});
+    const ValueId beta = g.param("beta", {16});
+    g.markOutput(g.layerNorm(x, gamma, beta));
+    const LoweredModel lowered = lowerToTe(g);
+    std::string cuda, c;
+    for (const TensorExpr &te : lowered.program.tes()) {
+        cuda += emitScalarExpr(te.body, lowered.program, te,
+                               CodegenDialect::kCuda);
+        c += emitScalarExpr(te.body, lowered.program, te,
+                            CodegenDialect::kC);
+    }
+    EXPECT_NE(cuda.find("rsqrtf("), std::string::npos);
+    EXPECT_EQ(c.find("rsqrtf("), std::string::npos);
+    EXPECT_NE(c.find("1.0 / sqrt("), std::string::npos);
+}
+
+TEST(CodegenPass, FillsBackendNameAndSource)
+{
+    const Graph graph = buildTinyModel("MMoE");
+
+    SouffleOptions cuda_options;
+    const Compiled via_cuda = compileSouffle(graph, cuda_options);
+    EXPECT_EQ(via_cuda.backendName, "cuda");
+    EXPECT_EQ(via_cuda.generatedSource, emitCudaModule(via_cuda));
+
+    SouffleOptions c_options;
+    c_options.backend = "c";
+    const Compiled via_c = compileSouffle(graph, c_options);
+    EXPECT_EQ(via_c.backendName, "c");
+    EXPECT_EQ(via_c.generatedSource, emitCModule(via_c));
+}
+
+TEST(CodegenPass, UnknownBackendFailsTheCompile)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    SouffleOptions options;
+    options.backend = "ptx";
+    EXPECT_THROW(compileSouffle(graph, options), FatalError);
 }
 
 } // namespace

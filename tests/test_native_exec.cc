@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Differential tests for the executable C/CPU backend: every zoo
+ * model, at every ablation level V0..V4, is compiled through the "c"
+ * backend, built with the host toolchain, executed via the dlopen
+ * harness, and compared tensor-by-tensor against the double-precision
+ * TE interpreter. The C dialect computes in double end-to-end, so
+ * native results track the interpreter to rounding noise; the pinned
+ * 1e-4 bound is the acceptance criterion and catches any indexing,
+ * aliasing or scheduling bug outright.
+ *
+ * Also covered: the NativeModule build layer (content-addressed
+ * artifact reuse, compile-error reporting, missing-entry-symbol
+ * reporting) and cross-backend coexistence in the ArtifactCache.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "codegen/backend.h"
+#include "codegen/codegen_pass.h"
+#include "common/artifact_cache.h"
+#include "common/logging.h"
+#include "compiler/souffle.h"
+#include "models/zoo.h"
+#include "runtime/executor.h"
+#include "runtime/native_exec.h"
+#include "te/interpreter.h"
+
+namespace souffle {
+namespace {
+
+/** Max relative error pinned by the acceptance criteria. */
+constexpr double kRelTolerance = 1e-4;
+
+/** Scratch dir for this test binary's native build products. */
+NativeBuildOptions
+testBuildOptions()
+{
+    NativeBuildOptions options;
+    options.workDir = "native-exec-test-dir";
+    return options;
+}
+
+double
+maxRelError(const Buffer &expected, const Buffer &actual)
+{
+    EXPECT_EQ(expected.size(), actual.size());
+    double worst = 0.0;
+    const size_t n = std::min(expected.size(), actual.size());
+    for (size_t i = 0; i < n; ++i) {
+        const double denom = std::max(1.0, std::fabs(expected[i]));
+        worst = std::max(
+            worst, std::fabs(actual[i] - expected[i]) / denom);
+    }
+    return worst;
+}
+
+/**
+ * Compile @p graph at @p level through the C backend, run it natively
+ * and through the interpreter, and assert every output tensor matches
+ * within kRelTolerance.
+ */
+void
+expectNativeMatchesInterpreter(const Graph &graph, SouffleLevel level,
+                               const std::string &label)
+{
+    SouffleOptions options;
+    options.level = level;
+    options.backend = "c";
+    const Compiled compiled = compileSouffle(graph, options);
+    ASSERT_EQ(compiled.backendName, "c") << label;
+    ASSERT_FALSE(compiled.generatedSource.empty()) << label;
+
+    const Executor reference(compiled);
+    const NamedBuffers inputs = reference.randomInputs();
+    const NamedBuffers expected = reference.run(inputs).outputs;
+
+    const NativeExecutor native(compiled, testBuildOptions());
+    const NamedBuffers actual = native.run(inputs);
+
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (const auto &[name, buffer] : expected) {
+        auto found = actual.find(name);
+        ASSERT_NE(found, actual.end()) << label << ": " << name;
+        EXPECT_LE(maxRelError(buffer, found->second), kRelTolerance)
+            << label << ": output '" << name << "'";
+    }
+}
+
+class NativeZooDifferential
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(NativeZooDifferential, MatchesInterpreterAtEveryLevel)
+{
+    const std::string model = GetParam();
+    const Graph graph = buildTinyModel(model);
+    for (SouffleLevel level :
+         {SouffleLevel::kV0, SouffleLevel::kV1, SouffleLevel::kV2,
+          SouffleLevel::kV3, SouffleLevel::kV4}) {
+        expectNativeMatchesInterpreter(
+            graph, level,
+            model + "/V"
+                + std::to_string(static_cast<int>(level)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, NativeZooDifferential,
+                         ::testing::ValuesIn(paperModelNames()));
+
+TEST(NativeExec, BatchedBertBucketMatchesInterpreter)
+{
+    // One batched serving bucket, as the batcher would compile it.
+    const Graph graph = buildTinyModel("BERT", /*batch=*/8);
+    expectNativeMatchesInterpreter(graph, SouffleLevel::kV4,
+                                   "BERT/batch8/V4");
+}
+
+TEST(NativeExec, AdaptiveFusionVariantMatchesInterpreter)
+{
+    const Graph graph = buildTinyModel("MMoE");
+    SouffleOptions options;
+    options.backend = "c";
+    options.adaptiveFusion = true;
+    const Compiled compiled = compileSouffle(graph, options);
+    const Executor reference(compiled);
+    const NamedBuffers inputs = reference.randomInputs();
+    const NamedBuffers expected = reference.run(inputs).outputs;
+    const NativeExecutor native(compiled, testBuildOptions());
+    const NamedBuffers actual = native.run(inputs);
+    for (const auto &[name, buffer] : expected)
+        EXPECT_LE(maxRelError(buffer, actual.at(name)), kRelTolerance)
+            << name;
+}
+
+// ---------------------------------------------------------------------
+// NativeModule build layer.
+// ---------------------------------------------------------------------
+
+TEST(NativeModule, ContentAddressedObjectIsReused)
+{
+    // Embed the pid so the content address is fresh per test run:
+    // artifacts persist in the work dir across runs by design, and a
+    // fixed literal would find its own object from the previous run.
+    const std::string source =
+        "/* reuse probe, pid " + std::to_string(::getpid()) + " */\n"
+        "void souffle_module_main(double *const *tensors) {\n"
+        "    tensors[1][0] = tensors[0][0] * 2.0;\n"
+        "}\n";
+    const NativeModule first(source, testBuildOptions());
+    EXPECT_FALSE(first.reusedArtifact());
+    const NativeModule second(source, testBuildOptions());
+    EXPECT_TRUE(second.reusedArtifact());
+    EXPECT_EQ(first.objectPath(), second.objectPath());
+
+    double in = 21.0, out = 0.0;
+    double *tensors[2] = {&in, &out};
+    second.run(tensors);
+    EXPECT_DOUBLE_EQ(out, 42.0);
+}
+
+TEST(NativeModule, CompileErrorSurfacesDiagnostics)
+{
+    try {
+        const NativeModule broken("this is not C\n",
+                                  testBuildOptions());
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("compile failed"),
+                  std::string::npos);
+    }
+}
+
+TEST(NativeModule, MissingEntrySymbolReported)
+{
+    try {
+        const NativeModule empty("int unrelated(void){return 0;}\n",
+                                 testBuildOptions());
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("souffle_module_main"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-backend artifact coexistence.
+// ---------------------------------------------------------------------
+
+TEST(ModuleSourceCache, BackendsCoexistUnderOneProgramHash)
+{
+    const Graph graph = buildTinyModel("MMoE");
+
+    auto cache = std::make_shared<ArtifactCache>();
+    SouffleOptions cuda_options;
+    cuda_options.artifactCache = cache;
+    SouffleOptions c_options = cuda_options;
+    c_options.backend = "c";
+
+    const Compiled via_cuda = compileSouffle(graph, cuda_options);
+    const Compiled via_c = compileSouffle(graph, c_options);
+    ASSERT_EQ(via_cuda.programHash, via_c.programHash);
+    EXPECT_NE(via_cuda.generatedSource, via_c.generatedSource);
+
+    // Both module sources live in the cache simultaneously: warm
+    // recompiles of either backend hit without re-emitting.
+    const Compiled warm_cuda = compileSouffle(graph, cuda_options);
+    const Compiled warm_c = compileSouffle(graph, c_options);
+    EXPECT_EQ(warm_cuda.generatedSource, via_cuda.generatedSource);
+    EXPECT_EQ(warm_c.generatedSource, via_c.generatedSource);
+    EXPECT_GE(warm_cuda.passStats.counterTotal("moduleCacheHits"), 1);
+    EXPECT_GE(warm_c.passStats.counterTotal("moduleCacheHits"), 1);
+}
+
+TEST(ModuleSourceCache, KeysDifferOnlyInBackendFingerprint)
+{
+    const auto &registry = CodeGenBackendRegistry::global();
+    SouffleOptions options;
+    const std::string cuda_salt = options.codegenCacheSalt(
+        registry.get("cuda").fingerprint());
+    const std::string c_salt =
+        options.codegenCacheSalt(registry.get("c").fingerprint());
+    EXPECT_NE(cuda_salt, c_salt);
+    // Same schedule-relevant prefix: schedules still transfer.
+    EXPECT_EQ(cuda_salt.substr(0, cuda_salt.rfind("be=")),
+              c_salt.substr(0, c_salt.rfind("be=")));
+
+    ArtifactCache cache;
+    const Fingerprint program{1, 2};
+    const Fingerprint device{3, 4};
+    cache.put({kModuleSourceArtifactKind, program, device, cuda_salt},
+              "cuda-text");
+    cache.put({kModuleSourceArtifactKind, program, device, c_salt},
+              "c-text");
+    EXPECT_EQ(cache
+                  .get({kModuleSourceArtifactKind, program, device,
+                        cuda_salt})
+                  .value(),
+              "cuda-text");
+    EXPECT_EQ(cache
+                  .get({kModuleSourceArtifactKind, program, device,
+                        c_salt})
+                  .value(),
+              "c-text");
+}
+
+} // namespace
+} // namespace souffle

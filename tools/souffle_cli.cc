@@ -11,6 +11,9 @@
  *
  * Options:
  *   --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree
+ *   --backend=cuda|c       codegen backend (default cuda; `run` with
+ *                          an executable backend also executes the
+ *                          emitted module natively on the host CPU)
  *   --level=0..4           Souffle ablation level (default 4)
  *   --device=a100|v100|h100  device-model preset (default a100)
  *   --jobs=N               compile-parallelism lanes (default: the
@@ -22,6 +25,9 @@
  *   --roller               use the Roller-style fast scheduler
  *   --strict               fail the compile on lint errors
  *   --emit-cuda=FILE       write generated CUDA source
+ *   --emit-dir=DIR         dump the generated module source of every
+ *                          registered backend into DIR, named by the
+ *                          program hash
  *   --trace=FILE           write a chrome://tracing timeline
  *   --save=FILE            re-serialize the model text
  *   --seed=N               input seed for `run` (default 42)
@@ -47,6 +53,7 @@
  * variant.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,7 +61,10 @@
 #include <memory>
 #include <string>
 
+#include <sys/stat.h>
+
 #include "analysis/analysis.h"
+#include "codegen/backend.h"
 #include "codegen/cuda.h"
 #include "common/artifact_cache.h"
 #include "common/logging.h"
@@ -66,6 +76,7 @@
 #include "lint/lint.h"
 #include "models/zoo.h"
 #include "runtime/executor.h"
+#include "runtime/native_exec.h"
 #include "serve/server.h"
 
 namespace souffle {
@@ -78,6 +89,8 @@ struct CliOptions
     CompilerId compiler = CompilerId::kSouffle;
     SouffleOptions souffle;
     std::string emitCudaPath;
+    /** Dump every backend's module source here (empty: off). */
+    std::string emitDir;
     std::string tracePath;
     std::string savePath;
     uint64_t seed = 42;
@@ -105,11 +118,14 @@ usage()
         "[model] [options]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
+        "  --backend=cuda|c (codegen backend; `run --backend=c` also "
+        "executes natively)\n"
         "  --level=0..4  --device=a100|v100|h100  --cache-dir=DIR\n"
         "  --jobs=N (compile-parallelism lanes; default SOUFFLE_JOBS "
         "or hardware concurrency)\n"
         "  --adaptive  --roller  --strict  --batch=N\n"
-        "  --emit-cuda=FILE  --trace=FILE  --save=FILE  --seed=N\n"
+        "  --emit-cuda=FILE  --emit-dir=DIR  --trace=FILE  "
+        "--save=FILE  --seed=N\n"
         "  lint: --format=text|json  --fail-on=warning|error  "
         "--rule=ID[,ID...]\n"
         "  serve-sim (zoo models only): --rate=REQ_PER_S  "
@@ -166,6 +182,8 @@ parseArgs(int argc, char **argv, CliOptions &options)
         };
         if (arg.rfind("--compiler=", 0) == 0)
             options.compiler = compilerByName(value_of("--compiler="));
+        else if (arg.rfind("--backend=", 0) == 0)
+            options.souffle.backend = value_of("--backend=");
         else if (arg.rfind("--level=", 0) == 0)
             options.souffle.level = static_cast<SouffleLevel>(
                 std::stoi(value_of("--level=")));
@@ -257,6 +275,8 @@ parseArgs(int argc, char **argv, CliOptions &options)
                 std::stoi(value_of("--max-queue="));
         else if (arg.rfind("--emit-cuda=", 0) == 0)
             options.emitCudaPath = value_of("--emit-cuda=");
+        else if (arg.rfind("--emit-dir=", 0) == 0)
+            options.emitDir = value_of("--emit-dir=");
         else if (arg.rfind("--trace=", 0) == 0)
             options.tracePath = value_of("--trace=");
         else if (arg.rfind("--save=", 0) == 0)
@@ -413,6 +433,10 @@ cliMain(int argc, char **argv)
     if (compiled.programHash.valid())
         std::printf("program hash: %s\n",
                     compiled.programHash.toHex().c_str());
+    if (!compiled.backendName.empty())
+        std::printf("backend: %s (%zu bytes of generated source)\n",
+                    compiled.backendName.c_str(),
+                    compiled.generatedSource.size());
     if (options.souffle.artifactCache) {
         const ArtifactCacheStats &stats =
             options.souffle.artifactCache->stats();
@@ -430,20 +454,43 @@ cliMain(int argc, char **argv)
 
     SimResult timing;
     if (options.command == "run") {
-        const ExecutionResult result =
-            executor.run(executor.randomInputs(options.seed));
-        timing = result.timing;
-        // Sort by name: result.outputs is an unordered_map, and this
+        const CodeGenBackend *backend =
+            CodeGenBackendRegistry::global().find(
+                compiled.backendName);
+        NamedBuffers run_outputs;
+        const char *flavor = "interpreted";
+        if (backend != nullptr && backend->executable()) {
+            // Executable backend: run the emitted module natively on
+            // the host CPU instead of the reference interpreter.
+            const NativeExecutor native(compiled);
+            run_outputs =
+                native.run(executor.randomInputs(options.seed));
+            timing = simulate(compiled.module, options.souffle.device);
+            flavor = "native";
+            std::printf("native module: %s%s\n",
+                        native.nativeModule().objectPath().c_str(),
+                        native.nativeModule().reusedArtifact()
+                            ? " (reused)"
+                            : "");
+        } else {
+            ExecutionResult result =
+                executor.run(executor.randomInputs(options.seed));
+            timing = result.timing;
+            run_outputs = std::move(result.outputs);
+        }
+        // Sort by name: the outputs are an unordered_map, and this
         // print must be byte-stable run to run.
         std::map<std::string, const std::vector<double> *> outputs;
-        for (const auto &[name, buffer] : result.outputs)
+        for (const auto &[name, buffer] : run_outputs)
             outputs.emplace(name, &buffer);
         for (const auto &[name, buffer] : outputs) {
             double checksum = 0.0;
             for (double v : *buffer)
                 checksum += v;
-            std::printf("output '%s': %zu elements, checksum %.6g\n",
-                        name.c_str(), buffer->size(), checksum);
+            std::printf("output '%s' (%s): %zu elements, "
+                        "checksum %.6g\n",
+                        name.c_str(), flavor, buffer->size(),
+                        checksum);
         }
     } else if (options.command == "compile") {
         timing = simulate(compiled.module, options.souffle.device);
@@ -459,6 +506,35 @@ cliMain(int argc, char **argv)
         file << emitCudaModule(compiled);
         std::printf("wrote CUDA source to %s\n",
                     options.emitCudaPath.c_str());
+    }
+    if (!options.emitDir.empty()) {
+        SOUFFLE_REQUIRE(::mkdir(options.emitDir.c_str(), 0755) == 0
+                            || errno == EEXIST,
+                        "cannot create emit dir '" << options.emitDir
+                                                   << "'");
+        const std::string hash = compiled.programHash.valid()
+                                     ? compiled.programHash.toHex()
+                                     : "unhashed";
+        const auto &registry = CodeGenBackendRegistry::global();
+        for (const std::string &name : registry.names()) {
+            const CodeGenBackend &backend = registry.get(name);
+            const std::string path = options.emitDir + "/" + hash + "-"
+                                     + name + "."
+                                     + backend.sourceExtension();
+            std::ofstream file(path);
+            SOUFFLE_REQUIRE(file.good(), "cannot open " << path);
+            // The selected backend's file carries the compile's own
+            // module source — cache-served on warm runs — so diffing
+            // emit dirs across recompiles checks the cache returns
+            // byte-identical text, not just that emitters are pure.
+            if (name == compiled.backendName
+                && !compiled.generatedSource.empty())
+                file << compiled.generatedSource;
+            else
+                file << backend.emitModule(compiled);
+            std::printf("wrote %s module (program %s) to %s\n",
+                        name.c_str(), hash.c_str(), path.c_str());
+        }
     }
     if (!options.tracePath.empty()) {
         writeChromeTrace(timing, compiled.name, options.tracePath);
