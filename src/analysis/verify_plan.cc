@@ -1,0 +1,191 @@
+#include "analysis/verify_plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "analysis/dataflow.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace souffle {
+
+namespace {
+
+constexpr const char *kRule = "plan-overlap";
+
+std::string
+describeAssignment(const TeProgram &program,
+                   const BufferAssignment &assignment)
+{
+    std::ostringstream os;
+    os << "'" << program.tensor(assignment.tensor).name << "' bytes ["
+       << assignment.offset << ", "
+       << assignment.offset + assignment.bytes << ") live TEs ["
+       << assignment.liveFrom << ", " << assignment.liveTo << "]";
+    return os.str();
+}
+
+} // namespace
+
+LintReport
+verifyMemoryPlan(const TeProgram &program,
+                 const GlobalAnalysis &analysis, const MemoryPlan &plan,
+                 const CompiledModule *module)
+{
+    LintReport report;
+
+    // Module-derived live intervals (analysis-only without a module).
+    std::unordered_map<TensorId, TensorLiveInterval> intervals;
+    for (const TensorLiveInterval &interval :
+         moduleLiveIntervals(program, analysis, module))
+        intervals.emplace(interval.tensor, interval);
+
+    std::unordered_map<TensorId, const BufferAssignment *> by_tensor;
+
+    // 1-2. Per-assignment checks: range inside the workspace, sized
+    // for the tensor, interval containing the derived live interval.
+    for (const BufferAssignment &assignment : plan.assignments) {
+        LintLocation loc;
+        if (assignment.tensor < 0
+            || assignment.tensor >= program.numTensors()) {
+            report.add(kRule, Severity::kError, loc,
+                       "assignment references unknown tensor id "
+                           + std::to_string(assignment.tensor),
+                       "plan only tensors of the program");
+            continue;
+        }
+        const TensorDecl &decl = program.tensor(assignment.tensor);
+        const int producer = decl.producer;
+        loc.teId = producer;
+        if (!by_tensor.emplace(assignment.tensor, &assignment).second) {
+            report.add(kRule, Severity::kError, loc,
+                       "tensor '" + decl.name
+                           + "' is planned more than once",
+                       "keep one assignment per tensor");
+            continue;
+        }
+        if (assignment.offset < 0
+            || assignment.offset + assignment.bytes
+                   > plan.workspaceBytes) {
+            std::ostringstream msg;
+            msg << "assignment " << describeAssignment(program, assignment)
+                << " escapes the workspace of "
+                << plan.workspaceBytes << " bytes";
+            report.add(kRule, Severity::kError, loc, msg.str(),
+                       "grow the workspace or fix the offset");
+        }
+        if (assignment.bytes < decl.bytes()) {
+            std::ostringstream msg;
+            msg << "assignment of tensor '" << decl.name
+                << "' reserves " << assignment.bytes
+                << " bytes for a " << decl.bytes() << "-byte tensor";
+            report.add(kRule, Severity::kError, loc, msg.str(),
+                       "size the buffer from the tensor declaration");
+        }
+        const auto it = intervals.find(assignment.tensor);
+        if (it != intervals.end()
+            && (assignment.liveFrom > it->second.firstDef
+                || assignment.liveTo < it->second.lastUse)) {
+            std::ostringstream msg;
+            msg << "planned interval of tensor '" << decl.name
+                << "' [" << assignment.liveFrom << ", "
+                << assignment.liveTo
+                << "] does not contain its observed live interval ["
+                << it->second.firstDef << ", " << it->second.lastUse
+                << "]; the buffer can be recycled while still in use";
+            report.add(kRule, Severity::kError, loc, msg.str(),
+                       "extend the planned interval to the last "
+                       "consumer");
+        }
+    }
+
+    // 3. Pairwise: simultaneously-live tensors must not share bytes.
+    // Sweep assignments sorted by offset so non-overlapping ranges
+    // exit early; the effective interval is the union of the planned
+    // one and the observed one (a plan lying about liveness must not
+    // also hide the clobber).
+    std::vector<const BufferAssignment *> sorted;
+    sorted.reserve(plan.assignments.size());
+    for (const BufferAssignment &assignment : plan.assignments)
+        sorted.push_back(&assignment);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const BufferAssignment *a, const BufferAssignment *b) {
+                  if (a->offset != b->offset)
+                      return a->offset < b->offset;
+                  return a->tensor < b->tensor;
+              });
+    auto live_span = [&](const BufferAssignment &assignment) {
+        int from = assignment.liveFrom;
+        int to = assignment.liveTo;
+        const auto it = intervals.find(assignment.tensor);
+        if (it != intervals.end()) {
+            from = std::min(from, it->second.firstDef);
+            to = std::max(to, it->second.lastUse);
+        }
+        return std::make_pair(from, to);
+    };
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        const BufferAssignment &a = *sorted[i];
+        const auto [a_from, a_to] = live_span(a);
+        for (size_t j = i + 1; j < sorted.size(); ++j) {
+            const BufferAssignment &b = *sorted[j];
+            if (b.offset >= a.offset + a.bytes)
+                break; // sorted: no later range can overlap a
+            const auto [b_from, b_to] = live_span(b);
+            if (a_from > b_to || b_from > a_to)
+                continue; // lifetimes disjoint: reuse is the point
+            LintLocation loc;
+            loc.teId = program.tensor(a.tensor).producer;
+            std::ostringstream msg;
+            msg << "simultaneously-live tensors share workspace "
+                   "bytes: "
+                << describeAssignment(program, a) << " overlaps "
+                << describeAssignment(program, b);
+            report.add(kRule, Severity::kError, loc, msg.str(),
+                       "re-plan with correct live ranges; the later "
+                       "tensor clobbers the earlier one");
+        }
+    }
+
+    // 4. Completeness: every produced intermediate is planned.
+    for (const TensorDecl &decl : program.tensors()) {
+        if (decl.role != TensorRole::kIntermediate
+            || decl.producer < 0)
+            continue;
+        if (by_tensor.count(decl.id))
+            continue;
+        LintLocation loc;
+        loc.teId = decl.producer;
+        report.add(kRule, Severity::kError, loc,
+                   "intermediate tensor '" + decl.name
+                       + "' has no workspace assignment",
+                   "plan every produced intermediate");
+    }
+
+    return report;
+}
+
+void
+VerifyPlanPass::run(CompileContext &ctx)
+{
+    const MemoryPlan plan =
+        planMemory(ctx.program(), ctx.analysis());
+    const CompiledModule *module =
+        ctx.result.module.kernels.empty() ? nullptr
+                                          : &ctx.result.module;
+    const LintReport report = verifyMemoryPlan(
+        ctx.program(), ctx.analysis(), plan, module);
+    ctx.counter("tensorsPlanned",
+                static_cast<int64_t>(plan.assignments.size()));
+    ctx.counter("planFindings", static_cast<int64_t>(report.size()));
+    for (const Diagnostic &diag : report.diagnostics()) {
+        if (diag.severity != Severity::kError)
+            SOUFFLE_WARN("verify-plan: " << diag.toString());
+    }
+    SOUFFLE_REQUIRE(report.errors() == 0,
+                    "verify-plan: memory plan is unsound\n"
+                        << report.renderText());
+}
+
+} // namespace souffle

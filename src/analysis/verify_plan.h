@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Memory-plan soundness verification (translation-validation style).
+ *
+ * `MemoryPlan` assigns every intermediate tensor a byte range of one
+ * shared workspace, reusing the space of tensors whose live ranges
+ * ended (runtime/memory_plan.h). The global rewrites this repository
+ * exists to study — horizontal/vertical fusion, two-phase reductions,
+ * reuse caching — all reshape when tensors are produced and consumed,
+ * so an offset that was safe for the unfused program can silently
+ * clobber a live tensor after them. The verifier *proves* the plan
+ * sound against the compiled artifacts instead of trusting the
+ * planner:
+ *
+ *  1. every planned interval contains the tensor's module-derived
+ *     live interval (analysis/dataflow.h `moduleLiveIntervals`);
+ *  2. every byte range is inside the workspace and large enough for
+ *     the tensor it backs;
+ *  3. no two assignments whose live intervals overlap in time share
+ *     any byte of `[offset, offset + bytes)` — the WAR/WAW hazard
+ *     freedom the paper's reuse story rests on;
+ *  4. every consumed intermediate has an assignment at all.
+ *
+ * Findings are reported as `plan-overlap` diagnostics through the
+ * shared lint machinery, so the same proof powers the lint rule, the
+ * `souffle_cli verify` subcommand, and the strict-mode
+ * `VerifyPlanPass` below.
+ */
+
+#include "compiler/pass.h"
+#include "lint/diagnostic.h"
+#include "runtime/memory_plan.h"
+
+namespace souffle {
+
+/**
+ * Verify @p plan against @p program / @p analysis and, when given,
+ * the compiled @p module (widens live intervals by the instruction
+ * streams' actual accesses). Returns every finding as `plan-overlap`
+ * diagnostics; an empty report is the soundness proof.
+ */
+LintReport verifyMemoryPlan(const TeProgram &program,
+                            const GlobalAnalysis &analysis,
+                            const MemoryPlan &plan,
+                            const CompiledModule *module = nullptr);
+
+/**
+ * Strict-mode pass: plans the current program's memory and fails the
+ * compile (FatalError) when the verifier finds any error. Appended
+ * after codegen by `soufflePipeline` when
+ * `SouffleOptions::strictLint` is set, mirroring `LintPass`.
+ * Counters: "tensorsPlanned", "planFindings".
+ */
+class VerifyPlanPass : public Pass
+{
+  public:
+    std::string name() const override { return "verify-plan"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

@@ -83,7 +83,7 @@ emitCudaKernel(const TeProgram &program, const Kernel &kernel)
            << " */";
     }
     os << ")\n{\n";
-    if (kernel.stages.size() > 1) {
+    if (kernel.gridSyncCount() > 0) {
         os << "    cooperative_groups::grid_group grid =\n"
            << "        cooperative_groups::this_grid();\n";
     }
@@ -109,8 +109,35 @@ emitCudaKernel(const TeProgram &program, const Kernel &kernel)
                    << " overlapped with the previous stage\n";
             }
         }
-        if (s > 0)
+        // Fences come from the instruction stream (the sync-elim
+        // transform may have deleted redundant ones), not from the
+        // stage position.
+        bool has_sync = false;
+        for (const auto &instr : stage.instrs)
+            has_sync |= instr.kind == InstrKind::kGridSync;
+        if (has_sync)
             os << "    grid.sync();\n";
+
+        // kCompute position of each TE output and whether a block
+        // barrier separates two positions: the IR's kBarriers become
+        // __syncthreads() between the affected TE loops.
+        auto compute_pos = [&stage](TensorId out) {
+            for (size_t i = 0; i < stage.instrs.size(); ++i) {
+                if (stage.instrs[i].kind == InstrKind::kCompute
+                    && stage.instrs[i].tensor == out)
+                    return static_cast<int>(i);
+            }
+            return -1;
+        };
+        auto barrier_after = [&stage](int lo, int hi) {
+            for (int i = lo + 1; hi < 0 || i < hi; ++i) {
+                if (i >= static_cast<int>(stage.instrs.size()))
+                    return false;
+                if (stage.instrs[i].kind == InstrKind::kBarrier)
+                    return true;
+            }
+            return false;
+        };
 
         std::string indent = "    ";
         const bool predicated =
@@ -120,10 +147,21 @@ emitCudaKernel(const TeProgram &program, const Kernel &kernel)
                << ") {\n";
             indent = "        ";
         }
+        int prev_pos = -1;
         for (int te_id : stage.teIds) {
             const TensorExpr &te = program.te(te_id);
+            const int pos = compute_pos(te.output);
+            if (prev_pos >= 0 && pos >= 0
+                && barrier_after(prev_pos, pos))
+                os << indent << "__syncthreads();\n";
             emitTeLoop(os, program, te,
                        atomic_outputs.count(te.output) > 0, indent);
+            if (pos >= 0)
+                prev_pos = pos;
+        }
+        if (prev_pos >= 0 && barrier_after(prev_pos, -1)) {
+            os << indent << "__syncthreads(); // reuse-cache spill "
+               << "barrier\n";
         }
         if (predicated)
             os << "    }\n";

@@ -40,21 +40,4 @@ std::string emitCudaModule(const Compiled &compiled);
 std::string emitCudaKernel(const TeProgram &program,
                            const Kernel &kernel);
 
-/**
- * Compile a TE body to a C scalar expression over index variables
- * d0..d{rank-1} reading `inK` pointers. Exposed for tests.
- *
- * @deprecated The emission is backend-neutral and moved to
- * codegen/common.h; this shim pins the historical CUDA-dialect
- * behavior. Call `emitScalarExpr(expr, program, te, dialect)` instead.
- */
-[[deprecated("use emitScalarExpr(expr, program, te, CodegenDialect) "
-             "from codegen/common.h")]]
-inline std::string
-emitScalarExpr(const ExprPtr &expr, const TeProgram &program,
-               const TensorExpr &te)
-{
-    return emitScalarExpr(expr, program, te, CodegenDialect::kCuda);
-}
-
 } // namespace souffle

@@ -3,12 +3,14 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "analysis/verify_plan.h"
 #include "codegen/codegen_pass.h"
 #include "graph/lowering_pass.h"
 #include "kernel/kernel_passes.h"
 #include "lint/lint.h"
 #include "sched/schedule_pass.h"
 #include "te/fingerprint.h"
+#include "transform/sync_elim.h"
 #include "transform/transform_passes.h"
 
 namespace souffle {
@@ -106,10 +108,15 @@ soufflePipeline(const SouffleOptions &options)
     if (options.level >= SouffleLevel::kV3)
         pipeline.add<TwoPhaseReductionPass>();
 
-    // 7. Subprogram-level optimizations.
+    // 7. Subprogram-level optimizations, then redundant-sync
+    // elimination: the reuse pass appends a spill barrier to every
+    // stage with evictions, and most of those are immediately
+    // subsumed by the next stage's grid.sync() — the dataflow
+    // analysis deletes exactly the provably redundant fences.
     if (options.level >= SouffleLevel::kV4) {
         pipeline.add<PipelineOptimizePass>();
         pipeline.add<ReuseOptimizePass>();
+        pipeline.add<SyncElimPass>();
     }
 
     // 8. Optional adaptive fusion (the Sec. 9 "Slowdown" remedy):
@@ -123,9 +130,12 @@ soufflePipeline(const SouffleOptions &options)
     pipeline.add<CodegenPass>();
 
     // 10. Strict mode: the full souffle-lint catalogue over the final
-    // artifacts; error-severity findings fail the compile.
-    if (options.strictLint)
+    // artifacts, then the memory-plan soundness proof; error-severity
+    // findings fail the compile.
+    if (options.strictLint) {
         pipeline.add<LintPass>();
+        pipeline.add<VerifyPlanPass>();
+    }
 
     return pipeline;
 }

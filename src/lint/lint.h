@@ -33,6 +33,8 @@
 
 namespace souffle {
 
+struct MemoryPlan;
+
 /** Read-only view of the artifacts a lint run inspects. */
 struct LintInput
 {
@@ -43,6 +45,12 @@ struct LintInput
     const std::vector<Schedule> *schedules = nullptr;
     /** Compiled module, or nullptr before kernel construction. */
     const CompiledModule *module = nullptr;
+    /**
+     * Workspace plan to verify, or nullptr to let the plan-overlap
+     * rule plan the program itself (mutation tests inject doctored
+     * plans through this pointer).
+     */
+    const MemoryPlan *plan = nullptr;
     /**
      * Codegen backend of the compile under inspection (a
      * CodeGenBackendRegistry name). GPU-only rules (grid-sync-race,

@@ -17,6 +17,17 @@
  *                   overlapped loads in a kernel's first stage or of
  *                   in-kernel-produced tensors, no stores to tensors
  *                   nothing consumes, no grid.sync() in library kernels
+ *   plan-overlap    the memory plan is sound: no two simultaneously-
+ *                   live intermediates share workspace bytes, every
+ *                   planned interval contains the observed live
+ *                   interval (analysis/verify_plan.h)
+ *   unsynced-dep    instruction-granular happens-before: every
+ *                   def/use edge of the kernel dataflow is ordered by
+ *                   a fence of sufficient scope (finer than
+ *                   grid-sync-race's stage granularity)
+ *   redundant-sync  fences the dataflow proves removable (subsumed by
+ *                   an adjacent stronger fence or a kernel boundary,
+ *                   or covering no dependence edge)
  */
 
 #include <algorithm>
@@ -25,9 +36,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dataflow.h"
+#include "analysis/verify_plan.h"
 #include "codegen/backend.h"
 #include "common/string_util.h"
 #include "lint/lint.h"
+#include "runtime/memory_plan.h"
 
 namespace souffle {
 namespace {
@@ -712,6 +726,145 @@ class InstrStreamRule : public LintRule
     }
 };
 
+// ---------------------------------------------------------------------
+// plan-overlap
+// ---------------------------------------------------------------------
+
+class PlanOverlapRule : public LintRule
+{
+  public:
+    std::string id() const override { return "plan-overlap"; }
+
+    std::string
+    description() const override
+    {
+        return "no two simultaneously-live intermediates share "
+               "workspace bytes; planned intervals contain the "
+               "observed live intervals";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        // Verify the injected plan when one is provided (mutation
+        // tests), else prove the planner's own output sound. The
+        // rule is backend-agnostic: the interpreter and the native
+        // backend share the workspace layout.
+        if (input.plan != nullptr) {
+            report.merge(verifyMemoryPlan(input.program,
+                                          input.analysis, *input.plan,
+                                          input.module));
+            return;
+        }
+        const MemoryPlan plan =
+            planMemory(input.program, input.analysis);
+        report.merge(verifyMemoryPlan(input.program, input.analysis,
+                                      plan, input.module));
+    }
+};
+
+// ---------------------------------------------------------------------
+// unsynced-dep
+// ---------------------------------------------------------------------
+
+class UnsyncedDepRule : public LintRule
+{
+  public:
+    std::string id() const override { return "unsynced-dep"; }
+
+    std::string
+    description() const override
+    {
+        return "every def/use edge of the kernel dataflow is ordered "
+               "by a fence of sufficient scope (instruction-granular "
+               "happens-before)";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        if (input.module == nullptr)
+            return;
+        if (skipForNonGpuBackend(input, id(), report))
+            return;
+        for (const Kernel &kernel : input.module->kernels) {
+            if (kernel.usesLibrary)
+                continue; // libraries synchronize internally
+            const KernelDataflow dataflow(input.program,
+                                          input.analysis, kernel);
+            for (const DepEdge &edge : dataflow.uncoveredEdges()) {
+                LintLocation loc;
+                loc.kernel = kernel.name;
+                loc.stage = edge.use.stage;
+                loc.instr = edge.use.instr;
+                loc.teId = edge.useTe;
+                std::ostringstream msg;
+                msg << "unordered dependence: " << edge.toString()
+                    << " but no such fence separates them in the "
+                       "stream";
+                report.add(id(), Severity::kError, loc, msg.str(),
+                           edge.required == FenceScope::kGrid
+                               ? "insert a kGridSync between the "
+                                 "defining and using instructions"
+                               : "insert a kBarrier between the "
+                                 "defining and using instructions");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// redundant-sync
+// ---------------------------------------------------------------------
+
+class RedundantSyncRule : public LintRule
+{
+  public:
+    std::string id() const override { return "redundant-sync"; }
+
+    std::string
+    description() const override
+    {
+        return "no fence is provably redundant (subsumed by an "
+               "adjacent stronger fence or a kernel boundary, or "
+               "covering no dependence edge)";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        if (input.module == nullptr)
+            return;
+        if (skipForNonGpuBackend(input, id(), report))
+            return;
+        for (const Kernel &kernel : input.module->kernels) {
+            if (kernel.usesLibrary)
+                continue;
+            const KernelDataflow dataflow(input.program,
+                                          input.analysis, kernel);
+            for (const FenceVerdict &verdict :
+                 dataflow.fenceVerdicts()) {
+                if (verdict.action == FenceVerdict::Action::kKeep)
+                    continue;
+                LintLocation loc;
+                loc.kernel = kernel.name;
+                loc.stage = verdict.pos.stage;
+                loc.instr = verdict.pos.instr;
+                std::ostringstream msg;
+                msg << (verdict.action
+                                == FenceVerdict::Action::kDowngrade
+                            ? "downgradable "
+                            : "redundant ")
+                    << instrKindName(verdict.kind) << ": "
+                    << verdict.reason;
+                report.add(id(), Severity::kWarning, loc, msg.str(),
+                           "run the sync-elimination transform "
+                           "(V4 pipeline) or delete the instruction");
+            }
+        }
+    }
+};
+
 } // namespace
 
 void registerBuiltinLintRules(LintRuleRegistry &registry);
@@ -732,6 +885,15 @@ registerBuiltinLintRules(LintRuleRegistry &registry)
                  [] { return std::make_unique<DeadTeRule>(); });
     registry.add("instr-stream", [] {
         return std::make_unique<InstrStreamRule>();
+    });
+    registry.add("plan-overlap", [] {
+        return std::make_unique<PlanOverlapRule>();
+    });
+    registry.add("unsynced-dep", [] {
+        return std::make_unique<UnsyncedDepRule>();
+    });
+    registry.add("redundant-sync", [] {
+        return std::make_unique<RedundantSyncRule>();
     });
 }
 

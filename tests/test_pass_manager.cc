@@ -119,7 +119,8 @@ TEST(SoufflePipeline, PassListsMatchTheAblationLevels)
                   "lower-to-te", "horizontal-transform",
                   "vertical-transform", "schedule", "partition",
                   "build-module", "two-phase-reduction",
-                  "pipeline-loads", "reuse-cache", "codegen"}));
+                  "pipeline-loads", "reuse-cache", "sync-elim",
+                  "codegen"}));
 
     SouffleOptions adaptive;
     adaptive.adaptiveFusion = true;

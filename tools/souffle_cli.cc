@@ -5,6 +5,7 @@
  *   souffle_cli compile   <model.sgraph | zoo:NAME> [options]
  *   souffle_cli run       <model.sgraph | zoo:NAME> [options]
  *   souffle_cli lint      <model.sgraph | zoo:NAME> [options]
+ *   souffle_cli verify    <model.sgraph | zoo:NAME> [options]
  *   souffle_cli serve-sim <zoo:NAME | zoo-tiny:NAME> [options]
  *   souffle_cli inspect   <model.sgraph | zoo:NAME>
  *   souffle_cli list
@@ -32,10 +33,14 @@
  *   --save=FILE            re-serialize the model text
  *   --seed=N               input seed for `run` (default 42)
  *
- * `lint` options:
+ * `lint` / `verify` options:
  *   --format=text|json     report renderer (default text)
  *   --fail-on=warning|error  exit nonzero at this severity (default error)
  *   --rule=ID[,ID...]      run only the named rules
+ *
+ * `verify` runs the dataflow verifier rules only (plan-overlap,
+ * unsynced-dep, redundant-sync): it proves the memory plan sound and
+ * every kernel dependence fenced on the fully optimized module.
  *
  * `serve-sim` options (zoo models only — batching rebuilds the graph
  * per bucket, which a serialized .sgraph cannot do):
@@ -76,6 +81,7 @@
 #include "lint/lint.h"
 #include "models/zoo.h"
 #include "runtime/executor.h"
+#include "runtime/memory_plan.h"
 #include "runtime/native_exec.h"
 #include "serve/server.h"
 
@@ -114,7 +120,7 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: souffle_cli <compile|run|lint|serve-sim|inspect|list> "
+        "usage: souffle_cli <compile|run|lint|verify|serve-sim|inspect|list> "
         "[model] [options]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
@@ -126,7 +132,7 @@ usage()
         "  --adaptive  --roller  --strict  --batch=N\n"
         "  --emit-cuda=FILE  --emit-dir=DIR  --trace=FILE  "
         "--save=FILE  --seed=N\n"
-        "  lint: --format=text|json  --fail-on=warning|error  "
+        "  lint/verify: --format=text|json  --fail-on=warning|error  "
         "--rule=ID[,ID...]\n"
         "  serve-sim (zoo models only): --rate=REQ_PER_S  "
         "--duration-ms=N  --streams=N\n"
@@ -363,10 +369,17 @@ cliMain(int argc, char **argv)
         return 0;
     }
 
-    if (options.command == "lint") {
-        const Linter linter = options.lintRules.empty()
-                                  ? Linter()
-                                  : Linter(options.lintRules);
+    if (options.command == "lint" || options.command == "verify") {
+        // `verify` is `lint` restricted to the dataflow-verifier
+        // rules: memory-plan soundness, instruction-granular
+        // happens-before, and fence redundancy.
+        const std::vector<std::string> verifier_rules{
+            "plan-overlap", "redundant-sync", "unsynced-dep"};
+        const Linter linter =
+            !options.lintRules.empty() ? Linter(options.lintRules)
+            : options.command == "verify" ? Linter(verifier_rules)
+                                          : Linter();
+        const char *cmd = options.command.c_str();
         LintReport report;
         if (options.compiler == CompilerId::kSouffle) {
             // Lint the live CompileContext: program, analysis,
@@ -380,15 +393,21 @@ cliMain(int argc, char **argv)
             soufflePipeline(options.souffle).run(ctx);
             report = linter.run(ctx);
             if (options.lintFormat == "text") {
-                std::printf("lint: jobs %d\n",
+                std::printf("%s: jobs %d\n", cmd,
                             ThreadPool::globalJobs());
-                std::printf("lint: %s, %d TEs, %d kernel(s), %lld "
+                std::printf("%s: %s, %d TEs, %d kernel(s), %lld "
                             "reachability queries\n",
-                            ctx.result.name.c_str(),
+                            cmd, ctx.result.name.c_str(),
                             ctx.program().numTes(),
                             ctx.result.module.numKernels(),
                             static_cast<long long>(
                                 ctx.analysis().reachableQueries()));
+                if (options.command == "verify") {
+                    const MemoryPlan plan = planMemory(
+                        ctx.program(), ctx.analysis());
+                    std::printf("%s: %s\n", cmd,
+                                plan.toString().c_str());
+                }
             }
         } else {
             // Baselines surface only their program and module.
