@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Fleet-simulator sweep: routing policy x traffic shape over a
+ * two-tenant (BERT + EfficientNet) three-replica fleet. The claims
+ * under test are shapes, not absolute numbers:
+ *
+ *  - cache-affinity routing does the least fleet compile work
+ *    (bucket fills): each (model, bucket) warms on one replica
+ *    instead of everywhere round-robin scatters it;
+ *  - least-loaded absorbs bursty traffic with better tail latency
+ *    than round-robin, which keeps feeding a backed-up replica;
+ *  - the shared compile service keeps fleet-cold compiles at one per
+ *    (device class, model, bucket) under every policy.
+ *
+ * Pass --json for a machine-readable sweep document.
+ */
+
+#include <cstring>
+
+#include "bench_common.h"
+#include "cluster/fleet_sim.h"
+#include "common/json.h"
+
+namespace souffle::bench {
+namespace {
+
+const std::vector<cluster::RouterPolicy> kPolicies = {
+    cluster::RouterPolicy::kRoundRobin,
+    cluster::RouterPolicy::kLeastLoaded,
+    cluster::RouterPolicy::kCacheAffinity,
+};
+
+struct TraceShape
+{
+    const char *name;
+    double diurnalAmplitude;
+    double burstMultiplier;
+    double burstProbability;
+};
+
+const std::vector<TraceShape> kShapes = {
+    {"flat", 0.0, 1.0, 0.0},
+    {"diurnal", 0.6, 1.0, 0.0},
+    {"bursty", 0.3, 3.0, 0.4},
+};
+
+cluster::FleetConfig
+configFor(cluster::RouterPolicy policy, const TraceShape &shape)
+{
+    cluster::FleetConfig config;
+    config.policy = policy;
+    config.tenants.clear();
+    for (const char *model : {"BERT", "EfficientNet"}) {
+        cluster::TenantSpec tenant;
+        tenant.name = model;
+        tenant.model = model;
+        config.tenants.push_back(std::move(tenant));
+    }
+    config.replicas.assign(3, cluster::ReplicaSpec{});
+    config.traffic.baseRatePerSec = 3000.0;
+    config.traffic.durationUs = 200.0e3;
+    config.traffic.diurnalAmplitude = shape.diurnalAmplitude;
+    config.traffic.burstMultiplier = shape.burstMultiplier;
+    config.traffic.burstProbability = shape.burstProbability;
+    return config;
+}
+
+/** Worst per-tenant p95 — the fleet's tail is its slowest tenant. */
+double
+worstP95Us(const cluster::FleetReport &report)
+{
+    double worst = 0.0;
+    for (const cluster::TenantStats &tenant : report.tenants)
+        worst = std::max(worst, tenant.latency.p95Us);
+    return worst;
+}
+
+int
+benchMain(bool json)
+{
+    JsonWriter writer;
+    if (json)
+        writer.beginObject().newline().key("sweeps").beginArray();
+    else
+        printHeader("Fleet policy x traffic-shape sweep "
+                    "(BERT + EfficientNet, 3 replicas)");
+
+    for (const TraceShape &shape : kShapes) {
+        if (!json) {
+            std::printf("\ntrace '%s' (diurnal %.1f, burst x%.1f "
+                        "p=%.1f)\n",
+                        shape.name, shape.diurnalAmplitude,
+                        shape.burstMultiplier,
+                        shape.burstProbability);
+            std::printf("  %-15s %10s %10s %10s %8s %8s %8s\n",
+                        "policy", "rps", "p95(ms)", "attain", "shed",
+                        "fills", "compiles");
+        }
+        for (cluster::RouterPolicy policy : kPolicies) {
+            const cluster::FleetReport report =
+                cluster::runFleetSim(configFor(policy, shape));
+            if (json) {
+                writer.newline()
+                    .beginObject()
+                    .field("trace", shape.name)
+                    .field("policy", report.policy)
+                    .field("throughput_rps", report.throughputRps())
+                    .field("worst_p95_us", worstP95Us(report))
+                    .field("slo_attainment", report.attainment())
+                    .field("shed", report.shedRequests)
+                    .field("compile_count", report.compileCount)
+                    .field("fleet_compiles", report.fleetCompiles)
+                    .endObject();
+                continue;
+            }
+            std::printf("  %-15s %10.1f %10.2f %9.1f%% %8d %8d "
+                        "%8d\n",
+                        report.policy.c_str(), report.throughputRps(),
+                        worstP95Us(report) / 1000.0,
+                        report.attainment() * 100.0,
+                        report.shedRequests, report.compileCount,
+                        report.fleetCompiles);
+            std::fflush(stdout);
+        }
+    }
+    if (!json) {
+        std::printf("\n(on the flat trace cache-affinity shows the "
+                    "fewest fills -- each (model, bucket) warms on "
+                    "one replica until overload spills past the "
+                    "affinity bound; least-loaded absorbs bursts "
+                    "with the best p95; fleet-cold compiles stay "
+                    "constant across policies thanks to the shared "
+                    "service)\n");
+    }
+
+    if (json) {
+        writer.endArray().newline().endObject();
+        std::printf("%s\n", writer.str().c_str());
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace souffle::bench
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+    }
+    return souffle::bench::benchMain(json);
+}

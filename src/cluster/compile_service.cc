@@ -1,0 +1,70 @@
+#include "cluster/compile_service.h"
+
+#include "common/logging.h"
+
+namespace souffle::cluster {
+
+FleetCompileService::FleetCompileService(bool tiny, SouffleOptions base)
+    : tiny(tiny), base(std::move(base))
+{
+    if (!this->base.artifactCache)
+        this->base.artifactCache = std::make_shared<ArtifactCache>();
+    sharedArtifacts = this->base.artifactCache;
+}
+
+serve::ModuleCache &
+FleetCompileService::cacheFor(const std::string &device)
+{
+    auto it = caches.find(device);
+    if (it == caches.end()) {
+        SouffleOptions options = base;
+        options.device = DeviceSpec::byName(device);
+        options.artifactCache = sharedArtifacts;
+        it = caches
+                 .emplace(device,
+                          std::make_unique<serve::ModuleCache>(
+                              tiny, std::move(options)))
+                 .first;
+    }
+    return *it->second;
+}
+
+AcquireResult
+FleetCompileService::acquire(const std::string &device,
+                             const std::string &model, int bucket)
+{
+    serve::ModuleCache &cache = cacheFor(device);
+    const int misses_before = cache.misses();
+    AcquireResult result;
+    result.module = &cache.get(model, bucket);
+    result.fleetCold = cache.misses() > misses_before;
+    if (result.fleetCold) {
+        result.candidateEvals =
+            result.module->compiled.passStats.counterTotal(
+                "candidates");
+        ++compiles;
+        evals += result.candidateEvals;
+        warm[device].emplace(model, bucket);
+    }
+    return result;
+}
+
+double
+FleetCompileService::compileMsTotal() const
+{
+    double total = 0.0;
+    for (const auto &[device, cache] : caches)
+        total += cache->compileMsTotal();
+    return total;
+}
+
+std::vector<std::pair<std::string, int>>
+FleetCompileService::warmEntries(const std::string &device) const
+{
+    auto it = warm.find(device);
+    if (it == warm.end())
+        return {};
+    return {it->second.begin(), it->second.end()};
+}
+
+} // namespace souffle::cluster

@@ -1,0 +1,242 @@
+#include "cluster/fleet_report.h"
+
+#include <sstream>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace souffle::cluster {
+
+double
+TenantStats::attainment() const
+{
+    if (offered == 0)
+        return 0.0;
+    return static_cast<double>(sloAttained)
+           / static_cast<double>(offered);
+}
+
+double
+ReplicaStats::utilization() const
+{
+    if (upUs <= 0.0 || numStreams <= 0)
+        return 0.0;
+    return busyUs / (upUs * numStreams);
+}
+
+double
+FleetReport::throughputRps() const
+{
+    if (makespanUs <= 0.0)
+        return 0.0;
+    return static_cast<double>(completedRequests)
+           / (makespanUs / 1.0e6);
+}
+
+double
+FleetReport::attainment() const
+{
+    int attained = 0;
+    int offered = 0;
+    for (const TenantStats &tenant : tenants) {
+        attained += tenant.sloAttained;
+        offered += tenant.offered;
+    }
+    if (offered == 0)
+        return 0.0;
+    return static_cast<double>(attained)
+           / static_cast<double>(offered);
+}
+
+std::string
+FleetReport::renderText() const
+{
+    std::ostringstream os;
+    os << "fleet-sim: policy " << policy << ", seed " << seed << ", "
+       << initialReplicas << " initial replica(s), retry "
+       << (retryEnabled ? "on" : "off") << ", autoscaler "
+       << (autoscalerEnabled ? "on" : "off") << "\n";
+    os << "  requests: " << totalRequests << " offered, "
+       << completedRequests << " completed, " << shedRequests
+       << " shed, " << failedRequests << " failed, "
+       << retriedRequests << " retried\n";
+    os << "  fleet: " << throughputRps()
+       << " req/s over makespan " << timeToString(makespanUs)
+       << ", SLO attainment " << attainment() * 100.0 << "%\n";
+    os << "  compiles: " << compileCount << " bucket fill(s), "
+       << fleetCompiles << " fleet-cold compile(s), "
+       << candidateEvals << " candidate eval(s), " << compileMsTotal
+       << " ms compiling\n";
+    for (const TenantStats &tenant : tenants) {
+        os << "  tenant " << tenant.name << " (" << tenant.model
+           << ", prio " << tenant.priority << "): " << tenant.offered
+           << " offered, " << tenant.completed << " completed, "
+           << tenant.shedRequests << " shed, "
+           << tenant.failedRequests << " failed, " << tenant.retries
+           << " retried, attainment " << tenant.attainment() * 100.0
+           << "% of target " << timeToString(tenant.sloTargetUs)
+           << "\n";
+        os << "    latency: p50 " << timeToString(tenant.latency.p50Us)
+           << ", p95 " << timeToString(tenant.latency.p95Us)
+           << ", p99 " << timeToString(tenant.latency.p99Us)
+           << ", mean " << timeToString(tenant.latency.meanUs)
+           << ", max " << timeToString(tenant.latency.maxUs) << "\n";
+    }
+    for (const ReplicaStats &replica : replicas) {
+        os << "  replica " << replica.id << " (" << replica.device
+           << ", " << replica.numStreams << " stream(s), "
+           << replica.finalState << "): utilization "
+           << replica.utilization() * 100.0 << "%, "
+           << replica.batches << " batch(es), " << replica.served
+           << " served, " << replica.bucketFills << " fill(s), "
+           << replica.shedRequests << " shed\n";
+    }
+    if (!failureTimeline.empty()) {
+        os << "  failures:";
+        for (const TimelineEvent &event : failureTimeline) {
+            os << " [" << timeToString(event.timeUs) << " "
+               << event.kind << " r" << event.replica;
+            if (event.kind == "fail")
+                os << " stranding " << event.detail;
+            os << "]";
+        }
+        os << "\n";
+    }
+    if (!autoscalerTimeline.empty()) {
+        os << "  autoscaler:";
+        for (const TimelineEvent &event : autoscalerTimeline)
+            os << " [" << timeToString(event.timeUs) << " "
+               << event.kind << " r" << event.replica << " live "
+               << event.detail << "]";
+        os << "\n";
+    }
+    if (!spinUps.empty()) {
+        os << "  spin-ups:";
+        for (const SpinUpRecord &record : spinUps)
+            os << " [r" << record.replica << " @"
+               << timeToString(record.atUs) << " warmed "
+               << record.fills << " bucket(s), "
+               << record.candidateEvals << " eval(s)]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+FleetReport::renderJson() const
+{
+    JsonWriter json;
+    json.setDoublePrecision(17);
+    json.beginObject()
+        .newline()
+        .field("policy", policy)
+        .newline()
+        .field("seed", static_cast<int64_t>(seed))
+        .newline()
+        .field("initial_replicas", initialReplicas)
+        .newline()
+        .field("retry_enabled", retryEnabled)
+        .newline()
+        .field("autoscaler_enabled", autoscalerEnabled)
+        .newline()
+        .field("total_requests", totalRequests)
+        .newline()
+        .field("completed", completedRequests)
+        .newline()
+        .field("shed", shedRequests)
+        .newline()
+        .field("failed", failedRequests)
+        .newline()
+        .field("retried", retriedRequests)
+        .newline()
+        .field("makespan_us", makespanUs)
+        .newline()
+        .field("throughput_rps", throughputRps())
+        .newline()
+        .field("slo_attainment", attainment())
+        .newline()
+        .field("compile_count", compileCount)
+        .newline()
+        .field("fleet_compiles", fleetCompiles)
+        .newline()
+        .key("tenants")
+        .beginArray();
+    for (const TenantStats &tenant : tenants) {
+        json.beginObject()
+            .field("name", tenant.name)
+            .field("model", tenant.model)
+            .field("priority", tenant.priority)
+            .field("slo_target_us", tenant.sloTargetUs)
+            .field("offered", tenant.offered)
+            .field("completed", tenant.completed)
+            .field("shed", tenant.shedRequests)
+            .field("failed", tenant.failedRequests)
+            .field("retried", tenant.retries)
+            .field("slo_attained", tenant.sloAttained)
+            .field("attainment", tenant.attainment())
+            .field("latency_p50_us", tenant.latency.p50Us)
+            .field("latency_p95_us", tenant.latency.p95Us)
+            .field("latency_p99_us", tenant.latency.p99Us)
+            .field("latency_mean_us", tenant.latency.meanUs)
+            .field("latency_max_us", tenant.latency.maxUs)
+            .endObject();
+    }
+    json.endArray()
+        .newline()
+        .key("replicas")
+        .beginArray();
+    for (const ReplicaStats &replica : replicas) {
+        json.beginObject()
+            .field("id", replica.id)
+            .field("device", replica.device)
+            .field("num_streams", replica.numStreams)
+            .field("final_state", replica.finalState)
+            .field("up_us", replica.upUs)
+            .field("busy_us", replica.busyUs)
+            .field("utilization", replica.utilization())
+            .field("batches", replica.batches)
+            .field("served", replica.served)
+            .field("bucket_fills", replica.bucketFills)
+            .field("shed", replica.shedRequests)
+            .endObject();
+    }
+    json.endArray()
+        .newline()
+        .key("failures")
+        .beginArray();
+    for (const TimelineEvent &event : failureTimeline) {
+        json.beginObject()
+            .field("t_us", event.timeUs)
+            .field("kind", event.kind)
+            .field("replica", event.replica)
+            .field("detail", event.detail)
+            .endObject();
+    }
+    json.endArray()
+        .newline()
+        .key("autoscaler")
+        .beginArray();
+    for (const TimelineEvent &event : autoscalerTimeline) {
+        json.beginObject()
+            .field("t_us", event.timeUs)
+            .field("kind", event.kind)
+            .field("replica", event.replica)
+            .field("detail", event.detail)
+            .endObject();
+    }
+    json.endArray()
+        .newline()
+        .key("spin_ups")
+        .beginArray();
+    for (const SpinUpRecord &record : spinUps) {
+        json.beginObject()
+            .field("replica", record.replica)
+            .field("t_us", record.atUs)
+            .field("fills", record.fills)
+            .endObject();
+    }
+    json.endArray().newline().endObject();
+    return json.str() + "\n";
+}
+
+} // namespace souffle::cluster

@@ -1,0 +1,496 @@
+#include "cluster/fleet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+
+#include "cluster/replica.h"
+#include "cluster/router.h"
+#include "common/logging.h"
+
+namespace souffle::cluster {
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/** Lifecycle of one traced request through the fleet. */
+struct Pending
+{
+    int tenant = 0;
+    /** First (trace) arrival — the latency clock's zero. */
+    double firstArrivalUs = 0.0;
+    /** Dispatch attempts so far (first dispatch included). */
+    int attempts = 0;
+    bool done = false;
+    /** Shed or failed permanently. */
+    bool dead = false;
+};
+
+struct TenantAcc
+{
+    int offered = 0;
+    int completed = 0;
+    int shed = 0;
+    int failed = 0;
+    int retries = 0;
+    int attained = 0;
+    std::vector<double> latencies;
+};
+
+void
+validateConfig(const FleetConfig &config)
+{
+    SOUFFLE_REQUIRE(!config.tenants.empty(),
+                    "fleet needs at least one tenant");
+    SOUFFLE_REQUIRE(!config.replicas.empty(),
+                    "fleet needs at least one replica");
+    for (const TenantSpec &tenant : config.tenants) {
+        SOUFFLE_REQUIRE(tenant.slo.priority >= 0,
+                        "tenant '" << tenant.name
+                                   << "' priority must be >= 0, got "
+                                   << tenant.slo.priority);
+        SOUFFLE_REQUIRE(tenant.slo.latencyTargetUs > 0.0,
+                        "tenant '" << tenant.name
+                                   << "' SLO target must be positive");
+    }
+    if (config.retry.enabled) {
+        SOUFFLE_REQUIRE(config.retry.maxAttempts >= 1,
+                        "retry maxAttempts must be >= 1, got "
+                            << config.retry.maxAttempts);
+        SOUFFLE_REQUIRE(config.retry.backoffBaseUs > 0.0,
+                        "retry backoff base must be positive, got "
+                            << config.retry.backoffBaseUs);
+        SOUFFLE_REQUIRE(config.retry.backoffMultiplier >= 1.0,
+                        "retry backoff multiplier must be >= 1, got "
+                            << config.retry.backoffMultiplier);
+    }
+    if (config.autoscaler.enabled) {
+        SOUFFLE_REQUIRE(config.autoscaler.evalIntervalUs > 0.0,
+                        "autoscaler interval must be positive");
+        SOUFFLE_REQUIRE(config.autoscaler.minReplicas >= 0,
+                        "autoscaler minReplicas must be >= 0");
+        SOUFFLE_REQUIRE(config.autoscaler.maxReplicas
+                            >= static_cast<int>(
+                                config.replicas.size()),
+                        "autoscaler maxReplicas must cover the "
+                        "initial fleet");
+        SOUFFLE_REQUIRE(config.autoscaler.spinUpDelayUs >= 0.0,
+                        "autoscaler spin-up delay must be >= 0");
+    }
+}
+
+TimelineEvent
+makeEvent(double time_us, const char *kind, int replica, int detail)
+{
+    TimelineEvent event;
+    event.timeUs = time_us;
+    event.kind = kind;
+    event.replica = replica;
+    event.detail = detail;
+    return event;
+}
+
+} // namespace
+
+FleetReport
+runFleetSim(const FleetConfig &config)
+{
+    validateConfig(config);
+
+    // ----- trace ----------------------------------------------------------
+    std::vector<FleetRequest> trace;
+    double horizonUs = 0.0;
+    if (!config.trace.empty()) {
+        trace = config.trace;
+        std::stable_sort(trace.begin(), trace.end(),
+                         [](const FleetRequest &a,
+                            const FleetRequest &b) {
+                             if (a.arrivalUs != b.arrivalUs)
+                                 return a.arrivalUs < b.arrivalUs;
+                             return a.id < b.id;
+                         });
+        for (size_t i = 0; i < trace.size(); ++i) {
+            trace[i].id = static_cast<int>(i);
+            SOUFFLE_REQUIRE(trace[i].arrivalUs >= 0.0,
+                            "trace arrival must be >= 0, got "
+                                << trace[i].arrivalUs);
+            SOUFFLE_REQUIRE(
+                trace[i].tenant >= 0
+                    && trace[i].tenant
+                           < static_cast<int>(config.tenants.size()),
+                "trace tenant " << trace[i].tenant
+                                << " out of range for "
+                                << config.tenants.size()
+                                << " tenant(s)");
+        }
+        // The spec's duration still floors the horizon so replaying
+        // the trace a spec generates reports the same makespan.
+        horizonUs = std::max(config.traffic.durationUs,
+                             trace.empty() ? 0.0
+                                           : trace.back().arrivalUs);
+    } else {
+        std::vector<double> weights;
+        weights.reserve(config.tenants.size());
+        for (const TenantSpec &tenant : config.tenants)
+            weights.push_back(tenant.weight);
+        trace = generateTraffic(config.traffic, weights);
+        horizonUs = config.traffic.durationUs;
+    }
+
+    // ----- fleet ----------------------------------------------------------
+    FleetCompileService service(config.tiny, config.compiler);
+    std::vector<std::unique_ptr<Replica>> replicas;
+    for (size_t i = 0; i < config.replicas.size(); ++i)
+        replicas.push_back(std::make_unique<Replica>(
+            static_cast<int>(i), config.replicas[i], config.batcher,
+            config.maxQueueDepthPerReplica, config.coldCompileUs,
+            config.warmLoadUs, service));
+    Router router(config.policy, config.affinitySpillDepth);
+
+    const std::vector<FaultEvent> faults =
+        generateFaults(config.faults,
+                       static_cast<int>(config.replicas.size()),
+                       horizonUs);
+    for (const FaultEvent &fault : faults)
+        SOUFFLE_REQUIRE(fault.replica
+                            < static_cast<int>(config.replicas.size()),
+                        "fault targets replica "
+                            << fault.replica << " but the fleet has "
+                            << config.replicas.size());
+    size_t faultCursor = 0;
+    /** (recoverAtUs, replica) for failed replicas. */
+    std::set<std::pair<double, int>> recoveries;
+    /** (warmAtUs, replica) for autoscaled replicas provisioning. */
+    std::set<std::pair<double, int>> provisions;
+    /** (dueUs, request id) retry timers. */
+    std::set<std::pair<double, int>> retryQueue;
+
+    std::vector<Pending> pending(trace.size());
+    for (const FleetRequest &request : trace) {
+        pending[static_cast<size_t>(request.id)].tenant =
+            request.tenant;
+        pending[static_cast<size_t>(request.id)].firstArrivalUs =
+            request.arrivalUs;
+    }
+    std::vector<TenantAcc> tenantAcc(config.tenants.size());
+
+    FleetReport report;
+    report.policy = routerPolicyName(config.policy);
+    report.seed = config.traffic.seed;
+    report.initialReplicas = static_cast<int>(config.replicas.size());
+    report.retryEnabled = config.retry.enabled;
+    report.autoscalerEnabled = config.autoscaler.enabled;
+    report.totalRequests = static_cast<int>(trace.size());
+
+    size_t arrivalCursor = 0;
+    double lastCompletionUs = 0.0;
+    double nextScaleUs = config.autoscaler.enabled
+                             ? config.autoscaler.evalIntervalUs
+                             : kNever;
+
+    auto liveCount = [&replicas] {
+        int live = 0;
+        for (const auto &replica : replicas)
+            if (replica->isUp())
+                ++live;
+        return live;
+    };
+    auto activeCount = [&replicas] {
+        int active = 0;
+        for (const auto &replica : replicas)
+            if (replica->state() != ReplicaState::kDown)
+                ++active;
+        return active;
+    };
+
+    /** A request lost its replica (or found none): retry with
+     *  exponential backoff, or count it failed. */
+    auto strand = [&](int id, double now_us) {
+        Pending &request = pending[static_cast<size_t>(id)];
+        if (config.retry.enabled
+            && request.attempts < config.retry.maxAttempts) {
+            const double backoff =
+                config.retry.backoffBaseUs
+                * std::pow(config.retry.backoffMultiplier,
+                           request.attempts - 1);
+            retryQueue.emplace(now_us + backoff, id);
+        } else {
+            request.dead = true;
+            ++report.failedRequests;
+            ++tenantAcc[static_cast<size_t>(request.tenant)].failed;
+        }
+    };
+
+    auto routeAndAdmit = [&](int id, double now_us, bool is_retry) {
+        Pending &request = pending[static_cast<size_t>(id)];
+        const TenantSpec &tenant =
+            config.tenants[static_cast<size_t>(request.tenant)];
+        if (is_retry) {
+            ++report.retriedRequests;
+            ++tenantAcc[static_cast<size_t>(request.tenant)].retries;
+        }
+        ++request.attempts;
+        const int target = router.pick(replicas, tenant.model);
+        if (target < 0) {
+            strand(id, now_us);
+            return;
+        }
+        if (!replicas[static_cast<size_t>(target)]->admit(
+                id, tenant.model, tenant.slo.priority, now_us)) {
+            request.dead = true;
+            ++report.shedRequests;
+            ++tenantAcc[static_cast<size_t>(request.tenant)].shed;
+        }
+    };
+
+    auto recordSpinUp = [&](int replica, double now_us) {
+        SpinUpRecord record;
+        record.replica = replica;
+        record.atUs = now_us;
+        record.fills =
+            replicas[static_cast<size_t>(replica)]->lastSpinUpFills();
+        record.candidateEvals =
+            replicas[static_cast<size_t>(replica)]->lastSpinUpEvals();
+        report.spinUps.push_back(record);
+    };
+
+    // ----- event loop -----------------------------------------------------
+    double now = 0.0;
+    while (true) {
+        // 1) replica failures due now.
+        while (faultCursor < faults.size()
+               && faults[faultCursor].failAtUs <= now) {
+            const FaultEvent &fault = faults[faultCursor++];
+            Replica &victim =
+                *replicas[static_cast<size_t>(fault.replica)];
+            if (victim.state() == ReplicaState::kDown)
+                continue; // already down; outage subsumed
+            const std::vector<int> stranded = victim.fail(now);
+            report.failureTimeline.push_back(
+                makeEvent(now, "fail", fault.replica,
+                          static_cast<int>(stranded.size())));
+            for (int id : stranded)
+                strand(id, now);
+            recoveries.emplace(fault.recoverAtUs, fault.replica);
+        }
+
+        // 2) recoveries due: the node is back, warm it from the
+        //    fleet cache.
+        while (!recoveries.empty()
+               && recoveries.begin()->first <= now) {
+            const int index = recoveries.begin()->second;
+            recoveries.erase(recoveries.begin());
+            Replica &node = *replicas[static_cast<size_t>(index)];
+            if (node.state() != ReplicaState::kDown)
+                continue;
+            node.beginSpinUp(now);
+            report.failureTimeline.push_back(
+                makeEvent(now, "recover", index, 0));
+            recordSpinUp(index, now);
+        }
+
+        // 3) autoscaled replicas done provisioning: start warming.
+        while (!provisions.empty()
+               && provisions.begin()->first <= now) {
+            const int index = provisions.begin()->second;
+            provisions.erase(provisions.begin());
+            replicas[static_cast<size_t>(index)]->beginSpinUp(now);
+            recordSpinUp(index, now);
+        }
+
+        // 4) spin-up completions (possibly begun this instant).
+        for (auto &replica : replicas) {
+            if (replica->state() == ReplicaState::kStarting
+                && replica->readyAtUs() <= now) {
+                replica->completeSpinUp(now);
+                auto &timeline =
+                    replica->id() >= report.initialReplicas
+                        ? report.autoscalerTimeline
+                        : report.failureTimeline;
+                timeline.push_back(makeEvent(now, "ready",
+                                             replica->id(),
+                                             liveCount()));
+            }
+        }
+
+        // 5) autoscaler ticks due now.
+        while (config.autoscaler.enabled && nextScaleUs <= now) {
+            nextScaleUs += config.autoscaler.evalIntervalUs;
+            const int live = liveCount();
+            if (live == 0)
+                continue;
+            int depth = 0;
+            for (const auto &replica : replicas)
+                if (replica->isUp())
+                    depth += replica->queueDepth();
+            const double mean_depth =
+                static_cast<double>(depth)
+                / static_cast<double>(live);
+            if (mean_depth > config.autoscaler.scaleUpDepth
+                && activeCount() < config.autoscaler.maxReplicas) {
+                const int id = static_cast<int>(replicas.size());
+                replicas.push_back(std::make_unique<Replica>(
+                    id, config.autoscaler.newReplica, config.batcher,
+                    config.maxQueueDepthPerReplica,
+                    config.coldCompileUs, config.warmLoadUs, service,
+                    ReplicaState::kDown));
+                provisions.emplace(
+                    now + config.autoscaler.spinUpDelayUs, id);
+                report.autoscalerTimeline.push_back(
+                    makeEvent(now, "scale-up", id, live));
+            } else if (mean_depth < config.autoscaler.scaleDownDepth
+                       && live > config.autoscaler.minReplicas) {
+                // Retire the newest idle replica.
+                for (int i = static_cast<int>(replicas.size()) - 1;
+                     i >= 0; --i) {
+                    Replica &node =
+                        *replicas[static_cast<size_t>(i)];
+                    if (node.isUp() && node.idle(now)) {
+                        node.shutDown(now);
+                        report.autoscalerTimeline.push_back(
+                            makeEvent(now, "scale-down", i,
+                                      liveCount()));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 6) arrivals and retries due now, merged by (time, id).
+        while (true) {
+            const bool arrival_due =
+                arrivalCursor < trace.size()
+                && trace[arrivalCursor].arrivalUs <= now;
+            const bool retry_due =
+                !retryQueue.empty()
+                && retryQueue.begin()->first <= now;
+            if (!arrival_due && !retry_due)
+                break;
+            bool take_arrival = arrival_due;
+            if (arrival_due && retry_due) {
+                const FleetRequest &arrival = trace[arrivalCursor];
+                const auto &retry = *retryQueue.begin();
+                take_arrival =
+                    arrival.arrivalUs < retry.first
+                    || (arrival.arrivalUs == retry.first
+                        && arrival.id < retry.second);
+            }
+            if (take_arrival) {
+                const FleetRequest &arrival =
+                    trace[arrivalCursor++];
+                ++tenantAcc[static_cast<size_t>(arrival.tenant)]
+                      .offered;
+                routeAndAdmit(arrival.id, now, false);
+            } else {
+                const int id = retryQueue.begin()->second;
+                retryQueue.erase(retryQueue.begin());
+                routeAndAdmit(id, now, true);
+            }
+        }
+
+        // 7) completions.
+        for (auto &replica : replicas) {
+            for (const Completion &completion :
+                 replica->collectCompletions(now)) {
+                Pending &request = pending[static_cast<size_t>(
+                    completion.requestId)];
+                request.done = true;
+                TenantAcc &acc =
+                    tenantAcc[static_cast<size_t>(request.tenant)];
+                const double latency =
+                    completion.doneUs - request.firstArrivalUs;
+                ++report.completedRequests;
+                ++acc.completed;
+                acc.latencies.push_back(latency);
+                if (latency
+                    <= config.tenants[static_cast<size_t>(
+                                          request.tenant)]
+                           .slo.latencyTargetUs)
+                    ++acc.attained;
+                lastCompletionUs =
+                    std::max(lastCompletionUs, completion.doneUs);
+            }
+        }
+
+        // 8) dispatch ready batches onto free streams.
+        const bool drain =
+            arrivalCursor == trace.size() && retryQueue.empty();
+        for (auto &replica : replicas)
+            replica->dispatch(now, drain);
+
+        // ----- advance to the next event ---------------------------------
+        double next = kNever;
+        if (arrivalCursor < trace.size())
+            next = std::min(next, trace[arrivalCursor].arrivalUs);
+        if (!retryQueue.empty())
+            next = std::min(next, retryQueue.begin()->first);
+        if (faultCursor < faults.size())
+            next = std::min(next, faults[faultCursor].failAtUs);
+        if (!recoveries.empty())
+            next = std::min(next, recoveries.begin()->first);
+        if (!provisions.empty())
+            next = std::min(next, provisions.begin()->first);
+        for (const auto &replica : replicas) {
+            if (replica->state() == ReplicaState::kStarting)
+                next = std::min(next, replica->readyAtUs());
+            next = std::min(next, replica->nextEventUs(now));
+        }
+        // Autoscaler ticks never keep the loop alive on their own.
+        if (config.autoscaler.enabled && next < kNever)
+            next = std::min(next, nextScaleUs);
+        if (!(next < kNever))
+            break;
+        SOUFFLE_REQUIRE(next > now,
+                        "fleet sim failed to advance past "
+                            << now << "us");
+        now = next;
+    }
+
+    // ----- report ---------------------------------------------------------
+    report.makespanUs = std::max(horizonUs, lastCompletionUs);
+    for (auto &replica : replicas)
+        replica->finalize(report.makespanUs);
+
+    for (size_t t = 0; t < config.tenants.size(); ++t) {
+        const TenantSpec &spec = config.tenants[t];
+        const TenantAcc &acc = tenantAcc[t];
+        TenantStats stats;
+        stats.name = spec.name;
+        stats.model = spec.model;
+        stats.priority = spec.slo.priority;
+        stats.sloTargetUs = spec.slo.latencyTargetUs;
+        stats.offered = acc.offered;
+        stats.completed = acc.completed;
+        stats.shedRequests = acc.shed;
+        stats.failedRequests = acc.failed;
+        stats.retries = acc.retries;
+        stats.sloAttained = acc.attained;
+        stats.latency = summarizeLatencies(acc.latencies);
+        report.tenants.push_back(std::move(stats));
+    }
+
+    for (const auto &replica : replicas) {
+        ReplicaStats stats;
+        stats.id = replica->id();
+        stats.device = replica->spec().device;
+        stats.numStreams = replica->spec().numStreams;
+        stats.finalState = replicaStateName(replica->state());
+        stats.upUs = replica->upUs();
+        stats.busyUs = replica->busyUs();
+        stats.batches = replica->batchesDispatched();
+        stats.served = replica->requestsServed();
+        stats.bucketFills = replica->bucketFills();
+        stats.shedRequests = replica->shedCount();
+        report.compileCount += stats.bucketFills;
+        report.replicas.push_back(std::move(stats));
+    }
+    report.fleetCompiles = service.fleetCompiles();
+    report.candidateEvals = service.candidateEvals();
+    report.compileMsTotal = service.compileMsTotal();
+    return report;
+}
+
+} // namespace souffle::cluster

@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * souffle-fleet: a deterministic discrete-event simulator of a
+ * serving fleet built from the single-device souffle-serve loop.
+ *
+ * One run advances simulated time through six event sources — trace
+ * arrivals, retry timers, fault fail/recover events, replica spin-up
+ * completions, autoscaler ticks and per-replica events (stream
+ * completions, forced-flush deadlines) — and at each instant applies
+ * a fixed phase order (failures, recoveries, spin-ups, autoscaler,
+ * arrivals+retries merged by (time, id), completions, dispatch).
+ * Everything is seeded and counter-PRNG driven; no wall clock enters
+ * any simulated quantity, so a `FleetConfig` reproduces bit-for-bit
+ * regardless of host speed or `--jobs` (the compile thread count only
+ * affects wall-clock compile ms and tile-search memo counters, which
+ * the JSON report deliberately omits).
+ *
+ * Fleet semantics on top of the device loop:
+ *  - the router (src/cluster/router.h) picks a live replica per
+ *    request; admission there sheds by SLO priority.
+ *  - a failed replica strands its queued and in-flight requests;
+ *    stranded requests retry on another replica after exponential
+ *    backoff (`RetryConfig`), up to maxAttempts, else count failed.
+ *  - recovered and autoscaled replicas warm from the fleet's shared
+ *    compile service (src/cluster/compile_service.h) — zero candidate
+ *    evaluations, `warmLoadUs` per bucket — instead of recompiling.
+ *  - the autoscaler adds a replica (after `spinUpDelayUs`) when mean
+ *    live queue depth exceeds `scaleUpDepth`, and retires an idle one
+ *    above `minReplicas` when it falls below `scaleDownDepth`.
+ */
+
+#include "cluster/fleet.h"
+#include "cluster/fleet_report.h"
+
+namespace souffle::cluster {
+
+/** Run one fleet simulation to completion. */
+FleetReport runFleetSim(const FleetConfig &config);
+
+} // namespace souffle::cluster

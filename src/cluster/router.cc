@@ -1,0 +1,83 @@
+#include "cluster/router.h"
+
+#include "common/logging.h"
+
+namespace souffle::cluster {
+
+Router::Router(RouterPolicy policy, int affinity_spill_depth)
+    : routerPolicy(policy), spillDepth(affinity_spill_depth)
+{
+    SOUFFLE_REQUIRE(spillDepth >= 1,
+                    "affinity spill depth must be >= 1, got "
+                        << spillDepth);
+}
+
+int
+Router::pick(const std::vector<std::unique_ptr<Replica>> &replicas,
+             const std::string &model)
+{
+    switch (routerPolicy) {
+      case RouterPolicy::kRoundRobin:
+        return pickRoundRobin(replicas);
+      case RouterPolicy::kLeastLoaded:
+        return pickLeastLoaded(replicas);
+      case RouterPolicy::kCacheAffinity:
+        return pickCacheAffinity(replicas, model);
+    }
+    return -1;
+}
+
+int
+Router::pickRoundRobin(const std::vector<std::unique_ptr<Replica>> &rs)
+{
+    if (rs.empty())
+        return -1;
+    for (size_t step = 0; step < rs.size(); ++step) {
+        const size_t index = (cursor + step) % rs.size();
+        if (rs[index]->isUp()) {
+            cursor = (index + 1) % rs.size();
+            return static_cast<int>(index);
+        }
+    }
+    return -1;
+}
+
+int
+Router::pickLeastLoaded(const std::vector<std::unique_ptr<Replica>> &rs)
+{
+    int best = -1;
+    int best_depth = 0;
+    for (size_t i = 0; i < rs.size(); ++i) {
+        if (!rs[i]->isUp())
+            continue;
+        const int depth = rs[i]->queueDepth();
+        if (best < 0 || depth < best_depth) {
+            best = static_cast<int>(i);
+            best_depth = depth;
+        }
+    }
+    return best;
+}
+
+int
+Router::pickCacheAffinity(
+    const std::vector<std::unique_ptr<Replica>> &rs,
+    const std::string &model)
+{
+    int warm_best = -1;
+    int warm_depth = 0;
+    for (size_t i = 0; i < rs.size(); ++i) {
+        if (!rs[i]->isUp() || !rs[i]->warmFor(model))
+            continue;
+        const int depth = rs[i]->queueDepth();
+        if (warm_best < 0 || depth < warm_depth) {
+            warm_best = static_cast<int>(i);
+            warm_depth = depth;
+        }
+    }
+    if (warm_best >= 0 && warm_depth <= spillDepth)
+        return warm_best;
+    return pickLeastLoaded(rs);
+}
+
+} // namespace souffle::cluster

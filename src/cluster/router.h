@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Request-to-replica routing for souffle-fleet.
+ *
+ * The router sees only routing-visible replica state (liveness, queue
+ * depth, model warm sets) and picks a target index per request:
+ *
+ *  - *round-robin*: rotate a cursor over live replicas — oblivious to
+ *    load and cache state, the fleet baseline.
+ *  - *least-loaded*: smallest total queue depth among live replicas
+ *    (ties: lowest index), the classic join-shortest-queue policy.
+ *  - *cache-affinity*: prefer the least-loaded live replica that is
+ *    already warm for the request's model, spilling to plain
+ *    least-loaded when the best warm replica's queue exceeds
+ *    `FleetConfig::affinitySpillDepth` (or no replica is warm yet).
+ *    Keeping a model's traffic on its warm replicas is what lets the
+ *    fleet compile each (model, bucket) once instead of once per
+ *    replica — `tests/test_cluster.cc` pins that reduction.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/replica.h"
+
+namespace souffle::cluster {
+
+class Router
+{
+  public:
+    Router(RouterPolicy policy, int affinity_spill_depth);
+
+    /**
+     * Index into @p replicas for a request of @p model, or -1 when no
+     * replica is up. Never returns a non-kUp replica.
+     */
+    int pick(const std::vector<std::unique_ptr<Replica>> &replicas,
+             const std::string &model);
+
+    RouterPolicy policy() const { return routerPolicy; }
+
+  private:
+    int
+    pickRoundRobin(const std::vector<std::unique_ptr<Replica>> &rs);
+    static int
+    pickLeastLoaded(const std::vector<std::unique_ptr<Replica>> &rs);
+    int
+    pickCacheAffinity(const std::vector<std::unique_ptr<Replica>> &rs,
+                      const std::string &model);
+
+    RouterPolicy routerPolicy;
+    int spillDepth;
+    /** Round-robin cursor (next index to try). */
+    size_t cursor = 0;
+};
+
+} // namespace souffle::cluster

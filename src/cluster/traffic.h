@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * Fleet traffic generation: a deterministic non-homogeneous Poisson
+ * request stream with diurnal modulation and seeded bursts, feeding
+ * the cluster simulator (src/cluster/fleet_sim.h).
+ *
+ * The instantaneous rate at simulated time t is
+ *
+ *   rate(t) = base * (1 + A * sin(2*pi*t / period))      [diurnal]
+ *           * (inBurst(t) ? burstMultiplier : 1)          [bursty]
+ *
+ * where burst windows are decided per `burstWindowUs` grid cell by a
+ * seeded coin flip: a window that comes up "burst" runs at the
+ * multiplied rate for its first `burstDurationUs`. Arrivals are drawn
+ * by thinning a homogeneous Poisson process at the peak rate — every
+ * draw comes from the same splitmix-style counter PRNG the serving
+ * workload generator uses, so the same spec reproduces bit-for-bit
+ * (no `<random>`, no wall clock).
+ *
+ * Each request is assigned a tenant by a weighted seeded draw; the
+ * tenant index points into `FleetConfig::tenants`, which carries the
+ * model and SLO class.
+ *
+ * Traces round-trip to disk as JSON (`saveTrace`/`loadTrace`, 17
+ * significant digits so arrival times are bit-exact), so generated
+ * fleet traffic can be archived and externally-recorded request logs
+ * can be replayed through the simulator.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace souffle::cluster {
+
+/** One request in the fleet timeline. */
+struct FleetRequest
+{
+    /** Dense id in arrival order. */
+    int id = 0;
+    /** Arrival time in simulated microseconds. */
+    double arrivalUs = 0.0;
+    /** Index into the fleet's tenant list. */
+    int tenant = 0;
+};
+
+/** Diurnal + bursty non-homogeneous Poisson source description. */
+struct TrafficSpec
+{
+    /** Baseline arrival rate (requests per second). */
+    double baseRatePerSec = 2000.0;
+    /** Generation horizon in simulated microseconds. */
+    double durationUs = 200.0e3;
+    /** PRNG seed; same seed -> identical trace. */
+    uint64_t seed = 42;
+
+    /** Diurnal modulation amplitude in [0, 1); 0 = flat. */
+    double diurnalAmplitude = 0.0;
+    /** Period of the diurnal sine (a scaled "day"). */
+    double diurnalPeriodUs = 100.0e3;
+
+    /** Rate multiplier inside a burst; 1 = bursts off. */
+    double burstMultiplier = 1.0;
+    /** Probability that a window starts a burst, in [0, 1]. */
+    double burstProbability = 0.0;
+    /** Burst decision grid: one coin flip per window. */
+    double burstWindowUs = 20.0e3;
+    /** How long a burst window stays hot (clamped to the window). */
+    double burstDurationUs = 5.0e3;
+};
+
+/** Instantaneous rate (req/s) of @p spec at @p t_us; exposed so tests
+ *  can pin the diurnal/burst shape independent of the thinning. */
+double trafficRateAtUs(const TrafficSpec &spec, double t_us);
+
+/**
+ * Materialize the request stream for @p spec, assigning tenants by
+ * @p tenant_weights (relative, must be positive; a single implicit
+ * tenant when empty). Sorted by arrival time, ids dense.
+ */
+std::vector<FleetRequest>
+generateTraffic(const TrafficSpec &spec,
+                const std::vector<double> &tenant_weights = {});
+
+/** Serialize @p trace as a JSON document (bit-exact doubles). */
+std::string traceToJson(const std::vector<FleetRequest> &trace);
+
+/**
+ * Parse a trace produced by `traceToJson` (or an external request
+ * log in the same format). Requests are re-sorted by arrival time
+ * and re-indexed densely; throws FatalError on malformed input.
+ */
+std::vector<FleetRequest> traceFromJson(const std::string &text);
+
+/** Write @p trace to @p path; throws FatalError on I/O failure. */
+void saveTrace(const std::vector<FleetRequest> &trace,
+               const std::string &path);
+
+/** Read a trace from @p path; throws FatalError on I/O failure. */
+std::vector<FleetRequest> loadTrace(const std::string &path);
+
+} // namespace souffle::cluster

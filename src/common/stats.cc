@@ -1,0 +1,43 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace souffle {
+
+double
+percentileNearestRank(const std::vector<double> &sorted,
+                      double percentile)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double n = static_cast<double>(sorted.size());
+    const double raw = std::ceil(percentile / 100.0 * n);
+    // Clamp before the size_t cast: a negative raw rank would wrap.
+    size_t rank = raw < 1.0 ? 1 : static_cast<size_t>(raw);
+    rank = std::min(rank, sorted.size());
+    return sorted[rank - 1];
+}
+
+LatencySummary
+summarizeLatencies(const std::vector<double> &samples)
+{
+    LatencySummary summary;
+    if (samples.empty())
+        return summary;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    summary.count = static_cast<int>(sorted.size());
+    summary.minUs = sorted.front();
+    summary.maxUs = sorted.back();
+    summary.p50Us = percentileNearestRank(sorted, 50.0);
+    summary.p95Us = percentileNearestRank(sorted, 95.0);
+    summary.p99Us = percentileNearestRank(sorted, 99.0);
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    summary.meanUs = sum / static_cast<double>(sorted.size());
+    return summary;
+}
+
+} // namespace souffle

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Shared latency-sample statistics.
+ *
+ * Both report renderers that summarize request latencies — the
+ * serving simulator's `ServingReport` (src/serve/metrics.h) and the
+ * fleet simulator's `FleetReport` (src/cluster/fleet_report.h) — use
+ * the same nearest-rank percentile definition: the smallest sample
+ * value with at least `percentile` percent of the samples at or below
+ * it. Hoisting it here keeps the two reports numerically identical by
+ * construction and gives the edge cases (empty, single sample, exact
+ * boundary ranks) one set of unit tests.
+ */
+
+#include <vector>
+
+namespace souffle {
+
+/**
+ * Nearest-rank percentile over @p sorted (ascending) samples: the
+ * element at rank ceil(percentile/100 * n), clamped to [1, n].
+ * Returns 0 when @p sorted is empty. Percentiles <= 0 return the
+ * minimum; >= 100 return the maximum.
+ */
+double percentileNearestRank(const std::vector<double> &sorted,
+                             double percentile);
+
+/** Five-number latency summary plus count and mean (all 0 on empty). */
+struct LatencySummary
+{
+    int count = 0;
+    double minUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+    double meanUs = 0.0;
+};
+
+/** Summarize @p samples (copied and sorted internally). */
+LatencySummary summarizeLatencies(const std::vector<double> &samples);
+
+} // namespace souffle

@@ -1,10 +1,10 @@
 #include "serve/metrics.h"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
 
 #include "common/json.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 
 namespace souffle::serve {
@@ -35,17 +35,9 @@ ServingReport::sampleQueueDepth(double time_us, int depth)
 double
 ServingReport::latencyPercentileUs(double percentile) const
 {
-    if (latencyUs.empty())
-        return 0.0;
     std::vector<double> sorted = latencyUs;
     std::sort(sorted.begin(), sorted.end());
-    // Nearest-rank: smallest value with at least `percentile` percent
-    // of samples at or below it.
-    const double n = static_cast<double>(sorted.size());
-    size_t rank = static_cast<size_t>(
-        std::ceil(percentile / 100.0 * n));
-    rank = std::min(std::max<size_t>(rank, 1), sorted.size());
-    return sorted[rank - 1];
+    return percentileNearestRank(sorted, percentile);
 }
 
 double

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 
 namespace souffle {
@@ -85,6 +86,65 @@ TEST(StringUtil, TimeToString)
 {
     EXPECT_EQ(timeToString(12.345), "12.35 us");
     EXPECT_EQ(timeToString(2500.0), "2.50 ms");
+}
+
+TEST(Stats, PercentileOfEmptyIsZero)
+{
+    EXPECT_EQ(percentileNearestRank({}, 50.0), 0.0);
+    const LatencySummary summary = summarizeLatencies({});
+    EXPECT_EQ(summary.count, 0);
+    EXPECT_EQ(summary.p50Us, 0.0);
+    EXPECT_EQ(summary.meanUs, 0.0);
+}
+
+TEST(Stats, SingleSampleIsEveryPercentile)
+{
+    const std::vector<double> one = {7.5};
+    EXPECT_EQ(percentileNearestRank(one, 0.0), 7.5);
+    EXPECT_EQ(percentileNearestRank(one, 50.0), 7.5);
+    EXPECT_EQ(percentileNearestRank(one, 99.0), 7.5);
+    EXPECT_EQ(percentileNearestRank(one, 100.0), 7.5);
+    const LatencySummary summary = summarizeLatencies(one);
+    EXPECT_EQ(summary.count, 1);
+    EXPECT_EQ(summary.minUs, 7.5);
+    EXPECT_EQ(summary.maxUs, 7.5);
+    EXPECT_EQ(summary.p99Us, 7.5);
+    EXPECT_EQ(summary.meanUs, 7.5);
+}
+
+TEST(Stats, ExactBoundaryRanks)
+{
+    // Nearest rank = ceil(p/100 * n); n = 4 makes every quartile an
+    // exact boundary.
+    const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_EQ(percentileNearestRank(sorted, 25.0), 1.0);
+    EXPECT_EQ(percentileNearestRank(sorted, 25.1), 2.0);
+    EXPECT_EQ(percentileNearestRank(sorted, 50.0), 2.0);
+    EXPECT_EQ(percentileNearestRank(sorted, 75.0), 3.0);
+    EXPECT_EQ(percentileNearestRank(sorted, 100.0), 4.0);
+}
+
+TEST(Stats, OutOfRangePercentilesClampToMinAndMax)
+{
+    const std::vector<double> sorted = {1.0, 2.0, 3.0};
+    EXPECT_EQ(percentileNearestRank(sorted, -10.0), 1.0);
+    EXPECT_EQ(percentileNearestRank(sorted, 0.0), 1.0);
+    EXPECT_EQ(percentileNearestRank(sorted, 150.0), 3.0);
+}
+
+TEST(Stats, SummaryMatchesHandComputedValues)
+{
+    std::vector<double> samples;
+    for (int i = 100; i >= 1; --i)
+        samples.push_back(static_cast<double>(i));
+    const LatencySummary summary = summarizeLatencies(samples);
+    EXPECT_EQ(summary.count, 100);
+    EXPECT_EQ(summary.minUs, 1.0);
+    EXPECT_EQ(summary.maxUs, 100.0);
+    EXPECT_EQ(summary.p50Us, 50.0);
+    EXPECT_EQ(summary.p95Us, 95.0);
+    EXPECT_EQ(summary.p99Us, 99.0);
+    EXPECT_EQ(summary.meanUs, 50.5);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
  *   souffle_cli lint      <model.sgraph | zoo:NAME> [options]
  *   souffle_cli verify    <model.sgraph | zoo:NAME> [options]
  *   souffle_cli serve-sim <zoo:NAME | zoo-tiny:NAME> [options]
+ *   souffle_cli fleet-sim <zoo:NAME[,NAME...] | zoo-tiny:...> [options]
  *   souffle_cli inspect   <model.sgraph | zoo:NAME>
  *   souffle_cli list
  *
@@ -53,6 +54,22 @@
  *   --format=text|json     report renderer (default text)
  *   --seed=N               workload seed (default 42)
  *
+ * `fleet-sim` options (one tenant per listed zoo model; shares
+ * --rate, --duration-ms, --streams, --buckets, --max-delay-us,
+ * --max-queue, --format and --seed with serve-sim):
+ *   --replicas=N           initial fleet size (default 2)
+ *   --devices=a100,v100    per-replica device presets (overrides
+ *                          --replicas)
+ *   --policy=NAME          round-robin | least-loaded | cache-affinity
+ *   --diurnal=A            diurnal modulation amplitude in [0, 1)
+ *   --burst-mult=M --burst-prob=P   seeded traffic bursts
+ *   --mtbf-ms=N --mttr-ms=N  seeded replica fault injection
+ *   --no-retry             drop stranded requests instead of retrying
+ *   --autoscale            enable the queue-depth autoscaler
+ *   --trace-out=FILE       save the generated trace as JSON
+ *   --trace-in=FILE        replay a saved/external trace instead of
+ *                          generating one
+ *
  * `zoo:NAME` loads a paper model (BERT, ResNeXt, LSTM, EfficientNet,
  * SwinTransformer, MMoE); `zoo-tiny:NAME` loads the test-sized
  * variant.
@@ -82,6 +99,7 @@
 #include "models/zoo.h"
 #include "runtime/executor.h"
 #include "runtime/memory_plan.h"
+#include "cluster/fleet_sim.h"
 #include "runtime/native_exec.h"
 #include "serve/server.h"
 
@@ -108,6 +126,13 @@ struct CliOptions
     std::vector<std::string> lintRules;
     /** `serve-sim` knobs (workload, streams, batching). */
     serve::ServeConfig serve;
+    /** `fleet-sim` knobs (router, traffic shape, faults, scaling). */
+    cluster::FleetConfig fleet;
+    /** Per-replica device presets (--devices); overrides --replicas. */
+    std::vector<std::string> fleetDevices;
+    int fleetReplicas = 2;
+    std::string fleetTraceIn;
+    std::string fleetTraceOut;
     /** Batched zoo variant for compile/run/lint/inspect. */
     int batch = 1;
     /** Compile-parallelism lanes; 0 keeps the pool default
@@ -120,7 +145,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: souffle_cli <compile|run|lint|verify|serve-sim|inspect|list> "
+        "usage: souffle_cli "
+        "<compile|run|lint|verify|serve-sim|fleet-sim|inspect|list> "
         "[model] [options]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
@@ -137,7 +163,15 @@ usage()
         "  serve-sim (zoo models only): --rate=REQ_PER_S  "
         "--duration-ms=N  --streams=N\n"
         "    --buckets=1,2,4,8  --max-delay-us=N  --max-queue=N  "
-        "--format=text|json  --seed=N\n");
+        "--format=text|json  --seed=N\n"
+        "  fleet-sim (zoo:NAME[,NAME...], one tenant per model; "
+        "shares the serve-sim knobs):\n"
+        "    --replicas=N  --devices=a100,v100  "
+        "--policy=round-robin|least-loaded|cache-affinity\n"
+        "    --diurnal=A  --burst-mult=M  --burst-prob=P  "
+        "--mtbf-ms=N  --mttr-ms=N\n"
+        "    --no-retry  --autoscale  --trace-out=FILE  "
+        "--trace-in=FILE\n");
     return 2;
 }
 
@@ -279,6 +313,54 @@ parseArgs(int argc, char **argv, CliOptions &options)
         else if (arg.rfind("--max-queue=", 0) == 0)
             options.serve.batcher.maxQueueDepth =
                 std::stoi(value_of("--max-queue="));
+        else if (arg.rfind("--replicas=", 0) == 0) {
+            options.fleetReplicas =
+                std::stoi(value_of("--replicas="));
+            if (options.fleetReplicas < 1)
+                return false;
+        } else if (arg.rfind("--devices=", 0) == 0) {
+            std::string devices = value_of("--devices=");
+            size_t start = 0;
+            while (start <= devices.size()) {
+                const size_t comma = devices.find(',', start);
+                const std::string item = devices.substr(
+                    start, comma == std::string::npos
+                               ? std::string::npos
+                               : comma - start);
+                if (!item.empty())
+                    options.fleetDevices.push_back(item);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (options.fleetDevices.empty())
+                return false;
+        } else if (arg.rfind("--policy=", 0) == 0)
+            options.fleet.policy =
+                cluster::routerPolicyByName(value_of("--policy="));
+        else if (arg.rfind("--diurnal=", 0) == 0)
+            options.fleet.traffic.diurnalAmplitude =
+                std::stod(value_of("--diurnal="));
+        else if (arg.rfind("--burst-mult=", 0) == 0)
+            options.fleet.traffic.burstMultiplier =
+                std::stod(value_of("--burst-mult="));
+        else if (arg.rfind("--burst-prob=", 0) == 0)
+            options.fleet.traffic.burstProbability =
+                std::stod(value_of("--burst-prob="));
+        else if (arg.rfind("--mtbf-ms=", 0) == 0)
+            options.fleet.faults.mtbfUs =
+                std::stod(value_of("--mtbf-ms=")) * 1000.0;
+        else if (arg.rfind("--mttr-ms=", 0) == 0)
+            options.fleet.faults.mttrUs =
+                std::stod(value_of("--mttr-ms=")) * 1000.0;
+        else if (arg == "--no-retry")
+            options.fleet.retry.enabled = false;
+        else if (arg == "--autoscale")
+            options.fleet.autoscaler.enabled = true;
+        else if (arg.rfind("--trace-out=", 0) == 0)
+            options.fleetTraceOut = value_of("--trace-out=");
+        else if (arg.rfind("--trace-in=", 0) == 0)
+            options.fleetTraceIn = value_of("--trace-in=");
         else if (arg.rfind("--emit-cuda=", 0) == 0)
             options.emitCudaPath = value_of("--emit-cuda=");
         else if (arg.rfind("--emit-dir=", 0) == 0)
@@ -312,6 +394,101 @@ cliMain(int argc, char **argv)
         for (const std::string &name : paperModelNames())
             std::printf("  zoo:%s  (zoo-tiny:%s)\n", name.c_str(),
                         name.c_str());
+        return 0;
+    }
+
+    if (options.command == "fleet-sim") {
+        cluster::FleetConfig fleet = options.fleet;
+        std::string models;
+        if (options.model.rfind("zoo:", 0) == 0) {
+            models = options.model.substr(4);
+            fleet.tiny = false;
+        } else if (options.model.rfind("zoo-tiny:", 0) == 0) {
+            models = options.model.substr(9);
+            fleet.tiny = true;
+        } else {
+            std::fprintf(stderr,
+                         "fleet-sim needs zoo:NAME[,NAME...] or "
+                         "zoo-tiny:..., got '%s'\n",
+                         options.model.c_str());
+            return usage();
+        }
+        // One equal-weight tenant per listed model.
+        fleet.tenants.clear();
+        size_t start = 0;
+        while (start <= models.size()) {
+            const size_t comma = models.find(',', start);
+            const std::string name = models.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            if (!name.empty()) {
+                cluster::TenantSpec tenant;
+                tenant.name = name;
+                tenant.model = name;
+                fleet.tenants.push_back(std::move(tenant));
+            }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        if (fleet.tenants.empty())
+            return usage();
+
+        fleet.compiler = options.souffle;
+        fleet.batcher = options.serve.batcher;
+        fleet.maxQueueDepthPerReplica =
+            options.serve.batcher.maxQueueDepth;
+        fleet.traffic.baseRatePerSec =
+            options.serve.workload.arrivalRatePerSec;
+        fleet.traffic.durationUs = options.serve.workload.durationUs;
+        fleet.traffic.seed = options.seed;
+
+        fleet.replicas.clear();
+        if (!options.fleetDevices.empty()) {
+            for (const std::string &device : options.fleetDevices) {
+                cluster::ReplicaSpec spec;
+                spec.device = device;
+                spec.numStreams = options.serve.numStreams;
+                fleet.replicas.push_back(std::move(spec));
+            }
+        } else {
+            for (int i = 0; i < options.fleetReplicas; ++i) {
+                cluster::ReplicaSpec spec;
+                spec.numStreams = options.serve.numStreams;
+                fleet.replicas.push_back(std::move(spec));
+            }
+        }
+
+        if (!options.fleetTraceIn.empty()) {
+            fleet.trace = cluster::loadTrace(options.fleetTraceIn);
+        } else if (!options.fleetTraceOut.empty()) {
+            // Generate explicitly so the exact trace the run uses can
+            // be archived (the simulator would otherwise generate the
+            // identical stream internally).
+            std::vector<double> weights;
+            for (const cluster::TenantSpec &tenant : fleet.tenants)
+                weights.push_back(tenant.weight);
+            fleet.trace =
+                cluster::generateTraffic(fleet.traffic, weights);
+        }
+        if (!options.fleetTraceOut.empty()) {
+            cluster::saveTrace(fleet.trace, options.fleetTraceOut);
+            std::fprintf(stderr, "fleet-sim: wrote trace (%zu "
+                                 "requests) to %s\n",
+                         fleet.trace.size(),
+                         options.fleetTraceOut.c_str());
+        }
+
+        if (options.lintFormat != "json")
+            std::printf("fleet-sim: %zu tenant(s), %zu replica(s), "
+                        "jobs %d\n",
+                        fleet.tenants.size(), fleet.replicas.size(),
+                        ThreadPool::globalJobs());
+        const cluster::FleetReport report =
+            cluster::runFleetSim(fleet);
+        std::printf("%s", options.lintFormat == "json"
+                              ? report.renderJson().c_str()
+                              : report.renderText().c_str());
         return 0;
     }
 
