@@ -4,8 +4,10 @@
 
 namespace souffle::cluster {
 
-FleetCompileService::FleetCompileService(bool tiny, SouffleOptions base)
-    : tiny(tiny), base(std::move(base))
+FleetCompileService::FleetCompileService(bool tiny, SouffleOptions base,
+                                         std::string artifact_dir)
+    : tiny(tiny), base(std::move(base)),
+      artifactDir(std::move(artifact_dir))
 {
     if (!this->base.artifactCache)
         this->base.artifactCache = std::make_shared<ArtifactCache>();
@@ -23,7 +25,7 @@ FleetCompileService::cacheFor(const std::string &device)
         it = caches
                  .emplace(device,
                           std::make_unique<serve::ModuleCache>(
-                              tiny, std::move(options)))
+                              tiny, std::move(options), artifactDir))
                  .first;
     }
     return *it->second;
@@ -35,16 +37,23 @@ FleetCompileService::acquire(const std::string &device,
 {
     serve::ModuleCache &cache = cacheFor(device);
     const int misses_before = cache.misses();
+    const int loads_before = cache.artifactLoads();
     AcquireResult result;
     result.module = &cache.get(model, bucket);
-    result.fleetCold = cache.misses() > misses_before;
+    const bool filled = cache.misses() > misses_before;
+    // An artifact-store load is a fill without a compile: it joins
+    // the warm set (spinning-up replicas can fetch it) but counts as
+    // fleet-warm — the offline compile already paid the search.
+    const bool loaded = cache.artifactLoads() > loads_before;
+    result.fleetCold = filled && !loaded;
+    if (filled)
+        warm[device].emplace(model, bucket);
     if (result.fleetCold) {
         result.candidateEvals =
             result.module->compiled.passStats.counterTotal(
                 "candidates");
         ++compiles;
         evals += result.candidateEvals;
-        warm[device].emplace(model, bucket);
     }
     return result;
 }

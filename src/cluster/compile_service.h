@@ -63,9 +63,13 @@ class FleetCompileService
      * @p tiny selects test-sized zoo variants; @p base fixes the
      * level/scheduler every compile uses (its device is overridden
      * per device class, its artifact cache replaced by the shared
-     * one unless the caller seeded an instance to share).
+     * one unless the caller seeded an instance to share). A
+     * non-empty @p artifact_dir names a compiled-artifact store
+     * (compiler/artifact_io.h): buckets found there are loaded, not
+     * compiled, and their acquires count as fleet-warm.
      */
-    FleetCompileService(bool tiny, SouffleOptions base);
+    FleetCompileService(bool tiny, SouffleOptions base,
+                        std::string artifact_dir = "");
 
     /** The compiled module for @p bucket of @p model on device class
      *  @p device (a DeviceSpec preset name), compiling on first use. */
@@ -94,6 +98,8 @@ class FleetCompileService
 
     bool tiny;
     SouffleOptions base;
+    /** Compiled-artifact store root (empty: always compile). */
+    std::string artifactDir;
     std::shared_ptr<ArtifactCache> sharedArtifacts;
     /** Device preset name -> module cache for that class. */
     std::map<std::string, std::unique_ptr<serve::ModuleCache>> caches;

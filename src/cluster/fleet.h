@@ -171,6 +171,15 @@ struct FleetConfig
     /** Simulated stall for warming a bucket from the fleet's shared
      *  compile cache (artifact fetch + load, no search). */
     double warmLoadUs = 500.0;
+
+    /**
+     * Compiled-artifact store root (compiler/artifact_io.h) shared
+     * by every device-class module cache. A bucket whose artifact
+     * exists there is loaded, not compiled: the acquire counts as
+     * fleet-warm (charged `warmLoadUs`, zero candidate evaluations)
+     * even on its first touch.
+     */
+    std::string artifactDir;
 };
 
 } // namespace souffle::cluster

@@ -141,7 +141,8 @@ runFleetSim(const FleetConfig &config)
     }
 
     // ----- fleet ----------------------------------------------------------
-    FleetCompileService service(config.tiny, config.compiler);
+    FleetCompileService service(config.tiny, config.compiler,
+                                config.artifactDir);
     std::vector<std::unique_ptr<Replica>> replicas;
     for (size_t i = 0; i < config.replicas.size(); ++i)
         replicas.push_back(std::make_unique<Replica>(

@@ -15,7 +15,9 @@
 #include "gpu/device.h"
 #include "graph/graph.h"
 #include "graph/lowering.h"
+#include "kernel/build.h"
 #include "kernel/kernel_ir.h"
+#include "sched/schedule.h"
 #include "te/program.h"
 
 namespace souffle {
@@ -41,6 +43,15 @@ struct Compiled
     TeProgram program;
     /** The kernels handed to the simulator. */
     CompiledModule module;
+    /**
+     * The per-TE schedules and the kernel plan the module was built
+     * from. Filled by the Souffle pipeline driver (moved out of the
+     * CompileContext at `take()`); empty for baseline strategies.
+     * Persisted in the compiled artifact (compiler/artifact_io.h) so
+     * a reloaded module carries its full provenance.
+     */
+    std::vector<Schedule> schedules;
+    ModulePlan plan;
     /**
      * Content address of the final (transformed) TE program — see
      * te/fingerprint.h. Filled by the Souffle pipeline driver; two

@@ -56,6 +56,15 @@ struct SouffleOptions
      */
     bool strictLint = false;
     /**
+     * Disable the TE algebraic simplifier that normally runs right
+     * after lowering (te/simplify.h). Exists for differential
+     * testing: simplified and unsimplified programs must be
+     * interpreter-bit-identical. No cache-salt impact — schedule and
+     * module keys are structural fingerprints, which already differ
+     * when simplification changes the program.
+     */
+    bool noSimplify = false;
+    /**
      * Schedule-search strategy: kSearch (Ansor stand-in, default) or
      * kRoller (Sec. 8.5's faster constructive optimizer).
      */

@@ -39,6 +39,8 @@ CompileContext::take()
 {
     invalidateAnalysis();
     result.program = std::move(lowered.program);
+    result.schedules = std::move(schedules);
+    result.plan = std::move(plan);
     result.passStats = std::move(stats);
     return std::move(result);
 }

@@ -10,6 +10,7 @@
 #include "lint/lint.h"
 #include "sched/schedule_pass.h"
 #include "te/fingerprint.h"
+#include "te/simplify_pass.h"
 #include "transform/sync_elim.h"
 #include "transform/transform_passes.h"
 
@@ -84,8 +85,11 @@ soufflePipeline(const SouffleOptions &options)
     PassManager pipeline(
         "souffle-v" + std::to_string(static_cast<int>(options.level)));
 
-    // 1. TE lowering.
+    // 1. TE lowering, then algebraic simplification so the analysis,
+    // transforms, and scheduler all see a canonical minimal program.
     pipeline.add<LowerToTePass>();
+    if (!options.noSimplify)
+        pipeline.add<SimplifyPass>();
 
     // 2-4. Global analysis feeds the semantic-preserving transforms.
     if (options.level >= SouffleLevel::kV1)

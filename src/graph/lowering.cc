@@ -371,19 +371,20 @@ class Lowerer
             auto rw =
                 Expr::read(1, AffineMap(wm, std::vector<int64_t>(4, 0)));
             ExprPtr body = Expr::binary(BinaryOp::kMul, rx, rw);
-            if (pad > 0) {
-                Predicate inside;
-                inside.push_back(AffineCond{
-                    {0, 0, stride, 0, 1, 0}, -pad, CmpOp::kGE});
-                inside.push_back(AffineCond{{0, 0, stride, 0, 1, 0},
-                                            -pad - h, CmpOp::kLT});
-                inside.push_back(AffineCond{
-                    {0, 0, 0, stride, 0, 1}, -pad, CmpOp::kGE});
-                inside.push_back(AffineCond{{0, 0, 0, stride, 0, 1},
-                                            -pad - wdim, CmpOp::kLT});
-                body = Expr::select(std::move(inside), std::move(body),
-                                    Expr::constant(0.0));
-            }
+            // Boundary guard emitted uniformly (pad or not); the
+            // simplifier owns bounds reasoning and deletes the
+            // conditions it can prove from the iteration box.
+            Predicate inside;
+            inside.push_back(
+                AffineCond{{0, 0, stride, 0, 1, 0}, -pad, CmpOp::kGE});
+            inside.push_back(AffineCond{{0, 0, stride, 0, 1, 0},
+                                        -pad - h, CmpOp::kLT});
+            inside.push_back(
+                AffineCond{{0, 0, 0, stride, 0, 1}, -pad, CmpOp::kGE});
+            inside.push_back(AffineCond{{0, 0, 0, stride, 0, 1},
+                                        -pad - wdim, CmpOp::kLT});
+            body = Expr::select(std::move(inside), std::move(body),
+                                Expr::constant(0.0));
             emitTe(op, "_dw", {x_t, w_t}, declareOutput(op), {kh, kw},
                    Combiner::kSum, std::move(body));
             return;
@@ -430,21 +431,21 @@ class Lowerer
             wm[3][6] = 1;
             auto rw = Expr::read(1, AffineMap(wm, wo));
 
+            // 0 <= stride*oh + rh - pad < H (and same for width),
+            // emitted uniformly; the simplifier deletes conditions it
+            // can prove from the iteration box.
             ExprPtr body = Expr::binary(BinaryOp::kMul, rx, rw);
-            if (pad > 0) {
-                // 0 <= stride*oh + rh - pad < H (and same for width).
-                Predicate inside;
-                inside.push_back(AffineCond{
-                    {0, 0, stride, 0, 0, 1, 0}, -pad, CmpOp::kGE});
-                inside.push_back(AffineCond{
-                    {0, 0, stride, 0, 0, 1, 0}, -pad - h, CmpOp::kLT});
-                inside.push_back(AffineCond{
-                    {0, 0, 0, stride, 0, 0, 1}, -pad, CmpOp::kGE});
-                inside.push_back(AffineCond{{0, 0, 0, stride, 0, 0, 1},
-                                            -pad - wdim, CmpOp::kLT});
-                body = Expr::select(std::move(inside), std::move(body),
-                                    Expr::constant(0.0));
-            }
+            Predicate inside;
+            inside.push_back(AffineCond{
+                {0, 0, stride, 0, 0, 1, 0}, -pad, CmpOp::kGE});
+            inside.push_back(AffineCond{
+                {0, 0, stride, 0, 0, 1, 0}, -pad - h, CmpOp::kLT});
+            inside.push_back(AffineCond{
+                {0, 0, 0, stride, 0, 0, 1}, -pad, CmpOp::kGE});
+            inside.push_back(AffineCond{{0, 0, 0, stride, 0, 0, 1},
+                                        -pad - wdim, CmpOp::kLT});
+            body = Expr::select(std::move(inside), std::move(body),
+                                Expr::constant(0.0));
             emitTe(op, groups == 1 ? "" : "_g" + std::to_string(g),
                    {x_t, w_t}, out_t, {cg, kh, kw}, Combiner::kSum,
                    std::move(body));
@@ -484,21 +485,21 @@ class Lowerer
         xm[3][5] = 1;
         xo[3] = -pad;
         ExprPtr body = Expr::read(0, AffineMap(xm, xo));
-        if (pad > 0) {
-            Predicate inside;
-            inside.push_back(
-                AffineCond{{0, 0, stride, 0, 1, 0}, -pad, CmpOp::kGE});
-            inside.push_back(AffineCond{{0, 0, stride, 0, 1, 0},
-                                        -pad - h, CmpOp::kLT});
-            inside.push_back(
-                AffineCond{{0, 0, 0, stride, 0, 1}, -pad, CmpOp::kGE});
-            inside.push_back(AffineCond{{0, 0, 0, stride, 0, 1},
-                                        -pad - w, CmpOp::kLT});
-            const double fill =
-                is_max ? -std::numeric_limits<double>::infinity() : 0.0;
-            body = Expr::select(std::move(inside), std::move(body),
-                                Expr::constant(fill));
-        }
+        // Window guard emitted uniformly (pad or not); the simplifier
+        // deletes conditions it can prove from the iteration box.
+        Predicate inside;
+        inside.push_back(
+            AffineCond{{0, 0, stride, 0, 1, 0}, -pad, CmpOp::kGE});
+        inside.push_back(AffineCond{{0, 0, stride, 0, 1, 0}, -pad - h,
+                                    CmpOp::kLT});
+        inside.push_back(
+            AffineCond{{0, 0, 0, stride, 0, 1}, -pad, CmpOp::kGE});
+        inside.push_back(AffineCond{{0, 0, 0, stride, 0, 1}, -pad - w,
+                                    CmpOp::kLT});
+        const double fill =
+            is_max ? -std::numeric_limits<double>::infinity() : 0.0;
+        body = Expr::select(std::move(inside), std::move(body),
+                            Expr::constant(fill));
 
         if (is_max) {
             emitTe(op, "", {tensorOf(op.inputs[0])}, declareOutput(op),

@@ -1,0 +1,234 @@
+#include "kernel/serialize.h"
+
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+// instrKindName (kernel_ir.cc) is reused for writing; this is its
+// reverse table. Pipes have no display name elsewhere, so both
+// directions live here.
+
+InstrKind
+parseInstrKind(const std::string &name)
+{
+    for (InstrKind kind :
+         {InstrKind::kLoadGlobal, InstrKind::kLoadCached,
+          InstrKind::kStoreGlobal, InstrKind::kCompute,
+          InstrKind::kAtomicAdd, InstrKind::kGridSync,
+          InstrKind::kBarrier}) {
+        if (name == instrKindName(kind))
+            return kind;
+    }
+    SOUFFLE_FATAL("unknown instruction kind: " << name);
+}
+
+const char *
+pipeName(ComputePipe pipe)
+{
+    switch (pipe) {
+    case ComputePipe::kTensorCore:
+        return "tensor_core";
+    case ComputePipe::kFma:
+        return "fma";
+    case ComputePipe::kAlu:
+        return "alu";
+    }
+    return "?";
+}
+
+ComputePipe
+parsePipe(const std::string &name)
+{
+    for (ComputePipe pipe : {ComputePipe::kTensorCore,
+                             ComputePipe::kFma, ComputePipe::kAlu}) {
+        if (name == pipeName(pipe))
+            return pipe;
+    }
+    SOUFFLE_FATAL("unknown compute pipe: " << name);
+}
+
+void
+writeTeIds(JsonWriter &w, const std::vector<int> &ids)
+{
+    w.beginArray();
+    for (int id : ids)
+        w.value(static_cast<int64_t>(id));
+    w.endArray();
+}
+
+std::vector<int>
+readTeIds(const JsonValue &v)
+{
+    std::vector<int> ids;
+    ids.reserve(v.items().size());
+    for (const JsonValue &item : v.items())
+        ids.push_back(static_cast<int>(item.asInt()));
+    return ids;
+}
+
+void
+writeInstr(JsonWriter &w, const Instr &instr)
+{
+    w.beginObject();
+    w.field("kind", instrKindName(instr.kind));
+    w.field("pipe", pipeName(instr.pipe));
+    w.field("bytes", instr.bytes);
+    w.field("flops", instr.flops);
+    w.field("tensor", static_cast<int64_t>(instr.tensor));
+    w.field("overlapped", instr.overlapped);
+    w.endObject();
+}
+
+Instr
+readInstr(const JsonValue &v)
+{
+    Instr instr;
+    instr.kind = parseInstrKind(v.at("kind").asString());
+    instr.pipe = parsePipe(v.at("pipe").asString());
+    instr.bytes = v.at("bytes").asNumber();
+    instr.flops = v.at("flops").asNumber();
+    instr.tensor = static_cast<TensorId>(v.at("tensor").asInt());
+    instr.overlapped = v.at("overlapped").asBool();
+    return instr;
+}
+
+void
+writeStage(JsonWriter &w, const KernelStage &stage)
+{
+    w.newline().beginObject();
+    w.field("name", stage.name);
+    w.key("teIds");
+    writeTeIds(w, stage.teIds);
+    w.field("numBlocks", stage.numBlocks);
+    w.field("threadsPerBlock", stage.threadsPerBlock);
+    w.field("sharedMemBytes", stage.sharedMemBytes);
+    w.field("regsPerBlock", stage.regsPerBlock);
+    w.field("predicated", stage.predicated);
+    w.field("flexibleBlocks", stage.flexibleBlocks);
+    w.key("instrs").beginArray();
+    for (const Instr &instr : stage.instrs)
+        writeInstr(w, instr);
+    w.endArray();
+    w.endObject();
+}
+
+KernelStage
+readStage(const JsonValue &v)
+{
+    KernelStage stage;
+    stage.name = v.at("name").asString();
+    stage.teIds = readTeIds(v.at("teIds"));
+    stage.numBlocks = v.at("numBlocks").asInt();
+    stage.threadsPerBlock =
+        static_cast<int>(v.at("threadsPerBlock").asInt());
+    stage.sharedMemBytes = v.at("sharedMemBytes").asInt();
+    stage.regsPerBlock = v.at("regsPerBlock").asInt();
+    stage.predicated = v.at("predicated").asBool();
+    stage.flexibleBlocks = v.at("flexibleBlocks").asBool();
+    for (const JsonValue &instr : v.at("instrs").items())
+        stage.instrs.push_back(readInstr(instr));
+    return stage;
+}
+
+} // namespace
+
+std::string
+serializeCompiledModule(const CompiledModule &module)
+{
+    JsonWriter w(JsonWriter::Style::kCompact);
+    w.setDoublePrecision(17);
+    w.beginObject();
+    w.field("version", 1);
+    w.field("compiler", module.compilerName);
+    w.newline().key("kernels").beginArray();
+    for (const Kernel &kernel : module.kernels) {
+        w.newline().beginObject();
+        w.field("name", kernel.name);
+        w.field("usesLibrary", kernel.usesLibrary);
+        w.field("libraryTimeFactor", kernel.libraryTimeFactor);
+        w.key("stages").beginArray();
+        for (const KernelStage &stage : kernel.stages)
+            writeStage(w, stage);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.newline().endObject();
+    return w.str();
+}
+
+CompiledModule
+deserializeCompiledModule(const std::string &text)
+{
+    const JsonValue doc = parseJson(text);
+    const int64_t version = doc.at("version").asInt();
+    SOUFFLE_REQUIRE(version == 1,
+                    "unsupported module format version: " << version);
+
+    CompiledModule module;
+    module.compilerName = doc.at("compiler").asString();
+    for (const JsonValue &k : doc.at("kernels").items()) {
+        Kernel kernel;
+        kernel.name = k.at("name").asString();
+        kernel.usesLibrary = k.at("usesLibrary").asBool();
+        kernel.libraryTimeFactor =
+            k.at("libraryTimeFactor").asNumber();
+        for (const JsonValue &stage : k.at("stages").items())
+            kernel.stages.push_back(readStage(stage));
+        module.kernels.push_back(std::move(kernel));
+    }
+    return module;
+}
+
+std::string
+serializeModulePlan(const ModulePlan &plan)
+{
+    JsonWriter w(JsonWriter::Style::kCompact);
+    w.setDoublePrecision(17);
+    w.beginObject();
+    w.field("version", 1);
+    w.newline().key("kernels").beginArray();
+    for (const KernelPlan &kernel : plan.kernels) {
+        w.newline().beginObject();
+        w.field("name", kernel.name);
+        w.field("library", kernel.library);
+        w.field("libraryTimeFactor", kernel.libraryTimeFactor);
+        w.key("stages").beginArray();
+        for (const StagePlan &stage : kernel.stages)
+            writeTeIds(w, stage.tes);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.newline().endObject();
+    return w.str();
+}
+
+ModulePlan
+deserializeModulePlan(const std::string &text)
+{
+    const JsonValue doc = parseJson(text);
+    const int64_t version = doc.at("version").asInt();
+    SOUFFLE_REQUIRE(version == 1,
+                    "unsupported plan format version: " << version);
+
+    ModulePlan plan;
+    for (const JsonValue &k : doc.at("kernels").items()) {
+        KernelPlan kernel;
+        kernel.name = k.at("name").asString();
+        kernel.library = k.at("library").asBool();
+        kernel.libraryTimeFactor =
+            k.at("libraryTimeFactor").asNumber();
+        for (const JsonValue &stage : k.at("stages").items())
+            kernel.stages.push_back(StagePlan{readTeIds(stage)});
+        plan.kernels.push_back(std::move(kernel));
+    }
+    return plan;
+}
+
+} // namespace souffle

@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Kernel-IR (de)serialization: the compiled module (kernels, stages,
+ * abstract instruction streams) and the module plan it was built from
+ * round-trip through JSON. Together with te/serialize.h and the
+ * schedule-array serializer this forms the compiled-artifact format
+ * (compiler/artifact_io.h): a module compiled offline is reloaded for
+ * online serving without re-running planning or scheduling.
+ *
+ * Doubles (byte/flop totals, library time factors) are written with
+ * 17 significant digits, so a parsed module is bit-identical to the
+ * serialized one — same simulator timings, same `toString` text.
+ */
+
+#include <string>
+
+#include "kernel/build.h"
+#include "kernel/kernel_ir.h"
+
+namespace souffle {
+
+/** Serialize @p module to a JSON document. */
+std::string serializeCompiledModule(const CompiledModule &module);
+
+/** Inverse of `serializeCompiledModule`; throws FatalError on
+ *  malformed input. */
+CompiledModule deserializeCompiledModule(const std::string &text);
+
+/** Serialize @p plan to a JSON document. */
+std::string serializeModulePlan(const ModulePlan &plan);
+
+/** Inverse of `serializeModulePlan`; throws FatalError on malformed
+ *  input. */
+ModulePlan deserializeModulePlan(const std::string &text);
+
+} // namespace souffle

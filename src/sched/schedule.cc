@@ -70,6 +70,64 @@ deserializeSchedule(const std::string &payload)
     return sched;
 }
 
+std::string
+serializeSchedules(const std::vector<Schedule> &schedules)
+{
+    JsonWriter w(JsonWriter::Style::kCompact);
+    w.setDoublePrecision(17);
+    w.beginObject();
+    w.field("version", 1);
+    w.newline().key("schedules").beginArray();
+    for (const Schedule &sched : schedules) {
+        w.newline().beginObject();
+        w.field("teId", sched.teId);
+        w.field("tileM", sched.tileM)
+            .field("tileN", sched.tileN)
+            .field("tileK", sched.tileK)
+            .field("threadsPerBlock", sched.threadsPerBlock)
+            .field("numBlocks", sched.numBlocks)
+            .field("sharedMemBytes", sched.sharedMemBytes)
+            .field("regsPerThread", sched.regsPerThread)
+            .field("useTensorCore", sched.useTensorCore)
+            .field("gridStride", sched.gridStride)
+            .field("estTimeUs", sched.estTimeUs)
+            .field("estGlobalBytes", sched.estGlobalBytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.newline().endObject();
+    return w.str();
+}
+
+std::vector<Schedule>
+deserializeSchedules(const std::string &text)
+{
+    const JsonValue doc = parseJson(text);
+    const int64_t version = doc.at("version").asInt();
+    SOUFFLE_REQUIRE(version == 1,
+                    "unsupported schedule format version: "
+                        << version);
+    std::vector<Schedule> schedules;
+    for (const JsonValue &s : doc.at("schedules").items()) {
+        Schedule sched;
+        sched.teId = static_cast<int>(s.at("teId").asInt());
+        sched.tileM = s.at("tileM").asInt();
+        sched.tileN = s.at("tileN").asInt();
+        sched.tileK = s.at("tileK").asInt();
+        sched.threadsPerBlock =
+            static_cast<int>(s.at("threadsPerBlock").asInt());
+        sched.numBlocks = s.at("numBlocks").asInt();
+        sched.sharedMemBytes = s.at("sharedMemBytes").asInt();
+        sched.regsPerThread = s.at("regsPerThread").asInt();
+        sched.useTensorCore = s.at("useTensorCore").asBool();
+        sched.gridStride = s.at("gridStride").asBool();
+        sched.estTimeUs = s.at("estTimeUs").asNumber();
+        sched.estGlobalBytes = s.at("estGlobalBytes").asNumber();
+        schedules.push_back(sched);
+    }
+    return schedules;
+}
+
 AutoScheduler::AutoScheduler(const TeProgram &program,
                              const GlobalAnalysis &analysis,
                              DeviceSpec device, SchedulerMode mode,

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "analysis/analysis.h"
 #include "gpu/device.h"
@@ -69,6 +70,18 @@ std::string serializeSchedule(const Schedule &sched);
 
 /** Inverse of `serializeSchedule`; throws FatalError on bad input. */
 Schedule deserializeSchedule(const std::string &payload);
+
+/**
+ * Whole-program schedule array for the compiled-artifact format
+ * (compiler/artifact_io.h). Unlike the cache payload above this
+ * *does* record `teId`: the artifact pins the binding of every
+ * schedule to its TE, so a reloaded module needs no scheduling at
+ * all (zero candidate evaluations).
+ */
+std::string serializeSchedules(const std::vector<Schedule> &schedules);
+
+/** Inverse of `serializeSchedules`; throws FatalError on bad input. */
+std::vector<Schedule> deserializeSchedules(const std::string &text);
 
 /** Schedule-search strategy. */
 enum class SchedulerMode : uint8_t

@@ -34,6 +34,7 @@
  * serial cache, which never cached failures).
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -64,9 +65,14 @@ class ModuleCache
     /**
      * @p tiny selects the test-sized zoo variants. @p options fixes
      * the level/device every cached compile uses; the pipeline is
-     * built once here.
+     * built once here. A non-empty @p artifact_dir names a
+     * compiled-artifact store (compiler/artifact_io.h): a bucket
+     * whose artifact exists there is *loaded* instead of compiled —
+     * no scheduling, no codegen, zero candidate evaluations — and
+     * only falls back to the compile pipeline on a store miss.
      */
-    ModuleCache(bool tiny, SouffleOptions options);
+    ModuleCache(bool tiny, SouffleOptions options,
+                std::string artifact_dir = "");
 
     /**
      * The compiled module + timing for @p batch copies of @p model,
@@ -101,6 +107,10 @@ class ModuleCache
     int64_t scheduleCacheHits() const;
     int64_t scheduleCacheMisses() const;
 
+    /** Bucket fills served by loading a compiled artifact from the
+     *  store instead of compiling (each is still a `miss`). */
+    int artifactLoads() const { return artifactLoadCount.load(); }
+
     /** The shared artifact cache every bucket compile consults. */
     ArtifactCache &artifactCache() { return *opts.artifactCache; }
 
@@ -122,6 +132,9 @@ class ModuleCache
     bool tiny;
     SouffleOptions opts;
     PassManager pipeline;
+    /** Compiled-artifact store root (empty: always compile). */
+    std::string artifactDir;
+    std::atomic<int> artifactLoadCount{0};
 
     mutable std::mutex mutex;
     /** Signalled whenever a slot becomes ready or is erased. */

@@ -142,7 +142,8 @@ runServeSim(const ServeConfig &config, ModuleCache &cache)
 ServingReport
 runServeSim(const ServeConfig &config)
 {
-    ModuleCache cache(config.tiny, config.compiler);
+    ModuleCache cache(config.tiny, config.compiler,
+                      config.artifactDir);
     return runServeSim(config, cache);
 }
 

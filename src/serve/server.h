@@ -58,6 +58,13 @@ struct ServeConfig
      * observable.
      */
     bool prewarm = false;
+    /**
+     * Compiled-artifact store root (compiler/artifact_io.h). When
+     * non-empty, bucket fills load offline-compiled artifacts
+     * instead of compiling — the offline compile → online serve
+     * split; buckets missing from the store still compile lazily.
+     */
+    std::string artifactDir;
 };
 
 /**

@@ -1,0 +1,368 @@
+#include "te/serialize.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace souffle {
+
+namespace {
+
+// ----- enum name tables (reverse of the *Name functions) -------------
+
+const char *
+roleName(TensorRole role)
+{
+    switch (role) {
+    case TensorRole::kInput:
+        return "input";
+    case TensorRole::kParam:
+        return "param";
+    case TensorRole::kIntermediate:
+        return "intermediate";
+    case TensorRole::kOutput:
+        return "output";
+    }
+    return "?";
+}
+
+TensorRole
+parseRole(const std::string &name)
+{
+    for (TensorRole role :
+         {TensorRole::kInput, TensorRole::kParam,
+          TensorRole::kIntermediate, TensorRole::kOutput}) {
+        if (name == roleName(role))
+            return role;
+    }
+    SOUFFLE_FATAL("unknown tensor role: " << name);
+}
+
+DType
+parseDtype(const std::string &name)
+{
+    for (DType dtype :
+         {DType::kFP16, DType::kFP32, DType::kInt32, DType::kBool}) {
+        if (name == dtypeName(dtype))
+            return dtype;
+    }
+    SOUFFLE_FATAL("unknown dtype: " << name);
+}
+
+Combiner
+parseCombiner(const std::string &name)
+{
+    for (Combiner combiner : {Combiner::kNone, Combiner::kSum,
+                              Combiner::kMax, Combiner::kMin}) {
+        if (name == combinerName(combiner))
+            return combiner;
+    }
+    SOUFFLE_FATAL("unknown combiner: " << name);
+}
+
+UnaryOp
+parseUnaryOp(const std::string &name)
+{
+    for (UnaryOp op :
+         {UnaryOp::kNeg, UnaryOp::kExp, UnaryOp::kLog, UnaryOp::kSqrt,
+          UnaryOp::kRsqrt, UnaryOp::kSigmoid, UnaryOp::kTanh,
+          UnaryOp::kRelu, UnaryOp::kErf, UnaryOp::kAbs,
+          UnaryOp::kRecip}) {
+        if (name == unaryOpName(op))
+            return op;
+    }
+    SOUFFLE_FATAL("unknown unary op: " << name);
+}
+
+BinaryOp
+parseBinaryOp(const std::string &name)
+{
+    for (BinaryOp op :
+         {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+          BinaryOp::kDiv, BinaryOp::kMax, BinaryOp::kMin,
+          BinaryOp::kPow}) {
+        if (name == binaryOpName(op))
+            return op;
+    }
+    SOUFFLE_FATAL("unknown binary op: " << name);
+}
+
+const char *
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+    case CmpOp::kGE:
+        return "ge";
+    case CmpOp::kLT:
+        return "lt";
+    case CmpOp::kEQ:
+        return "eq";
+    }
+    return "?";
+}
+
+CmpOp
+parseCmpOp(const std::string &name)
+{
+    for (CmpOp op : {CmpOp::kGE, CmpOp::kLT, CmpOp::kEQ}) {
+        if (name == cmpOpName(op))
+            return op;
+    }
+    SOUFFLE_FATAL("unknown comparison op: " << name);
+}
+
+// ----- writers -------------------------------------------------------
+
+void
+writeIntArray(JsonWriter &w, const std::vector<int64_t> &values)
+{
+    w.beginArray();
+    for (int64_t v : values)
+        w.value(v);
+    w.endArray();
+}
+
+void
+writeMap(JsonWriter &w, const AffineMap &map)
+{
+    w.beginObject();
+    w.key("rows").beginArray();
+    for (int r = 0; r < map.outDims(); ++r) {
+        w.beginArray();
+        for (int c = 0; c < map.inDims(); ++c)
+            w.value(map.coef(r, c));
+        w.endArray();
+    }
+    w.endArray();
+    w.key("off").beginArray();
+    for (int r = 0; r < map.outDims(); ++r)
+        w.value(map.offsetAt(r));
+    w.endArray();
+    w.field("in", map.inDims());
+    w.endObject();
+}
+
+void
+writePredicate(JsonWriter &w, const Predicate &pred)
+{
+    w.beginArray();
+    for (const AffineCond &cond : pred) {
+        w.beginObject();
+        w.key("coefs");
+        writeIntArray(w, cond.coefs);
+        w.field("off", cond.offset);
+        w.field("op", cmpOpName(cond.op));
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+writeExpr(JsonWriter &w, const ExprPtr &e)
+{
+    w.beginObject();
+    switch (e->kind()) {
+    case ExprKind::kConst: {
+        // JsonWriter clamps non-finite doubles to null, but constants
+        // like the -inf maxpool pad fill must round-trip exactly, so
+        // non-finite values get an explicit string spelling.
+        const double value = e->constValue();
+        w.field("k", "const");
+        if (std::isfinite(value))
+            w.field("v", value);
+        else if (std::isnan(value))
+            w.field("vs", "nan");
+        else
+            w.field("vs", value > 0 ? "inf" : "-inf");
+        break;
+    }
+    case ExprKind::kRead:
+        w.field("k", "read").field("slot", e->readSlot());
+        w.field("flat", e->isFlatRead());
+        w.key("map");
+        writeMap(w, e->readMap());
+        break;
+    case ExprKind::kUnary:
+        w.field("k", "unary").field("op", unaryOpName(e->unaryOp()));
+        w.key("a");
+        writeExpr(w, e->lhs());
+        break;
+    case ExprKind::kBinary:
+        w.field("k", "binary").field("op", binaryOpName(e->binaryOp()));
+        w.key("a");
+        writeExpr(w, e->lhs());
+        w.key("b");
+        writeExpr(w, e->rhs());
+        break;
+    case ExprKind::kSelect:
+        w.field("k", "select");
+        w.key("pred");
+        writePredicate(w, e->predicate());
+        w.key("a");
+        writeExpr(w, e->lhs());
+        w.key("b");
+        writeExpr(w, e->rhs());
+        break;
+    }
+    w.endObject();
+}
+
+// ----- readers -------------------------------------------------------
+
+std::vector<int64_t>
+readIntArray(const JsonValue &v)
+{
+    std::vector<int64_t> out;
+    out.reserve(v.items().size());
+    for (const JsonValue &item : v.items())
+        out.push_back(item.asInt());
+    return out;
+}
+
+AffineMap
+readMap(const JsonValue &v)
+{
+    const int in_dims = static_cast<int>(v.at("in").asInt());
+    std::vector<std::vector<int64_t>> rows;
+    for (const JsonValue &row : v.at("rows").items())
+        rows.push_back(readIntArray(row));
+    std::vector<int64_t> off = readIntArray(v.at("off"));
+    if (rows.empty())
+        return AffineMap::zero(0, in_dims);
+    AffineMap map(std::move(rows), std::move(off));
+    SOUFFLE_REQUIRE(map.inDims() == in_dims,
+                  "affine map inDims mismatch: " << map.inDims()
+                                                 << " vs " << in_dims);
+    return map;
+}
+
+Predicate
+readPredicate(const JsonValue &v)
+{
+    Predicate pred;
+    for (const JsonValue &item : v.items()) {
+        AffineCond cond;
+        cond.coefs = readIntArray(item.at("coefs"));
+        cond.offset = item.at("off").asInt();
+        cond.op = parseCmpOp(item.at("op").asString());
+        pred.push_back(std::move(cond));
+    }
+    return pred;
+}
+
+ExprPtr
+readExpr(const JsonValue &v)
+{
+    const std::string &kind = v.at("k").asString();
+    if (kind == "const") {
+        if (const JsonValue *special = v.find("vs")) {
+            const std::string &name = special->asString();
+            if (name == "inf")
+                return Expr::constant(
+                    std::numeric_limits<double>::infinity());
+            if (name == "-inf")
+                return Expr::constant(
+                    -std::numeric_limits<double>::infinity());
+            if (name == "nan")
+                return Expr::constant(
+                    std::numeric_limits<double>::quiet_NaN());
+            SOUFFLE_FATAL("unknown special constant: " << name);
+        }
+        return Expr::constant(v.at("v").asNumber());
+    }
+    if (kind == "read") {
+        const int slot = static_cast<int>(v.at("slot").asInt());
+        AffineMap map = readMap(v.at("map"));
+        if (v.at("flat").asBool())
+            return Expr::readFlat(slot, std::move(map));
+        return Expr::read(slot, std::move(map));
+    }
+    if (kind == "unary")
+        return Expr::unary(parseUnaryOp(v.at("op").asString()),
+                           readExpr(v.at("a")));
+    if (kind == "binary")
+        return Expr::binary(parseBinaryOp(v.at("op").asString()),
+                            readExpr(v.at("a")), readExpr(v.at("b")));
+    if (kind == "select")
+        return Expr::select(readPredicate(v.at("pred")),
+                            readExpr(v.at("a")), readExpr(v.at("b")));
+    SOUFFLE_FATAL("unknown expression kind: " << kind);
+}
+
+} // namespace
+
+std::string
+serializeTeProgram(const TeProgram &program)
+{
+    JsonWriter w(JsonWriter::Style::kCompact);
+    w.setDoublePrecision(17);
+    w.beginObject();
+    w.field("version", 1);
+
+    w.newline().key("tensors").beginArray();
+    for (const TensorDecl &decl : program.tensors()) {
+        w.newline().beginObject();
+        w.field("name", decl.name);
+        w.key("shape");
+        writeIntArray(w, decl.shape);
+        w.field("dtype", dtypeName(decl.dtype));
+        w.field("role", roleName(decl.role));
+        w.endObject();
+    }
+    w.endArray();
+
+    w.newline().key("tes").beginArray();
+    for (const TensorExpr &te : program.tes()) {
+        w.newline().beginObject();
+        w.field("name", te.name);
+        w.key("inputs").beginArray();
+        for (TensorId input : te.inputs)
+            w.value(static_cast<int64_t>(input));
+        w.endArray();
+        w.field("output", static_cast<int64_t>(te.output));
+        w.key("reduce");
+        writeIntArray(w, te.reduceExtents);
+        w.field("combiner", combinerName(te.combiner));
+        w.key("body");
+        writeExpr(w, te.body);
+        w.endObject();
+    }
+    w.endArray();
+    w.newline().endObject();
+    return w.str();
+}
+
+TeProgram
+deserializeTeProgram(const std::string &text)
+{
+    const JsonValue doc = parseJson(text);
+    const int64_t version = doc.at("version").asInt();
+    SOUFFLE_REQUIRE(version == 1,
+                  "unsupported TE-program format version: " << version);
+
+    TeProgram program;
+    for (const JsonValue &t : doc.at("tensors").items()) {
+        program.addTensor(t.at("name").asString(),
+                          readIntArray(t.at("shape")),
+                          parseDtype(t.at("dtype").asString()),
+                          parseRole(t.at("role").asString()));
+    }
+    for (const JsonValue &te : doc.at("tes").items()) {
+        std::vector<TensorId> inputs;
+        for (const JsonValue &input : te.at("inputs").items())
+            inputs.push_back(static_cast<TensorId>(input.asInt()));
+        program.addTe(te.at("name").asString(), std::move(inputs),
+                      static_cast<TensorId>(te.at("output").asInt()),
+                      readIntArray(te.at("reduce")),
+                      parseCombiner(te.at("combiner").asString()),
+                      readExpr(te.at("body")));
+    }
+    program.validate();
+    return program;
+}
+
+} // namespace souffle

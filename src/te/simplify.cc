@@ -1,0 +1,280 @@
+#include "te/simplify.h"
+
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "te/fingerprint.h"
+
+namespace souffle {
+
+namespace {
+
+/** Truth value of @p cond over the box [0, extents): 1 = always true,
+ *  0 = always false, -1 = unknown. */
+int
+classifyCond(const AffineCond &cond, std::span<const int64_t> extents)
+{
+    if (cond.coefs.size() != extents.size())
+        return -1; // not over this iteration space; leave untouched
+    AffineMap row({cond.coefs}, {cond.offset});
+    const AffineMap::RowRange r = row.rowValueRange(0, extents);
+    switch (cond.op) {
+    case CmpOp::kGE:
+        if (r.min >= 0)
+            return 1;
+        if (r.max < 0)
+            return 0;
+        return -1;
+    case CmpOp::kLT:
+        if (r.max < 0)
+            return 1;
+        if (r.min >= 0)
+            return 0;
+        return -1;
+    case CmpOp::kEQ:
+        if (r.min == 0 && r.max == 0)
+            return 1;
+        if (r.min > 0 || r.max < 0)
+            return 0;
+        return -1;
+    }
+    return -1;
+}
+
+bool
+isConst(const ExprPtr &e, double value)
+{
+    return e->kind() == ExprKind::kConst && e->constValue() == value;
+}
+
+/** Affine conditions summed over every select in the tree. */
+int64_t
+countConds(const ExprPtr &e)
+{
+    switch (e->kind()) {
+    case ExprKind::kConst:
+    case ExprKind::kRead:
+        return 0;
+    case ExprKind::kUnary:
+        return countConds(e->lhs());
+    case ExprKind::kBinary:
+        return countConds(e->lhs()) + countConds(e->rhs());
+    case ExprKind::kSelect:
+        return static_cast<int64_t>(e->predicate().size()) +
+               countConds(e->lhs()) + countConds(e->rhs());
+    }
+    return 0;
+}
+
+/** Drop input slots the body no longer reads (a collapsed select can
+ *  orphan the branch's reads); keeps dataflow edges minimal so dedup
+ *  and dead-code elimination see true dependences. */
+void
+compactInputs(TensorExpr &te)
+{
+    std::vector<ReadAccess> reads;
+    te.body->collectReads(reads);
+    std::vector<bool> used(te.inputs.size(), false);
+    for (const ReadAccess &read : reads)
+        used[read.inputSlot] = true;
+    bool all_used = true;
+    for (bool u : used)
+        all_used = all_used && u;
+    if (all_used)
+        return;
+    std::vector<int> slot_remap(te.inputs.size(), 0);
+    std::vector<TensorId> new_inputs;
+    for (size_t s = 0; s < te.inputs.size(); ++s) {
+        if (!used[s])
+            continue; // remap value never consulted for unread slots
+        slot_remap[s] = static_cast<int>(new_inputs.size());
+        new_inputs.push_back(te.inputs[s]);
+    }
+    te.body = te.body->remapSlots(slot_remap);
+    te.inputs = std::move(new_inputs);
+}
+
+} // namespace
+
+ExprPtr
+simplifyExpr(const ExprPtr &expr, std::span<const int64_t> extents,
+             SimplifyStats &stats)
+{
+    switch (expr->kind()) {
+    case ExprKind::kConst:
+    case ExprKind::kRead:
+        return expr;
+
+    case ExprKind::kUnary: {
+        ExprPtr a = simplifyExpr(expr->lhs(), extents, stats);
+        const UnaryOp op = expr->unaryOp();
+        if (a->kind() == ExprKind::kConst) {
+            ++stats.exprsFolded;
+            return Expr::constant(applyUnary(op, a->constValue()));
+        }
+        // neg(neg(x)) = x restores the exact bit pattern (sign flips
+        // cancel, NaN payloads included).
+        if (op == UnaryOp::kNeg && a->kind() == ExprKind::kUnary &&
+            a->unaryOp() == UnaryOp::kNeg) {
+            ++stats.exprsFolded;
+            return a->lhs();
+        }
+        if (a == expr->lhs())
+            return expr;
+        return Expr::unary(op, std::move(a));
+    }
+
+    case ExprKind::kBinary: {
+        ExprPtr a = simplifyExpr(expr->lhs(), extents, stats);
+        ExprPtr b = simplifyExpr(expr->rhs(), extents, stats);
+        const BinaryOp op = expr->binaryOp();
+        if (a->kind() == ExprKind::kConst &&
+            b->kind() == ExprKind::kConst) {
+            ++stats.exprsFolded;
+            return Expr::constant(
+                applyBinary(op, a->constValue(), b->constValue()));
+        }
+        // Only NaN/Inf-preserving identities. x*0 -> 0 is absent on
+        // purpose: NaN*0 and Inf*0 are NaN, not 0.
+        switch (op) {
+        case BinaryOp::kAdd:
+            if (isConst(a, 0.0)) {
+                ++stats.exprsFolded;
+                return b;
+            }
+            if (isConst(b, 0.0)) {
+                ++stats.exprsFolded;
+                return a;
+            }
+            break;
+        case BinaryOp::kSub:
+            if (isConst(b, 0.0)) {
+                ++stats.exprsFolded;
+                return a;
+            }
+            break;
+        case BinaryOp::kMul:
+            if (isConst(a, 1.0)) {
+                ++stats.exprsFolded;
+                return b;
+            }
+            if (isConst(b, 1.0)) {
+                ++stats.exprsFolded;
+                return a;
+            }
+            break;
+        case BinaryOp::kDiv:
+        case BinaryOp::kPow:
+            if (isConst(b, 1.0)) {
+                ++stats.exprsFolded;
+                return a;
+            }
+            break;
+        case BinaryOp::kMax:
+        case BinaryOp::kMin:
+            // x>y?x:y with a constant arm changes which operand's
+            // bits flow through for NaN; no safe identity.
+            break;
+        }
+        if (a == expr->lhs() && b == expr->rhs())
+            return expr;
+        return Expr::binary(op, std::move(a), std::move(b));
+    }
+
+    case ExprKind::kSelect: {
+        ExprPtr then_e = simplifyExpr(expr->lhs(), extents, stats);
+        ExprPtr else_e = simplifyExpr(expr->rhs(), extents, stats);
+        Predicate kept;
+        kept.reserve(expr->predicate().size());
+        bool always_false = false;
+        for (const AffineCond &cond : expr->predicate()) {
+            switch (classifyCond(cond, extents)) {
+            case 1: // provably true: conjunction unchanged
+                ++stats.condsPruned;
+                break;
+            case 0: // provably false: whole conjunction is false
+                always_false = true;
+                break;
+            default:
+                kept.push_back(cond);
+                break;
+            }
+            if (always_false)
+                break;
+        }
+        if (always_false) {
+            ++stats.exprsFolded;
+            return else_e;
+        }
+        if (kept.empty()) {
+            ++stats.exprsFolded;
+            return then_e;
+        }
+        if (kept.size() == expr->predicate().size() &&
+            then_e == expr->lhs() && else_e == expr->rhs())
+            return expr;
+        return Expr::select(std::move(kept), std::move(then_e),
+                            std::move(else_e));
+    }
+    }
+    return expr;
+}
+
+SimplifyStats
+simplifyTeProgram(TeProgram &program)
+{
+    SimplifyStats stats;
+
+    // Dedup redirection: tensor id -> canonical tensor id. Identity
+    // unless the producer TE was recognized as a duplicate.
+    std::vector<TensorId> remap(program.numTensors());
+    std::iota(remap.begin(), remap.end(), 0);
+
+    // (structural fingerprint, actual input ids) -> first producer's
+    // output. First occurrence in program order wins, which keeps the
+    // result invariant under tensor/TE renaming.
+    std::unordered_map<std::string, TensorId> canonical;
+
+    for (TensorExpr &te : program.mutableTes()) {
+        for (TensorId &input : te.inputs)
+            input = remap[input];
+
+        const std::vector<int64_t> extents = te.iterExtents();
+        te.body = simplifyExpr(te.body, extents, stats);
+        compactInputs(te);
+
+        std::string key = teFingerprint(program, te.id).toHex();
+        for (TensorId input : te.inputs) {
+            key += ',';
+            key += std::to_string(input);
+        }
+        auto [it, inserted] = canonical.emplace(key, te.output);
+        if (inserted)
+            continue;
+        // Duplicate of an earlier TE over the same inputs. Redirect
+        // only between intermediates: model outputs must keep their
+        // own producer (and their identity as outputs).
+        if (program.tensor(te.output).role != TensorRole::kIntermediate ||
+            program.tensor(it->second).role != TensorRole::kIntermediate)
+            continue;
+        remap[te.output] = it->second;
+        ++stats.tesDeduped;
+    }
+
+    stats.tesPruned = program.removeDeadCode();
+    return stats;
+}
+
+int64_t
+programScalarNodes(const TeProgram &program)
+{
+    int64_t total = 0;
+    for (const TensorExpr &te : program.tes())
+        total += te.body->nodeCount() + countConds(te.body);
+    return total;
+}
+
+} // namespace souffle

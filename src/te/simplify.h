@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * TE-level algebraic simplifier.
+ *
+ * A rewrite pass over scalar expression trees and whole TE programs
+ * that runs before global analysis, so the expensive phases (analysis,
+ * transformation, auto-scheduling) see a canonical, minimal program:
+ *
+ *  - constant folding: unary/binary ops over constant operands are
+ *    evaluated at compile time through the *same* applyUnary /
+ *    applyBinary the interpreter uses, so folding is bit-identical;
+ *  - algebraic identities: x+0, x-0, x*1, 1*x, x/1, pow(x,1), and
+ *    neg(neg(x)). Only NaN/Inf-preserving identities are applied —
+ *    x*0 -> 0 is deliberately absent because it is wrong for
+ *    NaN and Inf operands;
+ *  - predicate simplification: each affine condition of a select is
+ *    bounded over the TE's iteration box via
+ *    `AffineMap::rowValueRange`; conditions that are provably true
+ *    are dropped, and selects whose predicate is provably true/false
+ *    collapse to the surviving branch (this removes the boundary
+ *    selects that padding-free convolutions and pools lower to);
+ *  - cross-TE CSE: TEs that are structurally identical (same
+ *    `teFingerprint`) *and* read the same actual input tensors are
+ *    deduplicated by redirecting consumers to the first occurrence in
+ *    program order (rename-stable), after which dead-code elimination
+ *    prunes the orphaned TEs.
+ *
+ * Simplification strictly preserves interpreter bit-patterns: for any
+ * bindings, the simplified program produces outputs with
+ * maxAbsDiff == 0 against the unsimplified program (NaNs propagate
+ * identically). `tests/test_property_fuzz.cc` enforces this
+ * differentially over random programs.
+ */
+
+#include <cstdint>
+#include <span>
+
+#include "te/program.h"
+
+namespace souffle {
+
+/** Rewrite counters reported by the SimplifyPass. */
+struct SimplifyStats
+{
+    /** Rewrites applied to expression trees (folds + identities +
+     *  select collapses). */
+    int64_t exprsFolded = 0;
+    /** Always-true affine conditions dropped from predicates. */
+    int64_t condsPruned = 0;
+    /** TEs deduplicated against an identical earlier TE. */
+    int64_t tesDeduped = 0;
+    /** Dead TEs removed after dedup/folding. */
+    int64_t tesPruned = 0;
+
+    bool changed() const
+    {
+        return exprsFolded || condsPruned || tesDeduped || tesPruned;
+    }
+};
+
+/**
+ * Simplify one expression tree over the iteration box [0, extents)
+ * (a TE body's `iterExtents()`). Returns the rewritten tree (may be
+ * the input unchanged) and accumulates counters into @p stats.
+ */
+ExprPtr simplifyExpr(const ExprPtr &expr,
+                     std::span<const int64_t> extents,
+                     SimplifyStats &stats);
+
+/**
+ * Simplify a whole program in place: per-TE body rewriting, unused
+ * input-slot compaction, cross-TE CSE, then dead-code elimination.
+ * The program remains valid (`validate()` holds) and interpreter
+ * bit-identical to its input.
+ */
+SimplifyStats simplifyTeProgram(TeProgram &program);
+
+/**
+ * Total scalar work metric: body node counts plus one per affine
+ * condition of every select (conditions are evaluated per element but
+ * are not Expr nodes, so `Expr::nodeCount` alone under-counts the
+ * work predicate pruning removes).
+ */
+int64_t programScalarNodes(const TeProgram &program);
+
+} // namespace souffle

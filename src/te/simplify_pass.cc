@@ -1,0 +1,21 @@
+#include "te/simplify_pass.h"
+
+#include "te/simplify.h"
+
+namespace souffle {
+
+void
+SimplifyPass::run(CompileContext &ctx)
+{
+    const int64_t nodes_before = programScalarNodes(ctx.program());
+    const SimplifyStats stats = simplifyTeProgram(ctx.program());
+    ctx.program().validate();
+    ctx.counter("exprsFolded", stats.exprsFolded);
+    ctx.counter("condsPruned", stats.condsPruned);
+    ctx.counter("tesDeduped", stats.tesDeduped);
+    ctx.counter("tesPruned", stats.tesPruned);
+    ctx.counter("scalarNodesRemoved",
+                nodes_before - programScalarNodes(ctx.program()));
+}
+
+} // namespace souffle

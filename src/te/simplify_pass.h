@@ -1,0 +1,24 @@
+#pragma once
+
+/**
+ * @file
+ * Pass adapter for the TE algebraic simplifier: runs right after
+ * lowering so global analysis, the transforms, and the scheduler see
+ * a canonical minimal program. Disabled via
+ * `SouffleOptions::noSimplify` (differential testing).
+ */
+
+#include "compiler/pass.h"
+
+namespace souffle {
+
+/** Simplifies `ctx.program()` in place; see te/simplify.h. */
+class SimplifyPass : public Pass
+{
+  public:
+    std::string name() const override { return "simplify"; }
+    bool invalidatesAnalysis() const override { return true; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

@@ -15,6 +15,8 @@
 #include "models/zoo.h"
 #include "te/interpreter.h"
 
+#include "test_util.h"
+
 namespace souffle {
 namespace {
 
@@ -78,28 +80,7 @@ INSTANTIATE_TEST_SUITE_P(
                + std::get<1>(info.param);
     });
 
-/** Interpret a program's outputs with name-matched random bindings. */
-std::vector<std::pair<std::string, Buffer>>
-runByName(const TeProgram &program, uint64_t seed)
-{
-    BufferMap bindings;
-    for (const auto &decl : program.tensors()) {
-        if (decl.role != TensorRole::kInput
-            && decl.role != TensorRole::kParam)
-            continue;
-        uint64_t h = seed;
-        for (char ch : decl.name)
-            h = h * 131 + static_cast<unsigned char>(ch);
-        bindings[decl.id] = randomBuffer(decl.numElements(), h);
-    }
-    const BufferMap result = Interpreter(program).run(bindings);
-    std::vector<std::pair<std::string, Buffer>> outputs;
-    for (TensorId id : program.outputTensors())
-        outputs.emplace_back(program.tensor(id).name, result.at(id));
-    std::sort(outputs.begin(), outputs.end(),
-              [](const auto &a, const auto &b) { return a.first < b.first; });
-    return outputs;
-}
+using test::runByName;
 
 class SouffleSemantics : public ::testing::TestWithParam<std::string>
 {};

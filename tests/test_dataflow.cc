@@ -42,6 +42,7 @@
 #include "runtime/memory_plan.h"
 #include "sched/schedule_pass.h"
 #include "te/program.h"
+#include "te/simplify_pass.h"
 #include "transform/sync_elim.h"
 #include "transform/transform_passes.h"
 
@@ -184,6 +185,7 @@ baselineV4Pipeline()
 {
     PassManager pm("souffle-v4-no-sync-elim");
     pm.add<LowerToTePass>();
+    pm.add<SimplifyPass>();
     pm.add<HorizontalTransformPass>();
     pm.add<VerticalTransformPass>();
     pm.add<SchedulePass>();

@@ -106,17 +106,17 @@ TEST(SoufflePipeline, PassListsMatchTheAblationLevels)
         return soufflePipeline(options).passNames();
     };
     EXPECT_EQ(names(SouffleLevel::kV0),
-              (std::vector<std::string>{"lower-to-te", "schedule",
-                                        "stage-kernels",
+              (std::vector<std::string>{"lower-to-te", "simplify",
+                                        "schedule", "stage-kernels",
                                         "build-module", "codegen"}));
     EXPECT_EQ(names(SouffleLevel::kV2),
               (std::vector<std::string>{
-                  "lower-to-te", "horizontal-transform",
+                  "lower-to-te", "simplify", "horizontal-transform",
                   "vertical-transform", "schedule", "stage-kernels",
                   "build-module", "codegen"}));
     EXPECT_EQ(names(SouffleLevel::kV4),
               (std::vector<std::string>{
-                  "lower-to-te", "horizontal-transform",
+                  "lower-to-te", "simplify", "horizontal-transform",
                   "vertical-transform", "schedule", "partition",
                   "build-module", "two-phase-reduction",
                   "pipeline-loads", "reuse-cache", "sync-elim",

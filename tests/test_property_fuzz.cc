@@ -18,7 +18,11 @@
 #include "compiler/compiler.h"
 #include "compiler/souffle.h"
 #include "gpu/sim.h"
+#include "te/fingerprint.h"
 #include "te/interpreter.h"
+#include "te/simplify.h"
+
+#include "test_util.h"
 
 namespace souffle {
 namespace {
@@ -154,30 +158,7 @@ class GraphFuzzer
     }
 };
 
-/** Interpret outputs, keyed & sorted by tensor name. */
-std::vector<std::pair<std::string, Buffer>>
-runByName(const TeProgram &program, uint64_t seed)
-{
-    BufferMap bindings;
-    for (const auto &decl : program.tensors()) {
-        if (decl.role != TensorRole::kInput
-            && decl.role != TensorRole::kParam)
-            continue;
-        uint64_t h = seed;
-        for (char ch : decl.name)
-            h = h * 131 + static_cast<unsigned char>(ch);
-        bindings[decl.id] = randomBuffer(decl.numElements(), h);
-    }
-    const BufferMap result = Interpreter(program).run(bindings);
-    std::vector<std::pair<std::string, Buffer>> outputs;
-    for (TensorId id : program.outputTensors())
-        outputs.emplace_back(program.tensor(id).name, result.at(id));
-    std::sort(outputs.begin(), outputs.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first < b.first;
-              });
-    return outputs;
-}
+using test::runByName;
 
 class FuzzSemantics : public ::testing::TestWithParam<uint64_t>
 {};
@@ -208,6 +189,48 @@ TEST_P(FuzzSemantics, AllLevelsPreserveSemantics)
                 << graph.toString();
         }
     }
+}
+
+TEST_P(FuzzSemantics, SimplifierIsBitIdenticalAndRenameStable)
+{
+    GraphFuzzer fuzzer(GetParam() ^ 0x51471f);
+    const Graph graph = fuzzer.generate();
+    const LoweredModel lowered = lowerToTe(graph);
+
+    TeProgram simplified = lowered.program;
+    simplifyTeProgram(simplified);
+    simplified.validate();
+
+    // Bit-identical under the interpreter: the simplifier only
+    // applies NaN/Inf-preserving rewrites, so maxAbsDiff must be
+    // exactly zero (not merely small).
+    const auto ref_out = runByName(lowered.program, GetParam());
+    const auto simp_out = runByName(simplified, GetParam());
+    ASSERT_EQ(simp_out.size(), ref_out.size())
+        << "seed " << GetParam() << "\n"
+        << graph.toString();
+    for (size_t i = 0; i < simp_out.size(); ++i) {
+        EXPECT_EQ(simp_out[i].first, ref_out[i].first);
+        ASSERT_EQ(simp_out[i].second.size(), ref_out[i].second.size());
+        EXPECT_LE(maxAbsDiff(simp_out[i].second, ref_out[i].second),
+                  0.0)
+            << "output " << simp_out[i].first << " seed "
+            << GetParam() << "\n"
+            << graph.toString();
+    }
+
+    // Rename-stable: the simplifier's decisions (CSE canonical
+    // choice included) depend only on structure, so renaming every
+    // tensor and TE yields the same canonical program fingerprint.
+    TeProgram renamed = lowered.program;
+    for (auto &decl : renamed.mutableTensors())
+        decl.name = "t" + std::to_string(decl.id) + "_renamed";
+    for (auto &te : renamed.mutableTes())
+        te.name = "te" + std::to_string(te.id) + "_renamed";
+    simplifyTeProgram(renamed);
+    EXPECT_EQ(programFingerprint(renamed),
+              programFingerprint(simplified))
+        << "seed " << GetParam();
 }
 
 TEST_P(FuzzSemantics, KernelPlansCoverAllTes)

@@ -15,6 +15,8 @@
 #include "models/zoo.h"
 #include "te/interpreter.h"
 
+#include "test_util.h"
+
 namespace souffle {
 namespace {
 
@@ -23,21 +25,9 @@ std::vector<Buffer>
 semantics(const Graph &graph, uint64_t seed)
 {
     const LoweredModel lowered = lowerToTe(graph);
-    BufferMap bindings;
-    for (const auto &decl : lowered.program.tensors()) {
-        if (decl.role != TensorRole::kInput
-            && decl.role != TensorRole::kParam)
-            continue;
-        uint64_t h = seed;
-        for (char ch : decl.name)
-            h = h * 131 + static_cast<unsigned char>(ch);
-        bindings[decl.id] = randomBuffer(decl.numElements(), h);
-    }
-    const BufferMap result =
-        Interpreter(lowered.program).run(bindings);
     std::vector<Buffer> outputs;
-    for (TensorId id : lowered.program.outputTensors())
-        outputs.push_back(result.at(id));
+    for (auto &out : test::runByName(lowered.program, seed))
+        outputs.push_back(std::move(out.second));
     return outputs;
 }
 

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for the TE algebraic simplifier (te/simplify.h): rewrite-rule
+ * units on hand-built programs, bit-identity differentials against
+ * the unsimplified program on every zoo model at every ablation
+ * level, and pinned reduction counters on the full-size zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/souffle.h"
+#include "graph/lowering.h"
+#include "models/zoo.h"
+#include "te/fingerprint.h"
+#include "te/interpreter.h"
+#include "te/simplify.h"
+
+#include "test_util.h"
+
+namespace souffle {
+namespace {
+
+using test::runByName;
+
+ExprPtr
+identityRead(int slot, int dims)
+{
+    return Expr::read(slot, AffineMap::identity(dims));
+}
+
+/** y = f(x) over shape {8} with body supplied by the caller. */
+TeProgram
+unaryProgram(ExprPtr body)
+{
+    TeProgram p;
+    const TensorId x =
+        p.addTensor("x", {8}, DType::kFP32, TensorRole::kInput);
+    const TensorId y =
+        p.addTensor("y", {8}, DType::kFP32, TensorRole::kOutput);
+    p.addTe("f", {x}, y, {}, Combiner::kNone, std::move(body));
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Rewrite rules on expression trees
+// ---------------------------------------------------------------------
+
+TEST(SimplifyExpr, FoldsConstantArithmetic)
+{
+    // relu(2*3 - 10) folds to a single constant through the same
+    // applyUnary/applyBinary the interpreter uses.
+    const ExprPtr e = Expr::unary(
+        UnaryOp::kRelu,
+        Expr::binary(BinaryOp::kSub,
+                     Expr::binary(BinaryOp::kMul, Expr::constant(2.0),
+                                  Expr::constant(3.0)),
+                     Expr::constant(10.0)));
+    SimplifyStats stats;
+    const std::vector<int64_t> extents = {8};
+    const ExprPtr s = simplifyExpr(e, extents, stats);
+    ASSERT_EQ(s->kind(), ExprKind::kConst);
+    EXPECT_EQ(s->constValue(), applyUnary(UnaryOp::kRelu, -4.0));
+    EXPECT_EQ(stats.exprsFolded, 3);
+}
+
+TEST(SimplifyExpr, AppliesSafeIdentities)
+{
+    const std::vector<int64_t> extents = {8};
+    const ExprPtr x = identityRead(0, 1);
+
+    const auto simplifies_to_x = [&](const ExprPtr &e) {
+        SimplifyStats stats;
+        const ExprPtr s = simplifyExpr(e, extents, stats);
+        EXPECT_EQ(s.get(), x.get());
+        EXPECT_EQ(stats.exprsFolded, 1);
+    };
+    simplifies_to_x(Expr::binary(BinaryOp::kAdd, x, Expr::constant(0.0)));
+    simplifies_to_x(Expr::binary(BinaryOp::kAdd, Expr::constant(0.0), x));
+    simplifies_to_x(Expr::binary(BinaryOp::kSub, x, Expr::constant(0.0)));
+    simplifies_to_x(Expr::binary(BinaryOp::kMul, x, Expr::constant(1.0)));
+    simplifies_to_x(Expr::binary(BinaryOp::kMul, Expr::constant(1.0), x));
+    simplifies_to_x(Expr::binary(BinaryOp::kDiv, x, Expr::constant(1.0)));
+    simplifies_to_x(Expr::binary(BinaryOp::kPow, x, Expr::constant(1.0)));
+    simplifies_to_x(
+        Expr::unary(UnaryOp::kNeg, Expr::unary(UnaryOp::kNeg, x)));
+}
+
+TEST(SimplifyExpr, LeavesUnsafeRewritesAlone)
+{
+    // x*0, 0/x, max(x, c): all change NaN/Inf propagation; none may
+    // be rewritten.
+    const std::vector<int64_t> extents = {8};
+    const ExprPtr x = identityRead(0, 1);
+    for (const ExprPtr &e :
+         {Expr::binary(BinaryOp::kMul, x, Expr::constant(0.0)),
+          Expr::binary(BinaryOp::kDiv, Expr::constant(0.0), x),
+          Expr::binary(BinaryOp::kMax, x, Expr::constant(0.0)),
+          Expr::binary(BinaryOp::kMin, x, Expr::constant(1.0))}) {
+        SimplifyStats stats;
+        const ExprPtr s = simplifyExpr(e, extents, stats);
+        EXPECT_EQ(s.get(), e.get());
+        EXPECT_EQ(stats.exprsFolded, 0);
+    }
+}
+
+TEST(SimplifyExpr, ProvesPredicatesAgainstTheIterationBox)
+{
+    const std::vector<int64_t> extents = {8};
+    const ExprPtr x = identityRead(0, 1);
+    const ExprPtr zero = Expr::constant(0.0);
+
+    // i >= 0 over [0,8): always true -> select collapses to `then`.
+    {
+        SimplifyStats stats;
+        const ExprPtr s = simplifyExpr(
+            Expr::select({AffineCond{{1}, 0, CmpOp::kGE}}, x, zero),
+            extents, stats);
+        EXPECT_EQ(s.get(), x.get());
+        EXPECT_EQ(stats.condsPruned, 1);
+        EXPECT_EQ(stats.exprsFolded, 1);
+    }
+    // i - 100 >= 0 over [0,8): always false -> `else`.
+    {
+        SimplifyStats stats;
+        const ExprPtr s = simplifyExpr(
+            Expr::select({AffineCond{{1}, -100, CmpOp::kGE}}, x, zero),
+            extents, stats);
+        EXPECT_EQ(s.get(), zero.get());
+        EXPECT_EQ(stats.exprsFolded, 1);
+    }
+    // i - 4 >= 0 over [0,8): genuinely data-dependent -> kept, but a
+    // provably-true sibling condition is dropped from the
+    // conjunction.
+    {
+        SimplifyStats stats;
+        const ExprPtr s = simplifyExpr(
+            Expr::select({AffineCond{{1}, -4, CmpOp::kGE},
+                          AffineCond{{1}, -8, CmpOp::kLT}},
+                         x, zero),
+            extents, stats);
+        ASSERT_EQ(s->kind(), ExprKind::kSelect);
+        EXPECT_EQ(s->predicate().size(), 1u);
+        EXPECT_EQ(stats.condsPruned, 1);
+    }
+}
+
+TEST(SimplifyProgram, DropsInputSlotsOrphanedBySelectCollapse)
+{
+    // f(a, b) = select(false; a; b) -> b: slot 0 must be compacted
+    // away so the program's dataflow shows the true dependence.
+    TeProgram p;
+    const TensorId a =
+        p.addTensor("a", {8}, DType::kFP32, TensorRole::kInput);
+    const TensorId b =
+        p.addTensor("b", {8}, DType::kFP32, TensorRole::kInput);
+    const TensorId y =
+        p.addTensor("y", {8}, DType::kFP32, TensorRole::kOutput);
+    p.addTe("f", {a, b}, y, {}, Combiner::kNone,
+            Expr::select({AffineCond{{1}, -100, CmpOp::kGE}},
+                         identityRead(0, 1), identityRead(1, 1)));
+
+    simplifyTeProgram(p);
+    p.validate();
+    ASSERT_EQ(p.te(0).inputs.size(), 1u);
+    EXPECT_EQ(p.te(0).inputs[0], b);
+    EXPECT_EQ(p.te(0).body->kind(), ExprKind::kRead);
+    EXPECT_EQ(p.te(0).body->readSlot(), 0);
+}
+
+TEST(SimplifyProgram, DeduplicatesStructurallyIdenticalTes)
+{
+    // b = relu(a); c = relu(a); y = b + c  ==>  y = b + b, c pruned.
+    TeProgram p;
+    const TensorId a =
+        p.addTensor("a", {8}, DType::kFP32, TensorRole::kInput);
+    const TensorId b = p.addTensor("b", {8}, DType::kFP32);
+    const TensorId c = p.addTensor("c", {8}, DType::kFP32);
+    const TensorId y =
+        p.addTensor("y", {8}, DType::kFP32, TensorRole::kOutput);
+    p.addTe("b", {a}, b, {}, Combiner::kNone,
+            Expr::unary(UnaryOp::kRelu, identityRead(0, 1)));
+    p.addTe("c", {a}, c, {}, Combiner::kNone,
+            Expr::unary(UnaryOp::kRelu, identityRead(0, 1)));
+    p.addTe("y", {b, c}, y, {}, Combiner::kNone,
+            Expr::binary(BinaryOp::kAdd, identityRead(0, 1),
+                         identityRead(1, 1)));
+
+    const BufferMap bindings = test::nameSeededBindings(p, 3);
+    const Buffer before = Interpreter(p).run(bindings).at(y);
+
+    const SimplifyStats stats = simplifyTeProgram(p);
+    p.validate();
+    EXPECT_EQ(stats.tesDeduped, 1);
+    EXPECT_EQ(stats.tesPruned, 1);
+    EXPECT_EQ(p.numTes(), 2);
+    // Ids were renumbered by dead-code elimination; re-bind by name.
+    const Buffer after =
+        Interpreter(p)
+            .run(test::nameSeededBindings(p, 3))
+            .at(p.outputTensors()[0]);
+    EXPECT_LE(maxAbsDiff(before, after), 0.0);
+}
+
+TEST(SimplifyProgram, NeverRedirectsModelOutputs)
+{
+    // Two identical TEs whose outputs are both model outputs: no
+    // dedup (each output keeps its own producer).
+    TeProgram p;
+    const TensorId a =
+        p.addTensor("a", {8}, DType::kFP32, TensorRole::kInput);
+    const TensorId y1 =
+        p.addTensor("y1", {8}, DType::kFP32, TensorRole::kOutput);
+    const TensorId y2 =
+        p.addTensor("y2", {8}, DType::kFP32, TensorRole::kOutput);
+    p.addTe("y1", {a}, y1, {}, Combiner::kNone,
+            Expr::unary(UnaryOp::kTanh, identityRead(0, 1)));
+    p.addTe("y2", {a}, y2, {}, Combiner::kNone,
+            Expr::unary(UnaryOp::kTanh, identityRead(0, 1)));
+
+    const SimplifyStats stats = simplifyTeProgram(p);
+    p.validate();
+    EXPECT_EQ(stats.tesDeduped, 0);
+    EXPECT_EQ(p.numTes(), 2);
+}
+
+TEST(SimplifyProgram, ScalarNodeMetricCountsPredicateConditions)
+{
+    TeProgram p = unaryProgram(Expr::select(
+        {AffineCond{{1}, -4, CmpOp::kGE}, AffineCond{{1}, -8, CmpOp::kLT}},
+        identityRead(0, 1), Expr::constant(0.0)));
+    // select + read + const = 3 nodes, plus 2 conditions.
+    EXPECT_EQ(programScalarNodes(p), 5);
+    simplifyTeProgram(p);
+    // The kLT condition is provably true and drops out.
+    EXPECT_EQ(programScalarNodes(p), 4);
+}
+
+// ---------------------------------------------------------------------
+// Zoo differentials: simplified vs. unsimplified, V0..V4
+// ---------------------------------------------------------------------
+
+class SimplifyZoo : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SimplifyZoo, BitIdenticalAtEveryLevel)
+{
+    // At every ablation level: take the compiled (transformed)
+    // program built *without* the simplifier, simplify it post-hoc,
+    // and require bit-identical interpretation. This isolates the
+    // simplifier differential from transform-order effects.
+    const Graph graph = buildTinyModel(GetParam());
+    for (int level = 0; level <= 4; ++level) {
+        SouffleOptions options;
+        options.level = static_cast<SouffleLevel>(level);
+        options.noSimplify = true;
+        const Compiled compiled = compileSouffle(graph, options);
+
+        TeProgram simplified = compiled.program;
+        simplifyTeProgram(simplified);
+        simplified.validate();
+
+        const auto ref_out = runByName(compiled.program, 99);
+        const auto simp_out = runByName(simplified, 99);
+        ASSERT_EQ(simp_out.size(), ref_out.size()) << "V" << level;
+        for (size_t i = 0; i < simp_out.size(); ++i) {
+            EXPECT_LE(
+                maxAbsDiff(simp_out[i].second, ref_out[i].second), 0.0)
+                << "V" << level << " output " << simp_out[i].first;
+        }
+    }
+}
+
+TEST_P(SimplifyZoo, PipelineWithAndWithoutSimplifierAgree)
+{
+    // End-to-end sanity: the default pipeline (simplifier on) and the
+    // noSimplify pipeline agree within reduction-reassociation
+    // tolerance at V4 (group/merge decisions may differ, so exact
+    // bit-identity is not guaranteed across *transform* orders).
+    const Graph graph = buildTinyModel(GetParam());
+    SouffleOptions options;
+    const Compiled simplified = compileSouffle(graph, options);
+    options.noSimplify = true;
+    const Compiled plain = compileSouffle(graph, options);
+
+    const auto a = runByName(simplified.program, 7);
+    const auto b = runByName(plain.program, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LE(maxAbsDiff(a[i].second, b[i].second), 1e-7)
+            << "output " << a[i].first;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SimplifyZoo,
+                         ::testing::Values("BERT", "ResNeXt", "LSTM",
+                                           "EfficientNet",
+                                           "SwinTransformer", "MMoE"));
+
+// ---------------------------------------------------------------------
+// Pinned reduction counters on the full-size zoo
+// ---------------------------------------------------------------------
+
+struct ZooReduction
+{
+    std::string model;
+    SimplifyStats stats;
+    int64_t nodesBefore = 0;
+    int64_t nodesAfter = 0;
+    int tesBefore = 0;
+    int tesAfter = 0;
+};
+
+ZooReduction
+measure(const std::string &model)
+{
+    ZooReduction r;
+    r.model = model;
+    LoweredModel lowered = lowerToTe(buildPaperModel(model));
+    r.nodesBefore = programScalarNodes(lowered.program);
+    r.tesBefore = lowered.program.numTes();
+    r.stats = simplifyTeProgram(lowered.program);
+    lowered.program.validate();
+    r.nodesAfter = programScalarNodes(lowered.program);
+    r.tesAfter = lowered.program.numTes();
+    return r;
+}
+
+TEST(SimplifyCounters, StrictlyReducesAtLeastThreeZooModels)
+{
+    int reduced = 0;
+    for (const std::string &name : paperModelNames()) {
+        const ZooReduction r = measure(name);
+        EXPECT_LE(r.nodesAfter, r.nodesBefore) << name;
+        EXPECT_LE(r.tesAfter, r.tesBefore) << name;
+        if (r.nodesAfter < r.nodesBefore || r.tesAfter < r.tesBefore)
+            ++reduced;
+    }
+    EXPECT_GE(reduced, 3);
+}
+
+TEST(SimplifyCounters, PinnedZooReductions)
+{
+    // The conv models carry window-boundary selects (emitted
+    // uniformly by lowering); the simplifier proves the interior
+    // conditions from the iteration box and deletes them. Pinned so
+    // a regression in the range reasoning is loud.
+    {
+        const ZooReduction r = measure("ResNeXt");
+        EXPECT_EQ(r.nodesBefore, 26754);
+        EXPECT_EQ(r.nodesAfter, 25948);
+        EXPECT_EQ(r.stats.exprsFolded, 70);
+        EXPECT_EQ(r.stats.condsPruned, 666);
+    }
+    {
+        const ZooReduction r = measure("EfficientNet");
+        EXPECT_EQ(r.nodesBefore, 1352);
+        EXPECT_EQ(r.nodesAfter, 962);
+        EXPECT_EQ(r.stats.exprsFolded, 64);
+        EXPECT_EQ(r.stats.condsPruned, 262);
+    }
+    {
+        const ZooReduction r = measure("SwinTransformer");
+        EXPECT_EQ(r.nodesBefore, 3506);
+        EXPECT_EQ(r.nodesAfter, 3500);
+        EXPECT_EQ(r.stats.exprsFolded, 1);
+        EXPECT_EQ(r.stats.condsPruned, 4);
+    }
+    // The matmul-only models are already minimal: the simplifier
+    // must be an exact no-op on them.
+    for (const std::string model : {"BERT", "LSTM", "MMoE"}) {
+        const ZooReduction r = measure(model);
+        EXPECT_EQ(r.nodesAfter, r.nodesBefore) << model;
+        EXPECT_EQ(r.tesAfter, r.tesBefore) << model;
+        EXPECT_FALSE(r.stats.changed()) << model;
+    }
+}
+
+} // namespace
+} // namespace souffle

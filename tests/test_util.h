@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Shared test helpers: deterministic name-seeded input bindings and
+ * by-name program interpretation.
+ *
+ * Several suites compare two structurally different programs (parsed
+ * vs. original, transformed vs. reference, simplified vs.
+ * unsimplified) whose tensor *ids* differ but whose input/param
+ * *names* match. Seeding each binding from its tensor name makes the
+ * comparison id-independent, and sorting outputs by name makes it
+ * order-independent.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "te/interpreter.h"
+#include "te/program.h"
+
+namespace souffle::test {
+
+/** Deterministic bindings for every input/param, each seeded from its
+ *  tensor name (so two programs with matching names get bit-identical
+ *  inputs regardless of id numbering). */
+inline BufferMap
+nameSeededBindings(const TeProgram &program, uint64_t seed)
+{
+    BufferMap bindings;
+    for (const auto &decl : program.tensors()) {
+        if (decl.role != TensorRole::kInput
+            && decl.role != TensorRole::kParam)
+            continue;
+        uint64_t h = seed;
+        for (char ch : decl.name)
+            h = h * 131 + static_cast<unsigned char>(ch);
+        bindings[decl.id] = randomBuffer(decl.numElements(), h);
+    }
+    return bindings;
+}
+
+/** Interpret a program's outputs with name-seeded bindings, keyed and
+ *  sorted by output tensor name. */
+inline std::vector<std::pair<std::string, Buffer>>
+runByName(const TeProgram &program, uint64_t seed)
+{
+    const BufferMap result =
+        Interpreter(program).run(nameSeededBindings(program, seed));
+    std::vector<std::pair<std::string, Buffer>> outputs;
+    for (TensorId id : program.outputTensors())
+        outputs.emplace_back(program.tensor(id).name, result.at(id));
+    std::sort(outputs.begin(), outputs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return outputs;
+}
+
+} // namespace souffle::test

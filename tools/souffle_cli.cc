@@ -10,6 +10,7 @@
  *   souffle_cli fleet-sim <zoo:NAME[,NAME...] | zoo-tiny:...> [options]
  *   souffle_cli inspect   <model.sgraph | zoo:NAME>
  *   souffle_cli list
+ *   souffle_cli help      [command]
  *
  * Options:
  *   --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree
@@ -17,6 +18,8 @@
  *                          an executable backend also executes the
  *                          emitted module natively on the host CPU)
  *   --level=0..4           Souffle ablation level (default 4)
+ *   --no-simplify          disable the TE algebraic simplifier
+ *                          (differential testing; see te/simplify.h)
  *   --device=a100|v100|h100  device-model preset (default a100)
  *   --jobs=N               compile-parallelism lanes (default: the
  *                          SOUFFLE_JOBS env var, else hardware
@@ -31,7 +34,16 @@
  *                          registered backend into DIR, named by the
  *                          program hash
  *   --trace=FILE           write a chrome://tracing timeline
- *   --save=FILE            re-serialize the model text
+ *   --save-graph=FILE      re-serialize the model text
+ *   --save=DIR             `compile`: persist the compiled artifact
+ *                          (program, schedules, plan, module,
+ *                          generated source) into the store DIR
+ *   --load=DIR             `run`/`compile`: load the compiled
+ *                          artifact from DIR instead of compiling
+ *                          (zero candidate evaluations);
+ *                          `serve-sim`/`fleet-sim`: serve bucket
+ *                          fills from the store, compiling only on
+ *                          store misses
  *   --seed=N               input seed for `run` (default 42)
  *
  * `lint` / `verify` options:
@@ -92,6 +104,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "compiler/artifact_io.h"
 #include "compiler/souffle.h"
 #include "gpu/trace.h"
 #include "graph/serialize.h"
@@ -116,7 +129,12 @@ struct CliOptions
     /** Dump every backend's module source here (empty: off). */
     std::string emitDir;
     std::string tracePath;
-    std::string savePath;
+    /** --save-graph: re-serialized model text destination. */
+    std::string saveGraphPath;
+    /** --save: compiled-artifact store to write (compile only). */
+    std::string saveArtifactDir;
+    /** --load: compiled-artifact store to read. */
+    std::string loadArtifactDir;
     uint64_t seed = 42;
     /** `lint` report format: text or json. */
     std::string lintFormat = "text";
@@ -148,6 +166,7 @@ usage()
         "usage: souffle_cli "
         "<compile|run|lint|verify|serve-sim|fleet-sim|inspect|list> "
         "[model] [options]\n"
+        "       souffle_cli help [command]\n"
         "  model: path to .sgraph, zoo:NAME, or zoo-tiny:NAME\n"
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
         "  --backend=cuda|c (codegen backend; `run --backend=c` also "
@@ -155,9 +174,11 @@ usage()
         "  --level=0..4  --device=a100|v100|h100  --cache-dir=DIR\n"
         "  --jobs=N (compile-parallelism lanes; default SOUFFLE_JOBS "
         "or hardware concurrency)\n"
-        "  --adaptive  --roller  --strict  --batch=N\n"
+        "  --adaptive  --roller  --strict  --no-simplify  --batch=N\n"
         "  --emit-cuda=FILE  --emit-dir=DIR  --trace=FILE  "
-        "--save=FILE  --seed=N\n"
+        "--save-graph=FILE  --seed=N\n"
+        "  --save=DIR (compile: write the compiled artifact)  "
+        "--load=DIR (serve from artifacts)\n"
         "  lint/verify: --format=text|json  --fail-on=warning|error  "
         "--rule=ID[,ID...]\n"
         "  serve-sim (zoo models only): --rate=REQ_PER_S  "
@@ -171,8 +192,98 @@ usage()
         "    --diurnal=A  --burst-mult=M  --burst-prob=P  "
         "--mtbf-ms=N  --mttr-ms=N\n"
         "    --no-retry  --autoscale  --trace-out=FILE  "
-        "--trace-in=FILE\n");
+        "--trace-in=FILE\n"
+        "  `souffle_cli help <command>` shows one command's options "
+        "and exit codes.\n");
     return 2;
+}
+
+/** Per-subcommand help (`souffle_cli help <cmd>`); 0 on success,
+ *  usage() (exit 2) for an unknown command. */
+int
+commandHelp(const std::string &command)
+{
+    static const std::map<std::string, const char *> kHelp = {
+        {"compile",
+         "souffle_cli compile <model.sgraph | zoo:NAME | "
+         "zoo-tiny:NAME> [options]\n"
+         "  Compile the model and print module/memory/timing "
+         "summaries.\n"
+         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
+         "  --backend=cuda|c  --level=0..4  --device=a100|v100|h100\n"
+         "  --batch=N (zoo models)  --jobs=N  --cache-dir=DIR\n"
+         "  --adaptive  --roller  --strict  --no-simplify\n"
+         "  --save=DIR      persist the compiled artifact (program,\n"
+         "                  schedules, plan, module, source) to the "
+         "store\n"
+         "  --load=DIR      load the compiled artifact instead of\n"
+         "                  compiling (zero candidate evaluations)\n"
+         "  --save-graph=FILE  --emit-cuda=FILE  --emit-dir=DIR  "
+         "--trace=FILE\n"
+         "  exit: 0 ok, 1 compile error, 2 bad flags\n"},
+        {"run",
+         "souffle_cli run <model.sgraph | zoo:NAME | zoo-tiny:NAME> "
+         "[options]\n"
+         "  Compile and execute (interpreter, or natively with an\n"
+         "  executable backend), printing output checksums.\n"
+         "  Shares every `compile` option; plus --seed=N (default "
+         "42).\n"
+         "  --load=DIR      run the stored artifact instead of "
+         "compiling\n"
+         "  exit: 0 ok, 1 run error, 2 bad flags\n"},
+        {"lint",
+         "souffle_cli lint <model.sgraph | zoo:NAME> [options]\n"
+         "  Run the lint rule catalogue over the compiled artifacts.\n"
+         "  --format=text|json  --fail-on=warning|error  "
+         "--rule=ID[,ID...]\n"
+         "  exit: 0 clean, 1 findings at/above --fail-on, 2 bad "
+         "flags\n"},
+        {"verify",
+         "souffle_cli verify <model.sgraph | zoo:NAME> [options]\n"
+         "  Lint restricted to the dataflow-verifier rules\n"
+         "  (plan-overlap, unsynced-dep, redundant-sync).\n"
+         "  --format=text|json  --fail-on=warning|error\n"
+         "  exit: 0 sound, 1 violations, 2 bad flags\n"},
+        {"serve-sim",
+         "souffle_cli serve-sim <zoo:NAME | zoo-tiny:NAME> "
+         "[options]\n"
+         "  Discrete-event serving simulation over batched "
+         "compiles.\n"
+         "  --rate=REQ_PER_S  --duration-ms=N  --streams=N\n"
+         "  --buckets=1,2,4,8  --max-delay-us=N  --max-queue=N\n"
+         "  --load=DIR      fill buckets from the compiled-artifact\n"
+         "                  store (zero candidate evaluations on "
+         "hits)\n"
+         "  --format=text|json  --seed=N\n"
+         "  exit: 0 ok, 1 simulation error, 2 bad flags\n"},
+        {"fleet-sim",
+         "souffle_cli fleet-sim <zoo:NAME[,NAME...] | zoo-tiny:...> "
+         "[options]\n"
+         "  Fleet simulation: router, faults, autoscaling, shared\n"
+         "  compile service. Shares the serve-sim workload knobs.\n"
+         "  --replicas=N  --devices=a100,v100  --policy=NAME\n"
+         "  --diurnal=A  --burst-mult=M  --burst-prob=P\n"
+         "  --mtbf-ms=N  --mttr-ms=N  --no-retry  --autoscale\n"
+         "  --load=DIR      share a compiled-artifact store "
+         "fleet-wide\n"
+         "  --trace-out=FILE  --trace-in=FILE\n"
+         "  exit: 0 ok, 1 simulation error, 2 bad flags\n"},
+        {"inspect",
+         "souffle_cli inspect <model.sgraph | zoo:NAME>\n"
+         "  Print the graph, its lowering, and the global-analysis\n"
+         "  reuse summary. No transformation runs.\n"
+         "  exit: 0 ok, 1 load error, 2 bad flags\n"},
+        {"list",
+         "souffle_cli list\n"
+         "  List the zoo models (paper Table 2) and their tiny "
+         "variants.\n"
+         "  exit: 0\n"},
+    };
+    auto it = kHelp.find(command);
+    if (it == kHelp.end())
+        return usage();
+    std::printf("%s", it->second);
+    return 0;
 }
 
 CompilerId
@@ -212,6 +323,13 @@ parseArgs(int argc, char **argv, CliOptions &options)
     options.command = argv[1];
     if (options.command == "list")
         return true;
+    if (options.command == "help") {
+        if (argc > 3)
+            return false;
+        if (argc == 3)
+            options.model = argv[2]; // the command to describe
+        return true;
+    }
     if (argc < 3)
         return false;
     options.model = argv[2];
@@ -224,9 +342,12 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.compiler = compilerByName(value_of("--compiler="));
         else if (arg.rfind("--backend=", 0) == 0)
             options.souffle.backend = value_of("--backend=");
-        else if (arg.rfind("--level=", 0) == 0)
-            options.souffle.level = static_cast<SouffleLevel>(
-                std::stoi(value_of("--level=")));
+        else if (arg.rfind("--level=", 0) == 0) {
+            const int level = std::stoi(value_of("--level="));
+            if (level < 0 || level > 4)
+                return false;
+            options.souffle.level = static_cast<SouffleLevel>(level);
+        }
         else if (arg.rfind("--device=", 0) == 0)
             options.souffle.device =
                 DeviceSpec::byName(value_of("--device="));
@@ -241,6 +362,8 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.souffle.schedulerMode = SchedulerMode::kRoller;
         else if (arg == "--strict")
             options.souffle.strictLint = true;
+        else if (arg == "--no-simplify")
+            options.souffle.noSimplify = true;
         else if (arg.rfind("--format=", 0) == 0) {
             options.lintFormat = value_of("--format=");
             if (options.lintFormat != "text"
@@ -367,8 +490,12 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.emitDir = value_of("--emit-dir=");
         else if (arg.rfind("--trace=", 0) == 0)
             options.tracePath = value_of("--trace=");
+        else if (arg.rfind("--save-graph=", 0) == 0)
+            options.saveGraphPath = value_of("--save-graph=");
         else if (arg.rfind("--save=", 0) == 0)
-            options.savePath = value_of("--save=");
+            options.saveArtifactDir = value_of("--save=");
+        else if (arg.rfind("--load=", 0) == 0)
+            options.loadArtifactDir = value_of("--load=");
         else if (arg.rfind("--seed=", 0) == 0)
             options.seed = std::stoull(value_of("--seed="));
         else
@@ -381,8 +508,23 @@ int
 cliMain(int argc, char **argv)
 {
     CliOptions options;
-    if (!parseArgs(argc, argv, options))
+    // Malformed flag values (e.g. --level=x, --rate=abc) throw from
+    // the numeric parsers; every bad-flag path exits 2, never 1.
+    try {
+        if (!parseArgs(argc, argv, options))
+            return usage();
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
         return usage();
+    }
+
+    if (options.command == "help") {
+        if (options.model.empty()) {
+            usage();
+            return 0;
+        }
+        return commandHelp(options.model);
+    }
 
     // Apply the parallelism knob before any compile work; output is
     // byte-identical at every value (see common/thread_pool.h).
@@ -435,6 +577,7 @@ cliMain(int argc, char **argv)
             return usage();
 
         fleet.compiler = options.souffle;
+        fleet.artifactDir = options.loadArtifactDir;
         fleet.batcher = options.serve.batcher;
         fleet.maxQueueDepthPerReplica =
             options.serve.batcher.maxQueueDepth;
@@ -508,6 +651,7 @@ cliMain(int argc, char **argv)
             return usage();
         }
         options.serve.compiler = options.souffle;
+        options.serve.artifactDir = options.loadArtifactDir;
         options.serve.workload.seed = options.seed;
         if (options.lintFormat != "json")
             std::printf("serve-sim: model %s, jobs %d\n",
@@ -602,18 +746,54 @@ cliMain(int argc, char **argv)
         return report.anyAtOrAbove(options.lintFailOn) ? 1 : 0;
     }
 
-    if (!options.savePath.empty()) {
-        saveGraph(graph, options.savePath);
+    if (!options.saveGraphPath.empty()) {
+        saveGraph(graph, options.saveGraphPath);
         std::printf("saved model text to %s\n",
-                    options.savePath.c_str());
+                    options.saveGraphPath.c_str());
     }
 
+    // Artifact-store key of this invocation: the zoo name (tiny-
+    // prefixed for the test-sized variants) or the graph's own name
+    // for .sgraph files.
+    std::string model_key;
+    if (options.model.rfind("zoo:", 0) == 0)
+        model_key = options.model.substr(4);
+    else if (options.model.rfind("zoo-tiny:", 0) == 0)
+        model_key = "tiny-" + options.model.substr(9);
+    else
+        model_key = graph.name();
+
     Compiled compiled;
-    if (options.compiler == CompilerId::kSouffle)
+    bool loaded_artifact = false;
+    if (!options.loadArtifactDir.empty()) {
+        // Online half of the split: everything — program, schedules,
+        // plan, module, generated source — comes from the offline
+        // compile; no scheduling or codegen runs here.
+        compiled = loadArtifact(
+            options.loadArtifactDir,
+            artifactKeyFor(model_key, options.batch,
+                           options.souffle));
+        loaded_artifact = true;
+        std::printf("loaded compiled artifact '%s' from %s "
+                    "(0 candidate evaluations)\n",
+                    compiled.name.c_str(),
+                    options.loadArtifactDir.c_str());
+    } else if (options.compiler == CompilerId::kSouffle)
         compiled = compileSouffle(graph, options.souffle);
     else
         compiled = compileWith(options.compiler, graph,
                                options.souffle.device);
+
+    if (!options.saveArtifactDir.empty() && !loaded_artifact) {
+        SOUFFLE_REQUIRE(options.compiler == CompilerId::kSouffle,
+                        "--save needs --compiler=souffle (baselines "
+                        "carry no program hash)");
+        const std::string dir = saveArtifact(
+            options.saveArtifactDir,
+            artifactKeyFor(model_key, options.batch, options.souffle),
+            compiled);
+        std::printf("saved compiled artifact to %s\n", dir.c_str());
+    }
 
     std::printf("%s: %d ops -> %d TEs -> %d kernel(s)  "
                 "(compile %.1f ms, jobs %d",
