@@ -22,7 +22,8 @@ namespace {
 
 const std::vector<std::string> kModels = {"BERT", "EfficientNet"};
 const std::vector<SouffleLevel> kLevels = {
-    SouffleLevel::kV0, SouffleLevel::kV2, SouffleLevel::kV4};
+    SouffleLevel::kV0, SouffleLevel::kV2, SouffleLevel::kV4,
+    SouffleLevel::kV5};
 const std::vector<double> kRatesRps = {500, 1000, 2000, 4000, 8000};
 
 serve::ServeConfig

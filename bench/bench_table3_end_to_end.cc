@@ -3,12 +3,20 @@
  * Reproduces paper Table 3: end-to-end model runtime (ms) for six DNN
  * models under seven compilers, plus the headline geometric-mean
  * speedups of Souffle over TensorRT / XLA / Ansor.
+ *
+ * Pass --json to emit the grid as a machine-readable document (the CI
+ * step redirects it to BENCH_e2e.json at the repo root). The JSON
+ * adds a souffle_v5_ms column per model: the persistent-megakernel
+ * runtime, which the profitability fallback keeps at or below V4.
  */
 
+#include <cstring>
 #include <map>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "common/thread_pool.h"
+#include "compiler/souffle.h"
 
 namespace souffle::bench {
 namespace {
@@ -48,17 +56,20 @@ const std::vector<CompilerId> kOrder = {
 };
 
 int
-benchMain()
+benchMain(bool json)
 {
-    printHeader("Table 3: end-to-end model runtime (ms) - lower is "
-                "better");
-    std::printf("(compiling %zu model/compiler cells, jobs=%d)\n",
-                paperModelNames().size() * kOrder.size(),
-                ThreadPool::globalJobs());
-    std::printf("%-16s", "Model");
-    for (CompilerId id : kOrder)
-        std::printf(" %10s", compilerName(id).c_str());
-    std::printf("\n");
+    if (!json)
+        printHeader("Table 3: end-to-end model runtime (ms) - lower "
+                    "is better");
+    if (!json) {
+        std::printf("(compiling %zu model/compiler cells, jobs=%d)\n",
+                    paperModelNames().size() * kOrder.size(),
+                    ThreadPool::globalJobs());
+        std::printf("%-16s", "Model");
+        for (CompilerId id : kOrder)
+            std::printf(" %10s", compilerName(id).c_str());
+        std::printf("\n");
+    }
 
     // Compile + simulate the whole (model, compiler) grid across the
     // thread pool, then print serially in table order — the output is
@@ -78,19 +89,54 @@ benchMain()
     std::map<std::string, std::map<std::string, double>> measured;
     for (size_t m = 0; m < models.size(); ++m) {
         const std::string &model = models[m];
-        std::printf("%-16s", model.c_str());
+        if (!json)
+            std::printf("%-16s", model.c_str());
         for (size_t c = 0; c < columns; ++c) {
             const RunResult &result = grid[m * columns + c];
             const std::string compiler = compilerName(kOrder[c]);
             if (result.supported) {
                 measured[model][compiler] = result.totalMs;
-                std::printf(" %10.3f", result.totalMs);
+                if (!json)
+                    std::printf(" %10.3f", result.totalMs);
             } else {
                 measured[model][compiler] = -1.0;
-                std::printf(" %10s", "Failed");
+                if (!json)
+                    std::printf(" %10s", "Failed");
             }
         }
-        std::printf("\n");
+        if (!json)
+            std::printf("\n");
+    }
+
+    if (json) {
+        // The V5 column: Souffle at the persistent-megakernel level.
+        const DeviceSpec device = DeviceSpec::a100();
+        const std::vector<double> v5 = parallelMap(
+            static_cast<int64_t>(models.size()), [&](int64_t m) {
+                SouffleOptions options;
+                options.device = device;
+                options.level = SouffleLevel::kV5;
+                const Compiled compiled = compileSouffle(
+                    buildPaperModel(models[static_cast<size_t>(m)]),
+                    options);
+                return simulate(compiled.module, device).totalUs
+                       / 1000.0;
+            });
+        JsonWriter writer;
+        writer.beginObject().field("table", "table3_e2e");
+        writer.newline().key("models").beginArray();
+        for (size_t m = 0; m < models.size(); ++m) {
+            const std::string &model = models[m];
+            writer.newline().beginObject().field("model", model);
+            for (CompilerId id : kOrder)
+                writer.field(compilerName(id) + "_ms",
+                             measured[model][compilerName(id)]);
+            writer.field("souffle_v5_ms", v5[m]);
+            writer.endObject();
+        }
+        writer.endArray().newline().endObject();
+        std::printf("%s\n", writer.str().c_str());
+        return 0;
     }
 
     std::printf("\n%-16s", "(paper)");
@@ -136,7 +182,12 @@ benchMain()
 } // namespace souffle::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return souffle::bench::benchMain();
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+    }
+    return souffle::bench::benchMain(json);
 }

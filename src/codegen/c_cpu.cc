@@ -81,6 +81,66 @@ emitTeLoop(std::ostringstream &os, const TeProgram &program,
     os << indent << "}\n";
 }
 
+/** Function name of one megakernel task (= stage). */
+std::string
+taskFunctionName(const Kernel &kernel, size_t stage)
+{
+    return sanitizeIdentifier(kernel.name) + "_s"
+           + std::to_string(stage);
+}
+
+/**
+ * Emit one megakernel stage as a static C function over the raw
+ * tensor table. Taking `double *const *` directly (instead of the
+ * per-tensor parameter list the flat kernels use) keeps the per-task
+ * dispatch entry a one-line call for any stage.
+ */
+std::string
+emitCTaskFunction(const TeProgram &program, const Kernel &kernel,
+                  size_t stage_index)
+{
+    const KernelStage &stage = kernel.stages[stage_index];
+    std::ostringstream os;
+    os << "/* task " << stage_index << ": " << stage.name << " ("
+       << stage.numBlocks << " blocks on the device) */\n";
+    os << "static void\n"
+       << taskFunctionName(kernel, stage_index)
+       << "(double *const *tensors)\n{\n";
+
+    // Local aliases for the tensors this stage's TE loops reference
+    // (instr-only tensors would just be unused variables here), same
+    // const/restrict discipline as the flat kernel parameters.
+    std::vector<TensorId> params;
+    std::unordered_set<TensorId> seen, written;
+    auto note = [&](TensorId tensor) {
+        if (tensor >= 0 && seen.insert(tensor).second)
+            params.push_back(tensor);
+    };
+    for (int te_id : stage.teIds) {
+        const TensorExpr &te = program.te(te_id);
+        note(te.output);
+        written.insert(te.output);
+        for (TensorId in : te.inputs)
+            note(in);
+    }
+    for (TensorId id : params) {
+        const TensorDecl &decl = program.tensor(id);
+        if (written.count(id))
+            os << "    double *restrict t" << id;
+        else
+            os << "    const double *restrict t" << id;
+        os << " = tensors[" << id << "]; /* " << decl.name << " "
+           << shapeToString(decl.shape) << " */\n";
+    }
+    if (params.empty())
+        os << "    (void)tensors;\n";
+
+    for (int te_id : stage.teIds)
+        emitTeLoop(os, program, program.te(te_id), "    ");
+    os << "}\n";
+    return os.str();
+}
+
 } // namespace
 
 std::string
@@ -149,6 +209,40 @@ emitCModule(const Compiled &compiled)
        << program.numTensors() << " tensor(s) */\n"
        << "#include <math.h>\n"
        << "#include <stddef.h>\n\n";
+
+    if (compiled.module.megakernel()) {
+        // V5: one function per task (= stage of the persistent
+        // kernel), a per-task dispatch entry the native runtime uses
+        // to drain the task graph on a thread pool, and a sequential
+        // main that runs the stages in order (any topological order
+        // of the task graph, of which stage order is one).
+        const Kernel &kernel = compiled.module.kernels.front();
+        for (size_t s = 0; s < kernel.stages.size(); ++s)
+            os << emitCTaskFunction(program, kernel, s) << "\n";
+
+        os << "/* task dispatch: one stage of the persistent "
+              "megakernel per call */\n";
+        os << "void\n" << kNativeModuleTaskSymbol
+           << "(int stage, double *const *tensors)\n{\n"
+           << "    switch (stage) {\n";
+        for (size_t s = 0; s < kernel.stages.size(); ++s)
+            os << "    case " << s << ": "
+               << taskFunctionName(kernel, s) << "(tensors); break;\n";
+        os << "    default: break;\n    }\n}\n\n";
+
+        os << "/* entry: tensors[id] = double buffer of tensor id "
+           << "(inputs/params/outputs external, intermediates from "
+           << "the MemoryPlan workspace) */\n";
+        os << "void\n" << kNativeModuleEntrySymbol
+           << "(double *const *tensors)\n{\n";
+        if (kernel.stages.empty())
+            os << "    (void)tensors;\n";
+        for (size_t s = 0; s < kernel.stages.size(); ++s)
+            os << "    " << taskFunctionName(kernel, s)
+               << "(tensors);\n";
+        os << "}\n";
+        return os.str();
+    }
 
     for (const auto &kernel : compiled.module.kernels)
         os << emitCKernel(program, kernel) << "\n";

@@ -38,6 +38,16 @@
  * runtime/native_exec.h, which compiles, loads and runs the emitted
  * unit). Reach this backend generically as CodeGenBackendRegistry
  * entry "c".
+ *
+ * V5 megakernel modules additionally export
+ *
+ *    void souffle_module_task(int stage, double *const *tensors);
+ *
+ * dispatching one task (= one stage of the persistent kernel) at a
+ * time, so the native runtime can drain the module's task graph on a
+ * thread pool -- independent stages run concurrently, exactly like the
+ * on-device scheduler, while `souffle_module_main` keeps running the
+ * stages sequentially for single-threaded use.
  */
 
 #include <string>
@@ -55,5 +65,9 @@ std::string emitCKernel(const TeProgram &program, const Kernel &kernel);
 /** Exported entry-point symbol of emitted C modules. */
 inline constexpr const char *kNativeModuleEntrySymbol =
     "souffle_module_main";
+
+/** Per-task dispatch symbol; exported only by megakernel modules. */
+inline constexpr const char *kNativeModuleTaskSymbol =
+    "souffle_module_task";
 
 } // namespace souffle

@@ -44,8 +44,9 @@ namespace souffle {
 /** Identity + integrity header of one compiled artifact. */
 struct ArtifactMeta
 {
-    /** Format version (bumped on any layout/schema change). */
-    int version = 1;
+    /** Format version (bumped on any layout/schema change).
+     *  2: module.json may carry a V5 task graph (module format v2). */
+    int version = 2;
     /** Model key: zoo name, "tiny-" + zoo name, or graph name. */
     std::string model;
     int batch = 1;

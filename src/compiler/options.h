@@ -22,13 +22,20 @@ namespace souffle {
 
 class ArtifactCache;
 
-/** Ablation levels of Table 4. */
+/** Ablation levels of Table 4, plus the persistent-megakernel V5. */
 enum class SouffleLevel : uint8_t {
     kV0 = 0,
     kV1 = 1,
     kV2 = 2,
     kV3 = 3,
     kV4 = 4,
+    /**
+     * V4 plus the megakernel transform: the whole module becomes one
+     * persistent kernel draining a task graph on per-SM work queues
+     * (transform/megakernel.h), with grid-sync fallback when the
+     * feasibility or profitability check fails.
+     */
+    kV5 = 5,
 };
 
 /** Options for the Souffle driver. */

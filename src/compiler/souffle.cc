@@ -11,6 +11,7 @@
 #include "sched/schedule_pass.h"
 #include "te/fingerprint.h"
 #include "te/simplify_pass.h"
+#include "transform/megakernel.h"
 #include "transform/sync_elim.h"
 #include "transform/transform_passes.h"
 
@@ -128,6 +129,14 @@ soufflePipeline(const SouffleOptions &options)
     // grid-sync mega-kernel actually beats per-stage launches.
     if (options.adaptiveFusion && options.level >= SouffleLevel::kV3)
         pipeline.add<AdaptiveFusionPass>();
+
+    // 8b. Persistent megakernel (V5): the whole module becomes one
+    // resident kernel draining a task graph, with grid-sync fallback
+    // when residency is infeasible or the scheduler overheads eat the
+    // launch/sync savings. Runs before codegen so the backends see
+    // the final stage structure and the task graph.
+    if (options.level >= SouffleLevel::kV5)
+        pipeline.add<MegakernelPass>();
 
     // 9. Code generation: emit module source with the selected
     // backend (options.backend; CodeGenBackendRegistry name).

@@ -103,6 +103,10 @@ deviceFingerprint(const DeviceSpec &spec)
     hasher.absorb(spec.barrierUs);
     hasher.absorb(spec.streamDispatchUs);
     hasher.absorb(spec.streamContentionPerStream);
+    hasher.absorb(spec.taskDequeueUs);
+    hasher.absorb(spec.taskEventSignalUs);
+    hasher.absorb(spec.taskEventWaitUs);
+    hasher.absorb(spec.taskQueuePollUs);
     return hasher.finish();
 }
 

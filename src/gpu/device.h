@@ -70,6 +70,19 @@ struct DeviceSpec
     /** Block-level barrier cost. */
     double barrierUs = 0.05;
 
+    // ----- persistent-megakernel scheduler (gpu/sim megakernel mode) ----
+    // Charged overheads of the on-device task scheduler, all nonzero
+    // so megakernel-vs-grid-sync stays an honest comparison: a V5 win
+    // must survive these costs, there is no free lunch.
+    /** Popping one task shard off the SM's work queue (us). */
+    double taskDequeueUs = 0.05;
+    /** Posting one dependence event after a task's last shard (us). */
+    double taskEventSignalUs = 0.02;
+    /** Checking one inbound dependence event before a shard runs (us). */
+    double taskEventWaitUs = 0.02;
+    /** One empty-queue poll round (own queue + ring scan) (us). */
+    double taskQueuePollUs = 0.03;
+
     // ----- multi-stream serving hooks (src/serve) -----------------------
     /**
      * Host-side overhead per batch dispatched onto a CUDA stream

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <queue>
 #include <sstream>
+#include <tuple>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace souffle {
@@ -70,6 +74,425 @@ chargeStage(const KernelStage &stage)
     return charge;
 }
 
+/** Roofline stage times shared by the flat and megakernel paths. */
+struct StageTimes
+{
+    std::vector<double> time;
+    std::vector<double> mem;
+    std::vector<double> compute;
+    std::vector<double> scale;
+};
+
+StageTimes
+computeStageTimes(const Kernel &kernel, const DeviceSpec &device,
+                  const std::vector<StageCharge> &charges)
+{
+    StageTimes times;
+    times.time.assign(charges.size(), 0.0);
+    times.mem.assign(charges.size(), 0.0);
+    times.compute.assign(charges.size(), 0.0);
+    times.scale.assign(charges.size(), 1.0);
+
+    // First pass: roofline per stage (without overlapped loads).
+    for (size_t i = 0; i < charges.size(); ++i) {
+        const StageCharge &c = charges[i];
+        // Under-parallelism: a stage with fewer blocks than SMs
+        // leaves most of the device idle (the reason thousands of
+        // tiny per-group convolution kernels crawl on an A100).
+        // Only the throughput term scales; the fixed DRAM latency
+        // is paid once regardless of occupancy.
+        const double util = std::min(
+            1.0, static_cast<double>(kernel.stages[i].numBlocks)
+                     / device.numSms);
+        const double scale = 1.0 / std::max(util, 1.0 / 32.0);
+        // Atomics round-trip through L2/DRAM; charge 2x. The
+        // overlapped (prefetched) bytes are charged here first;
+        // the second pass credits back whatever hides under the
+        // previous stage.
+        const double bytes = c.loadBytes + c.overlappedBytes
+                             + c.storeBytes + 2.0 * c.atomicBytes;
+        const double mem =
+            bytes > 0.0
+                ? device.memLatencyUs
+                      + bytes / device.globalBytesPerUs * scale
+                : 0.0;
+        const double compute =
+            (device.computeTimeUs(c.tcFlops, ComputePipe::kTensorCore)
+             + device.computeTimeUs(c.fmaFlops, ComputePipe::kFma)
+             + device.computeTimeUs(c.aluFlops, ComputePipe::kAlu))
+            * scale;
+        times.scale[i] = scale;
+        times.mem[i] = mem;
+        times.compute[i] = compute;
+        times.time[i] = std::max(mem, compute);
+    }
+    // Second pass: async-copy prefetches hide under the previous
+    // stage's execution. The credit is bounded by both the memory
+    // time the prefetched bytes would have cost and the previous
+    // stage's duration (the window the copies can hide in), so
+    // pipelining never makes a kernel slower.
+    for (size_t i = 1; i < charges.size(); ++i) {
+        const StageCharge &c = charges[i];
+        if (c.overlappedBytes <= 0.0)
+            continue;
+        const double without_prefetch = times.time[i];
+        const double remaining_bytes =
+            c.loadBytes + c.storeBytes + 2.0 * c.atomicBytes;
+        const double mem_after =
+            remaining_bytes > 0.0
+                ? device.memLatencyUs
+                      + remaining_bytes / device.globalBytesPerUs
+                            * times.scale[i]
+                : 0.0;
+        const double with_prefetch =
+            std::max(times.compute[i], mem_after);
+        const double saving = std::min(
+            without_prefetch - with_prefetch, times.time[i - 1]);
+        if (saving > 0.0)
+            times.time[i] -= saving;
+    }
+    return times;
+}
+
+/** Fold one kernel's traffic and pipe-busy counters into @p counters. */
+void
+accumulateCounters(const DeviceSpec &device,
+                   const std::vector<StageCharge> &charges,
+                   const StageTimes &times, SimCounters &counters,
+                   KernelTiming &timing, double &kernel_compute,
+                   double &kernel_mem)
+{
+    for (size_t i = 0; i < charges.size(); ++i) {
+        const StageCharge &c = charges[i];
+        kernel_compute += times.compute[i];
+        kernel_mem += times.mem[i];
+        counters.bytesLoaded += c.loadBytes + c.overlappedBytes;
+        counters.bytesStored += c.storeBytes + c.atomicBytes;
+        counters.bytesAtomic += c.atomicBytes;
+        counters.bytesCached += c.cachedBytes;
+        counters.gridSyncs += c.gridSyncs;
+        timing.globalBytes += c.loadBytes + c.overlappedBytes
+                              + c.storeBytes + 2.0 * c.atomicBytes;
+        counters.tensorCoreBusyUs +=
+            device.computeTimeUs(c.tcFlops, ComputePipe::kTensorCore);
+        counters.fmaBusyUs +=
+            device.computeTimeUs(c.fmaFlops, ComputePipe::kFma);
+        counters.aluBusyUs +=
+            device.computeTimeUs(c.aluFlops, ComputePipe::kAlu);
+        counters.lsuBusyUs += times.mem[i];
+    }
+}
+
+/** The classic flat path: one roofline per kernel, launch-separated. */
+void
+simulateFlatKernel(const Kernel &kernel, const DeviceSpec &device,
+                   SimResult &result)
+{
+    KernelTiming timing;
+    timing.name = kernel.name;
+    timing.launchUs = device.kernelLaunchUs;
+    SimCounters kernel_counters;
+    kernel_counters.kernelLaunches = 1;
+
+    // Wave quantization at the kernel granularity.
+    const int64_t wave = device.maxBlocksPerWave(
+        kernel.sharedMemBytes(), kernel.regsPerBlock(),
+        kernel.threadsPerBlock());
+    double wave_factor = 1.0;
+    if (wave > 0) {
+        const double waves =
+            static_cast<double>(kernel.numBlocks()) / wave;
+        if (waves > 1.0)
+            wave_factor = std::ceil(waves) / waves;
+    }
+
+    std::vector<StageCharge> charges;
+    charges.reserve(kernel.stages.size());
+    for (const auto &stage : kernel.stages)
+        charges.push_back(chargeStage(stage));
+    const StageTimes times = computeStageTimes(kernel, device, charges);
+
+    double kernel_time = 0.0;
+    double kernel_compute = 0.0;
+    double kernel_mem = 0.0;
+    for (size_t i = 0; i < charges.size(); ++i) {
+        kernel_time += times.time[i];
+        kernel_time += charges[i].gridSyncs * device.gridSyncUs;
+        kernel_time += charges[i].barriers * device.barrierUs;
+    }
+    accumulateCounters(device, charges, times, kernel_counters, timing,
+                       kernel_compute, kernel_mem);
+    result.counters += kernel_counters;
+
+    kernel_time *= wave_factor;
+    if (kernel.usesLibrary)
+        kernel_time *= kernel.libraryTimeFactor;
+    timing.timeUs = kernel_time;
+    timing.computeBound = kernel_compute > kernel_mem;
+    timing.computeBusyUs = kernel_compute;
+    timing.memBusyUs = kernel_mem;
+
+    result.totalUs += kernel_time + timing.launchUs;
+    result.kernels.push_back(std::move(timing));
+}
+
+/**
+ * Persistent-megakernel path: one launch, then a deterministic
+ * discrete-event simulation of the on-device scheduler. Each task
+ * (stage) splits into `shards` independent shards; ready shards are
+ * enqueued round-robin onto per-SM FIFO queues; an SM finishing a
+ * shard pops its own queue, else steals ring-order from a sibling's
+ * front; an SM that finds nothing parks and pays one poll when new
+ * work wakes it. Every scheduler action has a charged, nonzero cost
+ * (DeviceSpec::taskDequeueUs / taskEventSignalUs / taskEventWaitUs /
+ * taskQueuePollUs), so the megakernel-vs-grid-sync comparison stays
+ * honest.
+ *
+ * Work conservation: a stage's flat roofline time T already models
+ * full-device throughput over min(blocks, SMs) parallel lanes, so its
+ * total work is T * min(blocks, SMs) SM-microseconds and a shard
+ * covering `b` of `B` blocks runs for T * min(B, SMs) * b / B. Stages
+ * that serialize (a dependence chain) therefore reproduce the flat
+ * simulator's elapsed time, and only genuinely independent stages
+ * overlap — the win V5 claims is scheduling, not a cheaper roofline.
+ */
+void
+simulateMegakernel(const CompiledModule &module,
+                   const DeviceSpec &device, const SimOptions &options,
+                   SimResult &result)
+{
+    const Kernel &kernel = module.kernels.front();
+    const TaskGraph &graph = module.taskGraph;
+    const int num_tasks = graph.numTasks();
+    SOUFFLE_REQUIRE(num_tasks
+                        == static_cast<int>(kernel.stages.size()),
+                    "task graph has " << num_tasks
+                                      << " tasks for a kernel with "
+                                      << kernel.stages.size()
+                                      << " stages");
+
+    KernelTiming timing;
+    timing.name = kernel.name;
+    timing.launchUs = device.kernelLaunchUs;
+    SimCounters kernel_counters;
+    kernel_counters.kernelLaunches = 1;
+
+    std::vector<StageCharge> charges;
+    charges.reserve(kernel.stages.size());
+    for (const auto &stage : kernel.stages)
+        charges.push_back(chargeStage(stage));
+    const StageTimes times = computeStageTimes(kernel, device, charges);
+
+    // Per-shard durations: the stage's distributed work, including
+    // its intra-task fences, spread evenly over its shards.
+    const int num_sms = std::max(1, device.numSms);
+    std::vector<std::vector<double>> shard_duration(
+        static_cast<size_t>(num_tasks));
+    for (int t = 0; t < num_tasks; ++t) {
+        const TaskDesc &task = graph.tasks[static_cast<size_t>(t)];
+        const double stage_work =
+            times.time[static_cast<size_t>(t)]
+            + charges[static_cast<size_t>(t)].barriers * device.barrierUs
+            + charges[static_cast<size_t>(t)].gridSyncs
+                  * device.gridSyncUs;
+        const double blocks = static_cast<double>(task.blocks);
+        const double lanes =
+            static_cast<double>(std::min<int64_t>(task.blocks, num_sms));
+        const int shards = std::max(1, task.shards);
+        shard_duration[static_cast<size_t>(t)].resize(
+            static_cast<size_t>(shards));
+        const int64_t base = task.blocks / shards;
+        const int64_t extra = task.blocks % shards;
+        for (int j = 0; j < shards; ++j) {
+            const int64_t shard_blocks = base + (j < extra ? 1 : 0);
+            shard_duration[static_cast<size_t>(t)]
+                          [static_cast<size_t>(j)] =
+                blocks > 0.0 ? stage_work * lanes
+                                   * static_cast<double>(shard_blocks)
+                                   / blocks
+                             : 0.0;
+        }
+    }
+
+    const std::vector<std::vector<int>> preds = graph.predecessors();
+    const std::vector<std::vector<int>> succs = graph.successors();
+
+    TaskSimStats &stats = result.taskStats;
+    stats.tasks = num_tasks;
+
+    struct ShardRef
+    {
+        int task;
+        int shard;
+    };
+    std::vector<std::deque<ShardRef>> queues(
+        static_cast<size_t>(num_sms));
+    std::vector<double> sm_free(static_cast<size_t>(num_sms), 0.0);
+    std::vector<bool> sm_idle(static_cast<size_t>(num_sms), true);
+    std::vector<int> remaining(static_cast<size_t>(num_tasks), 0);
+    std::vector<int> indeg(static_cast<size_t>(num_tasks), 0);
+    std::vector<double> ready_time(static_cast<size_t>(num_tasks), 0.0);
+    for (int t = 0; t < num_tasks; ++t) {
+        remaining[static_cast<size_t>(t)] = std::max(
+            1, graph.tasks[static_cast<size_t>(t)].shards);
+        indeg[static_cast<size_t>(t)] =
+            static_cast<int>(preds[static_cast<size_t>(t)].size());
+    }
+
+    // Completion events, ordered by (time, insertion sequence) so the
+    // replay is deterministic for any input.
+    struct Event
+    {
+        double time;
+        int64_t seq;
+        int sm;
+        int task;
+        int shard;
+    };
+    auto later = [](const Event &a, const Event &b) {
+        return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+    };
+    std::priority_queue<Event, std::vector<Event>, decltype(later)>
+        events(later);
+    int64_t next_seq = 0;
+    int64_t enqueue_cursor = 0;
+    int tasks_completed = 0;
+    double makespan = 0.0;
+
+    auto start_shard = [&](int sm, const ShardRef &ref, double now,
+                           bool stolen) {
+        const int waits = static_cast<int>(
+            preds[static_cast<size_t>(ref.task)].size());
+        const double overhead =
+            device.taskDequeueUs + device.taskEventWaitUs * waits;
+        stats.eventWaits += waits;
+        stats.schedulerOverheadUs += overhead;
+        if (stolen)
+            ++stats.steals;
+        ++stats.shards;
+        const double start = now + overhead;
+        const double end =
+            start
+            + shard_duration[static_cast<size_t>(ref.task)]
+                            [static_cast<size_t>(ref.shard)];
+        sm_free[static_cast<size_t>(sm)] = end;
+        sm_idle[static_cast<size_t>(sm)] = false;
+        if (options.captureTaskTimeline) {
+            TaskTraceEvent event;
+            event.sm = sm;
+            event.task = ref.task;
+            event.shard = ref.shard;
+            event.startUs = start;
+            event.endUs = end;
+            event.stolen = stolen;
+            event.queueDepth = static_cast<int>(
+                queues[static_cast<size_t>(sm)].size());
+            event.name =
+                graph.tasks[static_cast<size_t>(ref.task)].name + "#"
+                + std::to_string(ref.shard);
+            result.taskTimeline.push_back(std::move(event));
+        }
+        events.push(Event{end, next_seq++, sm, ref.task, ref.shard});
+    };
+
+    // Pop own front, else steal ring-order; false when nothing runs.
+    auto try_dispatch = [&](int sm, double now) {
+        std::deque<ShardRef> &own = queues[static_cast<size_t>(sm)];
+        if (!own.empty()) {
+            const ShardRef ref = own.front();
+            own.pop_front();
+            start_shard(sm, ref, now, /*stolen=*/false);
+            return true;
+        }
+        for (int hop = 1; hop < num_sms; ++hop) {
+            std::deque<ShardRef> &victim =
+                queues[static_cast<size_t>((sm + hop) % num_sms)];
+            if (victim.empty())
+                continue;
+            const ShardRef ref = victim.front();
+            victim.pop_front();
+            start_shard(sm, ref, now, /*stolen=*/true);
+            return true;
+        }
+        sm_idle[static_cast<size_t>(sm)] = true;
+        return false;
+    };
+
+    auto release_task = [&](int task, double now) {
+        const int shards =
+            std::max(1, graph.tasks[static_cast<size_t>(task)].shards);
+        for (int j = 0; j < shards; ++j) {
+            const int sm =
+                static_cast<int>(enqueue_cursor++ % num_sms);
+            queues[static_cast<size_t>(sm)].push_back(
+                ShardRef{task, j});
+        }
+        // Wake parked SMs in index order; each pays one poll round
+        // (the loop iteration that finally found work).
+        for (int sm = 0; sm < num_sms; ++sm) {
+            if (!sm_idle[static_cast<size_t>(sm)])
+                continue;
+            ++stats.polls;
+            stats.schedulerOverheadUs += device.taskQueuePollUs;
+            const double wake =
+                std::max(now, sm_free[static_cast<size_t>(sm)])
+                + device.taskQueuePollUs;
+            sm_idle[static_cast<size_t>(sm)] = false;
+            if (!try_dispatch(sm, wake))
+                break; // queues drained: later SMs would also fail
+        }
+    };
+
+    for (int t = 0; t < num_tasks; ++t) {
+        if (indeg[static_cast<size_t>(t)] == 0)
+            release_task(t, 0.0);
+    }
+
+    while (!events.empty()) {
+        const Event event = events.top();
+        events.pop();
+        makespan = std::max(makespan, event.time);
+        if (--remaining[static_cast<size_t>(event.task)] == 0) {
+            ++tasks_completed;
+            const std::vector<int> &out =
+                succs[static_cast<size_t>(event.task)];
+            stats.eventSignals += static_cast<int>(out.size());
+            stats.schedulerOverheadUs +=
+                device.taskEventSignalUs
+                * static_cast<double>(out.size());
+            const double signaled =
+                event.time + device.taskEventSignalUs;
+            for (int succ : out) {
+                ready_time[static_cast<size_t>(succ)] = std::max(
+                    ready_time[static_cast<size_t>(succ)], signaled);
+                if (--indeg[static_cast<size_t>(succ)] == 0)
+                    release_task(
+                        succ,
+                        ready_time[static_cast<size_t>(succ)]);
+            }
+        }
+        try_dispatch(event.sm, event.time);
+    }
+    SOUFFLE_REQUIRE(tasks_completed == num_tasks,
+                    "task graph deadlock: " << tasks_completed << " of "
+                                            << num_tasks
+                                            << " tasks completed");
+
+    double kernel_compute = 0.0;
+    double kernel_mem = 0.0;
+    accumulateCounters(device, charges, times, kernel_counters, timing,
+                       kernel_compute, kernel_mem);
+    result.counters += kernel_counters;
+
+    stats.makespanUs = makespan;
+    timing.timeUs = makespan;
+    timing.computeBound = kernel_compute > kernel_mem;
+    timing.computeBusyUs = kernel_compute;
+    timing.memBusyUs = kernel_mem;
+    result.totalUs += makespan + timing.launchUs;
+    result.kernels.push_back(std::move(timing));
+}
+
 } // namespace
 
 SimCounters &
@@ -89,144 +512,23 @@ SimCounters::operator+=(const SimCounters &other)
 }
 
 SimResult
-simulate(const CompiledModule &module, const DeviceSpec &device)
+simulate(const CompiledModule &module, const DeviceSpec &device,
+         const SimOptions &options)
 {
     SimResult result;
-    for (const auto &kernel : module.kernels) {
-        KernelTiming timing;
-        timing.name = kernel.name;
-        timing.launchUs = device.kernelLaunchUs;
-        SimCounters kernel_counters;
-        kernel_counters.kernelLaunches = 1;
-
-        // Wave quantization at the kernel granularity.
-        const int64_t wave = device.maxBlocksPerWave(
-            kernel.sharedMemBytes(), kernel.regsPerBlock(),
-            kernel.threadsPerBlock());
-        double wave_factor = 1.0;
-        if (wave > 0) {
-            const double waves =
-                static_cast<double>(kernel.numBlocks()) / wave;
-            if (waves > 1.0)
-                wave_factor = std::ceil(waves) / waves;
-        }
-
-        std::vector<StageCharge> charges;
-        charges.reserve(kernel.stages.size());
-        for (const auto &stage : kernel.stages)
-            charges.push_back(chargeStage(stage));
-
-        // First pass: roofline per stage (without overlapped loads).
-        std::vector<double> stage_time(charges.size(), 0.0);
-        std::vector<double> stage_mem(charges.size(), 0.0);
-        std::vector<double> stage_compute(charges.size(), 0.0);
-        std::vector<double> stage_scale(charges.size(), 1.0);
-        for (size_t i = 0; i < charges.size(); ++i) {
-            const StageCharge &c = charges[i];
-            // Under-parallelism: a stage with fewer blocks than SMs
-            // leaves most of the device idle (the reason thousands of
-            // tiny per-group convolution kernels crawl on an A100).
-            // Only the throughput term scales; the fixed DRAM latency
-            // is paid once regardless of occupancy.
-            const double util = std::min(
-                1.0, static_cast<double>(
-                         kernel.stages[i].numBlocks)
-                         / device.numSms);
-            const double scale = 1.0 / std::max(util, 1.0 / 32.0);
-            // Atomics round-trip through L2/DRAM; charge 2x. The
-            // overlapped (prefetched) bytes are charged here first;
-            // the second pass credits back whatever hides under the
-            // previous stage.
-            const double bytes = c.loadBytes + c.overlappedBytes
-                                 + c.storeBytes + 2.0 * c.atomicBytes;
-            const double mem =
-                bytes > 0.0 ? device.memLatencyUs
-                                  + bytes / device.globalBytesPerUs
-                                        * scale
-                            : 0.0;
-            const double compute =
-                (device.computeTimeUs(c.tcFlops,
-                                      ComputePipe::kTensorCore)
-                 + device.computeTimeUs(c.fmaFlops, ComputePipe::kFma)
-                 + device.computeTimeUs(c.aluFlops, ComputePipe::kAlu))
-                * scale;
-            stage_scale[i] = scale;
-            stage_mem[i] = mem;
-            stage_compute[i] = compute;
-            stage_time[i] = std::max(stage_mem[i], stage_compute[i]);
-        }
-        // Second pass: async-copy prefetches hide under the previous
-        // stage's execution. The credit is bounded by both the memory
-        // time the prefetched bytes would have cost and the previous
-        // stage's duration (the window the copies can hide in), so
-        // pipelining never makes a kernel slower.
-        for (size_t i = 1; i < charges.size(); ++i) {
-            const StageCharge &c = charges[i];
-            if (c.overlappedBytes <= 0.0)
-                continue;
-            const double without_prefetch = stage_time[i];
-            const double remaining_bytes =
-                c.loadBytes + c.storeBytes + 2.0 * c.atomicBytes;
-            const double mem_after =
-                remaining_bytes > 0.0
-                    ? device.memLatencyUs
-                          + remaining_bytes / device.globalBytesPerUs
-                                * stage_scale[i]
-                    : 0.0;
-            const double with_prefetch =
-                std::max(stage_compute[i], mem_after);
-            const double saving =
-                std::min(without_prefetch - with_prefetch,
-                         stage_time[i - 1]);
-            if (saving > 0.0)
-                stage_time[i] -= saving;
-        }
-
-        double kernel_time = 0.0;
-        double kernel_compute = 0.0;
-        double kernel_mem = 0.0;
-        for (size_t i = 0; i < charges.size(); ++i) {
-            kernel_time += stage_time[i];
-            kernel_time += charges[i].gridSyncs * device.gridSyncUs;
-            kernel_time += charges[i].barriers * device.barrierUs;
-            kernel_compute += stage_compute[i];
-            kernel_mem += stage_mem[i];
-
-            kernel_counters.bytesLoaded +=
-                charges[i].loadBytes + charges[i].overlappedBytes;
-            kernel_counters.bytesStored +=
-                charges[i].storeBytes + charges[i].atomicBytes;
-            kernel_counters.bytesAtomic += charges[i].atomicBytes;
-            kernel_counters.bytesCached += charges[i].cachedBytes;
-            kernel_counters.gridSyncs += charges[i].gridSyncs;
-            timing.globalBytes += charges[i].loadBytes
-                                  + charges[i].overlappedBytes
-                                  + charges[i].storeBytes
-                                  + 2.0 * charges[i].atomicBytes;
-
-            const StageCharge &c = charges[i];
-            kernel_counters.tensorCoreBusyUs += device.computeTimeUs(
-                c.tcFlops, ComputePipe::kTensorCore);
-            kernel_counters.fmaBusyUs +=
-                device.computeTimeUs(c.fmaFlops, ComputePipe::kFma);
-            kernel_counters.aluBusyUs +=
-                device.computeTimeUs(c.aluFlops, ComputePipe::kAlu);
-            kernel_counters.lsuBusyUs += stage_mem[i];
-        }
-        result.counters += kernel_counters;
-
-        kernel_time *= wave_factor;
-        if (kernel.usesLibrary)
-            kernel_time *= kernel.libraryTimeFactor;
-        timing.timeUs = kernel_time;
-        timing.computeBound = kernel_compute > kernel_mem;
-        timing.computeBusyUs = kernel_compute;
-        timing.memBusyUs = kernel_mem;
-
-        result.totalUs += kernel_time + timing.launchUs;
-        result.kernels.push_back(std::move(timing));
+    if (module.megakernel() && module.numKernels() == 1) {
+        simulateMegakernel(module, device, options, result);
+        return result;
     }
+    for (const auto &kernel : module.kernels)
+        simulateFlatKernel(kernel, device, result);
     return result;
+}
+
+SimResult
+simulate(const CompiledModule &module, const DeviceSpec &device)
+{
+    return simulate(module, device, SimOptions{});
 }
 
 std::string
@@ -239,6 +541,12 @@ SimResult::toString() const
        << bytesToString(counters.bytesStored) << ", cached "
        << bytesToString(counters.bytesCached) << ", " << counters.gridSyncs
        << " grid syncs\n";
+    if (taskStats.tasks > 0) {
+        os << "  megakernel: " << taskStats.tasks << " tasks, "
+           << taskStats.shards << " shards, " << taskStats.steals
+           << " steals, " << taskStats.polls << " polls, scheduler "
+           << timeToString(taskStats.schedulerOverheadUs) << "\n";
+    }
     os << "  LSU util " << lsuUtilization() * 100.0 << "%, FMA util "
        << fmaUtilization() * 100.0 << "%, TC util "
        << tensorCoreUtilization() * 100.0 << "%\n";

@@ -67,12 +67,58 @@ struct KernelTiming
     double memBusyUs = 0.0;
 };
 
+/** Scheduler statistics of one persistent-megakernel run. */
+struct TaskSimStats
+{
+    /** Tasks (stages) executed by the on-device scheduler. */
+    int tasks = 0;
+    /** Shard executions across all tasks. */
+    int shards = 0;
+    /** Shards stolen from another SM's queue (ring order). */
+    int steals = 0;
+    /** Empty-queue poll rounds charged to waking SMs. */
+    int polls = 0;
+    /** Dependence events signaled / waited on. */
+    int eventSignals = 0;
+    int eventWaits = 0;
+    /** Total charged scheduler time (dequeue + events + polls, us). */
+    double schedulerOverheadUs = 0.0;
+    /** Persistent-kernel execution time (excludes the launch, us). */
+    double makespanUs = 0.0;
+};
+
+/** One shard execution, for the per-SM chrome-trace lanes. */
+struct TaskTraceEvent
+{
+    int sm = 0;
+    int task = 0;
+    int shard = 0;
+    double startUs = 0.0;
+    double endUs = 0.0;
+    /** True when the shard was stolen from another SM's queue. */
+    bool stolen = false;
+    /** Own-queue depth right after this shard was dequeued. */
+    int queueDepth = 0;
+    std::string name;
+};
+
+/** Simulation knobs (megakernel mode only). */
+struct SimOptions
+{
+    /** Record per-shard TaskTraceEvents (costly; trace export only). */
+    bool captureTaskTimeline = false;
+};
+
 /** Result of simulating a compiled module. */
 struct SimResult
 {
     double totalUs = 0.0;
     SimCounters counters;
     std::vector<KernelTiming> kernels;
+    /** Filled in megakernel mode (taskStats.tasks > 0). */
+    TaskSimStats taskStats;
+    /** Per-shard timeline (only with SimOptions::captureTaskTimeline). */
+    std::vector<TaskTraceEvent> taskTimeline;
 
     double lsuUtilization() const
     {
@@ -92,7 +138,15 @@ struct SimResult
     std::string toString() const;
 };
 
-/** Simulate @p module on @p device. */
+/**
+ * Simulate @p module on @p device. Modules with a task graph
+ * (CompiledModule::megakernel) run in the deterministic per-SM
+ * scheduler mode: per-SM FIFO work queues with ring-order stealing,
+ * occupancy-limited residency, and charged dequeue/event/poll
+ * overheads; everything else takes the flat per-kernel roofline path.
+ */
 SimResult simulate(const CompiledModule &module, const DeviceSpec &device);
+SimResult simulate(const CompiledModule &module, const DeviceSpec &device,
+                   const SimOptions &options);
 
 } // namespace souffle

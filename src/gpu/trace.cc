@@ -37,6 +37,25 @@ toChromeTrace(const SimResult &result, const std::string &process_name)
             .endObject();
         clock += kernel.timeUs;
     }
+    // Megakernel runs: one lane per SM showing the shards the
+    // on-device scheduler placed there, queue occupancy at dequeue
+    // time, and which shards arrived by stealing. Times are offset
+    // past the single persistent launch.
+    const double task_base =
+        result.kernels.empty() ? 0.0 : result.kernels.front().launchUs;
+    for (const TaskTraceEvent &event : result.taskTimeline) {
+        const std::string tid = "sm" + std::to_string(event.sm);
+        emit(event.name, tid.c_str(), task_base + event.startUs,
+             event.endUs - event.startUs)
+            .key("args")
+            .beginObject()
+            .field("task", event.task)
+            .field("shard", event.shard)
+            .field("queueDepth", event.queueDepth)
+            .field("stolen", event.stolen ? "yes" : "no")
+            .endObject()
+            .endObject();
+    }
     json.endArray().field("displayTimeUnit", "ms").endObject();
     return json.str();
 }

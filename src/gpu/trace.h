@@ -8,7 +8,11 @@
  * Perfetto-compatible JSON document: one row for kernel execution,
  * one for the launch gaps, so a run of a baseline (hundreds of tiny
  * kernels separated by launch overhead) and a Souffle run (a few
- * mega-kernels) are visually comparable.
+ * mega-kernels) are visually comparable. When the result carries a
+ * per-shard task timeline (V5 megakernel simulated with
+ * SimOptions::captureTaskTimeline), one extra lane per SM shows the
+ * shards the on-device scheduler placed there, with queue depth and
+ * steal provenance in the event args.
  */
 
 #include <string>

@@ -123,6 +123,8 @@ CompiledModule::toString() const
        << " kernels\n";
     for (const auto &kernel : kernels)
         os << kernel.toString();
+    if (megakernel())
+        os << taskGraph.toString();
     return os.str();
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gpu/device.h"
+#include "kernel/task_graph.h"
 #include "te/tensor.h"
 
 namespace souffle {
@@ -107,8 +108,18 @@ struct CompiledModule
 {
     std::string compilerName;
     std::vector<Kernel> kernels;
+    /**
+     * Non-empty on V5 modules: the whole program is one persistent
+     * kernel whose stages execute as the tasks of this graph, with
+     * event signal/wait on the edges instead of grid.sync() between
+     * stages (see kernel/task_graph.h). Empty below V5 and when the
+     * megakernel transform fell back to the grid-sync form.
+     */
+    TaskGraph taskGraph;
 
     int numKernels() const { return static_cast<int>(kernels.size()); }
+    /** True when the module executes as a persistent megakernel. */
+    bool megakernel() const { return !taskGraph.empty(); }
     std::string toString() const;
 };
 

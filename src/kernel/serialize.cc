@@ -135,6 +135,68 @@ readStage(const JsonValue &v)
     return stage;
 }
 
+TaskEdgeKind
+parseTaskEdgeKind(const std::string &name)
+{
+    for (TaskEdgeKind kind :
+         {TaskEdgeKind::kRaw, TaskEdgeKind::kWar, TaskEdgeKind::kWaw,
+          TaskEdgeKind::kAlias}) {
+        if (name == taskEdgeKindName(kind))
+            return kind;
+    }
+    SOUFFLE_FATAL("unknown task edge kind: " << name);
+}
+
+void
+writeTaskGraph(JsonWriter &w, const TaskGraph &graph)
+{
+    w.newline().key("taskGraph").beginObject();
+    w.key("tasks").beginArray();
+    for (const TaskDesc &task : graph.tasks) {
+        w.newline().beginObject();
+        w.field("name", task.name);
+        w.field("stage", static_cast<int64_t>(task.stage));
+        w.field("shards", static_cast<int64_t>(task.shards));
+        w.field("blocks", task.blocks);
+        w.endObject();
+    }
+    w.endArray();
+    w.newline().key("edges").beginArray();
+    for (const TaskEdge &edge : graph.edges) {
+        w.beginObject();
+        w.field("from", static_cast<int64_t>(edge.from));
+        w.field("to", static_cast<int64_t>(edge.to));
+        w.field("tensor", static_cast<int64_t>(edge.tensor));
+        w.field("kind", taskEdgeKindName(edge.kind));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+TaskGraph
+readTaskGraph(const JsonValue &v)
+{
+    TaskGraph graph;
+    for (const JsonValue &t : v.at("tasks").items()) {
+        TaskDesc task;
+        task.name = t.at("name").asString();
+        task.stage = static_cast<int>(t.at("stage").asInt());
+        task.shards = static_cast<int>(t.at("shards").asInt());
+        task.blocks = t.at("blocks").asInt();
+        graph.tasks.push_back(std::move(task));
+    }
+    for (const JsonValue &e : v.at("edges").items()) {
+        TaskEdge edge;
+        edge.from = static_cast<int>(e.at("from").asInt());
+        edge.to = static_cast<int>(e.at("to").asInt());
+        edge.tensor = static_cast<TensorId>(e.at("tensor").asInt());
+        edge.kind = parseTaskEdgeKind(e.at("kind").asString());
+        graph.edges.push_back(edge);
+    }
+    return graph;
+}
+
 } // namespace
 
 std::string
@@ -143,7 +205,10 @@ serializeCompiledModule(const CompiledModule &module)
     JsonWriter w(JsonWriter::Style::kCompact);
     w.setDoublePrecision(17);
     w.beginObject();
-    w.field("version", 1);
+    // Version 2 adds the optional task graph (V5 persistent
+    // megakernel). Modules without one keep writing version 1, so
+    // pre-V5 artifacts stay byte-identical across the format bump.
+    w.field("version", module.megakernel() ? 2 : 1);
     w.field("compiler", module.compilerName);
     w.newline().key("kernels").beginArray();
     for (const Kernel &kernel : module.kernels) {
@@ -158,6 +223,8 @@ serializeCompiledModule(const CompiledModule &module)
         w.endObject();
     }
     w.endArray();
+    if (module.megakernel())
+        writeTaskGraph(w, module.taskGraph);
     w.newline().endObject();
     return w.str();
 }
@@ -167,7 +234,7 @@ deserializeCompiledModule(const std::string &text)
 {
     const JsonValue doc = parseJson(text);
     const int64_t version = doc.at("version").asInt();
-    SOUFFLE_REQUIRE(version == 1,
+    SOUFFLE_REQUIRE(version == 1 || version == 2,
                     "unsupported module format version: " << version);
 
     CompiledModule module;
@@ -182,6 +249,9 @@ deserializeCompiledModule(const std::string &text)
             kernel.stages.push_back(readStage(stage));
         module.kernels.push_back(std::move(kernel));
     }
+    if (const JsonValue *graph =
+            version >= 2 ? doc.find("taskGraph") : nullptr)
+        module.taskGraph = readTaskGraph(*graph);
     return module;
 }
 

@@ -12,6 +12,11 @@
  * Doubles (byte/flop totals, library time factors) are written with
  * 17 significant digits, so a parsed module is bit-identical to the
  * serialized one — same simulator timings, same `toString` text.
+ *
+ * Module format versions: 1 = kernels only; 2 adds the optional
+ * `taskGraph` member (V5 persistent megakernel). The writer emits
+ * version 2 only when a task graph is present, so pre-V5 artifacts
+ * stay byte-identical; the reader accepts both.
  */
 
 #include <string>

@@ -1,0 +1,123 @@
+#include "kernel/task_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace souffle {
+
+std::string
+taskEdgeKindName(TaskEdgeKind kind)
+{
+    switch (kind) {
+      case TaskEdgeKind::kRaw:
+        return "RAW";
+      case TaskEdgeKind::kWar:
+        return "WAR";
+      case TaskEdgeKind::kWaw:
+        return "WAW";
+      case TaskEdgeKind::kAlias:
+        return "alias";
+    }
+    return "?";
+}
+
+std::string
+TaskEdge::toString() const
+{
+    std::ostringstream os;
+    os << taskEdgeKindName(kind) << " " << from << " -> " << to;
+    if (tensor >= 0)
+        os << " (t" << tensor << ")";
+    return os.str();
+}
+
+namespace {
+
+std::vector<std::vector<int>>
+adjacency(const TaskGraph &graph, bool forward)
+{
+    std::vector<std::vector<int>> adj(
+        static_cast<size_t>(graph.numTasks()));
+    for (const TaskEdge &edge : graph.edges) {
+        if (edge.from < 0 || edge.to < 0
+            || edge.from >= graph.numTasks()
+            || edge.to >= graph.numTasks())
+            continue; // malformed edges are the lint rule's business
+        if (forward)
+            adj[static_cast<size_t>(edge.from)].push_back(edge.to);
+        else
+            adj[static_cast<size_t>(edge.to)].push_back(edge.from);
+    }
+    for (auto &list : adj) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    return adj;
+}
+
+} // namespace
+
+std::vector<std::vector<int>>
+TaskGraph::predecessors() const
+{
+    return adjacency(*this, /*forward=*/false);
+}
+
+std::vector<std::vector<int>>
+TaskGraph::successors() const
+{
+    return adjacency(*this, /*forward=*/true);
+}
+
+std::string
+TaskGraph::toString() const
+{
+    std::ostringstream os;
+    os << "task graph: " << tasks.size() << " tasks, " << edges.size()
+       << " edges\n";
+    for (const TaskDesc &task : tasks) {
+        os << "  task " << task.stage << " " << task.name << " (shards="
+           << task.shards << ", blocks=" << task.blocks << ")\n";
+    }
+    for (const TaskEdge &edge : edges)
+        os << "  edge " << edge.toString() << "\n";
+    return os.str();
+}
+
+TaskGraphReachability::TaskGraphReachability(const TaskGraph &graph)
+    : numTasks(graph.numTasks())
+{
+    closure.assign(
+        static_cast<size_t>(numTasks) * static_cast<size_t>(numTasks),
+        false);
+    const std::vector<std::vector<int>> succ = graph.successors();
+    for (int from = 0; from < numTasks; ++from) {
+        std::deque<int> queue(succ[static_cast<size_t>(from)].begin(),
+                              succ[static_cast<size_t>(from)].end());
+        while (!queue.empty()) {
+            const int to = queue.front();
+            queue.pop_front();
+            const size_t bit = static_cast<size_t>(from)
+                                   * static_cast<size_t>(numTasks)
+                               + static_cast<size_t>(to);
+            if (closure[bit])
+                continue;
+            closure[bit] = true;
+            for (int next : succ[static_cast<size_t>(to)])
+                queue.push_back(next);
+        }
+    }
+}
+
+bool
+TaskGraphReachability::reaches(int from, int to) const
+{
+    if (from < 0 || to < 0 || from >= numTasks || to >= numTasks)
+        return false;
+    return closure[static_cast<size_t>(from)
+                       * static_cast<size_t>(numTasks)
+                   + static_cast<size_t>(to)];
+}
+
+} // namespace souffle

@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * Task-graph form of a compiled module (the persistent-megakernel
+ * runtime, MPK-style — PAPERS.md arXiv 2512.22219).
+ *
+ * The V3/V4 execution model serializes a kernel's stages with
+ * grid.sync(): every block of the cooperative launch waits at every
+ * stage boundary, even when the next stage depends on only one of
+ * many predecessors. The megakernel transform (transform/megakernel.h)
+ * replaces that model: the *whole* module becomes one persistent
+ * kernel whose worker blocks drain a task graph. Each task is one
+ * kernel stage, split into up to `shards` output-tile shards that
+ * different SMs execute concurrently; each edge is a dependence the
+ * scheduler enforces with a device-memory event (the producer's last
+ * finishing shard signals, every consumer shard waits) instead of a
+ * whole-grid barrier.
+ *
+ * Granularity: tasks and edges live at the *stage* level. Shards of
+ * one stage are mutually independent by construction (a stage's
+ * blocks already partition its output tiles), so per-shard edges
+ * would square the edge count without adding ordering information —
+ * a task is ready when every shard of every predecessor stage has
+ * completed.
+ *
+ * Consumers: the per-SM device simulator (gpu/sim.h), the
+ * `task-graph-dep` lint rule (every dataflow DepEdge must be covered
+ * by an edge/path here or by intra-task program order), the C backend
+ * (per-task functions executed on the ThreadPool), and the module
+ * serializer (format version 2).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "te/tensor.h"
+
+namespace souffle {
+
+/** One schedulable task: a stage of the persistent kernel. */
+struct TaskDesc
+{
+    /** Stage name (diagnostics and trace labels). */
+    std::string name;
+    /** Stage index inside the persistent kernel. */
+    int stage = 0;
+    /** Parallel output-tile shards (1..numSms). */
+    int shards = 1;
+    /** Total blocks across all shards (the stage's launch grid). */
+    int64_t blocks = 1;
+};
+
+/** Why two tasks are ordered. */
+enum class TaskEdgeKind : uint8_t {
+    kRaw,   ///< consumer reads a tensor the producer wrote
+    kWar,   ///< writer overwrites a tensor the predecessor read
+    kWaw,   ///< both tasks write the same tensor
+    kAlias, ///< tasks touch distinct tensors aliased by the memory plan
+};
+
+std::string taskEdgeKindName(TaskEdgeKind kind);
+
+/** One dependence edge: task `from` must complete before `to` starts. */
+struct TaskEdge
+{
+    int from = 0;
+    int to = 0;
+    /** Tensor carrying the dependence (-1 for kAlias edges). */
+    TensorId tensor = -1;
+    TaskEdgeKind kind = TaskEdgeKind::kRaw;
+
+    std::string toString() const;
+};
+
+/**
+ * The compiled scheduling decision: tasks in stage order plus the
+ * dependence edges the on-device scheduler enforces with events.
+ * Empty on every module below V5 and on V5 fallbacks.
+ */
+struct TaskGraph
+{
+    std::vector<TaskDesc> tasks;
+    std::vector<TaskEdge> edges;
+
+    bool empty() const { return tasks.empty(); }
+    int numTasks() const { return static_cast<int>(tasks.size()); }
+    int numEdges() const { return static_cast<int>(edges.size()); }
+
+    /** Deduplicated predecessor lists, one per task, each sorted. */
+    std::vector<std::vector<int>> predecessors() const;
+    /** Deduplicated successor lists, one per task, each sorted. */
+    std::vector<std::vector<int>> successors() const;
+
+    std::string toString() const;
+};
+
+/**
+ * Transitive-closure reachability over a task graph, for coverage
+ * queries: a dependence def-stage -> use-stage is ordered iff the
+ * graph reaches use from def. Built once (BFS per task over the
+ * deduplicated successor lists); queries are O(1) bit tests.
+ */
+class TaskGraphReachability
+{
+  public:
+    explicit TaskGraphReachability(const TaskGraph &graph);
+
+    /** True iff an edge path orders task @p from before task @p to. */
+    bool reaches(int from, int to) const;
+
+  private:
+    int numTasks = 0;
+    /** closure[from * numTasks + to] */
+    std::vector<bool> closure;
+};
+
+} // namespace souffle

@@ -28,10 +28,22 @@
  *   redundant-sync  fences the dataflow proves removable (subsumed by
  *                   an adjacent stronger fence or a kernel boundary,
  *                   or covering no dependence edge)
+ *   task-graph-dep  V5 megakernel modules: the task graph is well
+ *                   formed and acyclic, and every cross-stage
+ *                   dependence (dataflow RAW/WAR plus per-tensor
+ *                   writer chains) is covered by task-graph
+ *                   reachability; intra-task edges ride program order
+ *
+ * On megakernel modules (CompiledModule::megakernel) the grid-sync
+ * rules accept task-graph reachability in place of grid.sync(): the
+ * persistent kernel deleted its whole-grid fences and re-expressed
+ * their ordering as scheduler-enforced task edges.
  */
 
 #include <algorithm>
 #include <deque>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -94,8 +106,15 @@ class GridSyncRaceRule : public LintRule
         if (skipForNonGpuBackend(input, id(), report))
             return;
         const TeProgram &program = input.program;
+        // A megakernel deleted its grid syncs; the scheduler enforces
+        // cross-stage ordering via task edges instead.
+        std::unique_ptr<TaskGraphReachability> reach;
+        if (input.module->megakernel())
+            reach = std::make_unique<TaskGraphReachability>(
+                input.module->taskGraph);
         for (const Kernel &kernel : input.module->kernels) {
-            checkCrossStage(program, input.analysis, kernel, report);
+            checkCrossStage(program, input.analysis, kernel,
+                            reach.get(), report);
             for (size_t s = 0; s < kernel.stages.size(); ++s)
                 checkIntraStage(program, kernel,
                                 static_cast<int>(s), report);
@@ -119,6 +138,7 @@ class GridSyncRaceRule : public LintRule
     void
     checkCrossStage(const TeProgram &program,
                     const GlobalAnalysis &analysis, const Kernel &kernel,
+                    const TaskGraphReachability *reach,
                     LintReport &report) const
     {
         if (kernel.stages.size() < 2 || kernel.numBlocks() <= 1)
@@ -141,6 +161,9 @@ class GridSyncRaceRule : public LintRule
             }
         }
         auto synced_between = [&](int def_stage, int use_stage) {
+            if (reach != nullptr
+                && reach->reaches(def_stage, use_stage))
+                return true;
             for (int s = def_stage + 1; s <= use_stage; ++s)
                 if (has_sync[s])
                     return true;
@@ -787,12 +810,23 @@ class UnsyncedDepRule : public LintRule
             return;
         if (skipForNonGpuBackend(input, id(), report))
             return;
+        // Megakernel modules deleted their grid fences: cross-stage
+        // edges are ordered by task-graph events instead, and the
+        // task-graph-dep rule owns their coverage.
+        std::unique_ptr<TaskGraphReachability> reach;
+        if (input.module->megakernel())
+            reach = std::make_unique<TaskGraphReachability>(
+                input.module->taskGraph);
         for (const Kernel &kernel : input.module->kernels) {
             if (kernel.usesLibrary)
                 continue; // libraries synchronize internally
             const KernelDataflow dataflow(input.program,
                                           input.analysis, kernel);
             for (const DepEdge &edge : dataflow.uncoveredEdges()) {
+                if (reach != nullptr
+                    && edge.def.stage != edge.use.stage
+                    && reach->reaches(edge.def.stage, edge.use.stage))
+                    continue;
                 LintLocation loc;
                 loc.kernel = kernel.name;
                 loc.stage = edge.use.stage;
@@ -865,6 +899,162 @@ class RedundantSyncRule : public LintRule
     }
 };
 
+// ---------------------------------------------------------------------
+// task-graph-dep
+// ---------------------------------------------------------------------
+
+class TaskGraphDepRule : public LintRule
+{
+  public:
+    std::string id() const override { return "task-graph-dep"; }
+
+    std::string
+    description() const override
+    {
+        return "megakernel task graphs are well formed and acyclic, "
+               "and every cross-stage dependence is covered by "
+               "task-graph reachability or intra-task program order";
+    }
+
+    void
+    run(const LintInput &input, LintReport &report) const override
+    {
+        if (input.module == nullptr || !input.module->megakernel())
+            return; // below V5 (or fallback) there is nothing to check
+        // Deliberately NOT GPU-only: the native C backend drains the
+        // same task graph on a thread pool, so a missing edge races
+        // there too.
+        const TaskGraph &graph = input.module->taskGraph;
+        const Kernel &kernel = input.module->kernels.front();
+        LintLocation loc;
+        loc.kernel = kernel.name;
+
+        if (input.module->numKernels() != 1) {
+            report.add(id(), Severity::kError, loc,
+                       "megakernel module has "
+                           + std::to_string(input.module->numKernels())
+                           + " kernels; the task graph describes "
+                             "exactly one persistent kernel",
+                       "merge the kernels or drop the task graph");
+            return;
+        }
+        const int num_tasks = graph.numTasks();
+        if (num_tasks != static_cast<int>(kernel.stages.size())) {
+            report.add(id(), Severity::kError, loc,
+                       "task graph has " + std::to_string(num_tasks)
+                           + " tasks for a kernel with "
+                           + std::to_string(kernel.stages.size())
+                           + " stages",
+                       "rebuild the task graph from the final stage "
+                       "list");
+            return;
+        }
+        bool malformed = false;
+        for (const TaskEdge &edge : graph.edges) {
+            if (edge.from >= 0 && edge.from < num_tasks
+                && edge.to >= 0 && edge.to < num_tasks
+                && edge.from != edge.to)
+                continue;
+            report.add(id(), Severity::kError, loc,
+                       "malformed task edge " + edge.toString(),
+                       "edge endpoints must name two distinct tasks");
+            malformed = true;
+        }
+        if (malformed)
+            return;
+
+        // Acyclicity (Kahn): a cycle deadlocks the scheduler.
+        std::vector<int> indeg(static_cast<size_t>(num_tasks), 0);
+        const auto succs = graph.successors();
+        for (int t = 0; t < num_tasks; ++t)
+            for (int s : succs[static_cast<size_t>(t)])
+                ++indeg[static_cast<size_t>(s)];
+        std::deque<int> frontier;
+        for (int t = 0; t < num_tasks; ++t)
+            if (indeg[static_cast<size_t>(t)] == 0)
+                frontier.push_back(t);
+        int ordered = 0;
+        while (!frontier.empty()) {
+            const int t = frontier.front();
+            frontier.pop_front();
+            ++ordered;
+            for (int s : succs[static_cast<size_t>(t)])
+                if (--indeg[static_cast<size_t>(s)] == 0)
+                    frontier.push_back(s);
+        }
+        if (ordered != num_tasks) {
+            report.add(id(), Severity::kError, loc,
+                       "task graph has a dependence cycle ("
+                           + std::to_string(num_tasks - ordered)
+                           + " tasks unreachable by topological "
+                             "order); the scheduler would deadlock",
+                       "break the cycle or fall back to the "
+                       "grid-sync form");
+            return;
+        }
+
+        const TaskGraphReachability reach(graph);
+
+        // Coverage 1: every cross-stage RAW/WAR of the kernel
+        // dataflow, independently recomputed here.
+        const KernelDataflow dataflow(input.program, input.analysis,
+                                      kernel);
+        for (const DepEdge &edge : dataflow.edges()) {
+            if (edge.def.stage == edge.use.stage)
+                continue; // intra-task program order covers it
+            if (reach.reaches(edge.def.stage, edge.use.stage))
+                continue;
+            LintLocation where = loc;
+            where.stage = edge.use.stage;
+            where.instr = edge.use.instr;
+            where.teId = edge.useTe;
+            report.add(id(), Severity::kError, where,
+                       "cross-stage dependence not covered by the "
+                       "task graph: "
+                           + edge.toString(),
+                       "add a task edge from stage "
+                           + std::to_string(edge.def.stage)
+                           + " to stage "
+                           + std::to_string(edge.use.stage));
+        }
+
+        // Coverage 2: per-tensor writer chains (WAW). The dataflow
+        // has no WAW kind, so recompute writers from the streams.
+        std::map<TensorId, std::vector<int>> writers;
+        for (size_t s = 0; s < kernel.stages.size(); ++s) {
+            for (const Instr &instr : kernel.stages[s].instrs) {
+                if (instr.tensor < 0)
+                    continue;
+                if (instr.kind != InstrKind::kStoreGlobal
+                    && instr.kind != InstrKind::kAtomicAdd
+                    && instr.kind != InstrKind::kCompute)
+                    continue;
+                std::vector<int> &list = writers[instr.tensor];
+                if (list.empty()
+                    || list.back() != static_cast<int>(s))
+                    list.push_back(static_cast<int>(s));
+            }
+        }
+        for (const auto &[tensor, stages] : writers) {
+            for (size_t i = 1; i < stages.size(); ++i) {
+                if (reach.reaches(stages[i - 1], stages[i]))
+                    continue;
+                LintLocation where = loc;
+                where.stage = stages[i];
+                report.add(
+                    id(), Severity::kError, where,
+                    "unordered writers of tensor '"
+                        + input.program.tensor(tensor).name
+                        + "': stages " + std::to_string(stages[i - 1])
+                        + " and " + std::to_string(stages[i])
+                        + " both write it with no task edge between "
+                          "them",
+                    "add a WAW task edge chaining the writers");
+            }
+        }
+    }
+};
+
 } // namespace
 
 void registerBuiltinLintRules(LintRuleRegistry &registry);
@@ -894,6 +1084,9 @@ registerBuiltinLintRules(LintRuleRegistry &registry)
     });
     registry.add("redundant-sync", [] {
         return std::make_unique<RedundantSyncRule>();
+    });
+    registry.add("task-graph-dep", [] {
+        return std::make_unique<TaskGraphDepRule>();
     });
 }
 

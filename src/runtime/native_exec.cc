@@ -9,12 +9,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
 #include "codegen/c_cpu.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "transform/megakernel.h"
 
 namespace souffle {
 
@@ -102,6 +106,97 @@ openMpSupported(const std::string &cc, const std::string &dir)
     return supported;
 }
 
+/**
+ * Topological level wavefronts of a megakernel module's task graph,
+ * with alias edges recomputed from @p plan (the executor's own,
+ * dtype-widened plan — workspace reuse decided here must be ordered
+ * here, whatever the compile-time plan said).
+ */
+std::vector<std::vector<int>>
+taskWavefrontsFor(const TeProgram &program, const CompiledModule &module,
+                  const MemoryPlan &plan)
+{
+    const TaskGraph &graph = module.taskGraph;
+    const Kernel &kernel = module.kernels.front();
+    const int n = graph.numTasks();
+    SOUFFLE_REQUIRE(n == static_cast<int>(kernel.stages.size()),
+                    "task graph has " << n << " tasks for "
+                                      << kernel.stages.size()
+                                      << " stages");
+
+    std::set<std::pair<int, int>> pairs;
+    for (const TaskEdge &edge : graph.edges) {
+        if (edge.from >= 0 && edge.from < n && edge.to >= 0
+            && edge.to < n && edge.from != edge.to)
+            pairs.insert({edge.from, edge.to});
+    }
+    const std::map<TensorId, std::vector<int>> touches =
+        megakernelStagesTouching(program, kernel);
+    for (size_t a = 0; a < plan.assignments.size(); ++a) {
+        for (size_t b = a + 1; b < plan.assignments.size(); ++b) {
+            const BufferAssignment &x = plan.assignments[a];
+            const BufferAssignment &y = plan.assignments[b];
+            const bool overlap = x.offset < y.offset + y.bytes
+                                 && y.offset < x.offset + x.bytes;
+            if (!overlap)
+                continue;
+            const BufferAssignment &early =
+                x.liveFrom <= y.liveFrom ? x : y;
+            const BufferAssignment &late =
+                x.liveFrom <= y.liveFrom ? y : x;
+            const auto early_it = touches.find(early.tensor);
+            const auto late_it = touches.find(late.tensor);
+            if (early_it == touches.end() || late_it == touches.end())
+                continue;
+            for (int from : early_it->second)
+                for (int to : late_it->second)
+                    if (from != to)
+                        pairs.insert({from, to});
+        }
+    }
+
+    std::vector<std::vector<int>> succs(static_cast<size_t>(n));
+    std::vector<int> indeg(static_cast<size_t>(n), 0);
+    for (const auto &[from, to] : pairs) {
+        succs[static_cast<size_t>(from)].push_back(to);
+        ++indeg[static_cast<size_t>(to)];
+    }
+    std::vector<int> level(static_cast<size_t>(n), 0);
+    std::vector<int> frontier;
+    for (int t = 0; t < n; ++t)
+        if (indeg[static_cast<size_t>(t)] == 0)
+            frontier.push_back(t);
+    int processed = 0;
+    int max_level = -1;
+    while (!frontier.empty()) {
+        std::vector<int> next;
+        for (int t : frontier) {
+            ++processed;
+            max_level =
+                std::max(max_level, level[static_cast<size_t>(t)]);
+            for (int s : succs[static_cast<size_t>(t)]) {
+                level[static_cast<size_t>(s)] =
+                    std::max(level[static_cast<size_t>(s)],
+                             level[static_cast<size_t>(t)] + 1);
+                if (--indeg[static_cast<size_t>(s)] == 0)
+                    next.push_back(s);
+            }
+        }
+        frontier = std::move(next);
+    }
+    SOUFFLE_REQUIRE(processed == n,
+                    "task graph has a cycle: only "
+                        << processed << " of " << n
+                        << " tasks topologically ordered");
+
+    std::vector<std::vector<int>> waves(
+        static_cast<size_t>(max_level + 1));
+    for (int t = 0; t < n; ++t)
+        waves[static_cast<size_t>(level[static_cast<size_t>(t)])]
+            .push_back(t);
+    return waves;
+}
+
 } // namespace
 
 NativeModule::NativeModule(const std::string &c_source,
@@ -176,6 +271,9 @@ NativeModule::NativeModule(const std::string &c_source,
                                  << why);
     }
     entryFn = reinterpret_cast<EntryFn>(symbol);
+    // Optional: only megakernel modules export the per-task entry.
+    taskFn = reinterpret_cast<TaskFn>(
+        ::dlsym(handle, kNativeModuleTaskSymbol));
 }
 
 NativeModule::~NativeModule()
@@ -202,6 +300,9 @@ NativeExecutor::NativeExecutor(const Compiled &compiled,
             ? compiled.generatedSource
             : emitCModule(compiled);
     native = std::make_unique<NativeModule>(source, options);
+
+    if (compiled.module.megakernel() && native->task() != nullptr)
+        taskWaves = taskWavefrontsFor(widened, compiled.module, plan);
 }
 
 NamedBuffers
@@ -254,7 +355,23 @@ NativeExecutor::run(const NamedBuffers &inputs) const
                   tensors[decl.id]);
     }
 
-    native->run(tensors.data());
+    if (!taskWaves.empty()) {
+        // V5 megakernel: drain the task graph level by level, tasks
+        // within a level concurrently on the global pool. WAW edges
+        // serialized every same-tensor writer pair into different
+        // levels, so concurrent tasks write disjoint tensors and the
+        // result is byte-identical at every job count.
+        const NativeModule::TaskFn task = native->task();
+        double *const *table = tensors.data();
+        for (const std::vector<int> &wave : taskWaves) {
+            parallelFor(static_cast<int64_t>(wave.size()),
+                        [&](int64_t i) {
+                            task(wave[static_cast<size_t>(i)], table);
+                        });
+        }
+    } else {
+        native->run(tensors.data());
+    }
 
     NamedBuffers outputs;
     for (TensorId id : program.outputTensors()) {

@@ -63,6 +63,8 @@ class NativeModule
   public:
     /** `souffle_module_main` signature: tensors[id] per TensorId. */
     using EntryFn = void (*)(double *const *tensors);
+    /** `souffle_module_task` signature (V5 megakernel modules). */
+    using TaskFn = void (*)(int stage, double *const *tensors);
 
     NativeModule(const std::string &c_source,
                  const NativeBuildOptions &options = {});
@@ -80,6 +82,9 @@ class NativeModule
 
     EntryFn entry() const { return entryFn; }
 
+    /** Per-task dispatch, nullptr unless the module exported one. */
+    TaskFn task() const { return taskFn; }
+
     /** Path of the loaded shared object. */
     const std::string &objectPath() const { return soPath; }
 
@@ -92,6 +97,7 @@ class NativeModule
   private:
     void *handle = nullptr;
     EntryFn entryFn = nullptr;
+    TaskFn taskFn = nullptr;
     std::string soPath;
     std::string srcPath;
     bool reused = false;
@@ -130,12 +136,29 @@ class NativeExecutor
 
     const NativeModule &nativeModule() const { return *native; }
 
+    /**
+     * Topological level wavefronts of the module's task graph (V5
+     * only; empty otherwise). Level k holds the stages whose longest
+     * dependence chain has k predecessors; run() executes one level
+     * at a time, tasks within a level concurrently on the global
+     * ThreadPool. Levels are computed over the serialized task edges
+     * PLUS alias edges recomputed against this executor's own widened
+     * memory plan, so workspace reuse decided at native-build time
+     * can never race.
+     */
+    const std::vector<std::vector<int>> &taskWavefronts() const
+    {
+        return taskWaves;
+    }
+
   private:
     const Compiled &compiled;
     /** All-fp32 copy of the program the plan offsets are valid for. */
     TeProgram widened;
     MemoryPlan plan;
     std::unique_ptr<NativeModule> native;
+    /** See taskWavefronts(). */
+    std::vector<std::vector<int>> taskWaves;
 };
 
 } // namespace souffle

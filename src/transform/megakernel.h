@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * The persistent-megakernel transform (compilation level V5).
+ *
+ * Lowers a V4 `CompiledModule` — N kernels whose stages serialize on
+ * kernel launches and grid.sync() — into ONE persistent kernel plus a
+ * `TaskGraph` (kernel/task_graph.h): every stage becomes a task,
+ * every inter-stage grid.sync() is deleted, and the ordering it
+ * provided is re-expressed as dependence edges the on-device
+ * scheduler enforces with per-edge events. Worker blocks stay
+ * resident for the whole module (one launch total) and SMs drain
+ * per-SM work queues (gpu/sim.h megakernel mode), so independent
+ * stages overlap instead of waiting at whole-grid barriers.
+ *
+ * Edge derivation is layered, all stage-granular:
+ *  - RAW/WAR edges project the kernel dataflow (analysis/dataflow.h)
+ *    of the merged stage sequence onto stage pairs;
+ *  - WAW edges chain the writers of each tensor in stage order
+ *    (two-phase reduction stages atomically accumulate into one
+ *    output; running them concurrently would be nondeterministic on
+ *    the native backend);
+ *  - alias edges order stages whose tensors share workspace bytes
+ *    under the memory plan (runtime/memory_plan.h): the plan proved
+ *    their TE-order live intervals disjoint, which task-parallel
+ *    execution would otherwise violate.
+ * The union is then deduplicated per (from, to) pair and transitively
+ * reduced: the scheduler charges an event signal + wait per edge, so
+ * an edge whose ordering a longer path already implies is pure
+ * overhead. Reachability — what the `task-graph-dep` lint rule checks
+ * coverage against — is unchanged by the reduction.
+ *
+ * Fallback rule (the module is left in its V4 form, task graph
+ * empty):
+ *  - a kernel uses a closed-source library (cannot join a persistent
+ *    launch);
+ *  - worker-block residency is infeasible: the per-stage maximum of
+ *    shared memory / registers / threads leaves zero resident blocks
+ *    per SM;
+ *  - the simulated megakernel is not strictly faster than the V4
+ *    module under the charged scheduler overheads (no free lunch).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "compiler/pass.h"
+#include "kernel/kernel_ir.h"
+
+namespace souffle {
+
+/**
+ * Stages touching each tensor of @p kernel, in stage order:
+ * instruction streams plus TE-level reads/writes (register-fused
+ * consumers read inputs without a serving load, so streams alone
+ * under-approximate). Used here to derive alias edges from the
+ * compile-time memory plan, and by the native runtime to recompute
+ * them against its own (dtype-widened) plan.
+ */
+std::map<TensorId, std::vector<int>>
+megakernelStagesTouching(const TeProgram &program, const Kernel &kernel);
+
+/** What one megakernel lowering did (or why it declined). */
+struct MegakernelStats
+{
+    /** True when the module was rewritten to the task-graph form. */
+    bool applied = false;
+    /** Human-readable fallback reason when !applied. */
+    std::string fallbackReason;
+    int tasks = 0;
+    /** Edges kept after dedup + transitive reduction. */
+    int edges = 0;
+    /** Redundant edges dropped by the transitive reduction. */
+    int edgesPruned = 0;
+    int gridSyncsRemoved = 0;
+    /** Simulated latency of the V4 input / the V5 candidate (us). */
+    double gridSyncUs = 0.0;
+    double megakernelUs = 0.0;
+};
+
+/**
+ * Lower @p module into the persistent-megakernel form in place, or
+ * leave it untouched when the feasibility/profitability check says
+ * no. Deterministic: same inputs, same module bytes.
+ */
+MegakernelStats applyMegakernel(const TeProgram &program,
+                                const GlobalAnalysis &analysis,
+                                const DeviceSpec &device,
+                                CompiledModule &module);
+
+/**
+ * Pipeline adapter (V5). Counters: "megakernelApplied",
+ * "megakernelTasks", "megakernelEdges", "gridSyncsRemoved",
+ * "megakernelFallback".
+ */
+class MegakernelPass : public Pass
+{
+  public:
+    std::string name() const override { return "megakernel"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace souffle

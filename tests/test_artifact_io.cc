@@ -289,7 +289,7 @@ TEST(ArtifactIo, RejectsMissingVersionSkewAndCorruption)
     // Version skew: rewrite the recorded format version.
     const std::string meta = readFile(dir + "/meta.json");
     std::string skewed = meta;
-    const size_t pos = skewed.find("\"version\":1");
+    const size_t pos = skewed.find("\"version\":2");
     ASSERT_NE(pos, std::string::npos);
     skewed.replace(pos, 11, "\"version\":9");
     writeFile(dir + "/meta.json", skewed);

@@ -119,7 +119,7 @@ TEST_P(SouffleLevels, EveryAblationLevelIsSemanticPreserving)
     const LoweredModel reference = lowerToTe(graph);
     const auto ref_out = runByName(reference.program, 77);
 
-    for (int level = 0; level <= 4; ++level) {
+    for (int level = 0; level <= 5; ++level) {
         SouffleOptions options;
         options.level = static_cast<SouffleLevel>(level);
         const Compiled compiled = compileSouffle(graph, options);

@@ -199,7 +199,8 @@ baselineV4Pipeline()
 }
 
 const std::vector<std::string> kVerifierRules = {
-    "plan-overlap", "redundant-sync", "unsynced-dep"};
+    "plan-overlap", "redundant-sync", "task-graph-dep",
+    "unsynced-dep"};
 
 // ---------------------------------------------------------------------
 // KernelDataflow: edges and happens-before
@@ -849,7 +850,7 @@ class ZooVerify : public ::testing::TestWithParam<std::string>
 TEST_P(ZooVerify, VerifierIsCleanAtEveryLevelOnBothBackends)
 {
     const Graph graph = buildTinyModel(GetParam());
-    for (int level = 0; level <= 4; ++level) {
+    for (int level = 0; level <= 5; ++level) {
         for (const std::string &backend : {"cuda", "c"}) {
             SouffleOptions options;
             options.level = static_cast<SouffleLevel>(level);

@@ -582,7 +582,7 @@ class ZooLint : public ::testing::TestWithParam<std::string>
 TEST_P(ZooLint, TinyModelsHaveZeroLintErrorsAtEveryLevel)
 {
     const Graph graph = buildTinyModel(GetParam());
-    for (int level = 0; level <= 4; ++level) {
+    for (int level = 0; level <= 5; ++level) {
         SouffleOptions options;
         options.level = static_cast<SouffleLevel>(level);
         CompileContext ctx(graph, options);
@@ -658,7 +658,8 @@ TEST(LintRegistry, BuiltinCatalogueIsRegisteredAndSorted)
     EXPECT_EQ(ids, (std::vector<std::string>{
                        "affine-bounds", "dead-te", "grid-sync-race",
                        "instr-stream", "plan-overlap", "redundant-sync",
-                       "resource-caps", "unsynced-dep"}));
+                       "resource-caps", "task-graph-dep",
+                       "unsynced-dep"}));
     for (const std::string &id : ids) {
         const auto rule = LintRuleRegistry::global().create(id);
         EXPECT_EQ(rule->id(), id);

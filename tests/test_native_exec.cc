@@ -103,7 +103,7 @@ TEST_P(NativeZooDifferential, MatchesInterpreterAtEveryLevel)
     const Graph graph = buildTinyModel(model);
     for (SouffleLevel level :
          {SouffleLevel::kV0, SouffleLevel::kV1, SouffleLevel::kV2,
-          SouffleLevel::kV3, SouffleLevel::kV4}) {
+          SouffleLevel::kV3, SouffleLevel::kV4, SouffleLevel::kV5}) {
         expectNativeMatchesInterpreter(
             graph, level,
             model + "/V"

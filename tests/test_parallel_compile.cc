@@ -54,7 +54,7 @@ TEST(ParallelCompile, ZooArtifactsByteIdenticalAcrossThreadCounts)
     GlobalJobsGuard guard;
     for (const std::string &model : paperModelNames()) {
         const Graph graph = buildTinyModel(model);
-        for (int level = 0; level <= 4; ++level) {
+        for (int level = 0; level <= 5; ++level) {
             SouffleOptions options;
             options.level = static_cast<SouffleLevel>(level);
 

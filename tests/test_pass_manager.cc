@@ -48,7 +48,7 @@ class PipelineIdentity : public ::testing::TestWithParam<std::string>
 TEST_P(PipelineIdentity, WrapperAndExplicitRunAgreeAtEveryLevel)
 {
     const Graph graph = buildTinyModel(GetParam());
-    for (int level = 0; level <= 4; ++level) {
+    for (int level = 0; level <= 5; ++level) {
         SouffleOptions options;
         options.level = static_cast<SouffleLevel>(level);
 
@@ -121,6 +121,13 @@ TEST(SoufflePipeline, PassListsMatchTheAblationLevels)
                   "build-module", "two-phase-reduction",
                   "pipeline-loads", "reuse-cache", "sync-elim",
                   "codegen"}));
+    EXPECT_EQ(names(SouffleLevel::kV5),
+              (std::vector<std::string>{
+                  "lower-to-te", "simplify", "horizontal-transform",
+                  "vertical-transform", "schedule", "partition",
+                  "build-module", "two-phase-reduction",
+                  "pipeline-loads", "reuse-cache", "sync-elim",
+                  "megakernel", "codegen"}));
 
     SouffleOptions adaptive;
     adaptive.adaptiveFusion = true;

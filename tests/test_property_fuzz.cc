@@ -170,7 +170,7 @@ TEST_P(FuzzSemantics, AllLevelsPreserveSemantics)
     const LoweredModel reference = lowerToTe(graph);
     const auto ref_out = runByName(reference.program, GetParam());
 
-    for (int level = 0; level <= 4; ++level) {
+    for (int level = 0; level <= 5; ++level) {
         SouffleOptions options;
         options.level = static_cast<SouffleLevel>(level);
         const Compiled compiled = compileSouffle(graph, options);

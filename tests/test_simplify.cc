@@ -249,7 +249,7 @@ TEST_P(SimplifyZoo, BitIdenticalAtEveryLevel)
     // and require bit-identical interpretation. This isolates the
     // simplifier differential from transform-order effects.
     const Graph graph = buildTinyModel(GetParam());
-    for (int level = 0; level <= 4; ++level) {
+    for (int level = 0; level <= 5; ++level) {
         SouffleOptions options;
         options.level = static_cast<SouffleLevel>(level);
         options.noSimplify = true;

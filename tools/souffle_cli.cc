@@ -17,7 +17,9 @@
  *   --backend=cuda|c       codegen backend (default cuda; `run` with
  *                          an executable backend also executes the
  *                          emitted module natively on the host CPU)
- *   --level=0..4           Souffle ablation level (default 4)
+ *   --level=0..5           Souffle level: 0..4 = Table 4 ablation
+ *                          (default 4); 5 = V4 + persistent
+ *                          megakernel (task-graph scheduler)
  *   --no-simplify          disable the TE algebraic simplifier
  *                          (differential testing; see te/simplify.h)
  *   --device=a100|v100|h100  device-model preset (default a100)
@@ -52,8 +54,10 @@
  *   --rule=ID[,ID...]      run only the named rules
  *
  * `verify` runs the dataflow verifier rules only (plan-overlap,
- * unsynced-dep, redundant-sync): it proves the memory plan sound and
- * every kernel dependence fenced on the fully optimized module.
+ * unsynced-dep, redundant-sync, task-graph-dep): it proves the memory
+ * plan sound, every kernel dependence fenced, and -- at --level=5 --
+ * every cross-stage dependence covered by the megakernel task graph,
+ * on the fully optimized module.
  *
  * `serve-sim` options (zoo models only — batching rebuilds the graph
  * per bucket, which a serialized .sgraph cannot do):
@@ -171,7 +175,7 @@ usage()
         "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
         "  --backend=cuda|c (codegen backend; `run --backend=c` also "
         "executes natively)\n"
-        "  --level=0..4  --device=a100|v100|h100  --cache-dir=DIR\n"
+        "  --level=0..5  --device=a100|v100|h100  --cache-dir=DIR\n"
         "  --jobs=N (compile-parallelism lanes; default SOUFFLE_JOBS "
         "or hardware concurrency)\n"
         "  --adaptive  --roller  --strict  --no-simplify  --batch=N\n"
@@ -210,7 +214,7 @@ commandHelp(const std::string &command)
          "  Compile the model and print module/memory/timing "
          "summaries.\n"
          "  --compiler=souffle|xla|ansor|tensorrt|rammer|apollo|iree\n"
-         "  --backend=cuda|c  --level=0..4  --device=a100|v100|h100\n"
+         "  --backend=cuda|c  --level=0..5  --device=a100|v100|h100\n"
          "  --batch=N (zoo models)  --jobs=N  --cache-dir=DIR\n"
          "  --adaptive  --roller  --strict  --no-simplify\n"
          "  --save=DIR      persist the compiled artifact (program,\n"
@@ -241,7 +245,8 @@ commandHelp(const std::string &command)
         {"verify",
          "souffle_cli verify <model.sgraph | zoo:NAME> [options]\n"
          "  Lint restricted to the dataflow-verifier rules\n"
-         "  (plan-overlap, unsynced-dep, redundant-sync).\n"
+         "  (plan-overlap, unsynced-dep, redundant-sync, "
+         "task-graph-dep).\n"
          "  --format=text|json  --fail-on=warning|error\n"
          "  exit: 0 sound, 1 violations, 2 bad flags\n"},
         {"serve-sim",
@@ -344,7 +349,7 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.souffle.backend = value_of("--backend=");
         else if (arg.rfind("--level=", 0) == 0) {
             const int level = std::stoi(value_of("--level="));
-            if (level < 0 || level > 4)
+            if (level < 0 || level > 5)
                 return false;
             options.souffle.level = static_cast<SouffleLevel>(level);
         }
@@ -695,7 +700,8 @@ cliMain(int argc, char **argv)
         // rules: memory-plan soundness, instruction-granular
         // happens-before, and fence redundancy.
         const std::vector<std::string> verifier_rules{
-            "plan-overlap", "redundant-sync", "unsynced-dep"};
+            "plan-overlap", "redundant-sync", "task-graph-dep",
+            "unsynced-dep"};
         const Linter linter =
             !options.lintRules.empty() ? Linter(options.lintRules)
             : options.command == "verify" ? Linter(verifier_rules)
@@ -913,6 +919,14 @@ cliMain(int argc, char **argv)
         }
     }
     if (!options.tracePath.empty()) {
+        if (compiled.module.megakernel()) {
+            // Re-simulate with the per-task timeline captured so the
+            // trace shows one lane per SM (queue depths, steals).
+            SimOptions sim_options;
+            sim_options.captureTaskTimeline = true;
+            timing = simulate(compiled.module, options.souffle.device,
+                              sim_options);
+        }
         writeChromeTrace(timing, compiled.name, options.tracePath);
         std::printf("wrote chrome trace to %s\n",
                     options.tracePath.c_str());
